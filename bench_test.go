@@ -1,0 +1,259 @@
+package dnscde_test
+
+// One benchmark per table and figure of the paper (DESIGN.md §4), plus
+// micro-benchmarks of the substrate hot paths. Each experiment benchmark
+// runs the corresponding driver, reports the number of shape checks
+// passed as a custom metric, and fails the run if a check regresses.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFigure4 -benchtime=3x
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnscde/internal/core"
+	"dnscde/internal/dnswire"
+	"dnscde/internal/experiments"
+	"dnscde/internal/loadbal"
+	"dnscde/internal/netsim"
+	"dnscde/internal/platform"
+	"dnscde/internal/simtest"
+)
+
+// benchConfig sizes populations for benchmark runs: large enough for the
+// shape checks, small enough that -bench=. completes in minutes.
+func benchConfig() experiments.Config {
+	return experiments.Config{Seed: 2017, OpenResolvers: 60, Enterprises: 60, ISPs: 60}
+}
+
+// statBenchConfig is for generation-only experiments whose checks need
+// larger samples (Table I shares, Fig. 2 operator shares).
+func statBenchConfig() experiments.Config {
+	return experiments.Config{Seed: 2017, OpenResolvers: 600, Enterprises: 600, ISPs: 600}
+}
+
+// runExperiment benchmarks one experiment driver end to end.
+func runExperiment(b *testing.B, id string, cfg experiments.Config) {
+	b.Helper()
+	var passed, total int
+	for i := 0; i < b.N; i++ {
+		report, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		passed, total = 0, len(report.Checks)
+		for _, c := range report.Checks {
+			if c.Pass() {
+				passed++
+			}
+		}
+		if passed != total {
+			b.Fatalf("%s: %d/%d shape checks passed:\n%s", id, passed, total, report.Render())
+		}
+	}
+	b.ReportMetric(float64(passed), "checks")
+}
+
+// Table I: SMTP query-type mix.
+func BenchmarkTableI_SMTPQueryTypes(b *testing.B) { runExperiment(b, "table1", statBenchConfig()) }
+
+// Fig. 2: operator distribution across the three datasets.
+func BenchmarkFigure2_OperatorDistribution(b *testing.B) {
+	runExperiment(b, "fig2", statBenchConfig())
+}
+
+// Fig. 3: CDF of egress IPs per platform (CDE egress discovery).
+func BenchmarkFigure3_EgressIPs(b *testing.B) { runExperiment(b, "fig3", benchConfig()) }
+
+// midBenchConfig matches the cdebench default sizes; the Fig. 4/6 share
+// checks need the larger sample.
+func midBenchConfig() experiments.Config {
+	return experiments.Config{Seed: 2017, OpenResolvers: 120, Enterprises: 120, ISPs: 120}
+}
+
+// Fig. 4: CDF of caches per platform (CDE enumeration).
+func BenchmarkFigure4_CacheCounts(b *testing.B) { runExperiment(b, "fig4", midBenchConfig()) }
+
+// Fig. 5: bubble scatter, open resolvers.
+func BenchmarkFigure5_OpenResolverScatter(b *testing.B) { runExperiment(b, "fig5", benchConfig()) }
+
+// Fig. 6: cache-to-IP ratio categories across populations.
+func BenchmarkFigure6_RatioCategories(b *testing.B) { runExperiment(b, "fig6", midBenchConfig()) }
+
+// Fig. 7: bubble scatter, SMTP population.
+func BenchmarkFigure7_SMTPScatter(b *testing.B) { runExperiment(b, "fig7", benchConfig()) }
+
+// Fig. 8: bubble scatter, ad-network population.
+func BenchmarkFigure8_AdNetScatter(b *testing.B) { runExperiment(b, "fig8", benchConfig()) }
+
+// Theorem 5.1: coupon-collector bound, analytic vs Monte-Carlo vs live.
+func BenchmarkTheorem51_CouponCollector(b *testing.B) { runExperiment(b, "thm51", benchConfig()) }
+
+// §V-B: init/validate coverage and success rate.
+func BenchmarkInitValidate_SuccessRate(b *testing.B) {
+	runExperiment(b, "initvalidate", benchConfig())
+}
+
+// §V: carpet bombing vs packet loss.
+func BenchmarkCarpetBombing_Loss(b *testing.B) { runExperiment(b, "carpet", benchConfig()) }
+
+// §IV-B3: timing side channel.
+func BenchmarkTimingChannel(b *testing.B) { runExperiment(b, "timing", benchConfig()) }
+
+// Ablations (DESIGN.md §6).
+func BenchmarkAblation_Selection(b *testing.B) {
+	runExperiment(b, "ablation-selection", benchConfig())
+}
+
+func BenchmarkAblation_Bypass(b *testing.B) { runExperiment(b, "ablation-bypass", benchConfig()) }
+
+func BenchmarkAblation_TimingThreshold(b *testing.B) {
+	runExperiment(b, "ablation-threshold", benchConfig())
+}
+
+func BenchmarkAblation_Forwarder(b *testing.B) {
+	runExperiment(b, "ablation-forwarder", benchConfig())
+}
+
+// Extension experiments (paper §II motivations and §VI observations).
+
+func BenchmarkExtension_Poisoning(b *testing.B) { runExperiment(b, "poisoning", benchConfig()) }
+
+func BenchmarkExtension_Resilience(b *testing.B) { runExperiment(b, "resilience", benchConfig()) }
+
+func BenchmarkExtension_EDNSSurvey(b *testing.B) { runExperiment(b, "edns", benchConfig()) }
+
+func BenchmarkExtension_TTLConsistency(b *testing.B) {
+	runExperiment(b, "ttlconsistency", benchConfig())
+}
+
+func BenchmarkExtension_Classify(b *testing.B) { runExperiment(b, "classify", benchConfig()) }
+
+func BenchmarkExtension_Fingerprint(b *testing.B) {
+	runExperiment(b, "fingerprint", benchConfig())
+}
+
+func BenchmarkAblation_CrossTraffic(b *testing.B) {
+	runExperiment(b, "ablation-crosstraffic", benchConfig())
+}
+
+func BenchmarkExtension_SelectionShare(b *testing.B) {
+	runExperiment(b, "selectionshare", benchConfig())
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkWirePackUnpack(b *testing.B) {
+	msg := dnswire.NewQuery(1, "x-1.sub.cache.example.", dnswire.TypeA)
+	resp := dnswire.NewResponse(msg)
+	resp.Answer = append(resp.Answer, dnswire.RR{
+		Name: "x-1.sub.cache.example.", Class: dnswire.ClassIN, TTL: 300,
+		Data: dnswire.CNAMERecord{Target: "name.cache.example."},
+	}, dnswire.RR{
+		Name: "name.cache.example.", Class: dnswire.ClassIN, TTL: 300,
+		Data: dnswire.ARecord{Addr: netip.MustParseAddr("192.0.2.80")},
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire, err := resp.Pack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dnswire.Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlatformResolution(b *testing.B) {
+	w, err := simtest.New(simtest.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat, err := w.NewPlatform(simtest.PlatformSpec{
+		Caches: 4,
+		Mutate: func(c *platform.Config) { c.Selector = loadbal.NewRandom(1) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	session, err := w.Infra.NewHierarchySession(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn := w.Net.Bind(netip.MustParseAddr("198.18.5.5"))
+	ingress := plat.Config().IngressIPs[0]
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := dnswire.NewQuery(uint16(i), session.ProbeName(i+1), dnswire.TypeA)
+		if _, _, err := conn.Exchange(ctx, q, ingress); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumerateDirect(b *testing.B) {
+	w, err := simtest.New(simtest.Options{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat, err := w.NewPlatform(simtest.PlatformSpec{
+		Caches: 4,
+		Mutate: func(c *platform.Config) { c.Selector = loadbal.NewRandom(2) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prober := w.DirectProber(plat.Config().IngressIPs[0])
+	ctx := context.Background()
+	exact := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.EnumerateDirect(ctx, prober, w.Infra, core.EnumOptions{Queries: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// With q=32 probes against n=4 uniform caches a run misses one
+		// cache with probability ≈ 4·(3/4)^32 ≈ 4e-4; demand near-exact.
+		if res.Caches == 4 {
+			exact++
+		} else if res.Caches < 3 {
+			b.Fatalf("measured %d caches", res.Caches)
+		}
+	}
+	b.ReportMetric(float64(exact)/float64(b.N), "exact-rate")
+}
+
+func BenchmarkTimingEnumeration(b *testing.B) {
+	w, err := simtest.New(simtest.Options{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat, err := w.NewPlatform(simtest.PlatformSpec{
+		Caches:  4,
+		Profile: netsim.LinkProfile{OneWay: 2 * time.Millisecond},
+		Mutate:  func(c *platform.Config) { c.Selector = loadbal.NewRandom(3) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prober := w.DirectProber(plat.Config().IngressIPs[0])
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.EnumerateTimingDirect(ctx, prober, w.Infra, core.TimingOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Caches != 4 {
+			b.Fatalf("measured %d caches", res.Caches)
+		}
+	}
+}

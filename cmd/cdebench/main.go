@@ -1,0 +1,123 @@
+// Command cdebench regenerates the tables and figures of "Counting in the
+// Dark: DNS Caches Discovery and Enumeration in the Internet" (DSN 2017)
+// against synthetic populations, reporting paper-published, ground-truth
+// and CDE-measured values side by side.
+//
+// Usage:
+//
+//	cdebench -list
+//	cdebench -exp fig4
+//	cdebench -exp all -open 200 -ent 200 -isp 200 -seed 7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dnscde/internal/experiments"
+)
+
+// jsonReport is the machine-readable form emitted with -json.
+type jsonReport struct {
+	ID       string      `json:"id"`
+	Title    string      `json:"title"`
+	Passed   bool        `json:"passed"`
+	Elapsed  string      `json:"elapsed"`
+	Checks   []jsonCheck `json:"checks"`
+	Rendered string      `json:"rendered,omitempty"`
+}
+
+// jsonCheck is one shape assertion in JSON form.
+type jsonCheck struct {
+	Name      string  `json:"name"`
+	Paper     float64 `json:"paper"`
+	Measured  float64 `json:"measured"`
+	Tolerance float64 `json:"tolerance"`
+	Pass      bool    `json:"pass"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("cdebench", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment id to run, or 'all'")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		seed    = fs.Int64("seed", 2017, "random seed")
+		open    = fs.Int("open", 0, "open-resolver population size (0 = default)")
+		ent     = fs.Int("ent", 0, "enterprise population size (0 = default)")
+		isp     = fs.Int("isp", 0, "ISP population size (0 = default)")
+		asJSON  = fs.Bool("json", false, "emit one JSON object per experiment instead of text")
+		verbose = fs.Bool("v", false, "with -json, include the rendered text in each object")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-22s %s\n", id, experiments.Descriptions[id])
+		}
+		return 0
+	}
+
+	cfg := experiments.Config{
+		Seed:          *seed,
+		OpenResolvers: *open,
+		Enterprises:   *ent,
+		ISPs:          *isp,
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	failed := 0
+	for _, id := range ids {
+		start := time.Now()
+		report, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdebench: %s: %v\n", id, err)
+			failed++
+			continue
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *asJSON {
+			jr := jsonReport{
+				ID: report.ID, Title: report.Title,
+				Passed: report.Passed(), Elapsed: elapsed.String(),
+			}
+			for _, c := range report.Checks {
+				jr.Checks = append(jr.Checks, jsonCheck{
+					Name: c.Name, Paper: c.Paper, Measured: c.Measured,
+					Tolerance: c.Tolerance, Pass: c.Pass(),
+				})
+			}
+			if *verbose {
+				jr.Rendered = report.Render()
+			}
+			if err := enc.Encode(jr); err != nil {
+				fmt.Fprintf(os.Stderr, "cdebench: encoding %s: %v\n", id, err)
+				return 1
+			}
+		} else {
+			fmt.Println(report.Render())
+			fmt.Printf("(%s completed in %v)\n\n%s\n\n", id, elapsed, strings.Repeat("=", 72))
+		}
+		if !report.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "cdebench: %d experiment(s) failed shape checks\n", failed)
+		return 1
+	}
+	return 0
+}

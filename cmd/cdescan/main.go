@@ -1,0 +1,305 @@
+// Command cdescan is the CDE measurement tool: it discovers and
+// enumerates the caches of a DNS resolution platform.
+//
+// Simulation mode (default) builds a platform with a known configuration
+// and measures it end-to-end — the zero-setup demonstration:
+//
+//	cdescan -caches 4 -ingress 2 -egress 6 -selector random -technique all
+//
+// UDP mode probes a real resolver. The prober needs its own domain with
+// nameservers it can observe (run cmd/cdeserver there); latency-only
+// probing works without one:
+//
+//	cdescan -mode udp -target 192.0.2.53:53 -name www.example.com -probes 20
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dnscde/internal/core"
+	"dnscde/internal/dnswire"
+	"dnscde/internal/loadbal"
+	"dnscde/internal/netsim"
+	"dnscde/internal/platform"
+	"dnscde/internal/simtest"
+	"dnscde/internal/trace"
+	"dnscde/internal/udpnet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("cdescan", flag.ContinueOnError)
+	var (
+		mode      = fs.String("mode", "sim", "sim or udp")
+		technique = fs.String("technique", "all", "direct, chain, hierarchy, timing, mapping, egress, classify, survey, trace or all (sim mode)")
+		caches    = fs.Int("caches", 4, "simulated platform cache count")
+		ingress   = fs.Int("ingress", 2, "simulated platform ingress IPs")
+		egress    = fs.Int("egress", 3, "simulated platform egress IPs")
+		selector  = fs.String("selector", "random", "random, round-robin, hash-qname or hash-source-ip")
+		loss      = fs.Float64("loss", 0.01, "simulated per-packet loss")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+
+		target = fs.String("target", "", "udp mode: resolver address ip:port")
+		name   = fs.String("name", "", "udp mode: name to probe")
+		probes = fs.Int("probes", 10, "udp mode: probe count")
+		server = fs.String("server", "", "udp mode: cdeserver address ip:port for control-zone readout (full enumeration)")
+		ctl    = fs.String("ctl", "", "udp mode: control-zone origin, e.g. ctl.cache.example (default derived from -name's domain)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *mode {
+	case "sim":
+		if err := runSim(out, *technique, *caches, *ingress, *egress, *selector, *loss, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "cdescan: %v\n", err)
+			return 1
+		}
+	case "udp":
+		if err := runUDP(out, *target, *name, *probes, *server, *ctl); err != nil {
+			fmt.Fprintf(os.Stderr, "cdescan: %v\n", err)
+			return 1
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "cdescan: unknown mode %q\n", *mode)
+		return 2
+	}
+	return 0
+}
+
+func makeSelector(kind string, seed int64) (loadbal.Selector, error) {
+	switch kind {
+	case "random":
+		return loadbal.NewRandom(seed), nil
+	case "round-robin":
+		return loadbal.NewRoundRobin(), nil
+	case "hash-qname":
+		return loadbal.HashQName{}, nil
+	case "hash-source-ip":
+		return loadbal.HashSourceIP{}, nil
+	default:
+		return nil, fmt.Errorf("unknown selector %q", kind)
+	}
+}
+
+func runSim(out io.Writer, technique string, caches, ingress, egress int, selector string, loss float64, seed int64) error {
+	sel, err := makeSelector(selector, seed)
+	if err != nil {
+		return err
+	}
+	w, err := simtest.New(simtest.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	plat, err := w.NewPlatform(simtest.PlatformSpec{
+		Name: "target", Caches: caches, Ingress: ingress, Egress: egress, Seed: seed,
+		Profile: netsim.LinkProfile{OneWay: 2 * time.Millisecond, Jitter: time.Millisecond, Loss: loss},
+		Mutate:  func(c *platform.Config) { c.Selector = sel },
+	})
+	if err != nil {
+		return err
+	}
+	gt := plat.GroundTruth()
+	fmt.Fprintf(out, "target platform: caches=%d ingress=%d egress=%d selector=%s loss=%.1f%%\n\n",
+		gt.Caches, gt.IngressIPs, gt.EgressIPs, gt.Selector, loss*100)
+
+	ctx := context.Background()
+	ingressIP := plat.Config().IngressIPs[0]
+	prober := w.DirectProber(ingressIP)
+	k := core.CarpetBombingFactor(1-(1-loss)*(1-loss), 0.99)
+
+	runAll := technique == "all"
+	if runAll || technique == "direct" {
+		res, err := core.EnumerateDirect(ctx, prober, w.Infra, core.EnumOptions{Replicates: k})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "direct enumeration (§IV-B1):     %d caches  (%d probes, %d lost)\n",
+			res.Caches, res.ProbesSent, res.ProbeErrors)
+	}
+	if runAll || technique == "chain" {
+		indirect := core.NewIndirectProber(w.NewStub(ingressIP))
+		res, err := core.EnumerateChain(ctx, indirect, w.Infra, core.EnumOptions{Replicates: k})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "CNAME-chain bypass (§IV-B2a):    %d caches  (%d probes, %d lost)\n",
+			res.Caches, res.ProbesSent, res.ProbeErrors)
+	}
+	if runAll || technique == "hierarchy" {
+		indirect := core.NewIndirectProber(w.NewStub(ingressIP))
+		res, err := core.EnumerateHierarchy(ctx, indirect, w.Infra, core.EnumOptions{Replicates: k})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "names-hierarchy bypass (§IV-B2b): %d caches  (%d probes, %d lost)\n",
+			res.Caches, res.ProbesSent, res.ProbeErrors)
+	}
+	if runAll || technique == "timing" {
+		res, err := core.EnumerateTimingDirect(ctx, prober, w.Infra, core.TimingOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "timing side channel (§IV-B3):    %d caches  (threshold %v)\n",
+			res.Caches, res.Threshold)
+	}
+	if runAll || technique == "egress" {
+		res, err := core.DiscoverEgressAdaptive(ctx, prober, w.Infra, 32, 4096)
+		if err != nil {
+			return err
+		}
+		sort.Slice(res.IPs, func(i, j int) bool { return res.IPs[i].Less(res.IPs[j]) })
+		fmt.Fprintf(out, "egress discovery (§IV-B1b):      %d egress IPs: %v\n", len(res.IPs), res.IPs)
+	}
+	if technique == "trace" {
+		session, err := w.Infra.NewHierarchySession(1)
+		if err != nil {
+			return err
+		}
+		for round, label := range []string{"cold", "warm"} {
+			tr := trace.New()
+			tctx := trace.With(ctx, tr)
+			conn := w.Net.Bind(w.NextClientAddr())
+			if _, _, err := conn.Exchange(tctx, dnswire.NewQuery(uint16(round+1), session.ProbeName(1), dnswire.TypeA), ingressIP); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s resolution of %s:\n%s\n", label, session.ProbeName(1), tr)
+		}
+		return nil
+	}
+	if technique == "survey" {
+		extras := make([]core.Prober, 0, 16)
+		for i := 0; i < 16; i++ {
+			extras = append(extras, w.DirectProber(ingressIP))
+		}
+		survey, err := core.SurveyPlatform(ctx, prober, w.Infra, core.SurveyOptions{ExtraVantages: extras})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, survey.Render())
+		return nil
+	}
+	if runAll || technique == "classify" {
+		extras := make([]core.Prober, 0, 16)
+		for i := 0; i < 16; i++ {
+			extras = append(extras, w.DirectProber(ingressIP))
+		}
+		res, err := core.ClassifySelection(ctx, prober, w.Infra, core.ClassifyOptions{ExtraVantages: extras})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "selection classifier (future work): %s (ω_distinct=%d, ω_identical=%d, sequential %d/%d)\n",
+			res.Class, res.Caches, res.IdenticalKeyCaches, res.SequentialRuns, res.Runs)
+	}
+	if runAll || technique == "mapping" {
+		res, err := core.MapIngressClusters(ctx, w.Infra, plat.Config().IngressIPs,
+			func(ip netip.Addr) core.Prober { return w.DirectProber(ip) }, core.MappingOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ingress→cache clusters (§IV-B1b): %d cluster(s)\n", len(res.Clusters))
+		for i, cluster := range res.Clusters {
+			fmt.Fprintf(out, "  cluster %d: %v\n", i, cluster)
+		}
+	}
+	return nil
+}
+
+func runUDP(out io.Writer, target, name string, probes int, server, ctl string) error {
+	if target == "" || name == "" {
+		return fmt.Errorf("udp mode requires -target and -name")
+	}
+	addrPort, err := netip.ParseAddrPort(target)
+	if err != nil {
+		return fmt.Errorf("parsing -target: %w", err)
+	}
+	tr := &udpnet.Transport{Port: addrPort.Port()}
+	ctx := context.Background()
+
+	fmt.Fprintf(out, "probing %v for %s (%d probes)\n", addrPort, name, probes)
+	var rtts []time.Duration
+	for i := 0; i < probes; i++ {
+		query := dnswire.NewQuery(uint16(i+1), name, dnswire.TypeA)
+		resp, rtt, err := tr.Exchange(ctx, query, addrPort.Addr())
+		if err != nil {
+			fmt.Fprintf(out, "  probe %2d: %v\n", i+1, err)
+			continue
+		}
+		rtts = append(rtts, rtt)
+		fmt.Fprintf(out, "  probe %2d: %-8v %s\n", i+1, rtt.Round(time.Microsecond), resp.Summary())
+	}
+	if len(rtts) == 0 {
+		return fmt.Errorf("no responses from %v", addrPort)
+	}
+	sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+	fmt.Fprintf(out, "\nlatency: min=%v median=%v max=%v\n",
+		rtts[0], rtts[len(rtts)/2], rtts[len(rtts)-1])
+
+	if server == "" {
+		fmt.Fprintln(out, strings.TrimSpace(`
+The latency split between the fastest (cached) and slowest (cache-miss)
+responses is the §IV-B3 signal; add -server (a cdeserver with its control
+zone) to read ω directly and finish the enumeration.`))
+		return nil
+	}
+	return readControl(out, server, ctl, name)
+}
+
+// readControl fetches ω and the egress sources from a cdeserver's DNS
+// control zone (§IV-B1 counting, performed remotely).
+func readControl(out io.Writer, server, ctl, name string) error {
+	srvAddr, err := netip.ParseAddrPort(server)
+	if err != nil {
+		return fmt.Errorf("parsing -server: %w", err)
+	}
+	if ctl == "" {
+		// Derive ctl.<registrable domain> from the probe name's last two
+		// labels: name.cache.example → ctl.cache.example.
+		labels := strings.Split(strings.TrimSuffix(dnswire.CanonicalName(name), "."), ".")
+		if len(labels) < 2 {
+			return fmt.Errorf("cannot derive -ctl from %q; pass it explicitly", name)
+		}
+		ctl = "ctl." + strings.Join(labels[len(labels)-2:], ".")
+	}
+	ctl = dnswire.CanonicalName(ctl)
+	// Egress readouts can list many addresses; fall back to TCP on
+	// truncation.
+	tr := &udpnet.Transport{Port: srvAddr.Port(), FallbackTCP: true}
+	ctx := context.Background()
+
+	fetch := func(ctlName string) ([]string, error) {
+		resp, _, err := tr.Exchange(ctx, dnswire.NewQuery(1, ctlName, dnswire.TypeTXT), srvAddr.Addr())
+		if err != nil {
+			return nil, err
+		}
+		if len(resp.Answer) == 0 {
+			return nil, fmt.Errorf("control query %s: %s", ctlName, resp.Summary())
+		}
+		txt, ok := resp.Answer[0].Data.(dnswire.TXTRecord)
+		if !ok {
+			return nil, fmt.Errorf("control query %s: unexpected %T", ctlName, resp.Answer[0].Data)
+		}
+		return txt.Strings, nil
+	}
+
+	counts, err := fetch("count." + dnswire.CanonicalName(name) + ctl)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\ncontrol-zone readout from %v:\n", srvAddr)
+	fmt.Fprintf(out, "  ω (queries for %s at the nameserver): %s caches\n", name, counts[0])
+	if egress, err := fetch("egress." + dnswire.CanonicalName(name) + ctl); err == nil {
+		fmt.Fprintf(out, "  egress IPs observed: %s %v\n", egress[0], egress[1:])
+	}
+	return nil
+}

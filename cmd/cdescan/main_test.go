@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSimAllTechniques(t *testing.T) {
+	var sb strings.Builder
+	if err := runSim(&sb, "all", 3, 2, 4, "random", 0.01, 7); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"caches=3 ingress=2 egress=4",
+		"direct enumeration (§IV-B1):     3 caches",
+		"CNAME-chain bypass (§IV-B2a):    3 caches",
+		"names-hierarchy bypass (§IV-B2b): 3 caches",
+		"timing side channel (§IV-B3):    3 caches",
+		"egress discovery (§IV-B1b):      4 egress IPs",
+		"1 cluster(s)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSimSingleTechnique(t *testing.T) {
+	var sb strings.Builder
+	if err := runSim(&sb, "direct", 2, 1, 1, "round-robin", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "direct enumeration") {
+		t.Errorf("missing direct output:\n%s", out)
+	}
+	if strings.Contains(out, "timing side channel") {
+		t.Errorf("unexpected timing output:\n%s", out)
+	}
+}
+
+func TestMakeSelector(t *testing.T) {
+	for _, kind := range []string{"random", "round-robin", "hash-qname", "hash-source-ip"} {
+		if _, err := makeSelector(kind, 1); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+	}
+	if _, err := makeSelector("bogus", 1); err == nil {
+		t.Error("bogus selector accepted")
+	}
+}
+
+func TestRunFlagHandling(t *testing.T) {
+	var sb strings.Builder
+	if code := run([]string{"-mode", "nope"}, &sb); code != 2 {
+		t.Errorf("unknown mode exit = %d", code)
+	}
+	if code := run([]string{"-bogus-flag"}, &sb); code != 2 {
+		t.Errorf("bad flag exit = %d", code)
+	}
+	if code := run([]string{"-mode", "udp"}, &sb); code != 1 {
+		t.Errorf("udp without target exit = %d", code)
+	}
+}
+
+func TestRunUDPValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := runUDP(&sb, "", "", 1, "", ""); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := runUDP(&sb, "not-an-addr", "a.example", 1, "", ""); err == nil {
+		t.Error("bad target accepted")
+	}
+}
+
+func TestRunSimSurvey(t *testing.T) {
+	var sb strings.Builder
+	if err := runSim(&sb, "survey", 3, 1, 2, "round-robin", 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"caches:            3", "egress IPs:        2", "traffic-dependent", "total probes:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("survey output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSimTrace(t *testing.T) {
+	var sb strings.Builder
+	if err := runSim(&sb, "trace", 1, 1, 1, "random", 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"cold resolution", "warm resolution", "cache-miss", "cache-hit", "referral"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Command cdeserver runs the CDE authoritative nameserver infrastructure
+// over UDP: it serves prober-controlled zones (from RFC 1035 master files
+// or a generated cache.example setup) and prints the query log — the
+// observation point of every CDE technique.
+//
+// Usage:
+//
+//	cdeserver -addr 0.0.0.0:5353 -zone parent.zone -zone child.zone
+//	cdeserver -addr 127.0.0.1:5353 -generate cache.example -probes 50
+//
+// With -generate the server synthesises the paper's two-zone setup (a
+// parent with a delegated sub zone and CNAME-chain aliases) so a scan can
+// start without hand-written zone files.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dnscde/internal/authns"
+	"dnscde/internal/netsim"
+	"dnscde/internal/udpnet"
+	"dnscde/internal/zone"
+)
+
+// zoneList collects repeated -zone flags.
+type zoneList []string
+
+func (z *zoneList) String() string { return strings.Join(*z, ",") }
+
+// Set implements flag.Value.
+func (z *zoneList) Set(v string) error {
+	*z = append(*z, v)
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("cdeserver", flag.ContinueOnError)
+	var zones zoneList
+	fs.Var(&zones, "zone", "zone master file to serve (repeatable)")
+	var (
+		addr     = fs.String("addr", "127.0.0.1:5353", "UDP listen address")
+		generate = fs.String("generate", "", "generate the paper's CDE zones under this origin instead of loading files")
+		probeQ   = fs.Int("probes", 50, "number of probe records when generating zones")
+		logEvery = fs.Duration("log-every", 10*time.Second, "interval for query-log summaries")
+		dump     = fs.Bool("dump", false, "print the zones as master files and exit (use with -generate to export)")
+		ctl      = fs.String("ctl", "", "enable the DNS control zone under this origin (e.g. ctl.cache.example)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *generate != "" && *ctl == "" {
+		*ctl = "ctl." + *generate
+	}
+
+	loaded, err := loadZones(zones, *generate, *probeQ, *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdeserver: %v\n", err)
+		return 1
+	}
+	if *dump {
+		for _, z := range loaded {
+			fmt.Printf("; zone %s (%d records)\n%s\n", z.Origin(), z.Len(), z.Format())
+		}
+		return 0
+	}
+	var opts []authns.Option
+	if *ctl != "" {
+		opts = append(opts, authns.WithControlZone(*ctl))
+		fmt.Printf("control zone enabled: count.<name>.%s / egress.<suffix>.%s (TXT)\n", *ctl, *ctl)
+	}
+	srv := authns.NewServer(loaded, opts...)
+	udp := udpnet.NewServer(srv)
+	bound, err := udp.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdeserver: %v\n", err)
+		return 1
+	}
+	// TCP on the same port for oversize (truncated) responses.
+	tcp := udpnet.NewTCPServer(srv)
+	if _, err := tcp.Listen(bound.String()); err != nil {
+		fmt.Fprintf(os.Stderr, "cdeserver: tcp: %v\n", err)
+		return 1
+	}
+	for _, z := range loaded {
+		fmt.Printf("serving %-28s (%d records)\n", z.Origin(), z.Len())
+	}
+	fmt.Printf("listening on %v (udp+tcp)\n", bound)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	go summarize(ctx, srv, *logEvery)
+	go func() {
+		if err := tcp.Serve(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "cdeserver: tcp: %v\n", err)
+		}
+	}()
+	if err := udp.Serve(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "cdeserver: %v\n", err)
+		return 1
+	}
+	tcp.Close()
+	printSummary(srv)
+	return 0
+}
+
+// loadZones parses master files, or generates the CDE zone pair.
+func loadZones(files zoneList, generate string, probeQ int, addr string) ([]*zone.Zone, error) {
+	if generate != "" {
+		host, err := netip.ParseAddrPort(expandAddr(addr))
+		if err != nil {
+			return nil, fmt.Errorf("parsing -addr: %w", err)
+		}
+		self := host.Addr()
+		target := netsim.MustAddr("192.0.2.80")
+		hier, err := zone.BuildHierarchy(generate, probeQ, target, self, self, 300)
+		if err != nil {
+			return nil, err
+		}
+		chain, err := zone.BuildCNAMEChain("chain."+generate, probeQ, target, self, 300)
+		if err != nil {
+			return nil, err
+		}
+		return []*zone.Zone{hier.Parent, hier.Child, chain}, nil
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no zones: pass -zone files or -generate origin")
+	}
+	out := make([]*zone.Zone, 0, len(files))
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		z, parseErr := zone.Parse(f, "")
+		closeErr := f.Close()
+		if parseErr != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, parseErr)
+		}
+		if closeErr != nil {
+			return nil, closeErr
+		}
+		if err := z.Validate(); err != nil {
+			return nil, fmt.Errorf("zone %s: %w", path, err)
+		}
+		out = append(out, z)
+	}
+	return out, nil
+}
+
+// expandAddr turns ":5353" into "0.0.0.0:5353" so it parses as AddrPort.
+func expandAddr(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "0.0.0.0" + addr
+	}
+	return addr
+}
+
+// summarize prints the query-log state periodically.
+func summarize(ctx context.Context, srv *authns.Server, every time.Duration) {
+	if every <= 0 {
+		return
+	}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	last := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			n := srv.Log().Len()
+			if n != last {
+				fmt.Printf("[%s] %d queries observed (%d distinct sources)\n",
+					time.Now().Format(time.TimeOnly), n, len(srv.Log().DistinctSources("")))
+				last = n
+			}
+		}
+	}
+}
+
+// printSummary dumps the final log statistics on shutdown.
+func printSummary(srv *authns.Server) {
+	log := srv.Log()
+	fmt.Printf("\nfinal query log: %d queries\n", log.Len())
+	byType := log.CountByType("")
+	for t, c := range byType {
+		fmt.Printf("  %-6v %d\n", t, c)
+	}
+	fmt.Printf("distinct sources (egress IPs): %v\n", log.DistinctSources(""))
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dnscde/internal/dnswire"
+)
+
+func TestExpandAddr(t *testing.T) {
+	if got := expandAddr(":5353"); got != "0.0.0.0:5353" {
+		t.Errorf("expandAddr = %q", got)
+	}
+	if got := expandAddr("127.0.0.1:53"); got != "127.0.0.1:53" {
+		t.Errorf("expandAddr = %q", got)
+	}
+}
+
+func TestZoneListFlag(t *testing.T) {
+	var zl zoneList
+	if err := zl.Set("a.zone"); err != nil {
+		t.Fatal(err)
+	}
+	if err := zl.Set("b.zone"); err != nil {
+		t.Fatal(err)
+	}
+	if zl.String() != "a.zone,b.zone" {
+		t.Errorf("String = %q", zl.String())
+	}
+}
+
+func TestLoadZonesGenerate(t *testing.T) {
+	zones, err := loadZones(nil, "cache.example", 10, "127.0.0.1:5353")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != 3 {
+		t.Fatalf("zones = %d, want parent+child+chain", len(zones))
+	}
+	origins := map[string]bool{}
+	for _, z := range zones {
+		origins[z.Origin()] = true
+	}
+	for _, want := range []string{"cache.example.", "sub.cache.example.", "chain.cache.example."} {
+		if !origins[want] {
+			t.Errorf("missing zone %q (have %v)", want, origins)
+		}
+	}
+}
+
+func TestLoadZonesGenerateBadAddr(t *testing.T) {
+	if _, err := loadZones(nil, "cache.example", 10, "not-an-addr"); err == nil {
+		t.Error("bad addr accepted")
+	}
+}
+
+func TestLoadZonesNoInput(t *testing.T) {
+	if _, err := loadZones(nil, "", 10, "127.0.0.1:5353"); err == nil {
+		t.Error("no zones accepted")
+	}
+}
+
+func TestLoadZonesFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.zone")
+	content := `$ORIGIN files.example.
+$TTL 300
+@	IN	SOA	ns.files.example. hostmaster.files.example. 1 7200 3600 1209600 60
+@	IN	NS	ns.files.example.
+ns	IN	A	192.0.2.1
+www	IN	A	192.0.2.2
+`
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	zones, err := loadZones(zoneList{path}, "", 0, "127.0.0.1:5353")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != 1 || zones[0].Origin() != "files.example." {
+		t.Fatalf("zones = %v", zones)
+	}
+	res := zones[0].Lookup("www.files.example.", dnswire.TypeA)
+	if len(res.Records) != 1 {
+		t.Errorf("www lookup = %+v", res)
+	}
+}
+
+func TestLoadZonesBadFile(t *testing.T) {
+	if _, err := loadZones(zoneList{"/nonexistent/zone"}, "", 0, "127.0.0.1:5353"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.zone")
+	if err := os.WriteFile(bad, []byte("$ORIGIN x.example.\n@ IN BOGUS nonsense\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadZones(zoneList{bad}, "", 0, "127.0.0.1:5353"); err == nil {
+		t.Error("bad zone accepted")
+	}
+	// A parseable zone without SOA/NS fails validation.
+	invalid := filepath.Join(dir, "invalid.zone")
+	if err := os.WriteFile(invalid, []byte("$ORIGIN y.example.\nwww IN A 192.0.2.1\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadZones(zoneList{invalid}, "", 0, "127.0.0.1:5353"); err == nil {
+		t.Error("invalid zone accepted")
+	}
+}
+
+func TestRunDump(t *testing.T) {
+	if code := run([]string{"-generate", "cache.example", "-probes", "2", "-dump"}); code != 0 {
+		t.Errorf("-dump exit = %d", code)
+	}
+}

@@ -1,0 +1,19 @@
+// Package dnscde is a reproduction of "Counting in the Dark: DNS Caches
+// Discovery and Enumeration in the Internet" (Klein, Shulman, Waidner;
+// DSN 2017): a library and toolset that discovers and counts the hidden
+// caches of DNS resolution platforms, maps ingress IP addresses to cache
+// clusters, and discovers egress IP addresses — using only standard DNS
+// request/response behaviour as a side channel.
+//
+// The paper's methodology lives in internal/core; the measured objects
+// (resolution platforms with configurable caches, load balancers and
+// ingress/egress pools) in internal/platform; the simulated Internet in
+// internal/netsim and internal/dnstree; and the evaluation drivers that
+// regenerate every table and figure in internal/experiments. See
+// DESIGN.md for the full inventory and EXPERIMENTS.md for measured
+// results. Root-level benchmarks in bench_test.go regenerate each
+// table/figure via `go test -bench=.`.
+package dnscde
+
+// Version identifies the reproduction release.
+const Version = "1.0.0"

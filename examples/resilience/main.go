@@ -1,0 +1,72 @@
+// Resilience monitoring: the paper's §II-B use case. A network operator
+// (or an outside observer) repeatedly enumerates a platform's caches;
+// when the measured count drops below the deployment's configured size,
+// caching components have failed — "a DNS platform uses four caches, but
+// our tool measures two, namely two are down". The same loop also
+// classifies the platform's cache-selection strategy (the paper's §IV-A
+// future work).
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"dnscde/internal/core"
+	"dnscde/internal/loadbal"
+	"dnscde/internal/platform"
+	"dnscde/internal/simtest"
+)
+
+func main() {
+	w, err := simtest.New(simtest.Options{Seed: 31})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat, err := w.NewPlatform(simtest.PlatformSpec{
+		Name: "monitored", Caches: 4, Ingress: 1, Egress: 3,
+		Mutate: func(c *platform.Config) { c.Selector = loadbal.NewRandom(8) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prober := w.DirectProber(plat.Config().IngressIPs[0])
+	ctx := context.Background()
+
+	check := func(phase string) int {
+		res, err := core.EnumerateAdaptive(ctx, prober, w.Infra, core.AdaptiveOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "OK"
+		if res.Caches < 4 {
+			status = fmt.Sprintf("ALERT: %d of 4 caches down", 4-res.Caches)
+		}
+		fmt.Printf("%-22s measured %d caches  [%s]\n", phase, res.Caches, status)
+		return res.Caches
+	}
+
+	check("baseline")
+
+	// Two caching components fail.
+	plat.SetCacheDown(0, true)
+	plat.SetCacheDown(2, true)
+	check("after failure")
+
+	// Operators repair one.
+	plat.SetCacheDown(0, false)
+	check("partial recovery")
+
+	plat.SetCacheDown(2, false)
+	check("full recovery")
+
+	// Bonus: identify the load balancer's strategy from outside.
+	cls, err := core.ClassifySelection(ctx, prober, w.Infra, core.ClassifyOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nselection strategy classified as: %s (sequential runs %d/%d)\n",
+		cls.Class, cls.SequentialRuns, cls.Runs)
+}

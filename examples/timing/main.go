@@ -1,0 +1,80 @@
+// Timing side channel: the paper's §IV-B3 indirect-egress scenario. The
+// platform is restricted to resolving only allow-listed domains, so the
+// prober's own nameservers never see its queries — enumeration works
+// purely from response latency: cached answers are fast, cache misses pay
+// the upstream round trip.
+//
+//	go run ./examples/timing
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"dnscde/internal/core"
+	"dnscde/internal/loadbal"
+	"dnscde/internal/platform"
+	"dnscde/internal/simtest"
+)
+
+func main() {
+	w, err := simtest.New(simtest.Options{Seed: 21})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plat, err := w.NewPlatform(simtest.PlatformSpec{
+		Name: "restricted", Caches: 5, Ingress: 1, Egress: 2,
+		Mutate: func(c *platform.Config) {
+			c.Selector = loadbal.NewRandom(2)
+			// §IV-B3: the platform only resolves names under domains on
+			// its allow list — which happens to include the measurement
+			// domain, but the *prober* pretends it cannot read its own
+			// nameserver logs and uses latency alone.
+			c.AllowedSuffixes = []string{"cache.example"}
+			c.CacheHitDelay = 300 * time.Microsecond
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prober := w.DirectProber(plat.Config().IngressIPs[0])
+	ctx := context.Background()
+
+	res, err := core.EnumerateTimingDirect(ctx, prober, w.Infra, core.TimingOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("calibration: cached ≈ %v, uncached ≈ %v → threshold %v\n",
+		median(res.CachedRTTs), median(res.UncachedRTTs), res.Threshold)
+	fmt.Printf("counting phase latencies (fresh honey record):\n")
+	for i, rtt := range res.CountRTTs {
+		marker := "fast (cache hit)"
+		if rtt > res.Threshold {
+			marker = "SLOW (cache miss → new cache found)"
+		}
+		if i < 12 {
+			fmt.Printf("  probe %2d: %-10v %s\n", i+1, rtt.Round(time.Microsecond), marker)
+		}
+	}
+	fmt.Printf("  ... %d probes total\n\n", len(res.CountRTTs))
+	fmt.Printf("slow responses counted: %d caches (ground truth %d)\n",
+		res.Caches, plat.GroundTruth().Caches)
+}
+
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	return sorted[len(sorted)/2]
+}

@@ -1,0 +1,3 @@
+module dnscde
+
+go 1.22

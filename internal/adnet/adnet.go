@@ -1,0 +1,148 @@
+// Package adnet simulates the paper's §III-C data-collection channel: an
+// ad network whose iframe-embedded script makes web clients' browsers
+// navigate to prober-controlled URLs, generating DNS queries through each
+// client's ISP resolution platform.
+//
+// The channel has the §IV-B indirect-ingress constraints (browser + OS
+// caches in front of the platform, no timing control) plus its own
+// operational quirk the paper reports: the test runs as a pop-under over
+// several minutes and only ≈1:50 of executions complete — modelled here
+// as per-client patience.
+package adnet
+
+import (
+	"context"
+	"fmt"
+
+	"dnscde/internal/core"
+	"dnscde/internal/dnswire"
+	"dnscde/internal/stub"
+)
+
+// Client is one web client recruited through the ad network.
+type Client struct {
+	// ID labels the client in campaign output.
+	ID int
+	// Patience is how many URL fetches the client performs before the
+	// pop-under is closed; 0 means unlimited.
+	Patience int
+
+	resolver *stub.Resolver
+	fetched  int
+}
+
+// NewClient creates a client resolving through r (its browser + OS caches
+// and its ISP platform).
+func NewClient(id int, patience int, r *stub.Resolver) *Client {
+	return &Client{ID: id, Patience: patience, resolver: r}
+}
+
+// ErrClientGone reports a client that closed the pop-under before the
+// probe script finished.
+var ErrClientGone = fmt.Errorf("adnet: client closed the page")
+
+// Fetch simulates the script navigating the browser to http://<name>/:
+// one DNS lookup through the local caches and the ISP platform.
+func (c *Client) Fetch(ctx context.Context, name string) (core.ProbeResult, error) {
+	if c.Patience > 0 && c.fetched >= c.Patience {
+		return core.ProbeResult{}, ErrClientGone
+	}
+	c.fetched++
+	res, err := c.resolver.Lookup(ctx, name, dnswire.TypeA)
+	if err != nil {
+		return core.ProbeResult{}, err
+	}
+	return core.ProbeResult{
+		RCode:          res.RCode,
+		Records:        res.Records,
+		RTT:            res.RTT,
+		FromLocalCache: res.FromLocalCache,
+	}, nil
+}
+
+// Fetches returns how many URL fetches the client performed.
+func (c *Client) Fetches() int { return c.fetched }
+
+// Prober adapts a Client to core.Prober; the probe names become URLs the
+// script navigates to.
+type Prober struct {
+	client *Client
+}
+
+var _ core.Prober = (*Prober)(nil)
+
+// NewProber wraps a client.
+func NewProber(c *Client) *Prober { return &Prober{client: c} }
+
+// Probe implements core.Prober.
+func (p *Prober) Probe(ctx context.Context, name string, _ dnswire.Type) (core.ProbeResult, error) {
+	return p.client.Fetch(ctx, name)
+}
+
+// Direct implements core.Prober: browser probing is always indirect.
+func (*Prober) Direct() bool { return false }
+
+// ClientPool aggregates many web clients of the same ISP into one
+// core.Prober, cycling probes across them. This is how the ad-network
+// channel really measures: thousands of clients with *different source
+// addresses* share one resolution platform, which defeats
+// hash-by-source-IP cache selection that would pin a single client to a
+// single cache.
+type ClientPool struct {
+	clients []*Client
+	next    int
+}
+
+// NewClientPool builds a pool. It panics on an empty client list.
+func NewClientPool(clients []*Client) *ClientPool {
+	if len(clients) == 0 {
+		panic("adnet: empty client pool")
+	}
+	return &ClientPool{clients: append([]*Client(nil), clients...)}
+}
+
+var _ core.Prober = (*ClientPool)(nil)
+
+// Probe implements core.Prober, rotating through the pool.
+func (p *ClientPool) Probe(ctx context.Context, name string, _ dnswire.Type) (core.ProbeResult, error) {
+	c := p.clients[p.next%len(p.clients)]
+	p.next++
+	return c.Fetch(ctx, name)
+}
+
+// Direct implements core.Prober.
+func (*ClientPool) Direct() bool { return false }
+
+// CampaignStats summarises an ad campaign run.
+type CampaignStats struct {
+	Clients   int
+	Completed int
+	// AJAXCallbacks counts clients that loaded the page and ran the
+	// script at all (the paper's "AJAX call was made to our web server").
+	AJAXCallbacks int
+}
+
+// RunCampaign executes the probe script (a fixed fetch sequence produced
+// by script) on each client, tolerating abandonment. A client completes
+// when every fetch of its script succeeds.
+func RunCampaign(ctx context.Context, clients []*Client, script func(clientID int) []string) CampaignStats {
+	stats := CampaignStats{Clients: len(clients)}
+	for _, c := range clients {
+		names := script(c.ID)
+		if len(names) == 0 {
+			continue
+		}
+		stats.AJAXCallbacks++
+		completed := true
+		for _, name := range names {
+			if _, err := c.Fetch(ctx, name); err != nil {
+				completed = false
+				break
+			}
+		}
+		if completed {
+			stats.Completed++
+		}
+	}
+	return stats
+}

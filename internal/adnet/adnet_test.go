@@ -1,0 +1,243 @@
+package adnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"dnscde/internal/core"
+	"dnscde/internal/loadbal"
+	"dnscde/internal/platform"
+	"dnscde/internal/simtest"
+)
+
+func fixture(t *testing.T, caches int) (*simtest.World, *platform.Platform) {
+	t.Helper()
+	w := simtest.MustNew(simtest.Options{Seed: 23})
+	plat, err := w.NewPlatform(simtest.PlatformSpec{
+		Name: "isp", Caches: caches,
+		Mutate: func(c *platform.Config) { c.Selector = loadbal.NewRandom(4) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, plat
+}
+
+func TestFetchResolves(t *testing.T) {
+	w, plat := fixture(t, 1)
+	c := NewClient(1, 0, w.NewStub(plat.Config().IngressIPs[0]))
+	session, err := w.Infra.NewHierarchySession(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Fetch(context.Background(), session.ProbeName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Error("no records")
+	}
+	if c.Fetches() != 1 {
+		t.Errorf("Fetches = %d", c.Fetches())
+	}
+}
+
+func TestPatienceLimitsFetches(t *testing.T) {
+	w, plat := fixture(t, 1)
+	c := NewClient(1, 2, w.NewStub(plat.Config().IngressIPs[0]))
+	session, err := w.Infra.NewHierarchySession(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if _, err := c.Fetch(context.Background(), session.ProbeName(i)); err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+	}
+	if _, err := c.Fetch(context.Background(), session.ProbeName(3)); !errors.Is(err, ErrClientGone) {
+		t.Errorf("err = %v, want ErrClientGone", err)
+	}
+}
+
+func TestEnumerateHierarchyViaAdNetwork(t *testing.T) {
+	// The paper's ISP measurement: a patient web client completes the
+	// full probe sequence and the parent-arrival count recovers the ISP
+	// platform's cache count.
+	for _, n := range []int{1, 3} {
+		w, plat := fixture(t, n)
+		client := NewClient(1, 0, w.NewStub(plat.Config().IngressIPs[0]))
+		res, err := core.EnumerateHierarchy(context.Background(), NewProber(client), w.Infra,
+			core.EnumOptions{Queries: core.RecommendedQueries(n, 0.999)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Caches != n {
+			t.Errorf("n=%d: measured %d caches via ad network", n, res.Caches)
+		}
+	}
+}
+
+func TestImpatientClientAborts(t *testing.T) {
+	w, plat := fixture(t, 2)
+	client := NewClient(1, 3, w.NewStub(plat.Config().IngressIPs[0]))
+	_, err := core.EnumerateHierarchy(context.Background(), NewProber(client), w.Infra,
+		core.EnumOptions{Queries: 20})
+	// The run loses most probes but must not panic; the enumeration
+	// reports partial results or an error depending on coverage.
+	if err == nil {
+		// Partial results are acceptable — at most 3 probes landed.
+		t.Log("enumeration degraded gracefully with an impatient client")
+	}
+}
+
+func TestRunCampaignCompletionRate(t *testing.T) {
+	// Paper: >12K clients ran the script (AJAX callback) but only ≈1:50
+	// completed the several-minute test.
+	w, plat := fixture(t, 2)
+	session, err := w.Infra.NewHierarchySession(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clientCount = 200
+	clients := make([]*Client, 0, clientCount)
+	for i := 0; i < clientCount; i++ {
+		patience := 5 // most clients close the pop-under early
+		if i%50 == 0 {
+			patience = 0 // 1:50 stick around to the end
+		}
+		clients = append(clients, NewClient(i, patience, w.NewStub(plat.Config().IngressIPs[0])))
+	}
+	stats := RunCampaign(context.Background(), clients, func(clientID int) []string {
+		names := make([]string, 0, 30)
+		for i := 1; i <= 30; i++ {
+			names = append(names, session.ProbeName(i))
+		}
+		return names
+	})
+	if stats.Clients != clientCount || stats.AJAXCallbacks != clientCount {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Completed != clientCount/50 {
+		t.Errorf("completed = %d, want %d (1:50)", stats.Completed, clientCount/50)
+	}
+}
+
+func TestRunCampaignEmptyScript(t *testing.T) {
+	w, plat := fixture(t, 1)
+	clients := []*Client{NewClient(1, 0, w.NewStub(plat.Config().IngressIPs[0]))}
+	stats := RunCampaign(context.Background(), clients, func(int) []string { return nil })
+	if stats.AJAXCallbacks != 0 || stats.Completed != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestProberIsIndirect(t *testing.T) {
+	w, plat := fixture(t, 1)
+	var p core.Prober = NewProber(NewClient(1, 0, w.NewStub(plat.Config().IngressIPs[0])))
+	if p.Direct() {
+		t.Error("ad-network prober claims direct access")
+	}
+}
+
+func TestDistinctClientsSeparateLocalCaches(t *testing.T) {
+	// Two clients of the same ISP share the platform caches but not the
+	// local browser/OS caches.
+	w, plat := fixture(t, 1)
+	ingress := plat.Config().IngressIPs[0]
+	a := NewClient(1, 0, w.NewStub(ingress))
+	b := NewClient(2, 0, w.NewStub(ingress))
+	session, err := w.Infra.NewHierarchySession(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := session.ProbeName(1)
+	if _, err := a.Fetch(context.Background(), name); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Fetch(context.Background(), name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FromLocalCache {
+		t.Error("client b hit client a's local cache")
+	}
+	// But the platform cache is shared: the child nameserver saw the name
+	// only once.
+	if got := w.Infra.Child.Log().CountName(fmt.Sprintf("%s", name)); got != 1 {
+		t.Errorf("child arrivals = %d, want 1 (platform cache shared)", got)
+	}
+}
+
+func TestClientPoolRotatesVantages(t *testing.T) {
+	w, plat := fixture(t, 4)
+	ingress := plat.Config().IngressIPs[0]
+	clients := make([]*Client, 0, 8)
+	for i := 0; i < 8; i++ {
+		clients = append(clients, NewClient(i, 0, w.NewStub(ingress)))
+	}
+	pool := NewClientPool(clients)
+	if pool.Direct() {
+		t.Error("pool claims direct access")
+	}
+	session, err := w.Infra.NewHierarchySession(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		if _, err := pool.Probe(context.Background(), session.ProbeName(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each client performed exactly one fetch.
+	for i, c := range clients {
+		if c.Fetches() != 1 {
+			t.Errorf("client %d fetched %d times", i, c.Fetches())
+		}
+	}
+}
+
+func TestClientPoolDefeatsHashSource(t *testing.T) {
+	// The reason pools exist: hash-by-source-IP platforms look like a
+	// single cache to any one client but not to many.
+	w := simtest.MustNew(simtest.Options{Seed: 77})
+	plat, err := w.NewPlatform(simtest.PlatformSpec{
+		Name: "isp", Caches: 3,
+		Mutate: func(c *platform.Config) { c.Selector = loadbal.HashSourceIP{} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingress := plat.Config().IngressIPs[0]
+	clients := make([]*Client, 0, 64)
+	for i := 0; i < 64; i++ {
+		clients = append(clients, NewClient(i, 0, w.NewStub(ingress)))
+	}
+	res, err := core.EnumerateHierarchy(context.Background(), NewClientPool(clients), w.Infra,
+		core.EnumOptions{Queries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Caches != 3 {
+		t.Errorf("pool measured %d caches, want 3", res.Caches)
+	}
+	single := NewClient(999, 0, w.NewStub(ingress))
+	res, err = core.EnumerateHierarchy(context.Background(), NewProber(single), w.Infra,
+		core.EnumOptions{Queries: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Caches != 1 {
+		t.Errorf("single client measured %d caches, want 1", res.Caches)
+	}
+}
+
+func TestNewClientPoolPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewClientPool(nil)
+}

@@ -1,0 +1,365 @@
+// Package authns implements the authoritative nameserver side of the CDE
+// infrastructure (Fig. 1 of the paper): it serves the prober-controlled
+// zones (cache.example and its delegated children) and records every
+// arriving query in a log.
+//
+// The query log is the paper's primary side channel: the number of queries
+// ω that reach the nameserver for a probe name equals the number of caches
+// that missed, and the set of source addresses seen equals the platform's
+// egress IPs (§IV-B1).
+package authns
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dnscde/internal/clock"
+	"dnscde/internal/dnswire"
+	"dnscde/internal/netsim"
+	"dnscde/internal/zone"
+)
+
+// LogEntry records one query observed by the nameserver.
+type LogEntry struct {
+	Time time.Time
+	Src  netip.Addr
+	Q    dnswire.Question
+	// EDNS reports whether the query carried an EDNS0 OPT record, and
+	// UDPSize its advertised payload size — the adoption signal §II-C
+	// motivates measuring.
+	EDNS    bool
+	UDPSize uint16
+}
+
+// QueryLog is a thread-safe append-only log of observed queries.
+// The zero value is ready to use.
+type QueryLog struct {
+	mu      sync.Mutex
+	entries []LogEntry
+}
+
+// Append adds an entry.
+func (l *QueryLog) Append(e LogEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, e)
+}
+
+// Len returns the number of logged queries.
+func (l *QueryLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Entries returns a copy of the log.
+func (l *QueryLog) Entries() []LogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LogEntry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Reset clears the log between experiments.
+func (l *QueryLog) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = nil
+}
+
+// CountName returns how many logged queries asked for name (any type).
+// This is the ω of §IV-B1a.
+func (l *QueryLog) CountName(name string) int {
+	name = dnswire.CanonicalName(name)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.entries {
+		if e.Q.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// CountNameType returns how many logged queries asked for (name, qtype).
+// Data-collection channels that query one name under several types (an
+// SMTP server checking TXT, SPF and MX for a sender domain) are counted
+// per type with this method so ω is not inflated.
+func (l *QueryLog) CountNameType(name string, t dnswire.Type) int {
+	name = dnswire.CanonicalName(name)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.entries {
+		if e.Q.Name == name && e.Q.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+// CountNameMaxType returns the largest per-qtype arrival count for name.
+// When a channel resolves one name under several types (TXT + SPF + MX
+// from one probe email), each type group independently counts the caches
+// it touched; the maximum is the best single-group estimate.
+func (l *QueryLog) CountNameMaxType(name string) int {
+	name = dnswire.CanonicalName(name)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	perType := make(map[dnswire.Type]int)
+	best := 0
+	for _, e := range l.entries {
+		if e.Q.Name != name {
+			continue
+		}
+		perType[e.Q.Type]++
+		if perType[e.Q.Type] > best {
+			best = perType[e.Q.Type]
+		}
+	}
+	return best
+}
+
+// CountSuffix returns how many logged queries asked for names under
+// suffix (inclusive).
+func (l *QueryLog) CountSuffix(suffix string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.entries {
+		if dnswire.IsSubdomain(e.Q.Name, suffix) {
+			n++
+		}
+	}
+	return n
+}
+
+// DistinctSources returns the set of source addresses seen, optionally
+// restricted to queries under suffix (pass "" or "." for all). These are
+// the platform's egress IPs.
+func (l *QueryLog) DistinctSources(suffix string) []netip.Addr {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seen := make(map[netip.Addr]struct{})
+	var out []netip.Addr
+	for _, e := range l.entries {
+		if suffix != "" && !dnswire.IsSubdomain(e.Q.Name, suffix) {
+			continue
+		}
+		if _, dup := seen[e.Src]; !dup {
+			seen[e.Src] = struct{}{}
+			out = append(out, e.Src)
+		}
+	}
+	return out
+}
+
+// EDNSShare returns the fraction of logged queries (optionally under
+// suffix) that carried an EDNS0 OPT record — the §II-C adoption
+// measurement.
+func (l *QueryLog) EDNSShare(suffix string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total, edns := 0, 0
+	for _, e := range l.entries {
+		if suffix != "" && !dnswire.IsSubdomain(e.Q.Name, suffix) {
+			continue
+		}
+		total++
+		if e.EDNS {
+			edns++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(edns) / float64(total)
+}
+
+// CountByType tallies logged queries per qtype, optionally restricted to
+// names under suffix. The SMTP experiment (Table I) is built on this.
+func (l *QueryLog) CountByType(suffix string) map[dnswire.Type]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[dnswire.Type]int)
+	for _, e := range l.entries {
+		if suffix != "" && !dnswire.IsSubdomain(e.Q.Name, suffix) {
+			continue
+		}
+		out[e.Q.Type]++
+	}
+	return out
+}
+
+// Server is an authoritative nameserver for one or more zones.
+// It implements netsim.Handler and is safe for concurrent use.
+type Server struct {
+	mu    sync.RWMutex
+	zones map[string]*zone.Zone
+
+	log *QueryLog
+	clk clock.Clock
+
+	// processing is artificial per-query processing latency charged to
+	// the simulated exchange.
+	processing time.Duration
+	// controlZone, when set, answers log-statistics TXT queries under
+	// this origin (see control.go).
+	controlZone string
+}
+
+var _ netsim.Handler = (*Server)(nil)
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithClock sets the clock used to timestamp log entries.
+func WithClock(c clock.Clock) Option {
+	return func(s *Server) { s.clk = c }
+}
+
+// WithProcessingDelay charges d of simulated time to every query.
+func WithProcessingDelay(d time.Duration) Option {
+	return func(s *Server) { s.processing = d }
+}
+
+// NewServer creates a nameserver serving the given zones.
+func NewServer(zones []*zone.Zone, opts ...Option) *Server {
+	s := &Server{
+		zones: make(map[string]*zone.Zone, len(zones)),
+		log:   &QueryLog{},
+		clk:   clock.Real{},
+	}
+	for _, z := range zones {
+		s.zones[z.Origin()] = z
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// AddZone attaches another zone to the server.
+func (s *Server) AddZone(z *zone.Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones[z.Origin()] = z
+}
+
+// Log returns the server's query log.
+func (s *Server) Log() *QueryLog { return s.log }
+
+// findZone returns the most specific zone whose origin is an ancestor of
+// name.
+func (s *Server) findZone(name string) (*zone.Zone, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best *zone.Zone
+	bestLabels := -1
+	for origin, z := range s.zones {
+		if dnswire.IsSubdomain(name, origin) {
+			if n := dnswire.CountLabels(origin); n > bestLabels {
+				best, bestLabels = z, n
+			}
+		}
+	}
+	return best, best != nil
+}
+
+// ServeDNS implements netsim.Handler: log the query, look it up, build the
+// response per RFC 1034 §4.3.2 (including in-zone CNAME chasing).
+func (s *Server) ServeDNS(ctx context.Context, src netip.Addr, query *dnswire.Message) (*dnswire.Message, error) {
+	q, err := query.FirstQuestion()
+	if err != nil {
+		resp := dnswire.NewResponse(query)
+		resp.Header.RCode = dnswire.RCodeFormErr
+		return resp, nil
+	}
+	// Control queries read the log and are not part of the measurement;
+	// answer them before logging.
+	if ctl := s.controlAnswer(q, query); ctl != nil {
+		return ctl, nil
+	}
+	entry := LogEntry{Time: s.clk.Now(), Src: src, Q: q}
+	for _, rr := range query.Additional {
+		if opt, ok := rr.Data.(dnswire.OPTRecord); ok {
+			entry.EDNS = true
+			entry.UDPSize = opt.UDPSize
+			break
+		}
+	}
+	s.log.Append(entry)
+	if s.processing > 0 {
+		netsim.ChargeLatency(ctx, s.processing)
+	}
+
+	resp := dnswire.NewResponse(query)
+	if query.Header.Opcode != dnswire.OpcodeQuery {
+		resp.Header.RCode = dnswire.RCodeNotImp
+		return resp, nil
+	}
+
+	z, ok := s.findZone(q.Name)
+	if !ok {
+		resp.Header.RCode = dnswire.RCodeRefused
+		return resp, nil
+	}
+
+	name := q.Name
+	// Chase CNAMEs within our own authority. Both the hop bound and the
+	// loop detection end the chase by returning the chain accumulated so
+	// far (NOERROR) — like production servers, which leave the rest of a
+	// long or looping chain to the resolver.
+	visited := map[string]bool{name: true}
+	for hop := 0; hop < 16; hop++ {
+		res := z.Lookup(name, q.Type)
+		switch res.Kind {
+		case zone.Answer:
+			resp.Header.Authoritative = true
+			resp.Answer = append(resp.Answer, res.Records...)
+			return resp, nil
+		case zone.CNAMEAnswer:
+			resp.Header.Authoritative = true
+			resp.Answer = append(resp.Answer, res.Records...)
+			if visited[res.Target] {
+				return resp, nil // loop: stop with the partial chain
+			}
+			visited[res.Target] = true
+			// Continue inside this server's zones if possible; the target
+			// may cross into a child zone we also serve.
+			if tz, ok := s.findZone(res.Target); ok {
+				z, name = tz, res.Target
+				continue
+			}
+			return resp, nil
+		case zone.Delegation:
+			resp.Header.Authoritative = false
+			resp.Authority = append(resp.Authority, res.Records...)
+			resp.Additional = append(resp.Additional, res.Glue...)
+			return resp, nil
+		case zone.NoData:
+			resp.Header.Authoritative = true
+			resp.Authority = append(resp.Authority, res.Authority...)
+			return resp, nil
+		case zone.NXDomain:
+			resp.Header.Authoritative = true
+			// If we already answered CNAME hops, the final target's
+			// nonexistence still yields NXDOMAIN per RFC 6604.
+			resp.Header.RCode = dnswire.RCodeNXDomain
+			resp.Authority = append(resp.Authority, res.Authority...)
+			return resp, nil
+		case zone.OutOfZone:
+			resp.Header.RCode = dnswire.RCodeRefused
+			return resp, nil
+		default:
+			return nil, fmt.Errorf("authns: unexpected lookup kind %v", res.Kind)
+		}
+	}
+	// Hop bound reached: return the partial chain accumulated so far.
+	return resp, nil
+}

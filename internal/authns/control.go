@@ -1,0 +1,80 @@
+package authns
+
+import (
+	"fmt"
+	"strings"
+
+	"dnscde/internal/dnswire"
+)
+
+// Control-channel support: a prober that runs its authoritative servers
+// remotely (cmd/cdeserver) still needs the query-log counts — ω, the
+// distinct egress sources — to finish an enumeration. Rather than invent
+// a side protocol, the server answers *DNS TXT queries* in a dedicated
+// control zone:
+//
+//	count.<name>.ctl.<domain>    TXT  → number of logged queries for <name>
+//	egress.<suffix>.ctl.<domain> TXT  → distinct source count and the sources
+//
+// Control queries are answered before zone lookup and are not logged
+// themselves. The control zone must be delegated to this server like any
+// other zone so the prober can reach it directly (it queries the server's
+// address, not the measured resolver).
+
+// ControlSuffix is the label sequence that marks control queries,
+// directly below the server's domain.
+const ControlSuffix = "ctl."
+
+// WithControlZone enables the control channel under origin
+// ("ctl.cache.example."). Pass the full control origin.
+func WithControlZone(origin string) Option {
+	return func(s *Server) { s.controlZone = dnswire.CanonicalName(origin) }
+}
+
+// EnableControlZone turns the control channel on after construction —
+// for servers built by helpers that do not expose Options.
+func (s *Server) EnableControlZone(origin string) {
+	s.controlZone = dnswire.CanonicalName(origin)
+}
+
+// controlAnswer handles a control query, returning nil when q is not a
+// control name.
+func (s *Server) controlAnswer(q dnswire.Question, query *dnswire.Message) *dnswire.Message {
+	if s.controlZone == "" || !dnswire.IsSubdomain(q.Name, s.controlZone) {
+		return nil
+	}
+	resp := dnswire.NewResponse(query)
+	resp.Header.Authoritative = true
+
+	payload := strings.TrimSuffix(q.Name, s.controlZone)
+	payload = strings.TrimSuffix(payload, ".")
+	op, rest, ok := strings.Cut(payload, ".")
+	if !ok || rest == "" {
+		resp.Header.RCode = dnswire.RCodeNXDomain
+		return resp
+	}
+	var values []string
+	switch op {
+	case "count":
+		values = []string{fmt.Sprintf("%d", s.log.CountName(rest))}
+	case "max":
+		// Largest per-qtype count — the multi-type channel variant.
+		values = []string{fmt.Sprintf("%d", s.log.CountNameMaxType(rest))}
+	case "suffix":
+		values = []string{fmt.Sprintf("%d", s.log.CountSuffix(rest))}
+	case "egress":
+		sources := s.log.DistinctSources(rest)
+		values = []string{fmt.Sprintf("%d", len(sources))}
+		for _, src := range sources {
+			values = append(values, src.String())
+		}
+	default:
+		resp.Header.RCode = dnswire.RCodeNXDomain
+		return resp
+	}
+	resp.Answer = append(resp.Answer, dnswire.RR{
+		Name: q.Name, Class: dnswire.ClassIN, TTL: 0,
+		Data: dnswire.TXTRecord{Strings: values},
+	})
+	return resp
+}

@@ -1,0 +1,112 @@
+package authns
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"dnscde/internal/dnswire"
+	"dnscde/internal/zone"
+)
+
+func controlServer(t *testing.T) *Server {
+	t.Helper()
+	h, err := zone.BuildHierarchy("cache.example", 5, target, parentNS, childNS, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer([]*zone.Zone{h.Parent, h.Child}, WithControlZone("ctl.cache.example."))
+}
+
+func txtStrings(t *testing.T, resp *dnswire.Message) []string {
+	t.Helper()
+	if len(resp.Answer) != 1 {
+		t.Fatalf("resp = %s", resp.Summary())
+	}
+	txt, ok := resp.Answer[0].Data.(dnswire.TXTRecord)
+	if !ok {
+		t.Fatalf("data = %T", resp.Answer[0].Data)
+	}
+	return txt.Strings
+}
+
+func TestControlCount(t *testing.T) {
+	s := controlServer(t)
+	for i := 0; i < 3; i++ {
+		_ = ask(t, s, egressIP, "x-1.sub.cache.example.", dnswire.TypeA)
+	}
+	resp := ask(t, s, egressIP, "count.x-1.sub.cache.example.ctl.cache.example.", dnswire.TypeTXT)
+	if got := txtStrings(t, resp); got[0] != "3" {
+		t.Errorf("count = %v, want 3", got)
+	}
+	// Control queries themselves are not logged.
+	if s.Log().Len() != 3 {
+		t.Errorf("log length = %d, want 3", s.Log().Len())
+	}
+}
+
+func TestControlSuffixAndMax(t *testing.T) {
+	s := controlServer(t)
+	_ = ask(t, s, egressIP, "x-1.sub.cache.example.", dnswire.TypeA)
+	_ = ask(t, s, egressIP, "x-1.sub.cache.example.", dnswire.TypeTXT)
+	_ = ask(t, s, egressIP, "x-2.sub.cache.example.", dnswire.TypeA)
+
+	resp := ask(t, s, egressIP, "suffix.sub.cache.example.ctl.cache.example.", dnswire.TypeTXT)
+	if got := txtStrings(t, resp); got[0] != "3" {
+		t.Errorf("suffix count = %v", got)
+	}
+	resp = ask(t, s, egressIP, "max.x-1.sub.cache.example.ctl.cache.example.", dnswire.TypeTXT)
+	if got := txtStrings(t, resp); got[0] != "1" {
+		t.Errorf("max per-type count = %v, want 1", got)
+	}
+}
+
+func TestControlEgress(t *testing.T) {
+	s := controlServer(t)
+	srcs := []netip.Addr{
+		netip.MustParseAddr("203.0.113.41"),
+		netip.MustParseAddr("203.0.113.42"),
+		netip.MustParseAddr("203.0.113.41"),
+	}
+	for _, src := range srcs {
+		_ = ask(t, s, src, "x-3.sub.cache.example.", dnswire.TypeA)
+	}
+	resp := ask(t, s, egressIP, "egress.sub.cache.example.ctl.cache.example.", dnswire.TypeTXT)
+	got := txtStrings(t, resp)
+	if got[0] != "2" || len(got) != 3 {
+		t.Fatalf("egress control = %v", got)
+	}
+	joined := strings.Join(got[1:], " ")
+	if !strings.Contains(joined, "203.0.113.41") || !strings.Contains(joined, "203.0.113.42") {
+		t.Errorf("sources = %v", got[1:])
+	}
+}
+
+func TestControlUnknownOpAndMalformed(t *testing.T) {
+	s := controlServer(t)
+	resp := ask(t, s, egressIP, "bogusop.x.ctl.cache.example.", dnswire.TypeTXT)
+	if resp.Header.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("bogus op rcode = %v", resp.Header.RCode)
+	}
+	resp = ask(t, s, egressIP, "ctl.cache.example.", dnswire.TypeTXT)
+	if resp.Header.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("bare control origin rcode = %v", resp.Header.RCode)
+	}
+}
+
+func TestControlDisabledFallsThrough(t *testing.T) {
+	// Without WithControlZone the same name is an ordinary (refused or
+	// NXDOMAIN) query and IS logged.
+	h, err := zone.BuildHierarchy("cache.example", 3, target, parentNS, childNS, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer([]*zone.Zone{h.Parent, h.Child})
+	resp := ask(t, s, egressIP, "count.x.ctl.cache.example.", dnswire.TypeTXT)
+	if resp.Header.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("rcode = %v (name is under cache.example but absent)", resp.Header.RCode)
+	}
+	if s.Log().Len() != 1 {
+		t.Errorf("query not logged without control zone")
+	}
+}

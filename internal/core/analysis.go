@@ -1,0 +1,103 @@
+package core
+
+import "math"
+
+// This file implements the §V-B analysis: the coupon-collector bound of
+// Theorem 5.1, coverage estimates for the init/validate protocol, and
+// carpet-bombing sizing against packet loss.
+
+// HarmonicNumber returns H_n = Σ_{i=1..n} 1/i.
+func HarmonicNumber(n int) float64 {
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1.0 / float64(i)
+	}
+	return h
+}
+
+// ExpectedProbesToCoverAll returns E[X] = n·H_n, the expected number of
+// queries needed to probe all n caches under uniform (unpredictable)
+// selection — Theorem 5.1.
+func ExpectedProbesToCoverAll(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) * HarmonicNumber(n)
+}
+
+// CoverageProbability returns the probability that a specific cache out of
+// n has been probed at least once after q uniform probes:
+// 1 - (1-1/n)^q ≈ 1 - exp(-q/n), the §V-B coverage estimate.
+func CoverageProbability(n, q int) float64 {
+	if n <= 0 || q < 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-1.0/float64(n), float64(q))
+}
+
+// ExpectedUncoveredFraction is exp(-q/n) — the paper's approximation of
+// the fraction of caches missed after q probes.
+func ExpectedUncoveredFraction(n, q int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return math.Exp(-float64(q) / float64(n))
+}
+
+// ExpectedCovered returns the expected number of distinct caches probed
+// after q uniform probes out of n: n(1 - (1-1/n)^q).
+func ExpectedCovered(n, q int) float64 {
+	return float64(n) * CoverageProbability(n, q)
+}
+
+// RecommendedQueries returns a probe budget q such that all of up to nMax
+// caches are covered with probability at least confidence under uniform
+// selection. It uses the union bound on the coupon-collector tail:
+// P(some cache uncovered after q probes) ≤ n·(1-1/n)^q.
+func RecommendedQueries(nMax int, confidence float64) int {
+	if nMax <= 1 {
+		return 1
+	}
+	if confidence <= 0 {
+		return nMax
+	}
+	if confidence >= 1 {
+		confidence = 0.999999
+	}
+	eps := 1 - confidence
+	n := float64(nMax)
+	// Solve n·(1-1/n)^q ≤ eps for q.
+	q := math.Log(eps/n) / math.Log(1-1/n)
+	return int(math.Ceil(q))
+}
+
+// CarpetBombingFactor returns K, the per-probe replication factor (§V)
+// needed so a probe survives per-exchange loss probability loss with
+// probability at least confidence: smallest K with 1-loss^K ≥ confidence.
+func CarpetBombingFactor(loss, confidence float64) int {
+	if loss <= 0 {
+		return 1
+	}
+	if loss >= 1 {
+		loss = 0.999999
+	}
+	if confidence >= 1 {
+		confidence = 0.999999
+	}
+	k := math.Log(1-confidence) / math.Log(loss)
+	if k < 1 {
+		return 1
+	}
+	return int(math.Ceil(k))
+}
+
+// InitValidateSuccessRate returns the paper's §V-B estimate of the
+// expected number of successful init/validate pairs with N probes against
+// n caches: N·(1-exp(-N/n))².
+func InitValidateSuccessRate(n, bigN int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	f := 1 - math.Exp(-float64(bigN)/float64(n))
+	return float64(bigN) * f * f
+}

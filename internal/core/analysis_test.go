@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicNumber(t *testing.T) {
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0}, {1, 1}, {2, 1.5}, {4, 25.0 / 12},
+	}
+	for _, tt := range tests {
+		if got := HarmonicNumber(tt.n); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("H_%d = %v, want %v", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestExpectedProbesToCoverAll(t *testing.T) {
+	// n=1 -> 1 query; n=2 -> 3 queries; n=4 -> 4*25/12 ≈ 8.33.
+	if got := ExpectedProbesToCoverAll(1); got != 1 {
+		t.Errorf("E[X] for n=1 = %v", got)
+	}
+	if got := ExpectedProbesToCoverAll(2); math.Abs(got-3) > 1e-12 {
+		t.Errorf("E[X] for n=2 = %v, want 3", got)
+	}
+	if got := ExpectedProbesToCoverAll(0); got != 0 {
+		t.Errorf("E[X] for n=0 = %v", got)
+	}
+}
+
+func TestTheorem51MonteCarlo(t *testing.T) {
+	// Validate E[X] = n·H_n against simulation for several n.
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 5, 10, 25} {
+		const trials = 3000
+		total := 0
+		for trial := 0; trial < trials; trial++ {
+			covered := make([]bool, n)
+			count := 0
+			for queries := 0; count < n; queries++ {
+				idx := rng.Intn(n)
+				if !covered[idx] {
+					covered[idx] = true
+					count++
+				}
+				total++
+			}
+		}
+		got := float64(total) / trials
+		want := ExpectedProbesToCoverAll(n)
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("n=%d: Monte Carlo %.2f vs n·H_n %.2f", n, got, want)
+		}
+	}
+}
+
+func TestCoverageProbability(t *testing.T) {
+	if got := CoverageProbability(1, 1); got != 1 {
+		t.Errorf("P(cover|n=1,q=1) = %v", got)
+	}
+	if got := CoverageProbability(4, 0); got != 0 {
+		t.Errorf("P(cover|q=0) = %v", got)
+	}
+	// Exact vs paper's exponential approximation at N = 2n.
+	exact := CoverageProbability(10, 20)
+	approx := 1 - ExpectedUncoveredFraction(10, 20)
+	if math.Abs(exact-approx) > 0.02 {
+		t.Errorf("exact %v vs approx %v diverge", exact, approx)
+	}
+}
+
+func TestExpectedCovered(t *testing.T) {
+	// With q = 2n, expect ≈ n(1 - e^-2) ≈ 0.865n.
+	got := ExpectedCovered(100, 200)
+	if got < 85 || got > 88 {
+		t.Errorf("ExpectedCovered(100, 200) = %v", got)
+	}
+}
+
+func TestRecommendedQueries(t *testing.T) {
+	if got := RecommendedQueries(1, 0.99); got != 1 {
+		t.Errorf("nMax=1: %d", got)
+	}
+	q := RecommendedQueries(8, 0.99)
+	// Union bound: 8·(7/8)^q ≤ 0.01.
+	if bound := 8 * math.Pow(7.0/8, float64(q)); bound > 0.01 {
+		t.Errorf("q=%d gives union bound %v > 0.01", q, bound)
+	}
+	// One fewer query must violate the bound (minimality).
+	if bound := 8 * math.Pow(7.0/8, float64(q-1)); bound <= 0.01 {
+		t.Errorf("q=%d is not minimal", q)
+	}
+	if RecommendedQueries(8, 0.999) <= RecommendedQueries(8, 0.9) {
+		t.Error("higher confidence should need more queries")
+	}
+	if RecommendedQueries(16, 0.99) <= RecommendedQueries(4, 0.99) {
+		t.Error("more caches should need more queries")
+	}
+}
+
+func TestCarpetBombingFactor(t *testing.T) {
+	if got := CarpetBombingFactor(0, 0.99); got != 1 {
+		t.Errorf("no loss: K = %d", got)
+	}
+	// 11% loss (Iran): need K with 0.11^K ≤ 0.01 → K = 3.
+	if got := CarpetBombingFactor(0.11, 0.99); got != 3 {
+		t.Errorf("11%% loss: K = %d, want 3", got)
+	}
+	// 1% loss: K = 1.
+	if got := CarpetBombingFactor(0.01, 0.99); got != 1 {
+		t.Errorf("1%% loss: K = %d, want 1", got)
+	}
+	if CarpetBombingFactor(0.5, 0.999) <= CarpetBombingFactor(0.5, 0.9) {
+		t.Error("higher confidence should need more replicates")
+	}
+}
+
+func TestInitValidateSuccessRate(t *testing.T) {
+	// As N/n grows the success rate asymptotically reaches N (§V-B).
+	n := 10
+	big := 100
+	got := InitValidateSuccessRate(n, big)
+	if got < float64(big)*0.99 {
+		t.Errorf("success rate %v for N/n=10, want ≈N", got)
+	}
+	if InitValidateSuccessRate(0, 10) != 0 {
+		t.Error("n=0 should yield 0")
+	}
+	// N = n: (1-e^-1)^2 ≈ 0.3995 per probe.
+	got = InitValidateSuccessRate(10, 10)
+	if math.Abs(got-10*0.39958) > 0.1 {
+		t.Errorf("N=n success rate = %v", got)
+	}
+}
+
+func TestPropertyCoverageMonotonic(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		q := r.Intn(200)
+		// More probes never reduce coverage.
+		return CoverageProbability(n, q+1) >= CoverageProbability(n, q)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHarmonicBounds(t *testing.T) {
+	// ln(n) < H_n ≤ ln(n) + 1 for n ≥ 1.
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10000)
+		h := HarmonicNumber(n)
+		ln := math.Log(float64(n))
+		return h > ln && h <= ln+1
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"dnscde/internal/loadbal"
+)
+
+func TestClassifyRoundRobin(t *testing.T) {
+	w := newTestWorld(t)
+	for _, n := range []int{2, 4, 6} {
+		plat := w.newPlatform(t, platformOpts{caches: n, selector: loadbal.NewRoundRobin()})
+		res, err := ClassifySelection(context.Background(), w.directProber(plat), w.infra, ClassifyOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Class != ClassTrafficDependent {
+			t.Errorf("n=%d: class = %q (seq %d/%d)", n, res.Class, res.SequentialRuns, res.Runs)
+		}
+		if res.Caches != n {
+			t.Errorf("n=%d: caches = %d", n, res.Caches)
+		}
+	}
+}
+
+func TestClassifyRandom(t *testing.T) {
+	w := newTestWorld(t)
+	for _, n := range []int{3, 6} {
+		plat := w.newPlatform(t, platformOpts{caches: n, selector: loadbal.NewRandom(int64(n))})
+		res, err := ClassifySelection(context.Background(), w.directProber(plat), w.infra, ClassifyOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Class != ClassUnpredictable {
+			t.Errorf("n=%d: class = %q (seq %d/%d)", n, res.Class, res.SequentialRuns, res.Runs)
+		}
+	}
+}
+
+func TestClassifyHashQName(t *testing.T) {
+	w := newTestWorld(t)
+	plat := w.newPlatform(t, platformOpts{caches: 4, selector: loadbal.HashQName{}})
+	res, err := ClassifySelection(context.Background(), w.directProber(plat), w.infra, ClassifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassKeyDependent {
+		t.Errorf("class = %q", res.Class)
+	}
+	if res.IdenticalKeyCaches != 1 || res.Caches != 4 {
+		t.Errorf("identical=%d distinct=%d", res.IdenticalKeyCaches, res.Caches)
+	}
+}
+
+func TestClassifyHashSourceIPNeedsVantages(t *testing.T) {
+	w := newTestWorld(t)
+	plat := w.newPlatform(t, platformOpts{caches: 4, selector: loadbal.HashSourceIP{}})
+	ingress := plat.Config().IngressIPs[0]
+
+	// Single vantage: indistinguishable from a single cache.
+	res, err := ClassifySelection(context.Background(), w.directProber(plat), w.infra, ClassifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassSingleCache {
+		t.Errorf("single vantage class = %q, want single-cache", res.Class)
+	}
+
+	// Extra vantages with distinct client addresses expose the
+	// source-keyed selection.
+	extras := make([]Prober, 0, 16)
+	base := clientAddr
+	for i := 0; i < 16; i++ {
+		base = base.Next()
+		extras = append(extras, NewDirectProber(w.net, base, ingress, 0))
+	}
+	res, err = ClassifySelection(context.Background(), w.directProber(plat), w.infra,
+		ClassifyOptions{ExtraVantages: extras})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassKeyDependent {
+		t.Errorf("multi-vantage class = %q (distinct=%d identical=%d)", res.Class, res.Caches, res.IdenticalKeyCaches)
+	}
+}
+
+func TestClassifySingleCache(t *testing.T) {
+	w := newTestWorld(t)
+	plat := w.newPlatform(t, platformOpts{caches: 1, selector: loadbal.NewRandom(3)})
+	res, err := ClassifySelection(context.Background(), w.directProber(plat), w.infra, ClassifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != ClassSingleCache {
+		t.Errorf("class = %q", res.Class)
+	}
+}
+
+func TestClassifyRejectsIndirect(t *testing.T) {
+	w := newTestWorld(t)
+	plat := w.newPlatform(t, platformOpts{caches: 2})
+	if _, err := ClassifySelection(context.Background(), w.indirectProber(plat), w.infra, ClassifyOptions{}); err == nil {
+		t.Error("indirect prober accepted")
+	}
+}
+
+func TestSequentialChance(t *testing.T) {
+	if got := sequentialChance(1); got != 1 {
+		t.Errorf("n=1: %v", got)
+	}
+	if got := sequentialChance(2); got != 0.5 {
+		t.Errorf("n=2: %v", got)
+	}
+	// 3!/27 = 6/27.
+	if got := sequentialChance(3); got < 0.2221 || got > 0.2223 {
+		t.Errorf("n=3: %v", got)
+	}
+}

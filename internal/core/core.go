@@ -1,0 +1,37 @@
+// Package core implements CDE — Caches Discovery and Enumeration — the
+// primary contribution of "Counting in the Dark: DNS Caches Discovery and
+// Enumeration in the Internet" (Klein, Shulman, Waidner; DSN 2017).
+//
+// CDE treats a DNS resolution platform as a black box reachable through
+// its ingress IP addresses and observes two side channels:
+//
+//   - the queries that arrive at prober-controlled authoritative
+//     nameservers (the *direct egress* channel, §IV-B1/§IV-B2), and
+//   - the response latency seen by the prober (the *indirect egress*
+//     timing channel, §IV-B3).
+//
+// From these it recovers the number of hidden caches behind an IP address,
+// the mapping between ingress IPs and cache clusters, and the set of
+// egress IPs — none of which are directly visible in any DNS message.
+//
+// The package is organised by methodology:
+//
+//   - probers.go — direct and indirect (stub-mediated) probers
+//   - infra.go — the prober-side zone/nameserver infrastructure and
+//     per-measurement sessions (fresh probe names, fresh delegations)
+//   - enumerate.go — cache enumeration via the three access modes
+//   - adaptive.go — unknown-n probing with doubling budgets
+//   - mapping.go — ingress-IP→cache-cluster mapping and egress discovery
+//   - timing.go — the latency side channel
+//   - initvalidate.go — the §V-B two-phase init/validate protocol
+//   - analysis.go — coupon-collector bounds and carpet-bombing sizing
+//
+// and by the extensions built on those primitives:
+//
+//   - classify.go — cache-selection-strategy classification (the paper's
+//     declared §IV-A future work)
+//   - fingerprint.go — resolver-software fingerprinting (§II-C / §VI)
+//   - ttlpolicy.go — TTL-clamp inference (§II-C footnote)
+//   - security.go — cache-poisoning difficulty (§II-A, quantified)
+//   - survey.go — the one-call full platform profile
+package core

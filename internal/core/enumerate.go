@@ -1,0 +1,163 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"dnscde/internal/dnswire"
+)
+
+// Technique identifies a CDE enumeration methodology.
+type Technique string
+
+// Enumeration techniques.
+const (
+	// TechniqueDirect: direct ingress + direct egress (§IV-B1) — q
+	// identical queries for one honey name.
+	TechniqueDirect Technique = "direct"
+	// TechniqueChain: indirect ingress via the CNAME-chain bypass
+	// (§IV-B2a) — q distinct aliases of one target.
+	TechniqueChain Technique = "cname-chain"
+	// TechniqueHierarchy: indirect ingress via the names-hierarchy bypass
+	// (§IV-B2b) — q distinct names in a fresh delegated zone.
+	TechniqueHierarchy Technique = "names-hierarchy"
+	// TechniqueTiming: indirect egress via response latency (§IV-B3).
+	TechniqueTiming Technique = "timing"
+)
+
+// EnumOptions tunes an enumeration run.
+type EnumOptions struct {
+	// Queries is q, the probe budget. Zero defaults to
+	// RecommendedQueries(8, 0.99) — enough to cover up to 8 caches with
+	// 99% confidence under unpredictable selection.
+	Queries int
+	// Replicates is the carpet-bombing factor K (§V): each probe is sent
+	// K times so that packet loss on the measured path does not starve
+	// the sample. Zero defaults to 1 (no replication).
+	Replicates int
+	// QType is the probed record type; zero defaults to A.
+	QType dnswire.Type
+}
+
+// withDefaults normalises opts.
+func (o EnumOptions) withDefaults() EnumOptions {
+	if o.Queries == 0 {
+		o.Queries = RecommendedQueries(8, 0.99)
+	}
+	if o.Replicates == 0 {
+		o.Replicates = 1
+	}
+	if o.QType == 0 {
+		o.QType = dnswire.TypeA
+	}
+	return o
+}
+
+// EnumResult is the outcome of one enumeration run.
+type EnumResult struct {
+	Technique Technique
+	// Caches is ω, the measured cache count.
+	Caches int
+	// ProbesSent counts probe queries issued (including carpet-bombing
+	// replicates); ProbeErrors counts those lost to timeouts.
+	ProbesSent  int
+	ProbeErrors int
+}
+
+// ErrAllProbesFailed reports an enumeration whose every probe was lost.
+var ErrAllProbesFailed = errors.New("core: all probes failed")
+
+// EnumerateDirect counts the caches behind a directly accessible ingress
+// IP (§IV-B1a): q identical queries for a fresh honey record; the number
+// of arrivals at the nameserver is the cache count.
+func EnumerateDirect(ctx context.Context, p Prober, in *Infra, opts EnumOptions) (EnumResult, error) {
+	opts = opts.withDefaults()
+	if !p.Direct() {
+		return EnumResult{}, fmt.Errorf("core: direct enumeration needs a direct prober (local caches absorb repeated queries)")
+	}
+	session, err := in.NewFlatSession()
+	if err != nil {
+		return EnumResult{}, err
+	}
+	res := EnumResult{Technique: TechniqueDirect}
+	for i := 0; i < opts.Queries; i++ {
+		for k := 0; k < opts.Replicates; k++ {
+			res.ProbesSent++
+			if _, err := p.Probe(ctx, session.Honey, opts.QType); err != nil {
+				res.ProbeErrors++
+			}
+		}
+	}
+	if res.ProbeErrors == res.ProbesSent {
+		return res, ErrAllProbesFailed
+	}
+	res.Caches = session.ObservedCaches()
+	return res, nil
+}
+
+// EnumerateChain counts caches through local caches using the CNAME-chain
+// bypass (§IV-B2a): q distinct aliases all pointing at one target; each
+// cache resolves the target at most once, so arrivals for the target
+// count the caches.
+func EnumerateChain(ctx context.Context, p Prober, in *Infra, opts EnumOptions) (EnumResult, error) {
+	opts = opts.withDefaults()
+	session, err := in.NewChainSession(opts.Queries)
+	if err != nil {
+		return EnumResult{}, err
+	}
+	res := EnumResult{Technique: TechniqueChain}
+	for _, alias := range session.Aliases {
+		for k := 0; k < opts.Replicates; k++ {
+			res.ProbesSent++
+			if _, err := p.Probe(ctx, alias, opts.QType); err != nil {
+				res.ProbeErrors++
+			}
+		}
+	}
+	if res.ProbeErrors == res.ProbesSent {
+		return res, ErrAllProbesFailed
+	}
+	// Count per query type and take the best group: channels like SMTP
+	// resolve each alias under several types, and every type group is an
+	// independent enumeration of the same caches.
+	res.Caches = session.ObservedCachesBestType()
+	return res, nil
+}
+
+// EnumerateHierarchy counts caches through local caches using the
+// names-hierarchy bypass (§IV-B2b): q distinct names in a freshly
+// delegated child zone; only caches that lack the delegation visit the
+// parent, so parent arrivals count the caches.
+func EnumerateHierarchy(ctx context.Context, p Prober, in *Infra, opts EnumOptions) (EnumResult, error) {
+	opts = opts.withDefaults()
+	session, err := in.NewHierarchySession(opts.Queries)
+	if err != nil {
+		return EnumResult{}, err
+	}
+	res := EnumResult{Technique: TechniqueHierarchy}
+	for i := 1; i <= opts.Queries; i++ {
+		name := session.ProbeName(i)
+		for k := 0; k < opts.Replicates; k++ {
+			res.ProbesSent++
+			if _, err := p.Probe(ctx, name, opts.QType); err != nil {
+				res.ProbeErrors++
+			}
+		}
+	}
+	if res.ProbeErrors == res.ProbesSent {
+		return res, ErrAllProbesFailed
+	}
+	res.Caches = session.ObservedCaches()
+	return res, nil
+}
+
+// Enumerate picks the appropriate technique for the prober's access mode:
+// direct probers use the §IV-B1 identical-query technique, indirect
+// probers the §IV-B2b names hierarchy.
+func Enumerate(ctx context.Context, p Prober, in *Infra, opts EnumOptions) (EnumResult, error) {
+	if p.Direct() {
+		return EnumerateDirect(ctx, p, in, opts)
+	}
+	return EnumerateHierarchy(ctx, p, in, opts)
+}

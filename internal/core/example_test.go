@@ -1,0 +1,107 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"dnscde/internal/core"
+	"dnscde/internal/loadbal"
+	"dnscde/internal/platform"
+	"dnscde/internal/simtest"
+)
+
+// ExampleEnumerateDirect shows the paper's headline technique (§IV-B1a):
+// q identical queries for a prober-owned honey record; the arrivals at
+// the prober's nameserver count the hidden caches.
+func ExampleEnumerateDirect() {
+	w := simtest.MustNew(simtest.Options{Seed: 1})
+	target, err := w.NewPlatform(simtest.PlatformSpec{
+		Caches: 3,
+		Mutate: func(c *platform.Config) { c.Selector = loadbal.NewRandom(1) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prober := w.DirectProber(target.Config().IngressIPs[0])
+	res, err := core.EnumerateDirect(context.Background(), prober, w.Infra, core.EnumOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured %d caches with technique %q\n", res.Caches, res.Technique)
+	// Output: measured 3 caches with technique "direct"
+}
+
+// ExampleEnumerateAdaptive measures a platform without knowing its cache
+// count in advance: the probe budget doubles until the coupon-collector
+// bound for one more cache than observed is met.
+func ExampleEnumerateAdaptive() {
+	w := simtest.MustNew(simtest.Options{Seed: 2})
+	target, err := w.NewPlatform(simtest.PlatformSpec{
+		Caches: 12,
+		Mutate: func(c *platform.Config) { c.Selector = loadbal.NewRandom(7) },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prober := w.DirectProber(target.Config().IngressIPs[0])
+	res, err := core.EnumerateAdaptive(context.Background(), prober, w.Infra, core.AdaptiveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("caches=%d converged=%v\n", res.Caches, res.Converged)
+	// Output: caches=12 converged=true
+}
+
+// ExampleClassifySelection identifies the load balancer's strategy — the
+// paper's §IV-A future work.
+func ExampleClassifySelection() {
+	w := simtest.MustNew(simtest.Options{Seed: 3})
+	target, err := w.NewPlatform(simtest.PlatformSpec{
+		Caches: 4,
+		Mutate: func(c *platform.Config) { c.Selector = loadbal.NewRoundRobin() },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prober := w.DirectProber(target.Config().IngressIPs[0])
+	res, err := core.ClassifySelection(context.Background(), prober, w.Infra, core.ClassifyOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Class)
+	// Output: traffic-dependent
+}
+
+// ExamplePoisoningSuccessProbability quantifies the §II-A motivation:
+// more caches with unpredictable selection make multi-record poisoning
+// exponentially harder.
+func ExamplePoisoningSuccessProbability() {
+	for _, n := range []int{1, 2, 4, 8} {
+		fmt.Printf("n=%d: %.4f\n", n, core.PoisoningSuccessProbability(n, 2))
+	}
+	// Output:
+	// n=1: 1.0000
+	// n=2: 0.5000
+	// n=4: 0.2500
+	// n=8: 0.1250
+}
+
+// ExampleExpectedProbesToCoverAll evaluates Theorem 5.1's closed form.
+func ExampleExpectedProbesToCoverAll() {
+	fmt.Printf("n=4: %.2f probes expected\n", core.ExpectedProbesToCoverAll(4))
+	fmt.Printf("n=16: %.2f probes expected\n", core.ExpectedProbesToCoverAll(16))
+	// Output:
+	// n=4: 8.33 probes expected
+	// n=16: 54.09 probes expected
+}
+
+// ExampleCarpetBombingFactor sizes probe replication against the packet
+// loss the paper measured in different regions (§V).
+func ExampleCarpetBombingFactor() {
+	fmt.Println("typical 1%:", core.CarpetBombingFactor(0.01, 0.99))
+	fmt.Println("Iran 11%:", core.CarpetBombingFactor(0.11, 0.99))
+	// Output:
+	// typical 1%: 1
+	// Iran 11%: 3
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+
+	"dnscde/internal/dnswire"
+)
+
+// This file implements §IV-B1b: mapping ingress IP addresses to cache
+// clusters with honey records, and discovering the egress IP addresses a
+// platform uses.
+
+// MappingOptions tunes the cluster-mapping procedure.
+type MappingOptions struct {
+	// SeedQueries plants the honey record in (statistically) all caches
+	// of a cluster; zero defaults to RecommendedQueries(8, 0.99).
+	SeedQueries int
+	// CheckQueries probes a candidate ingress IP for the honey record;
+	// zero defaults to SeedQueries (generous, to sample every cache of
+	// the candidate's cluster).
+	CheckQueries int
+	// Replicates is the carpet-bombing factor applied to each query.
+	Replicates int
+}
+
+func (o MappingOptions) withDefaults() MappingOptions {
+	if o.SeedQueries == 0 {
+		o.SeedQueries = RecommendedQueries(8, 0.99)
+	}
+	if o.CheckQueries == 0 {
+		o.CheckQueries = o.SeedQueries
+	}
+	if o.Replicates == 0 {
+		o.Replicates = 1
+	}
+	return o
+}
+
+// ClusterResult groups ingress IPs by the cache cluster they map to.
+type ClusterResult struct {
+	// Clusters holds ingress IPs that share caches; Clusters[i] all hit
+	// the caches seeded through Clusters[i][0].
+	Clusters [][]netip.Addr
+	// ProbesSent counts every probe issued during mapping.
+	ProbesSent int
+}
+
+// MapIngressClusters discovers which ingress IPs share caches (§IV-B1b):
+// plant a honey record through a cluster's representative IP, then test a
+// candidate IP — "if queries are responded without accessing our server,
+// we add the IP to the same cluster".
+//
+// A fresh honey record is used per (candidate, cluster) test: the check
+// queries themselves plant the honey in the candidate's caches, so reusing
+// one honey record across candidates would contaminate later tests (two
+// disjoint clusters would appear merged once any candidate of the second
+// cluster had been checked against the first cluster's honey).
+//
+// makeProber must return a direct prober for the given ingress IP.
+func MapIngressClusters(ctx context.Context, in *Infra, ingress []netip.Addr, makeProber func(netip.Addr) Prober, opts MappingOptions) (ClusterResult, error) {
+	opts = opts.withDefaults()
+	if len(ingress) == 0 {
+		return ClusterResult{}, fmt.Errorf("core: no ingress IPs to map")
+	}
+
+	var result ClusterResult
+	reps := make([]Prober, 0, 4) // representative prober per cluster
+
+	for _, ip := range ingress {
+		candidate := makeProber(ip)
+		assigned := false
+		for cIdx, rep := range reps {
+			honey, err := in.NewFlatSession()
+			if err != nil {
+				return result, err
+			}
+			// Seed through the cluster representative, covering (with high
+			// probability) every cache of that cluster.
+			for i := 0; i < opts.SeedQueries*opts.Replicates; i++ {
+				result.ProbesSent++
+				_, _ = rep.Probe(ctx, honey.Honey, dnswire.TypeA) // losses tolerated
+			}
+			seeded := honey.ObservedCaches()
+			// Check through the candidate: same cluster ⇒ every check is a
+			// cache hit ⇒ no new arrivals at the nameserver.
+			for i := 0; i < opts.CheckQueries*opts.Replicates; i++ {
+				result.ProbesSent++
+				_, _ = candidate.Probe(ctx, honey.Honey, dnswire.TypeA)
+			}
+			if honey.ObservedCaches() == seeded {
+				result.Clusters[cIdx] = append(result.Clusters[cIdx], ip)
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			reps = append(reps, candidate)
+			result.Clusters = append(result.Clusters, []netip.Addr{ip})
+		}
+	}
+	return result, nil
+}
+
+// EgressResult is the outcome of egress-IP discovery.
+type EgressResult struct {
+	// IPs are the distinct egress addresses observed at the nameservers.
+	IPs        []netip.Addr
+	ProbesSent int
+}
+
+// DiscoverEgress finds the egress IP addresses of the platform behind
+// prober p (§IV-B1b: "By repeating the experiment with a set of queries
+// ... and checking which egress IP addresses they arrive from at our
+// nameservers, all the egress addresses can be covered"). It probes q
+// distinct names in a fresh delegated zone so every probe exercises the
+// egress path, then reads the source addresses from both nameserver logs.
+func DiscoverEgress(ctx context.Context, p Prober, in *Infra, opts EnumOptions) (EgressResult, error) {
+	opts = opts.withDefaults()
+	session, err := in.NewHierarchySession(opts.Queries)
+	if err != nil {
+		return EgressResult{}, err
+	}
+	var result EgressResult
+	failures := 0
+	for i := 1; i <= opts.Queries; i++ {
+		name := session.ProbeName(i)
+		for k := 0; k < opts.Replicates; k++ {
+			result.ProbesSent++
+			if _, err := p.Probe(ctx, name, opts.QType); err != nil {
+				failures++
+			}
+		}
+	}
+	if failures == result.ProbesSent {
+		return result, ErrAllProbesFailed
+	}
+	seen := make(map[netip.Addr]struct{})
+	for _, src := range in.Parent.Log().DistinctSources(session.ChildOrigin) {
+		seen[src] = struct{}{}
+	}
+	for _, src := range in.Child.Log().DistinctSources(session.ChildOrigin) {
+		seen[src] = struct{}{}
+	}
+	result.IPs = make([]netip.Addr, 0, len(seen))
+	for src := range seen {
+		result.IPs = append(result.IPs, src)
+	}
+	return result, nil
+}

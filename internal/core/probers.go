@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"dnscde/internal/dnswire"
+	"dnscde/internal/netsim"
+	"dnscde/internal/stub"
+)
+
+// ProbeResult is the prober-visible outcome of one probe query.
+type ProbeResult struct {
+	RCode   dnswire.RCode
+	Records []dnswire.RR
+	// RTT is the latency observed by the prober — the signal of the
+	// §IV-B3 timing channel. It is zero when a local cache answered.
+	RTT time.Duration
+	// FromLocalCache reports an answer served by a client-side cache
+	// without reaching the platform (only possible for indirect probers).
+	FromLocalCache bool
+}
+
+// Prober issues probe queries toward a resolution platform. Probers come
+// in two flavours (§IV): direct probers talk straight to an ingress IP and
+// control timing and repetition; indirect probers trigger queries through
+// client software (email servers, web browsers) behind local caches.
+type Prober interface {
+	// Probe resolves (name, qtype) through the target platform.
+	Probe(ctx context.Context, name string, qtype dnswire.Type) (ProbeResult, error)
+	// Direct reports whether the prober has direct ingress access
+	// (timing control and repeatable queries).
+	Direct() bool
+}
+
+// _probeID generates DNS message IDs for direct probes.
+var _probeID atomic.Uint32
+
+// DirectProber sends queries straight to an ingress IP of the target
+// platform — the open-resolver scenario (set-up 2 in Fig. 1).
+type DirectProber struct {
+	conn    netsim.Exchanger
+	ingress netip.Addr
+	// retries is the retransmission budget per probe on packet loss.
+	retries int
+}
+
+var _ Prober = (*DirectProber)(nil)
+
+// NewDirectProber creates a prober sending from clientAddr on n to the
+// platform ingress IP. retries (per-probe retransmissions on loss)
+// defaults to 0 — CDE's carpet bombing handles loss at a higher level,
+// and experiments can opt into stub-style retransmission instead.
+func NewDirectProber(n *netsim.Network, clientAddr, ingress netip.Addr, retries int) *DirectProber {
+	return &DirectProber{conn: n.Bind(clientAddr), ingress: ingress, retries: retries}
+}
+
+// Probe implements Prober.
+func (p *DirectProber) Probe(ctx context.Context, name string, qtype dnswire.Type) (ProbeResult, error) {
+	query := dnswire.NewQuery(uint16(_probeID.Add(1)), name, qtype)
+	resp, rtt, err := netsim.ExchangeRetry(ctx, p.conn, query, p.ingress, p.retries+1)
+	if err != nil {
+		return ProbeResult{}, err
+	}
+	return ProbeResult{RCode: resp.Header.RCode, Records: resp.Answer, RTT: rtt}, nil
+}
+
+// Direct implements Prober.
+func (*DirectProber) Direct() bool { return true }
+
+// Ingress returns the targeted ingress address.
+func (p *DirectProber) Ingress() netip.Addr { return p.ingress }
+
+// IndirectProber triggers queries through a stub resolver with local
+// caches — the email-server and web-browser scenarios (set-up 1 in
+// Fig. 1). Repeated probes for one name are absorbed by the local caches,
+// which is exactly the limitation the §IV-B2 bypasses exist to defeat.
+type IndirectProber struct {
+	stub *stub.Resolver
+}
+
+var _ Prober = (*IndirectProber)(nil)
+
+// NewIndirectProber wraps a stub resolver.
+func NewIndirectProber(s *stub.Resolver) *IndirectProber {
+	return &IndirectProber{stub: s}
+}
+
+// Probe implements Prober.
+func (p *IndirectProber) Probe(ctx context.Context, name string, qtype dnswire.Type) (ProbeResult, error) {
+	res, err := p.stub.Lookup(ctx, name, qtype)
+	if err != nil {
+		return ProbeResult{}, err
+	}
+	return ProbeResult{
+		RCode:          res.RCode,
+		Records:        res.Records,
+		RTT:            res.RTT,
+		FromLocalCache: res.FromLocalCache,
+	}, nil
+}
+
+// Direct implements Prober.
+func (*IndirectProber) Direct() bool { return false }

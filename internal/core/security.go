@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+	"net/netip"
+
+	"dnscde/internal/dnswire"
+	"dnscde/internal/loadbal"
+)
+
+// This file quantifies the paper's §II-A security motivation: multiple
+// caches with unpredictable selection raise the bar for cache poisoning,
+// because a multi-record injection (e.g. a spoofed NS record followed by
+// a spoofed A record that exploits it) only works if every injected
+// record lands in the *same* cache.
+
+// PoisoningSuccessProbability returns the probability that a k-record
+// poisoning attack against a platform with n uniformly-selected caches
+// places all k records in one cache: n·(1/n)^k = (1/n)^(k-1).
+func PoisoningSuccessProbability(n, k int) float64 {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	if n == 1 || k == 1 {
+		return 1
+	}
+	return math.Pow(1/float64(n), float64(k-1))
+}
+
+// ExpectedPoisoningAttempts returns the expected number of complete
+// k-record attack iterations until one lands entirely in a single cache.
+func ExpectedPoisoningAttempts(n, k int) float64 {
+	p := PoisoningSuccessProbability(n, k)
+	if p == 0 {
+		return math.Inf(1)
+	}
+	return 1 / p
+}
+
+// _victimAddr is the fixed client whose queries the simulated attacker
+// races; the load balancer sees this source for every injected record.
+var _victimAddr = netip.MustParseAddr("198.18.99.99")
+
+// SimulatePoisoning Monte-Carlo-validates the closed form against an
+// actual cache-selection strategy: each trial injects k records (k
+// resolver queries the attacker races) through the selector and succeeds
+// when all of them are handled by the same cache. It returns the
+// empirical success rate over trials.
+//
+// For selectors in the paper's unpredictable category the rate matches
+// (1/n)^(k-1); for round robin consecutive records never share a cache
+// (when n > 1 and no cross traffic); and for key-dependent selectors a
+// same-key attack always shares one — which is exactly why §VII
+// recommends multiple caches *with unpredictable selection* as a
+// poisoning defence.
+func SimulatePoisoning(sel loadbal.Selector, n, k, trials int) float64 {
+	if trials <= 0 || n <= 0 || k <= 0 {
+		return 0
+	}
+	q := dnswire.Question{Name: "victim.example.", Type: dnswire.TypeA, Class: dnswire.ClassIN}
+	successes := 0
+	for t := 0; t < trials; t++ {
+		first := sel.Select(q, _victimAddr, n)
+		allSame := true
+		for i := 1; i < k; i++ {
+			// Keep drawing even after a mismatch so traffic-dependent
+			// selectors advance the same number of steps per trial.
+			if sel.Select(q, _victimAddr, n) != first {
+				allSame = false
+			}
+		}
+		if allSame {
+			successes++
+		}
+	}
+	return float64(successes) / float64(trials)
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dnscde/internal/loadbal"
+)
+
+func TestPoisoningSuccessProbability(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{1, 5, 1},    // single cache: every record lands together
+		{4, 1, 1},    // single-record attack: trivially together
+		{2, 2, 0.5},  // two records, two caches
+		{4, 2, 0.25}, // the NS+A example with 4 caches
+		{4, 3, 1.0 / 16},
+		{0, 2, 0},
+		{2, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := PoisoningSuccessProbability(tt.n, tt.k); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("P(n=%d,k=%d) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestExpectedPoisoningAttempts(t *testing.T) {
+	if got := ExpectedPoisoningAttempts(4, 2); got != 4 {
+		t.Errorf("E(4,2) = %v", got)
+	}
+	if got := ExpectedPoisoningAttempts(0, 2); !math.IsInf(got, 1) {
+		t.Errorf("E(0,2) = %v, want +Inf", got)
+	}
+}
+
+func TestSimulatePoisoningRandomMatchesClosedForm(t *testing.T) {
+	const trials = 200000
+	for _, tc := range []struct{ n, k int }{{2, 2}, {4, 2}, {4, 3}, {8, 2}} {
+		got := SimulatePoisoning(loadbal.NewRandom(7), tc.n, tc.k, trials)
+		want := PoisoningSuccessProbability(tc.n, tc.k)
+		if math.Abs(got-want) > want*0.1+0.005 {
+			t.Errorf("n=%d k=%d: MC %v vs closed form %v", tc.n, tc.k, got, want)
+		}
+	}
+}
+
+func TestSimulatePoisoningRoundRobinNeverSucceeds(t *testing.T) {
+	// Consecutive queries never hit the same cache under round robin
+	// (absent cross traffic) — a k>1 injection cannot co-locate.
+	if got := SimulatePoisoning(loadbal.NewRoundRobin(), 4, 2, 1000); got != 0 {
+		t.Errorf("round robin success rate = %v, want 0", got)
+	}
+}
+
+func TestSimulatePoisoningKeyDependentAlwaysSucceeds(t *testing.T) {
+	// A same-name, same-source attack always lands in one cache under
+	// key-dependent selection — multiple caches give no protection.
+	if got := SimulatePoisoning(loadbal.HashQName{}, 8, 4, 1000); got != 1 {
+		t.Errorf("hash-qname success rate = %v, want 1", got)
+	}
+	if got := SimulatePoisoning(loadbal.HashSourceIP{}, 8, 4, 1000); got != 1 {
+		t.Errorf("hash-source success rate = %v, want 1", got)
+	}
+}
+
+func TestSimulatePoisoningDegenerateInputs(t *testing.T) {
+	if got := SimulatePoisoning(loadbal.NewRandom(1), 4, 2, 0); got != 0 {
+		t.Errorf("zero trials = %v", got)
+	}
+}

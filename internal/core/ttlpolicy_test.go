@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnscde/internal/dnscache"
+	"dnscde/internal/platform"
+)
+
+func TestInferTTLPolicyNoClamps(t *testing.T) {
+	w := newTestWorld(t)
+	plat := w.newPlatform(t, platformOpts{caches: 1})
+	policy, err := InferTTLPolicy(context.Background(), w.directProber(plat), w.infra, TTLProbeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policy.MinTTL != 0 || policy.MaxTTL != 0 {
+		t.Errorf("clamps inferred on unclamped platform: %+v", policy)
+	}
+	if policy.LowServed > 5*time.Second || policy.HighServed < 7*24*time.Hour-time.Minute {
+		t.Errorf("served TTLs off: %+v", policy)
+	}
+}
+
+func TestInferTTLPolicyMinClamp(t *testing.T) {
+	w := newTestWorld(t)
+	plat := w.newPlatform(t, platformOpts{caches: 1, mutate: func(c *platform.Config) {
+		c.CachePolicy = dnscache.Policy{MinTTL: 300 * time.Second}
+	}})
+	policy, err := InferTTLPolicy(context.Background(), w.directProber(plat), w.infra, TTLProbeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policy.MinTTL < 295*time.Second || policy.MinTTL > 300*time.Second {
+		t.Errorf("MinTTL = %v, want ≈300s", policy.MinTTL)
+	}
+	if policy.MaxTTL != 0 {
+		t.Errorf("spurious MaxTTL: %+v", policy)
+	}
+}
+
+func TestInferTTLPolicyMaxClamp(t *testing.T) {
+	w := newTestWorld(t)
+	plat := w.newPlatform(t, platformOpts{caches: 1, mutate: func(c *platform.Config) {
+		c.CachePolicy = dnscache.Policy{MaxTTL: 24 * time.Hour}
+	}})
+	policy, err := InferTTLPolicy(context.Background(), w.directProber(plat), w.infra, TTLProbeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policy.MaxTTL < 23*time.Hour || policy.MaxTTL > 24*time.Hour {
+		t.Errorf("MaxTTL = %v, want ≈24h", policy.MaxTTL)
+	}
+	if policy.MinTTL != 0 {
+		t.Errorf("spurious MinTTL: %+v", policy)
+	}
+}
+
+func TestInferTTLPolicyBothClamps(t *testing.T) {
+	w := newTestWorld(t)
+	plat := w.newPlatform(t, platformOpts{caches: 2, mutate: func(c *platform.Config) {
+		c.CachePolicy = dnscache.Policy{MinTTL: 60 * time.Second, MaxTTL: time.Hour}
+	}})
+	policy, err := InferTTLPolicy(context.Background(), w.directProber(plat), w.infra, TTLProbeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if policy.MinTTL == 0 || policy.MaxTTL == 0 {
+		t.Errorf("clamps missed: %+v", policy)
+	}
+}
+
+func TestInferTTLPolicyUnreachable(t *testing.T) {
+	w := newTestWorld(t)
+	p := NewDirectProber(w.net, clientAddr, netip.MustParseAddr("198.51.100.251"), 0)
+	if _, err := InferTTLPolicy(context.Background(), p, w.infra, TTLProbeOptions{}); err == nil {
+		t.Error("want error for unreachable platform")
+	}
+}

@@ -1,0 +1,350 @@
+package dnscache
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dnscde/internal/dnswire"
+)
+
+var _epoch = time.Date(2017, time.June, 26, 0, 0, 0, 0, time.UTC)
+
+func q(name string) dnswire.Question {
+	return dnswire.Question{Name: dnswire.CanonicalName(name), Type: dnswire.TypeA, Class: dnswire.ClassIN}
+}
+
+func aEntry(name string, ttl uint32) Entry {
+	return Entry{Records: []dnswire.RR{{
+		Name: dnswire.CanonicalName(name), Class: dnswire.ClassIN, TTL: ttl,
+		Data: dnswire.ARecord{Addr: netip.MustParseAddr("192.0.2.1")},
+	}}}
+}
+
+func negEntry(rcode dnswire.RCode, soaTTL, soaMin uint32) Entry {
+	return Entry{
+		RCode: rcode,
+		Authority: []dnswire.RR{{
+			Name: "cache.example.", Class: dnswire.ClassIN, TTL: soaTTL,
+			Data: dnswire.SOARecord{MName: "ns.cache.example.", RName: "h.cache.example.", Minimum: soaMin},
+		}},
+	}
+}
+
+func TestPutGetHit(t *testing.T) {
+	c := New("c1", Policy{})
+	c.Put(q("a.example"), aEntry("a.example", 300), _epoch)
+	e, ok := c.Get(q("a.example"), _epoch.Add(10*time.Second))
+	if !ok {
+		t.Fatal("miss")
+	}
+	if e.Records[0].TTL != 290 {
+		t.Errorf("decayed TTL = %d, want 290", e.Records[0].TTL)
+	}
+	s := c.SnapshotStats()
+	if s.Hits != 1 || s.Misses != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	c := New("c1", Policy{})
+	if _, ok := c.Get(q("missing.example"), _epoch); ok {
+		t.Fatal("unexpected hit")
+	}
+	if s := c.SnapshotStats(); s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	c := New("c1", Policy{})
+	c.Put(q("a.example"), aEntry("a.example", 60), _epoch)
+	if _, ok := c.Get(q("a.example"), _epoch.Add(59*time.Second)); !ok {
+		t.Error("fresh entry missed")
+	}
+	if _, ok := c.Get(q("a.example"), _epoch.Add(60*time.Second)); ok {
+		t.Error("expired entry hit")
+	}
+	s := c.SnapshotStats()
+	if s.Expired != 1 {
+		t.Errorf("Expired = %d", s.Expired)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after expiry", c.Len())
+	}
+}
+
+func TestMinTTLClamp(t *testing.T) {
+	// The paper's footnote: "TTL that is smaller than the minimum ... will
+	// be adjusted by the cache."
+	c := New("c1", Policy{MinTTL: 300 * time.Second})
+	c.Put(q("a.example"), aEntry("a.example", 10), _epoch)
+	e, ok := c.Get(q("a.example"), _epoch.Add(100*time.Second))
+	if !ok {
+		t.Fatal("entry should survive: min TTL raised it to 300s")
+	}
+	if e.Records[0].TTL != 200 {
+		t.Errorf("TTL = %d, want 200 (300 clamped - 100 elapsed)", e.Records[0].TTL)
+	}
+}
+
+func TestMaxTTLClamp(t *testing.T) {
+	c := New("c1", Policy{MaxTTL: 60 * time.Second})
+	c.Put(q("a.example"), aEntry("a.example", 86400), _epoch)
+	if _, ok := c.Get(q("a.example"), _epoch.Add(61*time.Second)); ok {
+		t.Error("entry outlived max TTL")
+	}
+}
+
+func TestZeroTTLNotStored(t *testing.T) {
+	c := New("c1", Policy{})
+	c.Put(q("a.example"), aEntry("a.example", 0), _epoch)
+	if c.Len() != 0 {
+		t.Error("zero-TTL entry stored")
+	}
+}
+
+func TestNegativeCachingUsesSOAMinimum(t *testing.T) {
+	c := New("c1", Policy{})
+	// SOA TTL 3600 but MINIMUM 60: RFC 2308 takes the min.
+	c.Put(q("nx.example"), negEntry(dnswire.RCodeNXDomain, 3600, 60), _epoch)
+	e, ok := c.Get(q("nx.example"), _epoch.Add(59*time.Second))
+	if !ok {
+		t.Fatal("negative entry missed while fresh")
+	}
+	if !e.Negative() || e.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("entry = %+v", e)
+	}
+	if _, ok := c.Get(q("nx.example"), _epoch.Add(60*time.Second)); ok {
+		t.Error("negative entry outlived SOA minimum")
+	}
+}
+
+func TestNegativeTTLPolicyCaps(t *testing.T) {
+	c := New("c1", Policy{NegativeTTL: 5 * time.Second})
+	c.Put(q("nx.example"), negEntry(dnswire.RCodeNXDomain, 3600, 3600), _epoch)
+	if _, ok := c.Get(q("nx.example"), _epoch.Add(6*time.Second)); ok {
+		t.Error("negative entry outlived NegativeTTL policy")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New("c1", Policy{Capacity: 3})
+	for i := 0; i < 3; i++ {
+		c.Put(q(fmt.Sprintf("n%d.example", i)), aEntry("x.example", 300), _epoch)
+	}
+	// Touch n0 so n1 becomes the LRU victim.
+	if _, ok := c.Get(q("n0.example"), _epoch); !ok {
+		t.Fatal("n0 missing")
+	}
+	c.Put(q("n3.example"), aEntry("x.example", 300), _epoch)
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if _, ok := c.Get(q("n1.example"), _epoch); ok {
+		t.Error("LRU victim n1 still cached")
+	}
+	if _, ok := c.Get(q("n0.example"), _epoch); !ok {
+		t.Error("recently used n0 evicted")
+	}
+	if s := c.SnapshotStats(); s.Evictions != 1 {
+		t.Errorf("Evictions = %d", s.Evictions)
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := New("c1", Policy{})
+	c.Put(q("a.example"), aEntry("a.example", 300), _epoch)
+	c.Put(q("a.example"), aEntry("a.example", 999), _epoch)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	e, _ := c.Get(q("a.example"), _epoch)
+	if e.Records[0].TTL != 999 {
+		t.Errorf("TTL = %d, want replacement", e.Records[0].TTL)
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	c := New("c1", Policy{})
+	c.Put(q("a.example"), aEntry("a.example", 300), _epoch)
+	if !c.Contains(q("a.example"), _epoch) {
+		t.Error("Contains = false for cached entry")
+	}
+	if c.Contains(q("b.example"), _epoch) {
+		t.Error("Contains = true for absent entry")
+	}
+	if c.Contains(q("a.example"), _epoch.Add(301*time.Second)) {
+		t.Error("Contains = true for expired entry")
+	}
+	if s := c.SnapshotStats(); s.Hits != 0 || s.Misses != 0 {
+		t.Errorf("Contains perturbed stats: %+v", s)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New("c1", Policy{})
+	c.Put(q("a.example"), aEntry("a.example", 300), _epoch)
+	c.Put(q("b.example"), aEntry("b.example", 300), _epoch)
+	c.Flush()
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after Flush", c.Len())
+	}
+}
+
+func TestFlushName(t *testing.T) {
+	c := New("c1", Policy{})
+	c.Put(q("a.example"), aEntry("a.example", 300), _epoch)
+	txtQ := dnswire.Question{Name: "a.example.", Type: dnswire.TypeTXT, Class: dnswire.ClassIN}
+	c.Put(txtQ, Entry{Records: []dnswire.RR{{Name: "a.example.", Class: dnswire.ClassIN, TTL: 300,
+		Data: dnswire.TXTRecord{Strings: []string{"x"}}}}}, _epoch)
+	c.Put(q("b.example"), aEntry("b.example", 300), _epoch)
+	c.FlushName("A.Example")
+	if c.Len() != 1 {
+		t.Errorf("Len = %d after FlushName, want 1", c.Len())
+	}
+	if _, ok := c.Get(q("b.example"), _epoch); !ok {
+		t.Error("unrelated entry flushed")
+	}
+}
+
+func TestGetReturnsCopies(t *testing.T) {
+	c := New("c1", Policy{})
+	c.Put(q("a.example"), aEntry("a.example", 300), _epoch)
+	e, _ := c.Get(q("a.example"), _epoch)
+	e.Records[0].TTL = 1
+	e2, _ := c.Get(q("a.example"), _epoch)
+	if e2.Records[0].TTL != 300 {
+		t.Error("Get exposed mutable internal state")
+	}
+}
+
+func TestPutDefensiveCopy(t *testing.T) {
+	c := New("c1", Policy{})
+	entry := aEntry("a.example", 300)
+	c.Put(q("a.example"), entry, _epoch)
+	entry.Records[0].TTL = 1
+	e, _ := c.Get(q("a.example"), _epoch)
+	if e.Records[0].TTL != 300 {
+		t.Error("Put aliased caller's slice")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New("c1", Policy{Capacity: 64})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				name := fmt.Sprintf("n%d.example", (id*7+j)%100)
+				c.Put(q(name), aEntry(name, 300), _epoch)
+				c.Get(q(name), _epoch)
+				c.Contains(q(name), _epoch)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("Len = %d exceeds capacity", c.Len())
+	}
+}
+
+func TestPropertyCapacityNeverExceeded(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cap := 1 + r.Intn(20)
+		c := New("c", Policy{Capacity: cap})
+		now := _epoch
+		for i := 0; i < 200; i++ {
+			c.Put(q(fmt.Sprintf("n%d.example", r.Intn(50))), aEntry("x.example", uint32(1+r.Intn(1000))), now)
+			if c.Len() > cap {
+				return false
+			}
+			now = now.Add(time.Duration(r.Intn(5)) * time.Second)
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTTLDecayMonotonic(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New("c", Policy{})
+		ttl := uint32(10 + r.Intn(1000))
+		c.Put(q("a.example"), aEntry("a.example", ttl), _epoch)
+		prev := ttl + 1
+		for elapsed := 0; elapsed < int(ttl); elapsed += 1 + r.Intn(50) {
+			e, ok := c.Get(q("a.example"), _epoch.Add(time.Duration(elapsed)*time.Second))
+			if !ok {
+				return false // must not expire before ttl
+			}
+			cur := e.Records[0].TTL
+			if cur >= prev {
+				return false // strictly decreasing across increasing elapsed
+			}
+			prev = cur
+		}
+		_, ok := c.Get(q("a.example"), _epoch.Add(time.Duration(ttl)*time.Second))
+		return !ok
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyClampTTLWithinBounds(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(minS, maxS uint16, ttlS uint32) bool {
+		p := Policy{MinTTL: time.Duration(minS) * time.Second, MaxTTL: time.Duration(maxS) * time.Second}
+		got := p.ClampTTL(time.Duration(ttlS) * time.Second)
+		if p.MaxTTL > 0 && got > p.MaxTTL && got > p.MinTTL {
+			return false
+		}
+		if p.MinTTL > 0 && got < p.MinTTL {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCachePutGet(b *testing.B) {
+	c := New("bench", Policy{Capacity: 4096})
+	entry := aEntry("bench.example", 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		question := q(fmt.Sprintf("n%d.example", i%1000))
+		c.Put(question, entry, _epoch)
+		if _, ok := c.Get(question, _epoch); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkCacheGetHot(b *testing.B) {
+	c := New("bench", Policy{})
+	question := q("hot.example")
+	c.Put(question, aEntry("hot.example", 300), _epoch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(question, _epoch); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

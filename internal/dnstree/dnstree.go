@@ -1,0 +1,121 @@
+// Package dnstree assembles the authoritative side of the simulated
+// Internet: a root nameserver, an "example." TLD nameserver, and arbitrary
+// delegated domains below it. Every experiment and test that needs full
+// iterative resolution builds its hierarchy with this package.
+package dnstree
+
+import (
+	"fmt"
+	"net/netip"
+
+	"dnscde/internal/authns"
+	"dnscde/internal/clock"
+	"dnscde/internal/dnswire"
+	"dnscde/internal/netsim"
+	"dnscde/internal/zone"
+)
+
+// Default infrastructure addresses (TEST-NET-3 and documentation ranges).
+var (
+	DefaultRootAddr = netip.MustParseAddr("203.0.113.253")
+	DefaultTLDAddr  = netip.MustParseAddr("203.0.113.254")
+)
+
+// Tree is a running root + TLD pair on a simulated network.
+type Tree struct {
+	Net      *netsim.Network
+	RootAddr netip.Addr
+	TLDAddr  netip.Addr
+	Root     *authns.Server
+	TLD      *authns.Server
+
+	rootZone *zone.Zone
+	tldZone  *zone.Zone
+	clk      clock.Clock
+	ttl      uint32
+}
+
+// Build creates the root (".") and TLD ("example.") servers and registers
+// them on n with the given link profile.
+func Build(n *netsim.Network, clk clock.Clock, profile netsim.LinkProfile) (*Tree, error) {
+	t := &Tree{
+		Net:      n,
+		RootAddr: DefaultRootAddr,
+		TLDAddr:  DefaultTLDAddr,
+		clk:      clk,
+		ttl:      86400,
+	}
+
+	t.rootZone = zone.New(".")
+	if err := zone.Apex(t.rootZone, "ns.root.", t.RootAddr, t.ttl); err != nil {
+		return nil, fmt.Errorf("dnstree: root apex: %w", err)
+	}
+	// Delegate the "example." TLD.
+	if err := t.rootZone.Add(dnswire.RR{Name: "example.", Class: dnswire.ClassIN, TTL: t.ttl,
+		Data: dnswire.NSRecord{Host: "ns.tld.example."}}); err != nil {
+		return nil, err
+	}
+	if err := t.rootZone.Add(dnswire.RR{Name: "ns.tld.example.", Class: dnswire.ClassIN, TTL: t.ttl,
+		Data: dnswire.ARecord{Addr: t.TLDAddr}}); err != nil {
+		return nil, err
+	}
+
+	t.tldZone = zone.New("example.")
+	if err := zone.Apex(t.tldZone, "ns.tld.example.", t.TLDAddr, t.ttl); err != nil {
+		return nil, fmt.Errorf("dnstree: tld apex: %w", err)
+	}
+
+	t.Root = authns.NewServer([]*zone.Zone{t.rootZone}, authns.WithClock(clk))
+	t.TLD = authns.NewServer([]*zone.Zone{t.tldZone}, authns.WithClock(clk))
+	n.Register(t.RootAddr, profile, t.Root)
+	n.Register(t.TLDAddr, profile, t.TLD)
+	return t, nil
+}
+
+// Roots returns the root hint addresses for platform configs.
+func (t *Tree) Roots() []netip.Addr { return []netip.Addr{t.RootAddr} }
+
+// Delegate adds a delegation for origin (which must be under "example.")
+// from the TLD zone to the nameserver host at nsAddr.
+func (t *Tree) Delegate(origin, nsHost string, nsAddr netip.Addr) error {
+	origin = dnswire.CanonicalName(origin)
+	nsHost = dnswire.CanonicalName(nsHost)
+	if !dnswire.IsSubdomain(origin, "example.") {
+		return fmt.Errorf("dnstree: %q is not under example.", origin)
+	}
+	if err := t.tldZone.Add(dnswire.RR{Name: origin, Class: dnswire.ClassIN, TTL: t.ttl,
+		Data: dnswire.NSRecord{Host: nsHost}}); err != nil {
+		return err
+	}
+	// Glue is only valid inside the TLD zone when the host is below it.
+	if dnswire.IsSubdomain(nsHost, "example.") {
+		return t.tldZone.Add(dnswire.RR{Name: nsHost, Class: dnswire.ClassIN, TTL: t.ttl,
+			Data: dnswire.ARecord{Addr: nsAddr}})
+	}
+	return nil
+}
+
+// AttachAuthority registers an authoritative server for zones at addr and
+// delegates each zone that is a *direct* child of "example." from the
+// TLD. Deeper zones (e.g. sub.cache.example) are not touched — their
+// delegation belongs in the parent zone, as in the paper's §IV-B2b setup
+// where the parent and child run on different servers. It returns the
+// server.
+func (t *Tree) AttachAuthority(addr netip.Addr, profile netsim.LinkProfile, zones ...*zone.Zone) (*authns.Server, error) {
+	srv := authns.NewServer(zones, authns.WithClock(t.clk))
+	for _, z := range zones {
+		if dnswire.CountLabels(z.Origin()) != 2 {
+			continue
+		}
+		soa, err := z.SOA()
+		if err != nil {
+			return nil, fmt.Errorf("dnstree: zone %q: %w", z.Origin(), err)
+		}
+		nsHost := soa.Data.(dnswire.SOARecord).MName
+		if err := t.Delegate(z.Origin(), nsHost, addr); err != nil {
+			return nil, err
+		}
+	}
+	t.Net.Register(addr, profile, srv)
+	return srv, nil
+}

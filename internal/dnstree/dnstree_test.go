@@ -1,0 +1,93 @@
+package dnstree
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+
+	"dnscde/internal/clock"
+	"dnscde/internal/dnswire"
+	"dnscde/internal/netsim"
+	"dnscde/internal/zone"
+)
+
+var (
+	authAddr  = netip.MustParseAddr("203.0.113.10")
+	childAddr = netip.MustParseAddr("203.0.113.11")
+	probeSrc  = netip.MustParseAddr("198.18.0.9")
+)
+
+func TestBuildServesRootAndTLD(t *testing.T) {
+	n := netsim.New(1)
+	tree, err := Build(n, clock.NewVirtual(), netsim.LinkProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := n.Bind(probeSrc)
+	// Root must refer "example." queries to the TLD.
+	resp, _, err := conn.Exchange(context.Background(), dnswire.NewQuery(1, "foo.example.", dnswire.TypeA), tree.RootAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Authority) == 0 || resp.Authority[0].Type() != dnswire.TypeNS {
+		t.Fatalf("root response = %s", resp.Summary())
+	}
+	if len(resp.Additional) == 0 {
+		t.Error("root referral lacks glue")
+	}
+}
+
+func TestAttachAuthorityDelegatesDirectChildrenOnly(t *testing.T) {
+	n := netsim.New(1)
+	tree, err := Build(n, clock.NewVirtual(), netsim.LinkProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := zone.BuildHierarchy("cache.example", 3, netip.MustParseAddr("192.0.2.80"), authAddr, childAddr, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.AttachAuthority(authAddr, netsim.LinkProfile{}, h.Parent); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.AttachAuthority(childAddr, netsim.LinkProfile{}, h.Child); err != nil {
+		t.Fatal(err)
+	}
+
+	conn := n.Bind(probeSrc)
+	// TLD refers cache.example to the parent server.
+	resp, _, err := conn.Exchange(context.Background(), dnswire.NewQuery(1, "x-1.sub.cache.example.", dnswire.TypeA), tree.TLDAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Authority) == 0 || dnswire.CanonicalName(resp.Authority[0].Name) != "cache.example." {
+		t.Fatalf("TLD response = %s", resp.Summary())
+	}
+	// Parent refers sub.cache.example to the child server.
+	resp, _, err = conn.Exchange(context.Background(), dnswire.NewQuery(2, "x-1.sub.cache.example.", dnswire.TypeA), authAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Authority) == 0 || dnswire.CanonicalName(resp.Authority[0].Name) != "sub.cache.example." {
+		t.Fatalf("parent response = %s", resp.Summary())
+	}
+	// Child answers.
+	resp, _, err = conn.Exchange(context.Background(), dnswire.NewQuery(3, "x-1.sub.cache.example.", dnswire.TypeA), childAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answer) != 1 {
+		t.Fatalf("child response = %s", resp.Summary())
+	}
+}
+
+func TestDelegateRejectsForeignOrigin(t *testing.T) {
+	n := netsim.New(1)
+	tree, err := Build(n, clock.NewVirtual(), netsim.LinkProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Delegate("other.org", "ns.other.org", authAddr); err == nil {
+		t.Error("foreign origin accepted")
+	}
+}

@@ -1,0 +1,320 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Header flag bit masks within the 16-bit flags word (RFC 1035 §4.1.1).
+const (
+	_flagQR = 1 << 15
+	_flagAA = 1 << 10
+	_flagTC = 1 << 9
+	_flagRD = 1 << 8
+	_flagRA = 1 << 7
+)
+
+// Header is the fixed 12-octet DNS message header.
+type Header struct {
+	ID uint16
+	// Response is the QR bit: false for queries, true for responses.
+	Response bool
+	Opcode   Opcode
+	// Authoritative is the AA bit, set by authoritative nameservers.
+	Authoritative bool
+	// Truncated is the TC bit, set when the response exceeded the
+	// transport's payload limit.
+	Truncated bool
+	// RecursionDesired is the RD bit, copied from query to response.
+	RecursionDesired bool
+	// RecursionAvailable is the RA bit, set by recursive resolvers.
+	RecursionAvailable bool
+	RCode              RCode
+}
+
+// Question is the single entry of the question section.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// String returns a dig-style rendering of q.
+func (q Question) String() string {
+	return CanonicalName(q.Name) + " " + q.Class.String() + " " + q.Type.String()
+}
+
+// Key returns a canonical lookup key for the question, suitable for use as
+// a cache key.
+func (q Question) Key() string {
+	return CanonicalName(q.Name) + "|" + q.Class.String() + "|" + q.Type.String()
+}
+
+// RR is a resource record: the shared fields plus a type-specific payload.
+type RR struct {
+	Name  string
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// Type returns the record type, derived from the payload.
+func (rr RR) Type() Type {
+	if rr.Data == nil {
+		return 0
+	}
+	return rr.Data.Type()
+}
+
+// String returns the zone-file presentation of rr.
+func (rr RR) String() string {
+	return fmt.Sprintf("%s\t%d\t%s\t%s\t%s",
+		CanonicalName(rr.Name), rr.TTL, rr.Class, rr.Type(), rr.Data)
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Question   []Question
+	Answer     []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// Message-level errors.
+var (
+	ErrTooManyRecords = errors.New("dnswire: section exceeds 65535 records")
+	ErrNoQuestion     = errors.New("dnswire: message has no question")
+)
+
+// NewQuery builds a recursive query for (name, t) with the given message ID.
+func NewQuery(id uint16, name string, t Type) *Message {
+	return &Message{
+		Header: Header{
+			ID:               id,
+			Opcode:           OpcodeQuery,
+			RecursionDesired: true,
+		},
+		Question: []Question{{Name: CanonicalName(name), Type: t, Class: ClassIN}},
+	}
+}
+
+// NewResponse builds a response skeleton for query, copying the ID, opcode,
+// question and RD bit as RFC 1035 requires.
+func NewResponse(query *Message) *Message {
+	resp := &Message{
+		Header: Header{
+			ID:               query.Header.ID,
+			Response:         true,
+			Opcode:           query.Header.Opcode,
+			RecursionDesired: query.Header.RecursionDesired,
+		},
+	}
+	resp.Question = append(resp.Question, query.Question...)
+	return resp
+}
+
+// FirstQuestion returns the first question of the message.
+func (m *Message) FirstQuestion() (Question, error) {
+	if len(m.Question) == 0 {
+		return Question{}, ErrNoQuestion
+	}
+	return m.Question[0], nil
+}
+
+// Pack encodes m into wire format, applying name compression.
+func (m *Message) Pack() ([]byte, error) {
+	counts := [4]int{len(m.Question), len(m.Answer), len(m.Authority), len(m.Additional)}
+	for _, c := range counts {
+		if c > 0xFFFF {
+			return nil, ErrTooManyRecords
+		}
+	}
+
+	buf := make([]byte, 0, 512)
+	buf = binary.BigEndian.AppendUint16(buf, m.Header.ID)
+	buf = binary.BigEndian.AppendUint16(buf, m.headerFlags())
+	for _, c := range counts {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(c))
+	}
+
+	cmp := make(compressionMap)
+	var err error
+	for _, q := range m.Question {
+		if buf, err = packName(buf, q.Name, cmp); err != nil {
+			return nil, fmt.Errorf("packing question %q: %w", q.Name, err)
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
+		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
+	}
+	for _, section := range [][]RR{m.Answer, m.Authority, m.Additional} {
+		for _, rr := range section {
+			if buf, err = packRR(buf, rr, cmp); err != nil {
+				return nil, fmt.Errorf("packing record %q: %w", rr.Name, err)
+			}
+		}
+	}
+	return buf, nil
+}
+
+func (m *Message) headerFlags() uint16 {
+	var f uint16
+	if m.Header.Response {
+		f |= _flagQR
+	}
+	f |= uint16(m.Header.Opcode&0xF) << 11
+	if m.Header.Authoritative {
+		f |= _flagAA
+	}
+	if m.Header.Truncated {
+		f |= _flagTC
+	}
+	if m.Header.RecursionDesired {
+		f |= _flagRD
+	}
+	if m.Header.RecursionAvailable {
+		f |= _flagRA
+	}
+	f |= uint16(m.Header.RCode & 0xF)
+	return f
+}
+
+func packRR(buf []byte, rr RR, cmp compressionMap) ([]byte, error) {
+	if rr.Data == nil {
+		return nil, fmt.Errorf("%w: record %q has nil payload", ErrBadRData, rr.Name)
+	}
+	buf, err := packName(buf, rr.Name, cmp)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Type()))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(rr.Class))
+	buf = binary.BigEndian.AppendUint32(buf, rr.TTL)
+	// Reserve the RDLENGTH slot, pack, then backfill.
+	lenOff := len(buf)
+	buf = append(buf, 0, 0)
+	buf, err = rr.Data.pack(buf, cmp)
+	if err != nil {
+		return nil, err
+	}
+	rdlen := len(buf) - lenOff - 2
+	if rdlen > 0xFFFF {
+		return nil, fmt.Errorf("%w: rdata exceeds 65535 octets", ErrBadRData)
+	}
+	binary.BigEndian.PutUint16(buf[lenOff:], uint16(rdlen))
+	return buf, nil
+}
+
+// Unpack decodes a wire-format message.
+func Unpack(wire []byte) (*Message, error) {
+	if len(wire) < 12 {
+		return nil, ErrTruncatedMessage
+	}
+	m := &Message{}
+	m.Header.ID = binary.BigEndian.Uint16(wire)
+	flags := binary.BigEndian.Uint16(wire[2:])
+	m.Header.Response = flags&_flagQR != 0
+	m.Header.Opcode = Opcode(flags >> 11 & 0xF)
+	m.Header.Authoritative = flags&_flagAA != 0
+	m.Header.Truncated = flags&_flagTC != 0
+	m.Header.RecursionDesired = flags&_flagRD != 0
+	m.Header.RecursionAvailable = flags&_flagRA != 0
+	m.Header.RCode = RCode(flags & 0xF)
+
+	qdCount := int(binary.BigEndian.Uint16(wire[4:]))
+	anCount := int(binary.BigEndian.Uint16(wire[6:]))
+	nsCount := int(binary.BigEndian.Uint16(wire[8:]))
+	arCount := int(binary.BigEndian.Uint16(wire[10:]))
+
+	off := 12
+	var err error
+	for i := 0; i < qdCount; i++ {
+		var q Question
+		q, off, err = unpackQuestion(wire, off)
+		if err != nil {
+			return nil, fmt.Errorf("question %d: %w", i, err)
+		}
+		m.Question = append(m.Question, q)
+	}
+	sections := []struct {
+		count int
+		dst   *[]RR
+		name  string
+	}{
+		{anCount, &m.Answer, "answer"},
+		{nsCount, &m.Authority, "authority"},
+		{arCount, &m.Additional, "additional"},
+	}
+	for _, s := range sections {
+		for i := 0; i < s.count; i++ {
+			var rr RR
+			rr, off, err = unpackRR(wire, off)
+			if err != nil {
+				return nil, fmt.Errorf("%s record %d: %w", s.name, i, err)
+			}
+			*s.dst = append(*s.dst, rr)
+		}
+	}
+	return m, nil
+}
+
+func unpackQuestion(wire []byte, off int) (Question, int, error) {
+	name, off, err := unpackName(wire, off)
+	if err != nil {
+		return Question{}, 0, err
+	}
+	if off+4 > len(wire) {
+		return Question{}, 0, ErrTruncatedMessage
+	}
+	q := Question{
+		Name:  name,
+		Type:  Type(binary.BigEndian.Uint16(wire[off:])),
+		Class: Class(binary.BigEndian.Uint16(wire[off+2:])),
+	}
+	return q, off + 4, nil
+}
+
+func unpackRR(wire []byte, off int) (RR, int, error) {
+	name, off, err := unpackName(wire, off)
+	if err != nil {
+		return RR{}, 0, err
+	}
+	if off+10 > len(wire) {
+		return RR{}, 0, ErrTruncatedMessage
+	}
+	t := Type(binary.BigEndian.Uint16(wire[off:]))
+	class := Class(binary.BigEndian.Uint16(wire[off+2:]))
+	ttl := binary.BigEndian.Uint32(wire[off+4:])
+	rdlen := int(binary.BigEndian.Uint16(wire[off+8:]))
+	off += 10
+	data, err := unpackRData(wire, off, rdlen, t)
+	if err != nil {
+		return RR{}, 0, err
+	}
+	rr := RR{Name: name, Class: class, TTL: ttl, Data: data}
+	if t == TypeOPT {
+		// For OPT the class field carries the sender's UDP payload size.
+		rr.Data = OPTRecord{UDPSize: uint16(class)}
+	}
+	return rr, off + rdlen, nil
+}
+
+// Summary returns a compact single-line rendering of the message, useful in
+// logs and examples.
+func (m *Message) Summary() string {
+	var sb strings.Builder
+	if m.Header.Response {
+		sb.WriteString("response ")
+		sb.WriteString(m.Header.RCode.String())
+	} else {
+		sb.WriteString("query")
+	}
+	for _, q := range m.Question {
+		sb.WriteString(" ")
+		sb.WriteString(q.String())
+	}
+	fmt.Fprintf(&sb, " [an=%d ns=%d ar=%d]", len(m.Answer), len(m.Authority), len(m.Additional))
+	return sb.String()
+}

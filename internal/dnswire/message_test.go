@@ -1,0 +1,360 @@
+package dnswire
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewQuery(t *testing.T) {
+	q := NewQuery(0x1234, "Name.Cache.Example", TypeA)
+	if q.Header.ID != 0x1234 {
+		t.Errorf("ID = %#x", q.Header.ID)
+	}
+	if !q.Header.RecursionDesired {
+		t.Error("RD not set on query")
+	}
+	if q.Header.Response {
+		t.Error("QR set on query")
+	}
+	want := Question{Name: "name.cache.example.", Type: TypeA, Class: ClassIN}
+	if got, _ := q.FirstQuestion(); got != want {
+		t.Errorf("question = %+v, want %+v", got, want)
+	}
+}
+
+func TestNewResponseCopiesQueryFields(t *testing.T) {
+	q := NewQuery(7, "a.example", TypeTXT)
+	resp := NewResponse(q)
+	if !resp.Header.Response {
+		t.Error("QR not set on response")
+	}
+	if resp.Header.ID != q.Header.ID {
+		t.Error("ID not copied")
+	}
+	if !resp.Header.RecursionDesired {
+		t.Error("RD not copied")
+	}
+	if !reflect.DeepEqual(resp.Question, q.Question) {
+		t.Error("question not copied")
+	}
+	// The copy must be independent of the query's slice.
+	resp.Question[0].Name = "mutated."
+	if q.Question[0].Name == "mutated." {
+		t.Error("response question aliases query question slice")
+	}
+}
+
+func TestFirstQuestionEmpty(t *testing.T) {
+	m := &Message{}
+	if _, err := m.FirstQuestion(); err != ErrNoQuestion {
+		t.Errorf("err = %v, want ErrNoQuestion", err)
+	}
+}
+
+func mustAddr(t *testing.T, s string) netip.Addr {
+	t.Helper()
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func sampleMessage(t *testing.T) *Message {
+	t.Helper()
+	m := NewQuery(42, "name.cache.example", TypeA)
+	resp := NewResponse(m)
+	resp.Header.Authoritative = true
+	resp.Answer = []RR{
+		{Name: "name.cache.example.", Class: ClassIN, TTL: 3600,
+			Data: CNAMERecord{Target: "target.cache.example."}},
+		{Name: "target.cache.example.", Class: ClassIN, TTL: 300,
+			Data: ARecord{Addr: mustAddr(t, "192.0.2.1")}},
+	}
+	resp.Authority = []RR{
+		{Name: "cache.example.", Class: ClassIN, TTL: 86400,
+			Data: NSRecord{Host: "ns1.cache.example."}},
+		{Name: "cache.example.", Class: ClassIN, TTL: 86400,
+			Data: SOARecord{MName: "ns1.cache.example.", RName: "hostmaster.cache.example.",
+				Serial: 2017010101, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 60}},
+	}
+	resp.Additional = []RR{
+		{Name: "ns1.cache.example.", Class: ClassIN, TTL: 86400,
+			Data: ARecord{Addr: mustAddr(t, "198.51.100.53")}},
+		{Name: "mail.cache.example.", Class: ClassIN, TTL: 600,
+			Data: MXRecord{Preference: 10, Host: "mx.cache.example."}},
+		{Name: "spf.cache.example.", Class: ClassIN, TTL: 600,
+			Data: TXTRecord{Strings: []string{"v=spf1 -all"}}},
+		{Name: "spf.cache.example.", Class: ClassIN, TTL: 600,
+			Data: SPFRecord{Strings: []string{"v=spf1 -all"}}},
+		{Name: "v6.cache.example.", Class: ClassIN, TTL: 600,
+			Data: AAAARecord{Addr: mustAddr(t, "2001:db8::1")}},
+		{Name: "ptr.cache.example.", Class: ClassIN, TTL: 600,
+			Data: PTRRecord{Target: "host.cache.example."}},
+	}
+	return resp
+}
+
+func TestMessagePackUnpackRoundTrip(t *testing.T) {
+	m := sampleMessage(t)
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestPackCompressionShrinksMessage(t *testing.T) {
+	m := sampleMessage(t)
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A generous upper bound if compression works: the sample repeats
+	// "cache.example." a dozen times (16 bytes each uncompressed).
+	if len(wire) > 300 {
+		t.Errorf("packed size = %d bytes, compression appears ineffective", len(wire))
+	}
+}
+
+func TestHeaderFlagsRoundTrip(t *testing.T) {
+	hs := []Header{
+		{ID: 1, Response: true, Opcode: OpcodeQuery, Authoritative: true, RCode: RCodeNXDomain},
+		{ID: 2, Truncated: true, RecursionDesired: true, RecursionAvailable: true},
+		{ID: 3, Opcode: OpcodeNotify, RCode: RCodeRefused},
+		{ID: 0xFFFF, Response: true, Opcode: OpcodeUpdate, RCode: RCodeServFail},
+	}
+	for _, h := range hs {
+		m := &Message{Header: h}
+		wire, err := m.Pack()
+		if err != nil {
+			t.Fatalf("Pack(%+v): %v", h, err)
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			t.Fatalf("Unpack(%+v): %v", h, err)
+		}
+		if got.Header != h {
+			t.Errorf("header round trip: got %+v, want %+v", got.Header, h)
+		}
+	}
+}
+
+func TestUnpackTruncatedHeader(t *testing.T) {
+	if _, err := Unpack([]byte{1, 2, 3}); err != ErrTruncatedMessage {
+		t.Errorf("err = %v, want ErrTruncatedMessage", err)
+	}
+}
+
+func TestUnpackGarbage(t *testing.T) {
+	// Header claims one answer but provides none.
+	wire := []byte{0, 1, 0x80, 0, 0, 0, 0, 1, 0, 0, 0, 0}
+	if _, err := Unpack(wire); err == nil {
+		t.Error("want error for missing answer record")
+	}
+}
+
+func TestPackNilRData(t *testing.T) {
+	m := &Message{Answer: []RR{{Name: "a.example.", Class: ClassIN}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("want error for nil rdata")
+	}
+}
+
+func TestRawRecordRoundTrip(t *testing.T) {
+	m := &Message{
+		Header: Header{ID: 9, Response: true},
+		Answer: []RR{{Name: "x.example.", Class: ClassIN, TTL: 1,
+			Data: RawRecord{RType: Type(4095), Data: []byte{0xde, 0xad, 0xbe, 0xef}}}},
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := got.Answer[0].Data.(RawRecord)
+	if !ok {
+		t.Fatalf("data type = %T, want RawRecord", got.Answer[0].Data)
+	}
+	if raw.RType != Type(4095) || !reflect.DeepEqual(raw.Data, []byte{0xde, 0xad, 0xbe, 0xef}) {
+		t.Errorf("raw record = %+v", raw)
+	}
+}
+
+func TestOPTRecordCarriesUDPSize(t *testing.T) {
+	m := NewQuery(1, "a.example", TypeA)
+	m.Additional = append(m.Additional, RR{
+		Name: ".", Class: Class(MaxEDNSSize), Data: OPTRecord{UDPSize: MaxEDNSSize},
+	})
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, ok := got.Additional[0].Data.(OPTRecord)
+	if !ok {
+		t.Fatalf("data type = %T, want OPTRecord", got.Additional[0].Data)
+	}
+	if opt.UDPSize != MaxEDNSSize {
+		t.Errorf("UDPSize = %d, want %d", opt.UDPSize, MaxEDNSSize)
+	}
+}
+
+func TestQuestionKeyIsCaseInsensitive(t *testing.T) {
+	a := Question{Name: "Name.Cache.Example", Type: TypeA, Class: ClassIN}
+	b := Question{Name: "name.cache.example.", Type: TypeA, Class: ClassIN}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	c := Question{Name: "name.cache.example.", Type: TypeTXT, Class: ClassIN}
+	if a.Key() == c.Key() {
+		t.Error("keys for different qtypes collide")
+	}
+}
+
+// randomRR builds a random resource record for property testing.
+func randomRR(r *rand.Rand) RR {
+	name := randomName(r)
+	rr := RR{Name: name, Class: ClassIN, TTL: uint32(r.Intn(1 << 20))}
+	switch r.Intn(7) {
+	case 0:
+		var a [4]byte
+		r.Read(a[:])
+		rr.Data = ARecord{Addr: netip.AddrFrom4(a)}
+	case 1:
+		var a [16]byte
+		r.Read(a[:])
+		a[0] = 0x20 // keep it a genuine IPv6, not 4-in-6
+		rr.Data = AAAARecord{Addr: netip.AddrFrom16(a)}
+	case 2:
+		rr.Data = NSRecord{Host: randomName(r)}
+	case 3:
+		rr.Data = CNAMERecord{Target: randomName(r)}
+	case 4:
+		rr.Data = MXRecord{Preference: uint16(r.Intn(100)), Host: randomName(r)}
+	case 5:
+		rr.Data = TXTRecord{Strings: []string{randomName(r)}}
+	default:
+		rr.Data = SOARecord{
+			MName: randomName(r), RName: randomName(r),
+			Serial: r.Uint32(), Refresh: r.Uint32() % 100000, Retry: r.Uint32() % 100000,
+			Expire: r.Uint32() % 100000, Minimum: r.Uint32() % 100000,
+		}
+	}
+	return rr
+}
+
+func TestPropertyMessageRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewQuery(uint16(r.Uint32()), randomName(r), TypeA)
+		resp := NewResponse(m)
+		for i, n := 0, r.Intn(5); i < n; i++ {
+			resp.Answer = append(resp.Answer, randomRR(r))
+		}
+		for i, n := 0, r.Intn(3); i < n; i++ {
+			resp.Authority = append(resp.Authority, randomRR(r))
+		}
+		wire, err := resp.Pack()
+		if err != nil {
+			t.Logf("seed %d: pack: %v", seed, err)
+			return false
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			t.Logf("seed %d: unpack: %v", seed, err)
+			return false
+		}
+		return reflect.DeepEqual(got, resp)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyUnpackNeverPanics(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000}
+	f := func(raw []byte) bool {
+		// Unpack must return an error or a message, never panic.
+		_, _ = Unpack(raw)
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	tests := []struct {
+		t    Type
+		want string
+	}{
+		{TypeA, "A"}, {TypeTXT, "TXT"}, {TypeSPF, "SPF"}, {Type(4242), "TYPE4242"},
+	}
+	for _, tt := range tests {
+		if got := tt.t.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.t, got, tt.want)
+		}
+	}
+	if got, ok := ParseType("CNAME"); !ok || got != TypeCNAME {
+		t.Errorf("ParseType(CNAME) = %v, %v", got, ok)
+	}
+	if _, ok := ParseType("NOPE"); ok {
+		t.Error("ParseType(NOPE) succeeded")
+	}
+}
+
+func TestRCodeAndSectionStrings(t *testing.T) {
+	if RCodeNXDomain.String() != "NXDOMAIN" {
+		t.Error("RCodeNXDomain string")
+	}
+	if RCode(14).String() != "RCODE14" {
+		t.Error("unknown rcode string")
+	}
+	if SectionAnswer.String() != "ANSWER" || SectionAuthority.String() != "AUTHORITY" {
+		t.Error("section strings")
+	}
+	if OpcodeQuery.String() != "QUERY" || Opcode(7).String() != "OPCODE7" {
+		t.Error("opcode strings")
+	}
+	if ClassIN.String() != "IN" || Class(9).String() != "CLASS9" {
+		t.Error("class strings")
+	}
+}
+
+func TestRRString(t *testing.T) {
+	rr := RR{Name: "name.cache.example.", Class: ClassIN, TTL: 300,
+		Data: ARecord{Addr: netip.MustParseAddr("192.0.2.1")}}
+	want := "name.cache.example.\t300\tIN\tA\t192.0.2.1"
+	if got := rr.String(); got != want {
+		t.Errorf("RR.String() = %q, want %q", got, want)
+	}
+}
+
+func TestMessageSummary(t *testing.T) {
+	m := NewQuery(1, "a.example", TypeA)
+	if got := m.Summary(); got != "query a.example. IN A [an=0 ns=0 ar=0]" {
+		t.Errorf("Summary() = %q", got)
+	}
+	resp := NewResponse(m)
+	resp.Header.RCode = RCodeNXDomain
+	if got := resp.Summary(); got != "response NXDOMAIN a.example. IN A [an=0 ns=0 ar=0]" {
+		t.Errorf("Summary() = %q", got)
+	}
+}

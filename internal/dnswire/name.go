@@ -1,0 +1,200 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Name-related wire-format limits (RFC 1035 §2.3.4).
+const (
+	// MaxNameLen is the maximum length of a domain name in wire format,
+	// including the terminating root label.
+	MaxNameLen = 255
+	// MaxLabelLen is the maximum length of a single label.
+	MaxLabelLen = 63
+	// maxCompressionPointers bounds pointer chains during decompression so
+	// a malicious message cannot loop forever.
+	maxCompressionPointers = 64
+)
+
+// Name handling errors.
+var (
+	ErrNameTooLong      = errors.New("dnswire: domain name exceeds 255 octets")
+	ErrLabelTooLong     = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel       = errors.New("dnswire: empty label in domain name")
+	ErrBadPointer       = errors.New("dnswire: invalid compression pointer")
+	ErrPointerLoop      = errors.New("dnswire: compression pointer loop")
+	ErrTruncatedMessage = errors.New("dnswire: truncated message")
+)
+
+// CanonicalName lower-cases a domain name and ensures it is fully qualified
+// (ends with a single trailing dot). The root name is returned as ".".
+func CanonicalName(name string) string {
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	if name == "" {
+		return "."
+	}
+	return name + "."
+}
+
+// SplitLabels splits a canonical name into its labels, excluding the root.
+// SplitLabels("a.b.example.") returns ["a", "b", "example"].
+func SplitLabels(name string) []string {
+	name = strings.TrimSuffix(CanonicalName(name), ".")
+	if name == "" {
+		return nil
+	}
+	return strings.Split(name, ".")
+}
+
+// CountLabels returns the number of labels in name, excluding the root.
+func CountLabels(name string) int {
+	return len(SplitLabels(name))
+}
+
+// IsSubdomain reports whether child is equal to or a subdomain of parent.
+// Both arguments are canonicalised before comparison.
+func IsSubdomain(child, parent string) bool {
+	c, p := CanonicalName(child), CanonicalName(parent)
+	if p == "." {
+		return true
+	}
+	return c == p || strings.HasSuffix(c, "."+p)
+}
+
+// ParentName returns the name with its leftmost label removed.
+// ParentName("a.b.example.") returns "b.example."; the parent of the root
+// is the root.
+func ParentName(name string) string {
+	labels := SplitLabels(name)
+	if len(labels) <= 1 {
+		return "."
+	}
+	return strings.Join(labels[1:], ".") + "."
+}
+
+// ValidateName checks that name satisfies the RFC 1035 length limits.
+func ValidateName(name string) error {
+	name = CanonicalName(name)
+	if name == "." {
+		return nil
+	}
+	// Wire length: one length octet per label plus the label bytes plus the
+	// terminating root label.
+	wire := 1
+	for _, label := range SplitLabels(name) {
+		if len(label) == 0 {
+			return ErrEmptyLabel
+		}
+		if len(label) > MaxLabelLen {
+			return fmt.Errorf("%w: %q", ErrLabelTooLong, label)
+		}
+		wire += 1 + len(label)
+	}
+	if wire > MaxNameLen {
+		return fmt.Errorf("%w: %q", ErrNameTooLong, name)
+	}
+	return nil
+}
+
+// compressionMap tracks offsets of names already written to a message so
+// later occurrences can be encoded as compression pointers (RFC 1035 §4.1.4).
+type compressionMap map[string]int
+
+// packName appends the wire encoding of name to buf, using and updating cmp
+// for compression when cmp is non-nil. Offsets beyond 0x3FFF cannot be
+// pointed at and are simply not recorded.
+func packName(buf []byte, name string, cmp compressionMap) ([]byte, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	name = CanonicalName(name)
+	labels := SplitLabels(name)
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".") + "."
+		if cmp != nil {
+			if off, ok := cmp[suffix]; ok {
+				ptr := uint16(0xC000) | uint16(off)
+				return append(buf, byte(ptr>>8), byte(ptr)), nil
+			}
+			if len(buf) <= 0x3FFF {
+				cmp[suffix] = len(buf)
+			}
+		}
+		buf = append(buf, byte(len(labels[i])))
+		buf = append(buf, labels[i]...)
+	}
+	return append(buf, 0), nil
+}
+
+// unpackName decodes a possibly-compressed name starting at off in msg.
+// It returns the canonical name and the offset of the first byte after the
+// name's in-place encoding.
+func unpackName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	ptrCount := 0
+	// next is the offset to resume at after the first pointer jump; -1
+	// means no pointer has been followed yet.
+	next := -1
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedMessage
+		}
+		b := int(msg[off])
+		switch {
+		case b == 0:
+			off++
+			if next == -1 {
+				next = off
+			}
+			name := sb.String()
+			if name == "" {
+				name = "."
+			}
+			if len(name) > MaxNameLen {
+				return "", 0, ErrNameTooLong
+			}
+			return name, next, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			ptrCount++
+			if ptrCount > maxCompressionPointers {
+				return "", 0, ErrPointerLoop
+			}
+			target := (b&0x3F)<<8 | int(msg[off+1])
+			if next == -1 {
+				next = off + 2
+			}
+			// Pointers must point strictly backwards to already-seen
+			// data; forward pointers are malformed.
+			if target >= off {
+				return "", 0, ErrBadPointer
+			}
+			off = target
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type 0x%02x", b&0xC0)
+		default:
+			if off+1+b > len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			sb.Write(bytesToLower(msg[off+1 : off+1+b]))
+			sb.WriteByte('.')
+			off += 1 + b
+		}
+	}
+}
+
+// bytesToLower returns an ASCII-lowercased copy of b.
+func bytesToLower(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// RData is the type-specific payload of a resource record.
+//
+// pack appends the wire form of the RDATA (without the RDLENGTH prefix) to
+// buf. Compression is used only for the record types RFC 3597 §4 permits
+// (NS, CNAME, SOA, MX, PTR targets).
+type RData interface {
+	// Type returns the record type this payload belongs to.
+	Type() Type
+	// String returns the zone-file presentation of the payload.
+	String() string
+
+	pack(buf []byte, cmp compressionMap) ([]byte, error)
+}
+
+// ErrBadRData reports malformed type-specific payloads.
+var ErrBadRData = errors.New("dnswire: malformed rdata")
+
+// ARecord is an IPv4 host address (RFC 1035 §3.4.1).
+type ARecord struct {
+	Addr netip.Addr
+}
+
+var _ RData = ARecord{}
+
+// Type implements RData.
+func (ARecord) Type() Type { return TypeA }
+
+// String implements RData.
+func (r ARecord) String() string { return r.Addr.String() }
+
+func (r ARecord) pack(buf []byte, _ compressionMap) ([]byte, error) {
+	if !r.Addr.Is4() {
+		return nil, fmt.Errorf("%w: A record address %v is not IPv4", ErrBadRData, r.Addr)
+	}
+	a4 := r.Addr.As4()
+	return append(buf, a4[:]...), nil
+}
+
+// AAAARecord is an IPv6 host address (RFC 3596).
+type AAAARecord struct {
+	Addr netip.Addr
+}
+
+var _ RData = AAAARecord{}
+
+// Type implements RData.
+func (AAAARecord) Type() Type { return TypeAAAA }
+
+// String implements RData.
+func (r AAAARecord) String() string { return r.Addr.String() }
+
+func (r AAAARecord) pack(buf []byte, _ compressionMap) ([]byte, error) {
+	if !r.Addr.Is6() || r.Addr.Is4In6() {
+		return nil, fmt.Errorf("%w: AAAA record address %v is not IPv6", ErrBadRData, r.Addr)
+	}
+	a16 := r.Addr.As16()
+	return append(buf, a16[:]...), nil
+}
+
+// NSRecord names an authoritative nameserver (RFC 1035 §3.3.11).
+type NSRecord struct {
+	Host string
+}
+
+var _ RData = NSRecord{}
+
+// Type implements RData.
+func (NSRecord) Type() Type { return TypeNS }
+
+// String implements RData.
+func (r NSRecord) String() string { return CanonicalName(r.Host) }
+
+func (r NSRecord) pack(buf []byte, cmp compressionMap) ([]byte, error) {
+	return packName(buf, r.Host, cmp)
+}
+
+// CNAMERecord is the canonical-name alias record (RFC 1035 §3.3.1). The
+// paper's local-cache bypass (§IV-B2a) builds chains of these.
+type CNAMERecord struct {
+	Target string
+}
+
+var _ RData = CNAMERecord{}
+
+// Type implements RData.
+func (CNAMERecord) Type() Type { return TypeCNAME }
+
+// String implements RData.
+func (r CNAMERecord) String() string { return CanonicalName(r.Target) }
+
+func (r CNAMERecord) pack(buf []byte, cmp compressionMap) ([]byte, error) {
+	return packName(buf, r.Target, cmp)
+}
+
+// PTRRecord is a domain-name pointer (RFC 1035 §3.3.12).
+type PTRRecord struct {
+	Target string
+}
+
+var _ RData = PTRRecord{}
+
+// Type implements RData.
+func (PTRRecord) Type() Type { return TypePTR }
+
+// String implements RData.
+func (r PTRRecord) String() string { return CanonicalName(r.Target) }
+
+func (r PTRRecord) pack(buf []byte, cmp compressionMap) ([]byte, error) {
+	return packName(buf, r.Target, cmp)
+}
+
+// SOARecord marks the start of a zone of authority (RFC 1035 §3.3.13).
+type SOARecord struct {
+	MName   string // primary nameserver
+	RName   string // responsible mailbox
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32 // negative-caching TTL (RFC 2308)
+}
+
+var _ RData = SOARecord{}
+
+// Type implements RData.
+func (SOARecord) Type() Type { return TypeSOA }
+
+// String implements RData.
+func (r SOARecord) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d",
+		CanonicalName(r.MName), CanonicalName(r.RName),
+		r.Serial, r.Refresh, r.Retry, r.Expire, r.Minimum)
+}
+
+func (r SOARecord) pack(buf []byte, cmp compressionMap) ([]byte, error) {
+	buf, err := packName(buf, r.MName, cmp)
+	if err != nil {
+		return nil, err
+	}
+	buf, err = packName(buf, r.RName, cmp)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint32(buf, r.Serial)
+	buf = binary.BigEndian.AppendUint32(buf, r.Refresh)
+	buf = binary.BigEndian.AppendUint32(buf, r.Retry)
+	buf = binary.BigEndian.AppendUint32(buf, r.Expire)
+	buf = binary.BigEndian.AppendUint32(buf, r.Minimum)
+	return buf, nil
+}
+
+// MXRecord names a mail exchanger (RFC 1035 §3.3.9). The SMTP bounce path
+// of the paper's enterprise dataset resolves these.
+type MXRecord struct {
+	Preference uint16
+	Host       string
+}
+
+var _ RData = MXRecord{}
+
+// Type implements RData.
+func (MXRecord) Type() Type { return TypeMX }
+
+// String implements RData.
+func (r MXRecord) String() string {
+	return strconv.FormatUint(uint64(r.Preference), 10) + " " + CanonicalName(r.Host)
+}
+
+func (r MXRecord) pack(buf []byte, cmp compressionMap) ([]byte, error) {
+	buf = binary.BigEndian.AppendUint16(buf, r.Preference)
+	return packName(buf, r.Host, cmp)
+}
+
+// TXTRecord carries descriptive text (RFC 1035 §3.3.14). Modern SPF, DKIM,
+// DMARC and ADSP policies — 69.6%, 0.3%, 35.3% and 2% of the Table I query
+// mix respectively — are all published as TXT.
+type TXTRecord struct {
+	Strings []string
+}
+
+var _ RData = TXTRecord{}
+
+// Type implements RData.
+func (TXTRecord) Type() Type { return TypeTXT }
+
+// String implements RData.
+func (r TXTRecord) String() string {
+	quoted := make([]string, len(r.Strings))
+	for i, s := range r.Strings {
+		quoted[i] = strconv.Quote(s)
+	}
+	return strings.Join(quoted, " ")
+}
+
+func (r TXTRecord) pack(buf []byte, _ compressionMap) ([]byte, error) {
+	if len(r.Strings) == 0 {
+		return nil, fmt.Errorf("%w: TXT record with no strings", ErrBadRData)
+	}
+	for _, s := range r.Strings {
+		if len(s) > 255 {
+			return nil, fmt.Errorf("%w: TXT string exceeds 255 octets", ErrBadRData)
+		}
+		buf = append(buf, byte(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf, nil
+}
+
+// SPFRecord is the deprecated SPF RR type (RFC 7208 §3.1); wire-identical to
+// TXT but with its own type code.
+type SPFRecord struct {
+	Strings []string
+}
+
+var _ RData = SPFRecord{}
+
+// Type implements RData.
+func (SPFRecord) Type() Type { return TypeSPF }
+
+// String implements RData.
+func (r SPFRecord) String() string { return TXTRecord{Strings: r.Strings}.String() }
+
+func (r SPFRecord) pack(buf []byte, cmp compressionMap) ([]byte, error) {
+	return TXTRecord{Strings: r.Strings}.pack(buf, cmp)
+}
+
+// OPTRecord is the EDNS0 pseudo-record (RFC 6891). Only the UDP payload
+// size is modelled; the paper's §II-C motivates measuring EDNS adoption.
+type OPTRecord struct {
+	UDPSize uint16
+}
+
+var _ RData = OPTRecord{}
+
+// Type implements RData.
+func (OPTRecord) Type() Type { return TypeOPT }
+
+// String implements RData.
+func (r OPTRecord) String() string {
+	return "; EDNS0 udp=" + strconv.FormatUint(uint64(r.UDPSize), 10)
+}
+
+func (r OPTRecord) pack(buf []byte, _ compressionMap) ([]byte, error) {
+	return buf, nil // OPT rdata is empty when no options are present
+}
+
+// RawRecord preserves the payload of record types this package does not
+// parse (RFC 3597 unknown-type handling).
+type RawRecord struct {
+	RType Type
+	Data  []byte
+}
+
+var _ RData = RawRecord{}
+
+// Type implements RData.
+func (r RawRecord) Type() Type { return r.RType }
+
+// String implements RData.
+func (r RawRecord) String() string {
+	return fmt.Sprintf("\\# %d %x", len(r.Data), r.Data)
+}
+
+func (r RawRecord) pack(buf []byte, _ compressionMap) ([]byte, error) {
+	return append(buf, r.Data...), nil
+}
+
+// unpackRData decodes the RDATA of a record of type t occupying
+// msg[off:off+length]. The full message is needed to resolve compression
+// pointers inside the payload.
+func unpackRData(msg []byte, off, length int, t Type) (RData, error) {
+	end := off + length
+	if end > len(msg) {
+		return nil, ErrTruncatedMessage
+	}
+	switch t {
+	case TypeA:
+		if length != 4 {
+			return nil, fmt.Errorf("%w: A rdata length %d", ErrBadRData, length)
+		}
+		return ARecord{Addr: netip.AddrFrom4([4]byte(msg[off:end]))}, nil
+	case TypeAAAA:
+		if length != 16 {
+			return nil, fmt.Errorf("%w: AAAA rdata length %d", ErrBadRData, length)
+		}
+		return AAAARecord{Addr: netip.AddrFrom16([16]byte(msg[off:end]))}, nil
+	case TypeNS:
+		host, _, err := unpackName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		return NSRecord{Host: host}, nil
+	case TypeCNAME:
+		target, _, err := unpackName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		return CNAMERecord{Target: target}, nil
+	case TypePTR:
+		target, _, err := unpackName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		return PTRRecord{Target: target}, nil
+	case TypeSOA:
+		return unpackSOA(msg, off, end)
+	case TypeMX:
+		if off+2 > end {
+			return nil, fmt.Errorf("%w: MX rdata too short", ErrBadRData)
+		}
+		pref := binary.BigEndian.Uint16(msg[off:])
+		host, _, err := unpackName(msg, off+2)
+		if err != nil {
+			return nil, err
+		}
+		return MXRecord{Preference: pref, Host: host}, nil
+	case TypeTXT:
+		ss, err := unpackStrings(msg[off:end])
+		if err != nil {
+			return nil, err
+		}
+		return TXTRecord{Strings: ss}, nil
+	case TypeSPF:
+		ss, err := unpackStrings(msg[off:end])
+		if err != nil {
+			return nil, err
+		}
+		return SPFRecord{Strings: ss}, nil
+	case TypeOPT:
+		return OPTRecord{}, nil
+	default:
+		data := make([]byte, length)
+		copy(data, msg[off:end])
+		return RawRecord{RType: t, Data: data}, nil
+	}
+}
+
+func unpackSOA(msg []byte, off, end int) (RData, error) {
+	mname, off, err := unpackName(msg, off)
+	if err != nil {
+		return nil, err
+	}
+	rname, off, err := unpackName(msg, off)
+	if err != nil {
+		return nil, err
+	}
+	if off+20 > end {
+		return nil, fmt.Errorf("%w: SOA rdata too short", ErrBadRData)
+	}
+	return SOARecord{
+		MName:   mname,
+		RName:   rname,
+		Serial:  binary.BigEndian.Uint32(msg[off:]),
+		Refresh: binary.BigEndian.Uint32(msg[off+4:]),
+		Retry:   binary.BigEndian.Uint32(msg[off+8:]),
+		Expire:  binary.BigEndian.Uint32(msg[off+12:]),
+		Minimum: binary.BigEndian.Uint32(msg[off+16:]),
+	}, nil
+}
+
+func unpackStrings(data []byte) ([]string, error) {
+	var out []string
+	for i := 0; i < len(data); {
+		n := int(data[i])
+		i++
+		if i+n > len(data) {
+			return nil, fmt.Errorf("%w: character-string overruns rdata", ErrBadRData)
+		}
+		out = append(out, string(data[i:i+n]))
+		i += n
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: empty TXT rdata", ErrBadRData)
+	}
+	return out, nil
+}

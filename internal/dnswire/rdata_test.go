@@ -1,0 +1,132 @@
+package dnswire
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+func TestRDataStrings(t *testing.T) {
+	tests := []struct {
+		data RData
+		want string
+	}{
+		{ARecord{Addr: netip.MustParseAddr("192.0.2.1")}, "192.0.2.1"},
+		{AAAARecord{Addr: netip.MustParseAddr("2001:db8::1")}, "2001:db8::1"},
+		{NSRecord{Host: "NS.Example"}, "ns.example."},
+		{CNAMERecord{Target: "target.example"}, "target.example."},
+		{PTRRecord{Target: "host.example."}, "host.example."},
+		{MXRecord{Preference: 10, Host: "mx.example"}, "10 mx.example."},
+		{TXTRecord{Strings: []string{"a b", "c"}}, `"a b" "c"`},
+		{SPFRecord{Strings: []string{"v=spf1 -all"}}, `"v=spf1 -all"`},
+		{SOARecord{MName: "ns.example", RName: "h.example", Serial: 1, Refresh: 2, Retry: 3, Expire: 4, Minimum: 5},
+			"ns.example. h.example. 1 2 3 4 5"},
+		{OPTRecord{UDPSize: 4096}, "; EDNS0 udp=4096"},
+		{RawRecord{RType: Type(999), Data: []byte{0xAB}}, "\\# 1 ab"},
+	}
+	for _, tt := range tests {
+		if got := tt.data.String(); got != tt.want {
+			t.Errorf("%T.String() = %q, want %q", tt.data, got, tt.want)
+		}
+	}
+}
+
+func TestRDataPackErrors(t *testing.T) {
+	cases := []RData{
+		ARecord{Addr: netip.MustParseAddr("2001:db8::1")},  // not IPv4
+		AAAARecord{Addr: netip.MustParseAddr("192.0.2.1")}, // not IPv6
+		TXTRecord{}, // no strings
+		TXTRecord{Strings: []string{strings.Repeat("x", 256)}}, // string too long
+		SPFRecord{}, // no strings
+	}
+	for _, data := range cases {
+		if _, err := data.pack(nil, nil); err == nil {
+			t.Errorf("%T.pack succeeded on invalid payload", data)
+		}
+	}
+}
+
+func TestUnpackRDataErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		t      Type
+		data   []byte
+		length int
+	}{
+		{"A short", TypeA, []byte{1, 2, 3}, 3},
+		{"AAAA short", TypeAAAA, []byte{1, 2, 3, 4}, 4},
+		{"MX short", TypeMX, []byte{0}, 1},
+		{"SOA short", TypeSOA, []byte{0, 0}, 2},
+		{"TXT overrun", TypeTXT, []byte{5, 'a'}, 2},
+		{"TXT empty", TypeTXT, []byte{}, 0},
+		{"overrun message", TypeA, []byte{1, 2}, 10},
+	}
+	for _, tc := range cases {
+		if _, err := unpackRData(tc.data, 0, tc.length, tc.t); err == nil {
+			t.Errorf("%s: unpackRData succeeded", tc.name)
+		}
+	}
+}
+
+func TestUnpackSOAShortTail(t *testing.T) {
+	// Valid names but truncated 20-byte numeric tail.
+	buf, err := packName(nil, "ns.example.", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err = packName(buf, "h.example.", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, 1, 2, 3) // far too short
+	if _, err := unpackRData(buf, 0, len(buf), TypeSOA); err == nil {
+		t.Error("short SOA tail accepted")
+	}
+}
+
+func TestCountLabels(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int
+	}{
+		{".", 0}, {"example", 1}, {"a.b.example.", 3},
+	}
+	for _, tt := range tests {
+		if got := CountLabels(tt.in); got != tt.want {
+			t.Errorf("CountLabels(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestMoreEnumStrings(t *testing.T) {
+	if got := OpcodeStatus.String(); got != "STATUS" {
+		t.Errorf("OpcodeStatus = %q", got)
+	}
+	if got := OpcodeNotify.String(); got != "NOTIFY" {
+		t.Errorf("OpcodeNotify = %q", got)
+	}
+	if got := ClassCH.String(); got != "CH" {
+		t.Errorf("ClassCH = %q", got)
+	}
+	if got := ClassANY.String(); got != "ANY" {
+		t.Errorf("ClassANY = %q", got)
+	}
+	for rc, want := range map[RCode]string{
+		RCodeNoError: "NOERROR", RCodeFormErr: "FORMERR", RCodeServFail: "SERVFAIL",
+		RCodeNotImp: "NOTIMP", RCodeRefused: "REFUSED",
+	} {
+		if got := rc.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", rc, got, want)
+		}
+	}
+	if got := SectionAdditional.String(); got != "ADDITIONAL" {
+		t.Errorf("SectionAdditional = %q", got)
+	}
+	if got := Section(9).String(); got != "SECTION9" {
+		t.Errorf("unknown section = %q", got)
+	}
+	var rr RR
+	if rr.Type() != 0 {
+		t.Error("nil-payload RR type")
+	}
+}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dnscde/internal/core"
+	"dnscde/internal/dnswire"
+	"dnscde/internal/loadbal"
+	"dnscde/internal/netsim"
+	"dnscde/internal/platform"
+	"dnscde/internal/simtest"
+	"dnscde/internal/stats"
+)
+
+// AblationSelection quantifies how the platform's cache-selection
+// strategy (§IV-A categories) changes the probe cost and accuracy of
+// enumeration: round robin needs q = n; uniform random needs ≈ n·H_n;
+// key-dependent selection defeats the identical-query technique entirely
+// (the distinct-name techniques still work).
+func AblationSelection(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	ctx := context.Background()
+	const n = 6
+
+	table := &stats.Table{Header: []string{
+		"Selector", "category", "direct ω", "hierarchy ω", "probes to cover (direct)"}}
+	report := &Report{ID: "ablation-selection", Title: "Ablation: cache-selection strategy vs enumeration technique"}
+
+	selectors := []struct {
+		label string
+		make  func() loadbal.Selector
+	}{
+		{"round-robin", func() loadbal.Selector { return loadbal.NewRoundRobin() }},
+		{"random", func() loadbal.Selector { return loadbal.NewRandom(5) }},
+		{"hash-qname", func() loadbal.Selector { return loadbal.HashQName{} }},
+		{"hash-source-ip", func() loadbal.Selector { return loadbal.HashSourceIP{} }},
+	}
+	for _, sel := range selectors {
+		w, err := simtest.New(simtest.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		newPlat := func(seed int64) (*platform.Platform, error) {
+			return w.NewPlatform(simtest.PlatformSpec{
+				Caches: n, Seed: seed,
+				Mutate: func(c *platform.Config) { c.Selector = sel.make() },
+			})
+		}
+
+		plat, err := newPlat(1)
+		if err != nil {
+			return nil, err
+		}
+		direct, err := core.EnumerateDirect(ctx, w.DirectProber(plat.Config().IngressIPs[0]), w.Infra,
+			core.EnumOptions{Queries: core.RecommendedQueries(n, 0.999)})
+		if err != nil {
+			return nil, err
+		}
+
+		plat2, err := newPlat(2)
+		if err != nil {
+			return nil, err
+		}
+		hier, err := core.EnumerateHierarchy(ctx, w.DirectProber(plat2.Config().IngressIPs[0]), w.Infra,
+			core.EnumOptions{Queries: core.RecommendedQueries(n, 0.999)})
+		if err != nil {
+			return nil, err
+		}
+
+		// Probes until full coverage under the identical-query technique
+		// (only meaningful when it can cover at all).
+		cover := "-"
+		category := sel.make().Category()
+		if category != loadbal.KeyDependent {
+			plat3, err := newPlat(3)
+			if err != nil {
+				return nil, err
+			}
+			prober := w.DirectProber(plat3.Config().IngressIPs[0])
+			session, err := w.Infra.NewFlatSession()
+			if err != nil {
+				return nil, err
+			}
+			probes := 0
+			for session.ObservedCaches() < n && probes < 500 {
+				probes++
+				_, _ = prober.Probe(ctx, session.Honey, dnswire.TypeA)
+			}
+			cover = fmt.Sprintf("%d", probes)
+		}
+
+		table.AddRow(sel.label, category.String(),
+			fmt.Sprintf("%d", direct.Caches), fmt.Sprintf("%d", hier.Caches), cover)
+
+		switch category {
+		case loadbal.KeyDependent:
+			report.Checks = append(report.Checks,
+				Check{Name: sel.label + ": identical queries see one cache", Paper: 1, Measured: float64(direct.Caches), Tolerance: 0},
+			)
+			// hash-source-ip also pins the hierarchy technique when all
+			// probes share a source; hash-qname spreads by name.
+			if sel.label == "hash-qname" {
+				report.Checks = append(report.Checks,
+					Check{Name: sel.label + ": hierarchy technique still covers", Paper: float64(n), Measured: float64(hier.Caches), Tolerance: 0})
+			}
+		default:
+			report.Checks = append(report.Checks,
+				Check{Name: sel.label + ": direct technique covers all caches", Paper: float64(n), Measured: float64(direct.Caches), Tolerance: 0},
+				Check{Name: sel.label + ": hierarchy technique covers all caches", Paper: float64(n), Measured: float64(hier.Caches), Tolerance: 0},
+			)
+		}
+	}
+	report.Text = table.String() +
+		"\nRound robin covers n caches in exactly n probes (§V-B); random needs ≈ n·H_n;\n" +
+		"key-dependent selection pins identical queries to one cache, so only the\n" +
+		"distinct-name techniques (and for hash-source-ip, multi-vantage probing) count.\n"
+	return report, nil
+}
+
+// AblationBypass compares the two §IV-B2 local-cache bypasses (CNAME
+// chain vs names hierarchy) and the effect of BIND-style trusted answer
+// chains on the CNAME technique.
+func AblationBypass(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	ctx := context.Background()
+	const n = 4
+
+	table := &stats.Table{Header: []string{"Technique", "resolver", "measured ω", "parent-zone queries"}}
+	report := &Report{ID: "ablation-bypass", Title: "Ablation: CNAME-chain vs names-hierarchy bypass"}
+
+	cases := []struct {
+		label string
+		trust bool
+		run   func(w *simtest.World, p core.Prober) (core.EnumResult, error)
+	}{
+		{"cname-chain", false, func(w *simtest.World, p core.Prober) (core.EnumResult, error) {
+			return core.EnumerateChain(ctx, p, w.Infra, core.EnumOptions{Queries: core.RecommendedQueries(n, 0.999)})
+		}},
+		{"cname-chain", true, func(w *simtest.World, p core.Prober) (core.EnumResult, error) {
+			return core.EnumerateChain(ctx, p, w.Infra, core.EnumOptions{Queries: core.RecommendedQueries(n, 0.999)})
+		}},
+		{"names-hierarchy", false, func(w *simtest.World, p core.Prober) (core.EnumResult, error) {
+			return core.EnumerateHierarchy(ctx, p, w.Infra, core.EnumOptions{Queries: core.RecommendedQueries(n, 0.999)})
+		}},
+	}
+	for _, tc := range cases {
+		w, err := simtest.New(simtest.Options{Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		plat, err := w.NewPlatform(simtest.PlatformSpec{
+			Caches: n, Seed: 4,
+			Mutate: func(c *platform.Config) {
+				c.Selector = loadbal.NewRandom(9)
+				c.TrustAnswerChains = tc.trust
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		prober := core.NewIndirectProber(w.NewStub(plat.Config().IngressIPs[0]))
+		before := w.Infra.Parent.Log().Len()
+		res, err := tc.run(w, prober)
+		if err != nil {
+			return nil, err
+		}
+		parentQueries := w.Infra.Parent.Log().Len() - before
+
+		resolver := "hardened (re-query)"
+		if tc.trust {
+			resolver = "BIND-style (trusts chains)"
+		}
+		table.AddRow(tc.label, resolver, fmt.Sprintf("%d", res.Caches), fmt.Sprintf("%d", parentQueries))
+
+		switch {
+		case tc.label == "cname-chain" && !tc.trust:
+			report.Checks = append(report.Checks, Check{
+				Name: "cname-chain vs hardened resolver recovers n", Paper: float64(n), Measured: float64(res.Caches), Tolerance: 0})
+		case tc.label == "cname-chain" && tc.trust:
+			report.Checks = append(report.Checks, Check{
+				Name: "cname-chain vs trusting resolver undercounts", Paper: 0, Measured: float64(res.Caches), Tolerance: 0})
+		default:
+			report.Checks = append(report.Checks, Check{
+				Name: "names-hierarchy recovers n regardless", Paper: float64(n), Measured: float64(res.Caches), Tolerance: 0})
+		}
+	}
+	report.Text = table.String() +
+		"\nThe names hierarchy is robust to resolvers that accept server-appended CNAME\n" +
+		"targets, because its signal is the delegation fetch, not the alias target.\n"
+	return report, nil
+}
+
+// AblationThreshold compares the timing-channel thresholding functions
+// (calibrated midpoint vs unsupervised 1-D 2-means) as network jitter
+// grows toward the cached/uncached separation.
+func AblationThreshold(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	ctx := context.Background()
+	const n = 4
+
+	table := &stats.Table{Header: []string{"Jitter", "midpoint ω", "kmeans ω", "truth"}}
+	report := &Report{ID: "ablation-threshold", Title: "Ablation: timing-channel threshold under jitter"}
+
+	for _, jitter := range []time.Duration{0, time.Millisecond, 4 * time.Millisecond} {
+		w, err := simtest.New(simtest.Options{Seed: cfg.Seed + int64(jitter)})
+		if err != nil {
+			return nil, err
+		}
+		newProber := func(seed int64) (core.Prober, error) {
+			plat, err := w.NewPlatform(simtest.PlatformSpec{
+				Caches: n, Seed: seed,
+				Profile: netsim.LinkProfile{OneWay: 2 * time.Millisecond, Jitter: jitter},
+				Mutate:  func(c *platform.Config) { c.Selector = loadbal.NewRandom(seed) },
+			})
+			if err != nil {
+				return nil, err
+			}
+			return w.DirectProber(plat.Config().IngressIPs[0]), nil
+		}
+
+		p1, err := newProber(1)
+		if err != nil {
+			return nil, err
+		}
+		mid, err := core.EnumerateTimingDirect(ctx, p1, w.Infra, core.TimingOptions{
+			CountProbes: core.RecommendedQueries(n, 0.999), Threshold: core.MidpointThreshold})
+		if err != nil {
+			return nil, err
+		}
+		p2, err := newProber(2)
+		if err != nil {
+			return nil, err
+		}
+		km, err := core.EnumerateTimingDirect(ctx, p2, w.Infra, core.TimingOptions{
+			CountProbes: core.RecommendedQueries(n, 0.999), Threshold: core.KMeansThreshold})
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(jitter.String(), fmt.Sprintf("%d", mid.Caches), fmt.Sprintf("%d", km.Caches), fmt.Sprintf("%d", n))
+		report.Checks = append(report.Checks,
+			Check{Name: fmt.Sprintf("midpoint at jitter=%v", jitter), Paper: float64(n), Measured: float64(mid.Caches), Tolerance: 1},
+			Check{Name: fmt.Sprintf("kmeans at jitter=%v", jitter), Paper: float64(n), Measured: float64(km.Caches), Tolerance: 1},
+		)
+	}
+	report.Text = table.String() +
+		"\nBoth thresholds hold while jitter stays below the upstream round trip;\n" +
+		"the calibrated midpoint degrades more gracefully as they approach.\n"
+	return report, nil
+}

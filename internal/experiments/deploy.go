@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"dnscde/internal/netsim"
+	"dnscde/internal/platform"
+	"dnscde/internal/population"
+	"dnscde/internal/simtest"
+)
+
+// deployPlatform realises a population spec as a live platform on the
+// world's network, with the spec's link characteristics (latency, jitter
+// and the per-country packet loss the paper reports in §V).
+func deployPlatform(w *simtest.World, spec population.NetworkSpec, seed int64) (*platform.Platform, error) {
+	return w.NewPlatform(simtest.PlatformSpec{
+		Name:    spec.Name,
+		Caches:  spec.Caches,
+		Ingress: spec.Ingress,
+		Egress:  spec.Egress,
+		Seed:    seed,
+		Profile: netsim.LinkProfile{OneWay: spec.Latency, Jitter: spec.Jitter, Loss: spec.Loss},
+		Mutate: func(c *platform.Config) {
+			c.Selector = spec.MakeSelector(seed)
+			c.CachePolicy = spec.CachePolicy()
+			c.EDNS = spec.EDNS
+		},
+	})
+}

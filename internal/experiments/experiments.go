@@ -1,0 +1,191 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§III and §V) against synthetic populations, and reports
+// paper-published, ground-truth and CDE-measured values side by side.
+//
+// Each experiment is a function from Config to *Report; the Registry maps
+// the identifiers used by cmd/cdebench and the root-level benchmarks to
+// drivers. See DESIGN.md §4 for the experiment index.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"dnscde/internal/simtest"
+)
+
+// Config scales and seeds an experiment run.
+type Config struct {
+	// Seed drives all random generation; 0 defaults to 2017.
+	Seed int64
+	// OpenResolvers, Enterprises, ISPs are the population sizes measured
+	// by the per-dataset experiments. Zero defaults to 120 each —
+	// large enough for stable shares, small enough for quick runs. The
+	// paper's own datasets were 1K/1K/~240.
+	OpenResolvers, Enterprises, ISPs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 2017
+	}
+	if c.OpenResolvers == 0 {
+		c.OpenResolvers = 120
+	}
+	if c.Enterprises == 0 {
+		c.Enterprises = 120
+	}
+	if c.ISPs == 0 {
+		c.ISPs = 120
+	}
+	return c
+}
+
+// rng returns the experiment's deterministic random source.
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+// world builds a fresh simulated Internet.
+func (c Config) world() (*simtest.World, error) {
+	return simtest.New(simtest.Options{Seed: c.Seed + 1})
+}
+
+// Check is one shape assertion: a value the paper reports versus the
+// value this reproduction measured.
+type Check struct {
+	Name string
+	// Paper is the published value, Measured ours; both in the same unit
+	// (fractions for shares, counts for counts).
+	Paper, Measured float64
+	// Tolerance is the allowed absolute deviation.
+	Tolerance float64
+}
+
+// Pass reports whether the measured value is within tolerance.
+func (c Check) Pass() bool {
+	d := c.Measured - c.Paper
+	if d < 0 {
+		d = -d
+	}
+	return d <= c.Tolerance
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID    string
+	Title string
+	// Text is the rendered table/figure, ready to print.
+	Text string
+	// Checks are the shape assertions.
+	Checks []Check
+}
+
+// Passed reports whether every check passed.
+func (r *Report) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass() {
+			return false
+		}
+	}
+	return true
+}
+
+// Render returns the full report including the check summary.
+func (r *Report) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n\n", r.ID, r.Title)
+	sb.WriteString(r.Text)
+	if len(r.Checks) > 0 {
+		sb.WriteString("\nShape checks (paper vs measured):\n")
+		for _, c := range r.Checks {
+			status := "PASS"
+			if !c.Pass() {
+				status = "FAIL"
+			}
+			fmt.Fprintf(&sb, "  [%s] %-48s paper=%.3f measured=%.3f (±%.3f)\n",
+				status, c.Name, c.Paper, c.Measured, c.Tolerance)
+		}
+	}
+	return sb.String()
+}
+
+// Driver runs one experiment.
+type Driver func(Config) (*Report, error)
+
+// Registry maps experiment identifiers to drivers. Identifiers follow
+// DESIGN.md §4.
+var Registry = map[string]Driver{
+	"table1":                TableI,
+	"fig2":                  Figure2,
+	"fig3":                  Figure3,
+	"fig4":                  Figure4,
+	"fig5":                  Figure5,
+	"fig6":                  Figure6,
+	"fig7":                  Figure7,
+	"fig8":                  Figure8,
+	"thm51":                 Theorem51,
+	"initvalidate":          InitValidateSweep,
+	"carpet":                CarpetBombing,
+	"timing":                TimingChannel,
+	"ablation-selection":    AblationSelection,
+	"ablation-bypass":       AblationBypass,
+	"ablation-threshold":    AblationThreshold,
+	"ablation-forwarder":    AblationForwarder,
+	"poisoning":             Poisoning,
+	"resilience":            Resilience,
+	"edns":                  EDNSSurvey,
+	"ttlconsistency":        TTLConsistency,
+	"classify":              Classify,
+	"fingerprint":           FingerprintSurvey,
+	"ablation-crosstraffic": AblationCrossTraffic,
+	"selectionshare":        SelectionShare,
+}
+
+// Descriptions maps experiment ids to one-line summaries for -list
+// output and docs.
+var Descriptions = map[string]string{
+	"table1":                "Table I: SMTP-triggered query-type mix",
+	"fig2":                  "Fig. 2: operator distribution per dataset",
+	"fig3":                  "Fig. 3: CDF of egress IPs per platform",
+	"fig4":                  "Fig. 4: CDF of caches per platform",
+	"fig5":                  "Fig. 5: IPs vs caches, open resolvers",
+	"fig6":                  "Fig. 6: cache-to-IP ratio categories",
+	"fig7":                  "Fig. 7: IPs vs caches, SMTP population",
+	"fig8":                  "Fig. 8: IPs vs caches, ad-network population",
+	"thm51":                 "Theorem 5.1: coupon-collector bound",
+	"initvalidate":          "§V-B: init/validate coverage and success rate",
+	"carpet":                "§V: carpet bombing vs packet loss",
+	"timing":                "§IV-B3: timing side channel",
+	"ablation-selection":    "ablation: selection strategy vs technique",
+	"ablation-bypass":       "ablation: CNAME-chain vs names-hierarchy",
+	"ablation-threshold":    "ablation: timing threshold under jitter",
+	"ablation-forwarder":    "ablation: measurement through forwarders (§VI)",
+	"ablation-crosstraffic": "ablation: cross traffic (§V-B caveat)",
+	"poisoning":             "§II-A: poisoning difficulty vs cache count",
+	"resilience":            "§II-B: failed-cache detection",
+	"edns":                  "§II-C: EDNS0 adoption survey",
+	"ttlconsistency":        "§II-C: TTL-consistency disambiguation",
+	"classify":              "future work: selection-strategy classifier",
+	"fingerprint":           "§II-C/§VI: resolver-software survey",
+	"selectionshare":        "§IV-A: unpredictable-selection share",
+}
+
+// IDs returns the registry keys in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given identifier.
+func Run(id string, cfg Config) (*Report, error) {
+	driver, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return driver(cfg)
+}

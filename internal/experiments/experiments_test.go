@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallConfig keeps measurement-heavy test runs quick; the benches and
+// cmd/cdebench use the full default sizes.
+func smallConfig() Config {
+	return Config{Seed: 2017, OpenResolvers: 60, Enterprises: 60, ISPs: 60}
+}
+
+// statConfig is for experiments whose checks compare population shares:
+// they need larger samples, and are cheap enough to afford them (Table I
+// sends one email per server; Fig. 2 only generates populations).
+func statConfig() Config {
+	return Config{Seed: 2017, OpenResolvers: 600, Enterprises: 600, ISPs: 600}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table/figure of DESIGN.md §4 must have a driver.
+	want := []string{
+		"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"thm51", "initvalidate", "carpet", "timing",
+		"ablation-selection", "ablation-bypass", "ablation-threshold",
+		"ablation-forwarder", "poisoning", "resilience", "edns", "ttlconsistency",
+		"classify", "fingerprint", "ablation-crosstraffic", "selectionshare",
+	}
+	for _, id := range want {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("missing driver %q", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(IDs()), len(want))
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", smallConfig()); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestCheckPass(t *testing.T) {
+	if !(Check{Paper: 0.5, Measured: 0.55, Tolerance: 0.1}).Pass() {
+		t.Error("within tolerance failed")
+	}
+	if (Check{Paper: 0.5, Measured: 0.7, Tolerance: 0.1}).Pass() {
+		t.Error("out of tolerance passed")
+	}
+}
+
+// runAndCheck executes a driver and requires every shape check to pass.
+func runAndCheck(t *testing.T, id string) *Report {
+	t.Helper()
+	return runAndCheckCfg(t, id, smallConfig())
+}
+
+func runAndCheckCfg(t *testing.T, id string, cfg Config) *Report {
+	t.Helper()
+	report, err := Run(id, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if report.Text == "" {
+		t.Errorf("%s: empty text", id)
+	}
+	for _, c := range report.Checks {
+		if !c.Pass() {
+			t.Errorf("%s: check %q failed: paper=%.3f measured=%.3f (±%.3f)",
+				id, c.Name, c.Paper, c.Measured, c.Tolerance)
+		}
+	}
+	if !strings.Contains(report.Render(), report.Title) {
+		t.Errorf("%s: Render misses title", id)
+	}
+	return report
+}
+
+func TestTableI(t *testing.T)        { runAndCheckCfg(t, "table1", statConfig()) }
+func TestFigure2(t *testing.T)       { runAndCheckCfg(t, "fig2", statConfig()) }
+func TestFigure5(t *testing.T)       { runAndCheck(t, "fig5") }
+func TestFigure7(t *testing.T)       { runAndCheck(t, "fig7") }
+func TestFigure8(t *testing.T)       { runAndCheck(t, "fig8") }
+func TestTheorem51(t *testing.T)     { runAndCheck(t, "thm51") }
+func TestInitValidate(t *testing.T)  { runAndCheck(t, "initvalidate") }
+func TestCarpetBombing(t *testing.T) { runAndCheck(t, "carpet") }
+func TestTimingChannel(t *testing.T) { runAndCheck(t, "timing") }
+
+func TestAblationSelection(t *testing.T) { runAndCheck(t, "ablation-selection") }
+func TestAblationBypass(t *testing.T)    { runAndCheck(t, "ablation-bypass") }
+func TestAblationThreshold(t *testing.T) { runAndCheck(t, "ablation-threshold") }
+func TestAblationForwarder(t *testing.T) { runAndCheck(t, "ablation-forwarder") }
+
+func TestPoisoning(t *testing.T)      { runAndCheck(t, "poisoning") }
+func TestResilience(t *testing.T)     { runAndCheck(t, "resilience") }
+func TestEDNSSurvey(t *testing.T)     { runAndCheck(t, "edns") }
+func TestTTLConsistency(t *testing.T) { runAndCheck(t, "ttlconsistency") }
+func TestClassify(t *testing.T)       { runAndCheck(t, "classify") }
+func TestFingerprint(t *testing.T)    { runAndCheck(t, "fingerprint") }
+func TestCrossTraffic(t *testing.T)   { runAndCheck(t, "ablation-crosstraffic") }
+func TestSelectionShare(t *testing.T) { runAndCheck(t, "selectionshare") }
+
+func TestFigure3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("egress discovery across a population is slow")
+	}
+	runAndCheck(t, "fig3")
+}
+
+// midConfig matches the cdebench default: the Fig. 4/6 CDF-share checks
+// need ~120 networks per dataset for their tolerances.
+func midConfig() Config {
+	return Config{Seed: 2017, OpenResolvers: 120, Enterprises: 120, ISPs: 120}
+}
+
+func TestFigure4(t *testing.T) { runAndCheckCfg(t, "fig4", midConfig()) }
+func TestFigure6(t *testing.T) { runAndCheckCfg(t, "fig6", midConfig()) }
+
+func TestDescriptionsCoverRegistry(t *testing.T) {
+	for id := range Registry {
+		if Descriptions[id] == "" {
+			t.Errorf("experiment %q has no description", id)
+		}
+	}
+	for id := range Descriptions {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("description for unknown experiment %q", id)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package experiments
+
+// Extension experiments beyond the paper's published tables and figures,
+// covering the motivations of §II and the observations of §VI that the
+// paper discusses but does not evaluate: cache-poisoning difficulty,
+// resilience monitoring, EDNS adoption, TTL-consistency disambiguation
+// and measurement through forwarders.
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dnscde/internal/core"
+	"dnscde/internal/dnswire"
+	"dnscde/internal/loadbal"
+	"dnscde/internal/platform"
+	"dnscde/internal/population"
+	"dnscde/internal/simtest"
+	"dnscde/internal/stats"
+)
+
+// Poisoning quantifies the §II-A motivation: a k-record injection attack
+// (spoofed NS + A) must land every record in the same cache. Closed form
+// (1/n)^(k-1) versus Monte-Carlo through the real selectors.
+func Poisoning(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	const trials = 100000
+
+	table := &stats.Table{Header: []string{"caches n", "records k", "closed form", "random (MC)", "round-robin", "hash-qname"}}
+	report := &Report{ID: "poisoning", Title: "§II-A: cache-poisoning success probability vs cache count and selection"}
+	for _, tc := range []struct{ n, k int }{{1, 2}, {2, 2}, {4, 2}, {8, 2}, {4, 3}} {
+		closed := core.PoisoningSuccessProbability(tc.n, tc.k)
+		mcRandom := core.SimulatePoisoning(loadbal.NewRandom(cfg.Seed), tc.n, tc.k, trials)
+		mcRR := core.SimulatePoisoning(loadbal.NewRoundRobin(), tc.n, tc.k, trials)
+		mcHash := core.SimulatePoisoning(loadbal.HashQName{}, tc.n, tc.k, trials)
+		table.AddRow(fmt.Sprintf("%d", tc.n), fmt.Sprintf("%d", tc.k),
+			fmt.Sprintf("%.4f", closed), fmt.Sprintf("%.4f", mcRandom),
+			fmt.Sprintf("%.4f", mcRR), fmt.Sprintf("%.4f", mcHash))
+		report.Checks = append(report.Checks, Check{
+			Name:  fmt.Sprintf("n=%d k=%d random MC matches (1/n)^(k-1)", tc.n, tc.k),
+			Paper: closed, Measured: mcRandom, Tolerance: closed*0.05 + 0.01,
+		})
+	}
+	report.Checks = append(report.Checks,
+		Check{Name: "round robin: consecutive records never co-locate (n=4,k=2)",
+			Paper: 0, Measured: core.SimulatePoisoning(loadbal.NewRoundRobin(), 4, 2, trials), Tolerance: 0},
+		Check{Name: "key-dependent: multiple caches give no protection (n=8,k=3)",
+			Paper: 1, Measured: core.SimulatePoisoning(loadbal.HashQName{}, 8, 3, trials), Tolerance: 0},
+	)
+	report.Text = table.String() +
+		"\nMultiple caches with unpredictable selection raise the expected number of\n" +
+		"attack iterations to n^(k-1); key-dependent selection voids the defence.\n"
+	return report, nil
+}
+
+// Resilience reproduces the §II-B monitoring scenario: a platform with
+// four caches loses two; repeated CDE enumeration detects the failure and
+// the recovery, without cooperation from the network.
+func Resilience(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	w, err := cfg.world()
+	if err != nil {
+		return nil, err
+	}
+	plat, err := w.NewPlatform(simtest.PlatformSpec{
+		Name: "monitored", Caches: 4, Seed: cfg.Seed,
+		Mutate: func(c *platform.Config) { c.Selector = loadbal.NewRandom(cfg.Seed) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	prober := w.DirectProber(plat.Config().IngressIPs[0])
+	ctx := context.Background()
+
+	measure := func() (int, error) {
+		res, err := core.EnumerateAdaptive(ctx, prober, w.Infra, core.AdaptiveOptions{})
+		if err != nil {
+			return 0, err
+		}
+		return res.Caches, nil
+	}
+
+	healthy, err := measure()
+	if err != nil {
+		return nil, err
+	}
+	plat.SetCacheDown(1, true)
+	plat.SetCacheDown(3, true)
+	degraded, err := measure()
+	if err != nil {
+		return nil, err
+	}
+	plat.SetCacheDown(1, false)
+	plat.SetCacheDown(3, false)
+	restored, err := measure()
+	if err != nil {
+		return nil, err
+	}
+
+	table := &stats.Table{Header: []string{"Phase", "live caches (truth)", "CDE measured"}}
+	table.AddRow("healthy", "4", fmt.Sprintf("%d", healthy))
+	table.AddRow("two caches down", "2", fmt.Sprintf("%d", degraded))
+	table.AddRow("restored", "4", fmt.Sprintf("%d", restored))
+
+	return &Report{
+		ID:    "resilience",
+		Title: "§II-B: detecting failed caches by repeated enumeration",
+		Text:  table.String(),
+		Checks: []Check{
+			{Name: "healthy platform measures 4", Paper: 4, Measured: float64(healthy), Tolerance: 0},
+			{Name: "degraded platform measures 2", Paper: 2, Measured: float64(degraded), Tolerance: 0},
+			{Name: "restored platform measures 4", Paper: 4, Measured: float64(restored), Tolerance: 0},
+		},
+	}, nil
+}
+
+// EDNSSurvey measures EDNS0 adoption across a population (§II-C: "our
+// tools enable studies of adoption of new mechanisms for DNS, such as the
+// transport layer EDNS mechanism"): one probe per platform, adoption read
+// from the OPT records arriving at the nameservers.
+func EDNSSurvey(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rng := cfg.rng()
+	w, err := cfg.world()
+	if err != nil {
+		return nil, err
+	}
+	size := cfg.OpenResolvers
+	if size < 200 {
+		size = 200
+	}
+	dataset := population.Generate(population.OpenResolvers, size, rng)
+
+	ctx := context.Background()
+	truthAdopters, measuredAdopters := 0, 0
+	for i, spec := range dataset.Specs {
+		plat, err := deployPlatform(w, spec, int64(i))
+		if err != nil {
+			return nil, err
+		}
+		if spec.EDNS {
+			truthAdopters++
+		}
+		session, err := w.Infra.NewHierarchySession(1)
+		if err != nil {
+			return nil, err
+		}
+		// Retransmit on loss: a lossy (e.g. Iranian) network must not be
+		// misread as a non-adopter just because one probe vanished.
+		prober := core.NewDirectProber(w.Net, w.NextClientAddr(), plat.Config().IngressIPs[0], 4)
+		if _, err := prober.Probe(ctx, session.ProbeName(1), dnswire.TypeA); err != nil {
+			continue
+		}
+		if w.Infra.Child.Log().EDNSShare(session.ChildOrigin) > 0 {
+			measuredAdopters++
+		}
+	}
+	truth := float64(truthAdopters) / float64(size)
+	measured := float64(measuredAdopters) / float64(size)
+
+	table := &stats.Table{Header: []string{"Metric", "Ground truth", "Measured"}}
+	table.AddRow("EDNS0 adoption", stats.FormatPercent(truth), stats.FormatPercent(measured))
+	return &Report{
+		ID:    "edns",
+		Title: "§II-C: EDNS0 adoption survey via nameserver-side OPT observation",
+		Text:  table.String(),
+		Checks: []Check{
+			{Name: "measured adoption equals ground truth", Paper: truth, Measured: measured, Tolerance: 0.02},
+			{Name: "adoption near configured rate", Paper: population.EDNSAdoptionRate, Measured: measured, Tolerance: 0.08},
+		},
+	}, nil
+}
+
+// _ttlProbeGap is the violator's cache lifetime; the naive test's probes
+// are spaced at twice this gap so violator entries expire between them
+// while honest 300s records do not.
+const _ttlProbeGap = time.Second
+
+// TTLConsistency reproduces the §II-C disambiguation claim: a naive
+// TTL-consistency test (query the same record twice inside its TTL and
+// flag platforms that fetch twice) misclassifies multi-cache platforms as
+// TTL violators; combining it with CDE enumeration separates the cases.
+func TTLConsistency(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	w, err := cfg.world()
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	const perGroup = 20
+	groups := []struct {
+		label    string
+		caches   int
+		violator bool // cache ignores TTLs (modelled as a 1s cap)
+	}{
+		{"single cache, honest TTL", 1, false},
+		{"multi cache (RR), honest TTL", 3, false},
+		{"single cache, TTL violator", 1, true},
+	}
+
+	type outcome struct{ naiveFlagged, cdeViolator int }
+	results := make([]outcome, len(groups))
+	for gi, g := range groups {
+		for i := 0; i < perGroup; i++ {
+			plat, err := w.NewPlatform(simtest.PlatformSpec{
+				Name: fmt.Sprintf("ttl-%d-%d", gi, i), Caches: g.caches,
+				Seed: int64(gi*1000 + i),
+				Mutate: func(c *platform.Config) {
+					c.Selector = loadbal.NewRoundRobin()
+					if g.violator {
+						// The violator caps cached lifetimes far below
+						// the record's TTL — the §II-C inconsistency.
+						c.CachePolicy.MaxTTL = _ttlProbeGap
+					}
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			prober := w.DirectProber(plat.Config().IngressIPs[0])
+
+			// Naive test: two queries for one fresh record, well inside
+			// its TTL; a second nameserver arrival flags the platform.
+			session, err := w.Infra.NewFlatSession()
+			if err != nil {
+				return nil, err
+			}
+			for j := 0; j < 2; j++ {
+				if _, err := prober.Probe(ctx, session.Honey, dnswire.TypeA); err != nil {
+					return nil, err
+				}
+				// The naive methodology waits a moment between its two
+				// queries (still far inside the record's 300s TTL).
+				w.Clock.Advance(2 * _ttlProbeGap)
+			}
+			naiveFlag := session.ObservedCaches() > 1
+			if naiveFlag {
+				results[gi].naiveFlagged++
+			}
+
+			// CDE disambiguation: enumerate; repeats explained by n > 1
+			// are not TTL violations.
+			enum, err := core.EnumerateAdaptive(ctx, prober, w.Infra, core.AdaptiveOptions{})
+			if err != nil {
+				return nil, err
+			}
+			if naiveFlag && enum.Caches == 1 {
+				results[gi].cdeViolator++
+			}
+		}
+	}
+
+	table := &stats.Table{Header: []string{"Platform group", "naive: flagged as TTL-violating", "CDE-corrected: violator"}}
+	for gi, g := range groups {
+		table.AddRow(g.label,
+			fmt.Sprintf("%d/%d", results[gi].naiveFlagged, perGroup),
+			fmt.Sprintf("%d/%d", results[gi].cdeViolator, perGroup))
+	}
+	report := &Report{
+		ID:    "ttlconsistency",
+		Title: "§II-C: separating multiple caches from TTL inconsistency",
+		Text: table.String() +
+			"\nThe naive twice-within-TTL test flags every multi-cache platform; with the\n" +
+			"cache count measured, only genuine violators remain flagged.\n",
+		Checks: []Check{
+			{Name: "honest single-cache platforms never flagged",
+				Paper: 0, Measured: float64(results[0].naiveFlagged), Tolerance: 0},
+			{Name: "naive test flags all honest multi-cache platforms",
+				Paper: perGroup, Measured: float64(results[1].naiveFlagged), Tolerance: 0},
+			{Name: "CDE clears all honest multi-cache platforms",
+				Paper: 0, Measured: float64(results[1].cdeViolator), Tolerance: 0},
+			{Name: "CDE keeps flagging genuine violators",
+				Paper: perGroup, Measured: float64(results[2].cdeViolator), Tolerance: 0},
+		},
+	}
+	return report, nil
+}
+
+// AblationForwarder measures enumeration through forwarding platforms
+// (§VI): the nameserver-side count reflects the upstream tier but is
+// bounded by the forwarder tier's misses, and a single-cache forwarder
+// fully shields the upstream.
+func AblationForwarder(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	ctx := context.Background()
+
+	table := &stats.Table{Header: []string{"forwarder caches", "upstream caches", "measured ω", "expected"}}
+	report := &Report{ID: "ablation-forwarder", Title: "Ablation: CDE through forwarding platforms (§VI)"}
+	upstreamIngressBase := netip.MustParseAddr("172.16.0.1")
+	forwarderIngressBase := netip.MustParseAddr("172.17.0.1")
+
+	cases := []struct{ f, u, want int }{
+		{1, 4, 1}, // single-cache forwarder shields everything
+		{4, 2, 2}, // forwarder misses expose both upstream caches
+		{4, 4, 4}, // equal tiers, RR alignment covers all
+	}
+	for ci, tc := range cases {
+		w, err := simtest.New(simtest.Options{Seed: cfg.Seed + int64(ci)})
+		if err != nil {
+			return nil, err
+		}
+		upIngress := upstreamIngressBase
+		upstreamIngressBase = upstreamIngressBase.Next()
+		fwIngress := forwarderIngressBase
+		forwarderIngressBase = forwarderIngressBase.Next()
+
+		_, err = w.NewPlatform(simtest.PlatformSpec{
+			Name: "upstream", Caches: tc.u, Seed: int64(ci),
+			Mutate: func(c *platform.Config) {
+				c.Selector = loadbal.NewRoundRobin()
+				c.IngressIPs = []netip.Addr{upIngress}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		fwd, err := w.NewPlatform(simtest.PlatformSpec{
+			Name: "forwarder", Caches: tc.f, Seed: int64(ci) + 100,
+			Mutate: func(c *platform.Config) {
+				c.Selector = loadbal.NewRoundRobin()
+				c.Roots = nil
+				c.Forwarders = []netip.Addr{upIngress}
+				c.IngressIPs = []netip.Addr{fwIngress}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		prober := w.DirectProber(fwd.Config().IngressIPs[0])
+		res, err := core.EnumerateDirect(ctx, prober, w.Infra, core.EnumOptions{Queries: 8 * tc.f * tc.u})
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(fmt.Sprintf("%d", tc.f), fmt.Sprintf("%d", tc.u),
+			fmt.Sprintf("%d", res.Caches), fmt.Sprintf("%d", tc.want))
+		report.Checks = append(report.Checks, Check{
+			Name:  fmt.Sprintf("f=%d u=%d measures %d", tc.f, tc.u, tc.want),
+			Paper: float64(tc.want), Measured: float64(res.Caches), Tolerance: 0,
+		})
+	}
+	report.Text = table.String() +
+		"\nA forwarder tier bounds what CDE can see of the upstream: the client-side\n" +
+		"view 'only sees the forwarder' (§VI), and the nameserver only the upstream.\n"
+	return report, nil
+}

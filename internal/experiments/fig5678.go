@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dnscde/internal/population"
+	"dnscde/internal/stats"
+)
+
+// scatterReport builds the bubble-scatter report (ingress IPs vs measured
+// caches) for one population — the shared machinery of Figs. 5, 7 and 8.
+func scatterReport(cfg Config, id, title string, kind population.Kind, count int, checks func([]measurement) []Check) (*Report, error) {
+	rng := cfg.rng()
+	w, err := cfg.world()
+	if err != nil {
+		return nil, err
+	}
+	dataset := population.Generate(kind, count, rng)
+	ms, err := measureDataset(w, dataset, false)
+	if err != nil {
+		return nil, err
+	}
+	ok := successful(ms)
+
+	xs := make([]int, 0, len(ok))
+	ys := make([]int, 0, len(ok))
+	for _, m := range ok {
+		xs = append(xs, m.spec.Ingress)
+		ys = append(ys, m.caches)
+	}
+	bubbles := stats.BubbleBin(xs, ys, 2)
+
+	var sb strings.Builder
+	sb.WriteString("Bubble scatter (x = ingress IP addresses, y = measured caches,\nbubble size = number of networks; log-2 binned):\n\n")
+	table := &stats.Table{Header: []string{"IPs", "Caches", "Networks"}}
+	for _, b := range bubbles {
+		table.AddRow(fmt.Sprintf("%d", b.X), fmt.Sprintf("%d", b.Y), fmt.Sprintf("%d", b.Count))
+	}
+	sb.WriteString(table.String())
+
+	report := &Report{ID: id, Title: title, Text: sb.String()}
+	if checks != nil {
+		report.Checks = checks(ok)
+	}
+	return report, nil
+}
+
+// fracWhere returns the fraction of measurements satisfying pred.
+func fracWhere(ms []measurement, pred func(measurement) bool) float64 {
+	if len(ms) == 0 {
+		return 0
+	}
+	n := 0
+	for _, m := range ms {
+		if pred(m) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ms))
+}
+
+// Figure5 reproduces Fig. 5: IP addresses vs caches for networks with
+// open resolvers — dominated by the 1-IP/1-cache mass, with a sparse tail
+// of huge platforms (>500 IPs, >30 caches).
+func Figure5(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	return scatterReport(cfg, "fig5",
+		"IP addresses vs caches in DNS platforms with open resolvers",
+		population.OpenResolvers, cfg.OpenResolvers,
+		func(ms []measurement) []Check {
+			return []Check{
+				{Name: "largest mass at 1 IP / 1 cache", Paper: 0.70,
+					Measured:  fracWhere(ms, func(m measurement) bool { return m.spec.Ingress == 1 && m.caches == 1 }),
+					Tolerance: 0.10},
+				{Name: "tail with >10 IPs exists", Paper: 0.05,
+					Measured:  fracWhere(ms, func(m measurement) bool { return m.spec.Ingress > 10 }),
+					Tolerance: 0.06},
+			}
+		})
+}
+
+// Figure7 reproduces Fig. 7: IP addresses vs caches for the SMTP
+// (enterprise) population — scattered, more even, fewer IPs than the
+// open-resolver giants.
+func Figure7(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	return scatterReport(cfg, "fig7",
+		"IP addresses vs caches count in SMTP population",
+		population.Enterprises, cfg.Enterprises,
+		func(ms []measurement) []Check {
+			return []Check{
+				{Name: "single IP + single cache rare", Paper: 0.04,
+					Measured:  fracWhere(ms, func(m measurement) bool { return m.spec.Ingress == 1 && m.caches == 1 }),
+					Tolerance: 0.05},
+				{Name: "multi IP + multi cache dominates", Paper: 0.83,
+					Measured:  fracWhere(ms, func(m measurement) bool { return m.spec.Ingress > 1 && m.caches > 1 }),
+					Tolerance: 0.10},
+			}
+		})
+}
+
+// Figure8 reproduces Fig. 8: IP addresses vs caches for the ad-network
+// (ISP) population — the fewest caches and smallest IP counts of the
+// three datasets.
+func Figure8(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	return scatterReport(cfg, "fig8",
+		"IP addresses vs caches count in ad-network population",
+		population.ISPs, cfg.ISPs,
+		func(ms []measurement) []Check {
+			return []Check{
+				{Name: "single IP + single cache below 10%", Paper: 0.08,
+					Measured:  fracWhere(ms, func(m measurement) bool { return m.spec.Ingress == 1 && m.caches == 1 }),
+					Tolerance: 0.06},
+				{Name: "multi IP + multi cache around 65%", Paper: 0.65,
+					Measured:  fracWhere(ms, func(m measurement) bool { return m.spec.Ingress > 1 && m.caches > 1 }),
+					Tolerance: 0.12},
+			}
+		})
+}
+
+// Figure6 reproduces Fig. 6: the share of platforms per cache-to-IP
+// category across the three populations, using ground-truth ingress
+// counts and CDE-measured cache counts.
+func Figure6(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	ms, err := datasetMeasurements(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+
+	categories := []struct {
+		label string
+		pred  func(measurement) bool
+	}{
+		{"1 IP, 1 cache", func(m measurement) bool { return m.spec.Ingress == 1 && m.caches == 1 }},
+		{"1 IP, >1 cache", func(m measurement) bool { return m.spec.Ingress == 1 && m.caches > 1 }},
+		{">1 IP, 1 cache", func(m measurement) bool { return m.spec.Ingress > 1 && m.caches == 1 }},
+		{">1 IP, >1 cache", func(m measurement) bool { return m.spec.Ingress > 1 && m.caches > 1 }},
+	}
+	table := &stats.Table{Header: []string{"Category", "Open resolvers", "Enterprises", "ISPs"}}
+	shares := map[population.Kind]map[string]float64{}
+	for kind, list := range ms {
+		shares[kind] = map[string]float64{}
+		for _, cat := range categories {
+			shares[kind][cat.label] = fracWhere(list, cat.pred)
+		}
+	}
+	for _, cat := range categories {
+		table.AddRow(cat.label,
+			stats.FormatPercent(shares[population.OpenResolvers][cat.label]),
+			stats.FormatPercent(shares[population.Enterprises][cat.label]),
+			stats.FormatPercent(shares[population.ISPs][cat.label]))
+	}
+
+	report := &Report{
+		ID:    "fig6",
+		Title: "IP addresses vs caches count across three network populations",
+		Text:  table.String(),
+		Checks: []Check{
+			{Name: "open resolvers single/single ≈ 70%", Paper: 0.70,
+				Measured: shares[population.OpenResolvers]["1 IP, 1 cache"], Tolerance: 0.10},
+			{Name: "ISPs single/single < 10%", Paper: 0.08,
+				Measured: shares[population.ISPs]["1 IP, 1 cache"], Tolerance: 0.06},
+			{Name: "enterprises single/single < 5%", Paper: 0.04,
+				Measured: shares[population.Enterprises]["1 IP, 1 cache"], Tolerance: 0.04},
+			{Name: "ISPs multi/multi ≈ 65%", Paper: 0.65,
+				Measured: shares[population.ISPs][">1 IP, >1 cache"], Tolerance: 0.12},
+			{Name: "enterprises multi/multi > 80%", Paper: 0.83,
+				Measured: shares[population.Enterprises][">1 IP, >1 cache"], Tolerance: 0.10},
+		},
+	}
+	return report, nil
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dnscde/internal/adnet"
+	"dnscde/internal/core"
+	"dnscde/internal/population"
+	"dnscde/internal/simtest"
+	"dnscde/internal/smtpsim"
+)
+
+// _adClientsPerISP is how many ad-network clients probe each ISP. It must
+// comfortably exceed the coupon-collector bound for the largest ISP cache
+// pool so that hash-by-source-IP platforms are covered (the paper's
+// campaign had far more: >12K clients across ~240 ISPs).
+const _adClientsPerISP = 128
+
+// measurement is the CDE view of one network, next to its ground truth.
+type measurement struct {
+	spec population.NetworkSpec
+	// egress is the number of egress IPs CDE discovered; caches the
+	// measured cache count.
+	egress int
+	caches int
+	// err records a failed measurement (kept for the error rate).
+	err error
+}
+
+// measureDataset deploys every spec of a dataset and measures it with the
+// population's collection channel: direct probing for open resolvers,
+// SMTP for enterprises, ad-network web clients for ISPs. Platforms are
+// deployed sequentially (the address allocator is not concurrent); the
+// measurements themselves run on a worker pool.
+func measureDataset(w *simtest.World, dataset population.Dataset, measureEgress bool) ([]measurement, error) {
+	type target struct {
+		spec   population.NetworkSpec
+		prober core.Prober
+	}
+	targets := make([]target, 0, len(dataset.Specs))
+	for i, spec := range dataset.Specs {
+		plat, err := deployPlatform(w, spec, int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("deploying %s: %w", spec.Name, err)
+		}
+		ingress := plat.Config().IngressIPs[0]
+		var prober core.Prober
+		switch dataset.Kind {
+		case population.OpenResolvers:
+			prober = w.DirectProber(ingress)
+		case population.Enterprises:
+			srv := smtpsim.NewServer(spec.Name+".example", spec.SMTPPolicy, w.NewStub(ingress))
+			prober = smtpsim.NewProber(srv)
+		default: // ISPs via ad-network web clients
+			// Many clients of the same ISP participate, each with its own
+			// source address and local caches — the property that lets
+			// the channel cover hash-by-source-IP platforms.
+			clients := make([]*adnet.Client, 0, _adClientsPerISP)
+			for c := 0; c < _adClientsPerISP; c++ {
+				clients = append(clients, adnet.NewClient(i*1000+c, 0, w.NewStub(ingress)))
+			}
+			prober = adnet.NewClientPool(clients)
+		}
+		targets = append(targets, target{spec: spec, prober: prober})
+	}
+
+	results := make([]measurement, len(targets))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	ctx := context.Background()
+	for i, tgt := range targets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, tgt target) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = measureOne(ctx, w, tgt.spec, tgt.prober, measureEgress)
+		}(i, tgt)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// measureOne runs the CDE measurements for a single network.
+func measureOne(ctx context.Context, w *simtest.World, spec population.NetworkSpec, prober core.Prober, measureEgress bool) measurement {
+	m := measurement{spec: spec}
+
+	// Carpet bombing: replicate probes according to the network's loss
+	// rate (§V), which a real measurement estimates from a pre-probe.
+	perExchangeLoss := 1 - (1-spec.Loss)*(1-spec.Loss)
+	replicates := core.CarpetBombingFactor(perExchangeLoss, 0.99)
+
+	enum, err := core.EnumerateAdaptive(ctx, prober, w.Infra, core.AdaptiveOptions{
+		Replicates: replicates,
+	})
+	if err != nil {
+		m.err = fmt.Errorf("enumerating %s: %w", spec.Name, err)
+		return m
+	}
+	if enum.Caches == 0 {
+		// The channel triggered no observable queries (e.g. an SMTP
+		// server performing no sender checks and no bounce lookups).
+		// The paper's populations are selected by observed queries
+		// (§III-B surveys "domains with emails" whose resolvers issued
+		// requests), so such networks drop out of the dataset.
+		m.err = fmt.Errorf("%s: channel triggered no observable queries", spec.Name)
+		return m
+	}
+	m.caches = enum.Caches
+
+	if measureEgress {
+		eg, err := core.DiscoverEgressAdaptive(ctx, prober, w.Infra, 32, 4096)
+		if err != nil {
+			m.err = fmt.Errorf("egress discovery %s: %w", spec.Name, err)
+			return m
+		}
+		m.egress = len(eg.IPs)
+	}
+	return m
+}
+
+// successful filters out failed measurements.
+func successful(ms []measurement) []measurement {
+	out := make([]measurement, 0, len(ms))
+	for _, m := range ms {
+		if m.err == nil {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"testing"
+
+	"dnscde/internal/population"
+)
+
+// TestScaleFullPaperPopulation measures a population at the paper's own
+// scale (1K open-resolver networks) end to end. It is the closest thing
+// to the original study's workload and takes tens of seconds, so it is
+// skipped in -short runs.
+func TestScaleFullPaperPopulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale population is slow")
+	}
+	cfg := Config{Seed: 2017, OpenResolvers: 1000}.withDefaults()
+	rng := cfg.rng()
+	w, err := cfg.world()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataset := population.Generate(population.OpenResolvers, 1000, rng)
+	ms, err := measureDataset(w, dataset, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := successful(ms)
+	if len(ok) < 990 {
+		t.Fatalf("only %d/1000 networks measured", len(ok))
+	}
+	exact := 0
+	for _, m := range ok {
+		if m.caches == m.spec.Caches {
+			exact++
+		}
+	}
+	rate := float64(exact) / float64(len(ok))
+	t.Logf("paper-scale run: %d networks, exact recovery %.1f%%", len(ok), rate*100)
+	if rate < 0.95 {
+		t.Errorf("exact recovery %.3f below 95%% at scale", rate)
+	}
+}

@@ -1,0 +1,28 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// MustAddr parses a textual IP address, panicking on failure. It is meant
+// for tests, examples and static topology tables.
+func MustAddr(s string) netip.Addr {
+	return netip.MustParseAddr(s)
+}
+
+// AddrRange returns n consecutive addresses starting at base. It is used
+// to allocate the ingress/egress subnets of simulated resolution platforms
+// (the paper's Fig. 1 allocates whole subnets to resolvers).
+func AddrRange(base netip.Addr, n int) []netip.Addr {
+	if n < 0 {
+		panic(fmt.Sprintf("netsim: negative address count %d", n))
+	}
+	out := make([]netip.Addr, 0, n)
+	a := base
+	for i := 0; i < n; i++ {
+		out = append(out, a)
+		a = a.Next()
+	}
+	return out
+}

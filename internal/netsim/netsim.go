@@ -1,0 +1,339 @@
+// Package netsim provides the simulated Internet over which the CDE
+// reproduction runs: hosts keyed by IP address, per-host latency profiles,
+// per-host Bernoulli packet loss, and an Exchanger abstraction that the
+// probers, resolution platforms and authoritative nameservers all use.
+//
+// Every simulated exchange round-trips through the real DNS wire codec
+// (dnswire.Pack / dnswire.Unpack), so the simulation exercises exactly the
+// bytes a real deployment would emit. The same Exchanger interface is
+// implemented over real UDP sockets by package udpnet, which is how the
+// library doubles as a live measurement tool.
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dnscde/internal/dnswire"
+)
+
+// Simulation errors.
+var (
+	// ErrTimeout reports a lost query or lost response; the paper's §V
+	// carpet-bombing technique exists to tolerate exactly this.
+	ErrTimeout = errors.New("netsim: query timed out (packet loss)")
+	// ErrNoRoute reports a destination IP with no registered host.
+	ErrNoRoute = errors.New("netsim: no host at destination address")
+	// ErrMalformed reports a message that failed wire encoding or decoding.
+	ErrMalformed = errors.New("netsim: malformed message")
+)
+
+// Handler processes one DNS query arriving at a simulated host.
+//
+// The handler may issue nested exchanges (a recursive resolver querying an
+// authoritative server does); nested latency is accumulated onto the
+// enclosing exchange via the context, so the round-trip time observed by
+// the original client includes upstream resolution time — the basis of the
+// paper's §IV-B3 timing side channel.
+type Handler interface {
+	ServeDNS(ctx context.Context, src netip.Addr, query *dnswire.Message) (*dnswire.Message, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx context.Context, src netip.Addr, query *dnswire.Message) (*dnswire.Message, error)
+
+var _ Handler = HandlerFunc(nil)
+
+// ServeDNS implements Handler.
+func (f HandlerFunc) ServeDNS(ctx context.Context, src netip.Addr, query *dnswire.Message) (*dnswire.Message, error) {
+	return f(ctx, src, query)
+}
+
+// LinkProfile describes the network path characteristics of one host.
+type LinkProfile struct {
+	// OneWay is the base one-way delay between this host and the
+	// simulated backbone.
+	OneWay time.Duration
+	// Jitter is the maximum uniform random extra delay added per
+	// direction.
+	Jitter time.Duration
+	// Loss is the probability in [0,1] that a single packet to or from
+	// this host is dropped. The paper measured ~11% in Iran, ~4% in China
+	// and ~1% elsewhere.
+	Loss float64
+}
+
+// DefaultLinkProfile matches the paper's "typical" network: ~1% loss and a
+// modest regional delay.
+func DefaultLinkProfile() LinkProfile {
+	return LinkProfile{OneWay: 10 * time.Millisecond, Jitter: 2 * time.Millisecond, Loss: 0.01}
+}
+
+type host struct {
+	handler Handler
+	profile LinkProfile
+}
+
+// Network is a simulated Internet. The zero value is not usable; use New.
+// Network is safe for concurrent use.
+type Network struct {
+	mu    sync.Mutex
+	hosts map[netip.Addr]*host
+	rng   *rand.Rand
+
+	// timeout is the simulated time charged for a lost packet, mirroring
+	// a resolver's retransmission timer.
+	timeout time.Duration
+
+	stats Stats
+}
+
+// Stats counts network-level events, used by tests and by the carpet-
+// bombing experiment to confirm configured loss rates.
+type Stats struct {
+	Exchanges  int64
+	Lost       int64
+	BytesSent  int64
+	BytesRecvd int64
+}
+
+// New creates an empty network with a deterministic RNG.
+func New(seed int64) *Network {
+	return &Network{
+		hosts:   make(map[netip.Addr]*host),
+		rng:     rand.New(rand.NewSource(seed)),
+		timeout: 2 * time.Second,
+	}
+}
+
+// SetTimeout sets the simulated duration charged to an exchange whose query
+// or response packet is lost.
+func (n *Network) SetTimeout(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.timeout = d
+}
+
+// Register attaches handler to addr with the given link profile. It
+// replaces any previous registration for addr.
+func (n *Network) Register(addr netip.Addr, profile LinkProfile, handler Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hosts[addr] = &host{handler: handler, profile: profile}
+}
+
+// Unregister removes the host at addr, simulating a machine going down —
+// the paper's §II-B resilience use case (a platform with four caches of
+// which two are down).
+func (n *Network) Unregister(addr netip.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.hosts, addr)
+}
+
+// Registered reports whether a host is attached at addr.
+func (n *Network) Registered(addr netip.Addr) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.hosts[addr]
+	return ok
+}
+
+// SnapshotStats returns a copy of the network counters.
+func (n *Network) SnapshotStats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// lookup returns the host at addr.
+func (n *Network) lookup(addr netip.Addr) (*host, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[addr]
+	return h, ok
+}
+
+// roll samples the RNG under the lock.
+func (n *Network) roll() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64()
+}
+
+// jitter samples a uniform duration in [0, max].
+func (n *Network) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return time.Duration(n.rng.Int63n(int64(max) + 1))
+}
+
+type latencyMeterKey struct{}
+
+// latencyMeter accumulates simulated upstream time spent by a handler so
+// that nested exchanges inflate the caller-observed RTT.
+type latencyMeter struct {
+	mu      sync.Mutex
+	elapsed time.Duration
+}
+
+func (lm *latencyMeter) add(d time.Duration) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	lm.elapsed += d
+}
+
+func (lm *latencyMeter) total() time.Duration {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.elapsed
+}
+
+// chargeUpstream adds d to the latency meter of the exchange enclosing ctx,
+// if any. Handlers performing work outside this package's Exchange path
+// (e.g. artificial processing delay) may call ChargeLatency instead.
+func chargeUpstream(ctx context.Context, d time.Duration) {
+	if lm, ok := ctx.Value(latencyMeterKey{}).(*latencyMeter); ok {
+		lm.add(d)
+	}
+}
+
+// ChargeLatency records extra simulated processing time against the
+// exchange enclosing ctx. Handlers use it to model cache-lookup or
+// computation delay.
+func ChargeLatency(ctx context.Context, d time.Duration) {
+	chargeUpstream(ctx, d)
+}
+
+// safeServe invokes a handler, converting panics into errors so one
+// faulty simulated host cannot take down the whole network — the same
+// boundary recovery a real server framework applies per request.
+func safeServe(h Handler, ctx context.Context, src netip.Addr, query *dnswire.Message) (resp *dnswire.Message, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("netsim: handler panic: %v", r)
+		}
+	}()
+	return h.ServeDNS(ctx, src, query)
+}
+
+// Exchanger sends one DNS query and waits for the response, reporting the
+// (simulated or real) round-trip time.
+type Exchanger interface {
+	Exchange(ctx context.Context, query *dnswire.Message, dst netip.Addr) (*dnswire.Message, time.Duration, error)
+}
+
+// Conn is an Exchanger bound to a simulated source address.
+type Conn struct {
+	net *Network
+	src netip.Addr
+}
+
+var _ Exchanger = (*Conn)(nil)
+
+// Bind returns an Exchanger that sends from src. The source needs no
+// registered handler; registration is only required to *receive* queries.
+func (n *Network) Bind(src netip.Addr) *Conn {
+	return &Conn{net: n, src: src}
+}
+
+// Src returns the bound source address.
+func (c *Conn) Src() netip.Addr { return c.src }
+
+// Exchange implements Exchanger. The query is packed to wire format,
+// "transmitted" (subject to loss and latency), decoded, handled, and the
+// response travels back the same way. The returned duration is the full
+// simulated round-trip time including any upstream exchanges performed by
+// the destination handler.
+func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.Addr) (*dnswire.Message, time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	n := c.net
+
+	n.mu.Lock()
+	n.stats.Exchanges++
+	timeout := n.timeout
+	n.mu.Unlock()
+
+	h, ok := n.lookup(dst)
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %v", ErrNoRoute, dst)
+	}
+	var srcProfile LinkProfile
+	if sh, ok := n.lookup(c.src); ok {
+		srcProfile = sh.profile
+	}
+
+	wire, err := query.Pack()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	n.mu.Lock()
+	n.stats.BytesSent += int64(len(wire))
+	n.mu.Unlock()
+
+	oneWay := srcProfile.OneWay + h.profile.OneWay +
+		n.jitter(srcProfile.Jitter) + n.jitter(h.profile.Jitter)
+
+	// Query packet subject to loss on either endpoint's link.
+	if n.roll() < srcProfile.Loss || n.roll() < h.profile.Loss {
+		n.mu.Lock()
+		n.stats.Lost++
+		n.mu.Unlock()
+		chargeUpstream(ctx, timeout)
+		return nil, timeout, ErrTimeout
+	}
+
+	decoded, err := dnswire.Unpack(wire)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+
+	// Run the handler with a fresh meter so its nested exchanges are
+	// charged to this round trip.
+	meter := &latencyMeter{}
+	resp, err := safeServe(h.handler, context.WithValue(ctx, latencyMeterKey{}, meter), c.src, decoded)
+	if err != nil {
+		return nil, 0, fmt.Errorf("netsim: handler at %v: %w", dst, err)
+	}
+	handlerTime := meter.total()
+
+	respWire, err := resp.Pack()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	n.mu.Lock()
+	n.stats.BytesRecvd += int64(len(respWire))
+	n.mu.Unlock()
+
+	returnWay := srcProfile.OneWay + h.profile.OneWay +
+		n.jitter(srcProfile.Jitter) + n.jitter(h.profile.Jitter)
+
+	// Response packet subject to loss as well.
+	if n.roll() < srcProfile.Loss || n.roll() < h.profile.Loss {
+		n.mu.Lock()
+		n.stats.Lost++
+		n.mu.Unlock()
+		total := timeout + handlerTime
+		chargeUpstream(ctx, total)
+		return nil, total, ErrTimeout
+	}
+
+	respDecoded, err := dnswire.Unpack(respWire)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+
+	rtt := oneWay + handlerTime + returnWay
+	chargeUpstream(ctx, rtt)
+	return respDecoded, rtt, nil
+}

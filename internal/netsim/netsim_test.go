@@ -1,0 +1,337 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dnscde/internal/dnswire"
+)
+
+var (
+	testClient = MustAddr("192.0.2.10")
+	testServer = MustAddr("198.51.100.53")
+)
+
+// echoHandler answers every query with an authoritative NOERROR response.
+func echoHandler() Handler {
+	return HandlerFunc(func(_ context.Context, _ netip.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+		resp := dnswire.NewResponse(q)
+		resp.Header.Authoritative = true
+		return resp, nil
+	})
+}
+
+func TestExchangeDelivers(t *testing.T) {
+	n := New(1)
+	n.Register(testServer, LinkProfile{OneWay: 5 * time.Millisecond}, echoHandler())
+	conn := n.Bind(testClient)
+	resp, rtt, err := conn.Exchange(context.Background(), dnswire.NewQuery(1, "a.example", dnswire.TypeA), testServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Header.Response || !resp.Header.Authoritative {
+		t.Error("response flags wrong")
+	}
+	if rtt != 10*time.Millisecond {
+		t.Errorf("rtt = %v, want 10ms (5ms each way, no jitter)", rtt)
+	}
+}
+
+func TestExchangeNoRoute(t *testing.T) {
+	n := New(1)
+	conn := n.Bind(testClient)
+	_, _, err := conn.Exchange(context.Background(), dnswire.NewQuery(1, "a.example", dnswire.TypeA), testServer)
+	if !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestExchangeCancelledContext(t *testing.T) {
+	n := New(1)
+	n.Register(testServer, LinkProfile{}, echoHandler())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := n.Bind(testClient).Exchange(ctx, dnswire.NewQuery(1, "a.example", dnswire.TypeA), testServer)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExchangeSourceProfileLatency(t *testing.T) {
+	n := New(1)
+	n.Register(testServer, LinkProfile{OneWay: 5 * time.Millisecond}, echoHandler())
+	// Register the client too, so its link latency is charged.
+	n.Register(testClient, LinkProfile{OneWay: 20 * time.Millisecond}, echoHandler())
+	_, rtt, err := n.Bind(testClient).Exchange(context.Background(), dnswire.NewQuery(1, "a.example", dnswire.TypeA), testServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt != 50*time.Millisecond {
+		t.Errorf("rtt = %v, want 50ms (25ms each way)", rtt)
+	}
+}
+
+func TestPacketLossRate(t *testing.T) {
+	n := New(42)
+	// 11% per-packet loss, the paper's Iran measurement. Per exchange the
+	// survival probability is (1-0.11)^2 ≈ 0.792.
+	n.Register(testServer, LinkProfile{Loss: 0.11}, echoHandler())
+	conn := n.Bind(testClient)
+	const trials = 5000
+	losses := 0
+	for i := 0; i < trials; i++ {
+		_, _, err := conn.Exchange(context.Background(), dnswire.NewQuery(uint16(i), "a.example", dnswire.TypeA), testServer)
+		switch {
+		case errors.Is(err, ErrTimeout):
+			losses++
+		case err != nil:
+			t.Fatal(err)
+		}
+	}
+	got := float64(losses) / trials
+	want := 1 - 0.89*0.89
+	if got < want-0.02 || got > want+0.02 {
+		t.Errorf("observed loss %.3f, want ≈%.3f", got, want)
+	}
+}
+
+func TestLossChargesTimeout(t *testing.T) {
+	n := New(7)
+	n.SetTimeout(time.Second)
+	n.Register(testServer, LinkProfile{Loss: 1}, echoHandler())
+	_, rtt, err := n.Bind(testClient).Exchange(context.Background(), dnswire.NewQuery(1, "a.example", dnswire.TypeA), testServer)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if rtt != time.Second {
+		t.Errorf("rtt = %v, want the 1s timeout", rtt)
+	}
+}
+
+func TestNestedExchangeInflatesRTT(t *testing.T) {
+	n := New(1)
+	upstream := MustAddr("203.0.113.1")
+	n.Register(upstream, LinkProfile{OneWay: 30 * time.Millisecond}, echoHandler())
+	// A "resolver" that forwards every query upstream before answering —
+	// the cache-miss path of the timing side channel.
+	resolver := HandlerFunc(func(ctx context.Context, _ netip.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+		_, _, err := n.Bind(testServer).Exchange(ctx, q, upstream)
+		if err != nil {
+			return nil, err
+		}
+		return dnswire.NewResponse(q), nil
+	})
+	n.Register(testServer, LinkProfile{OneWay: 5 * time.Millisecond}, resolver)
+
+	_, rtt, err := n.Bind(testClient).Exchange(context.Background(), dnswire.NewQuery(1, "a.example", dnswire.TypeA), testServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client<->resolver: 10ms. Resolver<->upstream: 2*(5+30) = 70ms.
+	if rtt != 80*time.Millisecond {
+		t.Errorf("rtt = %v, want 80ms including upstream leg", rtt)
+	}
+}
+
+func TestChargeLatency(t *testing.T) {
+	n := New(1)
+	slow := HandlerFunc(func(ctx context.Context, _ netip.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+		ChargeLatency(ctx, 15*time.Millisecond)
+		return dnswire.NewResponse(q), nil
+	})
+	n.Register(testServer, LinkProfile{}, slow)
+	_, rtt, err := n.Bind(testClient).Exchange(context.Background(), dnswire.NewQuery(1, "a.example", dnswire.TypeA), testServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt != 15*time.Millisecond {
+		t.Errorf("rtt = %v, want 15ms of charged processing", rtt)
+	}
+}
+
+func TestChargeLatencyOutsideExchangeIsNoop(t *testing.T) {
+	ChargeLatency(context.Background(), time.Hour) // must not panic
+}
+
+func TestUnregister(t *testing.T) {
+	n := New(1)
+	n.Register(testServer, LinkProfile{}, echoHandler())
+	if !n.Registered(testServer) {
+		t.Fatal("host not registered")
+	}
+	n.Unregister(testServer)
+	if n.Registered(testServer) {
+		t.Fatal("host still registered")
+	}
+	_, _, err := n.Bind(testClient).Exchange(context.Background(), dnswire.NewQuery(1, "a.example", dnswire.TypeA), testServer)
+	if !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute after unregister", err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	n := New(1)
+	n.Register(testServer, LinkProfile{}, echoHandler())
+	conn := n.Bind(testClient)
+	for i := 0; i < 3; i++ {
+		if _, _, err := conn.Exchange(context.Background(), dnswire.NewQuery(uint16(i), "a.example", dnswire.TypeA), testServer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := n.SnapshotStats()
+	if s.Exchanges != 3 {
+		t.Errorf("Exchanges = %d, want 3", s.Exchanges)
+	}
+	if s.BytesSent == 0 || s.BytesRecvd == 0 {
+		t.Error("byte counters not incremented")
+	}
+	if s.Lost != 0 {
+		t.Errorf("Lost = %d, want 0", s.Lost)
+	}
+}
+
+func TestJitterBoundsRTT(t *testing.T) {
+	n := New(99)
+	n.Register(testServer, LinkProfile{OneWay: 10 * time.Millisecond, Jitter: 5 * time.Millisecond}, echoHandler())
+	conn := n.Bind(testClient)
+	for i := 0; i < 200; i++ {
+		_, rtt, err := conn.Exchange(context.Background(), dnswire.NewQuery(uint16(i), "a.example", dnswire.TypeA), testServer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rtt < 20*time.Millisecond || rtt > 30*time.Millisecond {
+			t.Fatalf("rtt = %v outside [20ms, 30ms]", rtt)
+		}
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []time.Duration {
+		n := New(123)
+		n.Register(testServer, LinkProfile{OneWay: 10 * time.Millisecond, Jitter: 8 * time.Millisecond, Loss: 0.05}, echoHandler())
+		conn := n.Bind(testClient)
+		out := make([]time.Duration, 0, 50)
+		for i := 0; i < 50; i++ {
+			_, rtt, _ := conn.Exchange(context.Background(), dnswire.NewQuery(uint16(i), "a.example", dnswire.TypeA), testServer)
+			out = append(out, rtt)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at exchange %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConcurrentExchanges(t *testing.T) {
+	n := New(5)
+	n.Register(testServer, LinkProfile{Jitter: time.Millisecond, Loss: 0.01}, echoHandler())
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn := n.Bind(testClient)
+			for j := 0; j < 20; j++ {
+				_, _, err := conn.Exchange(context.Background(), dnswire.NewQuery(uint16(id), "a.example", dnswire.TypeA), testServer)
+				if err != nil && !errors.Is(err, ErrTimeout) {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := n.SnapshotStats().Exchanges; got != 64*20 {
+		t.Errorf("Exchanges = %d, want %d", got, 64*20)
+	}
+}
+
+func TestAddrRange(t *testing.T) {
+	got := AddrRange(MustAddr("10.0.0.254"), 3)
+	want := []netip.Addr{MustAddr("10.0.0.254"), MustAddr("10.0.0.255"), MustAddr("10.0.1.0")}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("addr %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := AddrRange(MustAddr("10.0.0.1"), 0); len(out) != 0 {
+		t.Errorf("zero-count range returned %v", out)
+	}
+}
+
+func TestExchangeRetryRecoversFromLoss(t *testing.T) {
+	n := New(11)
+	n.Register(testServer, LinkProfile{Loss: 0.5}, echoHandler())
+	conn := n.Bind(testClient)
+	ok := 0
+	for i := 0; i < 200; i++ {
+		_, _, err := ExchangeRetry(context.Background(), conn, dnswire.NewQuery(uint16(i), "a.example", dnswire.TypeA), testServer, 16)
+		if err == nil {
+			ok++
+		}
+	}
+	// Per-attempt success ≈ 0.25, so failing 16 straight ≈ 0.75^16 ≈ 1%;
+	// allow a little slack.
+	if ok < 190 {
+		t.Errorf("only %d/200 retried exchanges succeeded", ok)
+	}
+}
+
+func TestExchangeRetryAccumulatesTime(t *testing.T) {
+	n := New(3)
+	n.SetTimeout(time.Second)
+	n.Register(testServer, LinkProfile{Loss: 1}, echoHandler())
+	_, total, err := ExchangeRetry(context.Background(), n.Bind(testClient), dnswire.NewQuery(1, "a.example", dnswire.TypeA), testServer, 3)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if total != 3*time.Second {
+		t.Errorf("total = %v, want 3s across 3 attempts", total)
+	}
+}
+
+func TestExchangeRetryNonTimeoutFailsFast(t *testing.T) {
+	n := New(3)
+	calls := 0
+	n.Register(testServer, LinkProfile{}, HandlerFunc(func(context.Context, netip.Addr, *dnswire.Message) (*dnswire.Message, error) {
+		calls++
+		return nil, errors.New("boom")
+	}))
+	_, _, err := ExchangeRetry(context.Background(), n.Bind(testClient), dnswire.NewQuery(1, "a.example", dnswire.TypeA), testServer, 5)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if calls != 1 {
+		t.Errorf("handler called %d times, want 1 (no retry on hard errors)", calls)
+	}
+}
+
+func TestHandlerPanicBecomesError(t *testing.T) {
+	n := New(1)
+	n.Register(testServer, LinkProfile{}, HandlerFunc(
+		func(context.Context, netip.Addr, *dnswire.Message) (*dnswire.Message, error) {
+			panic("boom")
+		}))
+	_, _, err := n.Bind(testClient).Exchange(context.Background(),
+		dnswire.NewQuery(1, "a.example", dnswire.TypeA), testServer)
+	if err == nil || !strings.Contains(err.Error(), "handler panic") {
+		t.Errorf("err = %v, want handler panic error", err)
+	}
+	// The network stays usable afterwards.
+	n.Register(testServer, LinkProfile{}, echoHandler())
+	if _, _, err := n.Bind(testClient).Exchange(context.Background(),
+		dnswire.NewQuery(2, "a.example", dnswire.TypeA), testServer); err != nil {
+		t.Errorf("network unusable after panic: %v", err)
+	}
+}

@@ -1,0 +1,34 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"time"
+
+	"dnscde/internal/dnswire"
+)
+
+// ExchangeRetry performs an exchange with up to attempts tries, retrying
+// only on timeout (packet loss). It mirrors a stub resolver's
+// retransmission behaviour and returns the cumulative time spent across
+// all attempts, so lost packets still cost simulated time.
+func ExchangeRetry(ctx context.Context, ex Exchanger, query *dnswire.Message, dst netip.Addr, attempts int) (*dnswire.Message, time.Duration, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var total time.Duration
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		resp, rtt, err := ex.Exchange(ctx, query, dst)
+		total += rtt
+		if err == nil {
+			return resp, total, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrTimeout) {
+			return nil, total, err
+		}
+	}
+	return nil, total, lastErr
+}

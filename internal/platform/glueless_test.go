@@ -1,0 +1,140 @@
+package platform
+
+import (
+	"net/netip"
+	"testing"
+
+	"dnscde/internal/dnswire"
+	"dnscde/internal/loadbal"
+	"dnscde/internal/netsim"
+	"dnscde/internal/zone"
+)
+
+// TestGluelessDelegation exercises the followReferral recursion: the
+// delegated child zone's nameserver host lives in a *different* domain,
+// so the referral carries no glue and the platform must resolve the NS
+// host's address itself before descending.
+func TestGluelessDelegation(t *testing.T) {
+	w := buildWorld(t, 5)
+
+	// glue-ns.example holds the A record of the out-of-zone NS host.
+	nsHostAddr := netip.MustParseAddr("203.0.113.30")
+	nsZone := zone.New("glue-ns.example")
+	if err := zone.Apex(nsZone, "ns.glue-ns.example.", nsHostAddr, 3600); err != nil {
+		t.Fatal(err)
+	}
+	childSrvAddr := netip.MustParseAddr("203.0.113.31")
+	nsZone.MustAdd(dnswire.RR{Name: "childhost.glue-ns.example.", Class: dnswire.ClassIN, TTL: 3600,
+		Data: dnswire.ARecord{Addr: childSrvAddr}})
+	if _, err := w.tree.AttachAuthority(nsHostAddr, netsim.LinkProfile{}, nsZone); err != nil {
+		t.Fatal(err)
+	}
+
+	// glueless.example delegates sub.glueless.example to that host —
+	// with no glue, since the host is out of zone.
+	parent := zone.New("glueless.example")
+	parentAddr := netip.MustParseAddr("203.0.113.32")
+	if err := zone.Apex(parent, "ns.glueless.example.", parentAddr, 3600); err != nil {
+		t.Fatal(err)
+	}
+	parent.MustAdd(dnswire.RR{Name: "sub.glueless.example.", Class: dnswire.ClassIN, TTL: 3600,
+		Data: dnswire.NSRecord{Host: "childhost.glue-ns.example."}})
+	if _, err := w.tree.AttachAuthority(parentAddr, netsim.LinkProfile{}, parent); err != nil {
+		t.Fatal(err)
+	}
+
+	child := zone.New("sub.glueless.example")
+	if err := zone.Apex(child, "childhost.glue-ns.example.", childSrvAddr, 3600); err == nil {
+		// Apex adds the NS host's A record in-zone, which is out of zone
+		// here — build the apex manually instead.
+		t.Fatal("expected out-of-zone apex glue to fail; adjust test")
+	}
+	child = zone.New("sub.glueless.example")
+	child.MustAdd(dnswire.RR{Name: "sub.glueless.example.", Class: dnswire.ClassIN, TTL: 3600,
+		Data: dnswire.SOARecord{MName: "childhost.glue-ns.example.", RName: "h.sub.glueless.example.",
+			Serial: 1, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 60}})
+	child.MustAdd(dnswire.RR{Name: "sub.glueless.example.", Class: dnswire.ClassIN, TTL: 3600,
+		Data: dnswire.NSRecord{Host: "childhost.glue-ns.example."}})
+	child.MustAdd(dnswire.RR{Name: "www.sub.glueless.example.", Class: dnswire.ClassIN, TTL: 300,
+		Data: dnswire.ARecord{Addr: targetAddr}})
+	if _, err := w.tree.AttachAuthority(childSrvAddr, netsim.LinkProfile{}, child); err != nil {
+		t.Fatal(err)
+	}
+
+	p := w.newPlatform(t, nil)
+	resp, _ := query(t, w, p, "www.sub.glueless.example.", dnswire.TypeA)
+	if resp.Header.RCode != dnswire.RCodeNoError || len(resp.Answer) != 1 {
+		t.Fatalf("glueless resolution failed: %s", resp.Summary())
+	}
+	if a := resp.Answer[0].Data.(dnswire.ARecord); a.Addr != targetAddr {
+		t.Errorf("addr = %v", a.Addr)
+	}
+}
+
+func TestGluelessDelegationUnresolvableNS(t *testing.T) {
+	// A delegation whose NS host does not exist anywhere must SERVFAIL,
+	// not loop.
+	w := buildWorld(t, 5)
+	parent := zone.New("deadend.example")
+	parentAddr := netip.MustParseAddr("203.0.113.33")
+	if err := zone.Apex(parent, "ns.deadend.example.", parentAddr, 3600); err != nil {
+		t.Fatal(err)
+	}
+	parent.MustAdd(dnswire.RR{Name: "sub.deadend.example.", Class: dnswire.ClassIN, TTL: 3600,
+		Data: dnswire.NSRecord{Host: "nohost.nowhere.example."}})
+	if _, err := w.tree.AttachAuthority(parentAddr, netsim.LinkProfile{}, parent); err != nil {
+		t.Fatal(err)
+	}
+	p := w.newPlatform(t, nil)
+	resp, _ := query(t, w, p, "www.sub.deadend.example.", dnswire.TypeA)
+	if resp.Header.RCode != dnswire.RCodeServFail {
+		t.Errorf("rcode = %v, want SERVFAIL", resp.Header.RCode)
+	}
+}
+
+func TestEgressRoundRobinPolicy(t *testing.T) {
+	egress := netsim.AddrRange(netip.MustParseAddr("198.51.100.210"), 3)
+	w := buildWorld(t, 12)
+	p := w.newPlatform(t, func(c *Config) {
+		c.EgressIPs = egress
+		c.EgressPolicy = EgressRoundRobin
+		c.Selector = loadbal.NewRoundRobin()
+	})
+	for i := 1; i <= 9; i++ {
+		query(t, w, p, zone.ProbeName(i, "sub.cache.example"), dnswire.TypeA)
+	}
+	seen := w.child.Log().DistinctSources("")
+	if len(seen) != 3 {
+		t.Errorf("round-robin egress used %d IPs, want 3", len(seen))
+	}
+}
+
+func TestEgressPolicyStrings(t *testing.T) {
+	if EgressRandom.String() != "egress-random" ||
+		EgressRoundRobin.String() != "egress-round-robin" ||
+		EgressPerCache.String() != "egress-per-cache" {
+		t.Error("egress policy strings")
+	}
+	if EgressPolicy(9).String() != "egress-policy9" {
+		t.Error("unknown policy string")
+	}
+}
+
+func TestCachesAccessor(t *testing.T) {
+	w := buildWorld(t, 5)
+	p := w.newPlatform(t, func(c *Config) { c.CacheCount = 3 })
+	caches := p.Caches()
+	if len(caches) != 3 {
+		t.Fatalf("Caches() = %d", len(caches))
+	}
+	for i, c := range caches {
+		if c.ID == "" {
+			t.Errorf("cache %d has empty ID", i)
+		}
+	}
+	// The returned slice is a copy.
+	caches[0] = nil
+	if p.Caches()[0] == nil {
+		t.Error("Caches exposed internal slice")
+	}
+}

@@ -1,0 +1,269 @@
+package platform
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+
+	"dnscde/internal/dnscache"
+	"dnscde/internal/dnswire"
+	"dnscde/internal/netsim"
+	"dnscde/internal/trace"
+)
+
+// Platform is a running DNS resolution platform attached to a simulated
+// network. It implements netsim.Handler at each of its ingress IPs and is
+// safe for concurrent use.
+type Platform struct {
+	cfg    Config
+	net    *netsim.Network
+	caches []*dnscache.Cache
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	egressRR  int
+	ingressOf map[netip.Addr]int // ingress IP -> index into cfg.IngressIPs
+	down      []bool             // caches taken out of rotation (§II-B)
+
+	stats PlatformStats
+}
+
+// PlatformStats counts platform-level events, available as ground truth.
+type PlatformStats struct {
+	Queries      int64
+	CacheHits    int64
+	CacheMisses  int64
+	Refused      int64
+	UpstreamFail int64
+}
+
+var _ netsim.Handler = (*Platform)(nil)
+
+// New builds a platform from cfg and registers its ingress IPs on n with
+// the given link profile.
+func New(cfg Config, n *netsim.Network, profile netsim.LinkProfile) (*Platform, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		cfg:       cfg,
+		net:       n,
+		caches:    make([]*dnscache.Cache, cfg.CacheCount),
+		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
+		ingressOf: make(map[netip.Addr]int, len(cfg.IngressIPs)),
+	}
+	p.down = make([]bool, cfg.CacheCount)
+	for i := range p.caches {
+		p.caches[i] = dnscache.New(fmt.Sprintf("%s/cache-%d", cfg.Name, i), cfg.CachePolicy)
+	}
+	for i, ip := range cfg.IngressIPs {
+		p.ingressOf[ip] = i
+		n.Register(ip, profile, &front{p: p, ingress: ip})
+	}
+	return p, nil
+}
+
+// front binds one ingress IP to the platform so the pipeline knows which
+// ingress address a query arrived at (the netsim handler interface only
+// exposes the source).
+type front struct {
+	p       *Platform
+	ingress netip.Addr
+}
+
+var _ netsim.Handler = (*front)(nil)
+
+// ServeDNS implements netsim.Handler.
+func (f *front) ServeDNS(ctx context.Context, src netip.Addr, query *dnswire.Message) (*dnswire.Message, error) {
+	return f.p.serveFrom(ctx, f.ingress, src, query)
+}
+
+// GroundTruth returns the configuration summary the experiments verify
+// CDE's measurements against.
+func (p *Platform) GroundTruth() GroundTruth { return p.cfg.groundTruth() }
+
+// Caches exposes the cache instances for white-box assertions in tests.
+func (p *Platform) Caches() []*dnscache.Cache {
+	out := make([]*dnscache.Cache, len(p.caches))
+	copy(out, p.caches)
+	return out
+}
+
+// Config returns a copy of the platform's configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// SnapshotStats returns a copy of the platform counters.
+func (p *Platform) SnapshotStats() PlatformStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// FlushCaches clears every cache (operator intervention between
+// experiment repetitions).
+func (p *Platform) FlushCaches() {
+	for _, c := range p.caches {
+		c.Flush()
+	}
+}
+
+// SetCacheDown marks cache idx as failed (or restores it): the load
+// balancer stops sampling it. This models the §II-B resilience scenario —
+// "a DNS platform uses four caches, but our tool measures two, namely two
+// are down" — and lets experiments verify CDE detects the failure.
+func (p *Platform) SetCacheDown(idx int, isDown bool) {
+	if idx < 0 || idx >= len(p.caches) {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.down[idx] = isDown
+}
+
+// clusterFor returns the live cache indices reachable via the ingress IP.
+func (p *Platform) clusterFor(ingress netip.Addr) []int {
+	var base []int
+	if idx, ok := p.ingressOf[ingress]; ok && len(p.cfg.IngressClusters) > 0 {
+		base = p.cfg.IngressClusters[idx]
+	} else {
+		base = make([]int, len(p.caches))
+		for i := range base {
+			base[i] = i
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	live := make([]int, 0, len(base))
+	for _, i := range base {
+		if !p.down[i] {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// allowed reports whether the platform will resolve name at all.
+func (p *Platform) allowed(name string) bool {
+	if len(p.cfg.AllowedSuffixes) == 0 {
+		return true
+	}
+	for _, suffix := range p.cfg.AllowedSuffixes {
+		if dnswire.IsSubdomain(name, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// pickEgress chooses the egress IP for one upstream query on behalf of
+// cache cacheIdx.
+func (p *Platform) pickEgress(cacheIdx int) netip.Addr {
+	ips := p.cfg.EgressIPs
+	switch p.cfg.EgressPolicy {
+	case EgressRoundRobin:
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		ip := ips[p.egressRR%len(ips)]
+		p.egressRR++
+		return ip
+	case EgressPerCache:
+		return ips[cacheIdx%len(ips)]
+	default: // EgressRandom
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return ips[p.rng.Intn(len(ips))]
+	}
+}
+
+// count increments one stats counter under the lock.
+func (p *Platform) count(f func(*PlatformStats)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f(&p.stats)
+}
+
+// ServeDNS implements netsim.Handler directly for single-ingress use; the
+// query is treated as having arrived at the first ingress IP.
+func (p *Platform) ServeDNS(ctx context.Context, src netip.Addr, query *dnswire.Message) (*dnswire.Message, error) {
+	return p.serveFrom(ctx, p.cfg.IngressIPs[0], src, query)
+}
+
+// serveFrom is the ingress pipeline of Fig. 1. Exactly one cache is
+// sampled per query (§IV-A); on a miss the egress resolver performs
+// iterative resolution and the result is stored in the sampled cache only.
+func (p *Platform) serveFrom(ctx context.Context, ingress, src netip.Addr, query *dnswire.Message) (*dnswire.Message, error) {
+	q, err := query.FirstQuestion()
+	if err != nil {
+		resp := dnswire.NewResponse(query)
+		resp.Header.RCode = dnswire.RCodeFormErr
+		return resp, nil
+	}
+	p.count(func(s *PlatformStats) { s.Queries++ })
+
+	resp := dnswire.NewResponse(query)
+	resp.Header.RecursionAvailable = true
+
+	if !p.allowed(q.Name) {
+		p.count(func(s *PlatformStats) { s.Refused++ })
+		resp.Header.RCode = dnswire.RCodeRefused
+		return resp, nil
+	}
+
+	// Load balancer: sample exactly one cache from the ingress IP's
+	// cluster. The selector indexes within the cluster so that, e.g.,
+	// round robin cycles over the cluster's caches.
+	cluster := p.clusterFor(ingress)
+	if len(cluster) == 0 {
+		// Every cache behind this ingress IP is down.
+		p.count(func(s *PlatformStats) { s.UpstreamFail++ })
+		resp.Header.RCode = dnswire.RCodeServFail
+		return resp, nil
+	}
+	pos := p.cfg.Selector.Select(q, src, len(cluster))
+	cacheIdx := cluster[pos]
+	cache := p.caches[cacheIdx]
+	trace.Addf(ctx, "lb", "%s selected cache %d of %d for %s", p.cfg.Selector.Name(), cacheIdx, len(cluster), q)
+
+	now := p.cfg.Clock.Now()
+	if entry, ok := cache.Get(q, now); ok {
+		p.count(func(s *PlatformStats) { s.CacheHits++ })
+		trace.Addf(ctx, "cache-hit", "%s answered %s", cache.ID, q)
+		if p.cfg.CacheHitDelay > 0 {
+			netsim.ChargeLatency(ctx, p.cfg.CacheHitDelay)
+		}
+		return p.entryToResponse(resp, entry), nil
+	}
+	p.count(func(s *PlatformStats) { s.CacheMisses++ })
+	trace.Addf(ctx, "cache-miss", "%s lacks %s", cache.ID, q)
+
+	entry, err := p.resolve(ctx, q, cacheIdx)
+	if err != nil {
+		p.count(func(s *PlatformStats) { s.UpstreamFail++ })
+		resp.Header.RCode = dnswire.RCodeServFail
+		return resp, nil
+	}
+	cache.Put(q, entry, p.cfg.Clock.Now())
+
+	// Windows-style follow-up: prefetch the AAAA record for names just
+	// resolved under A (observable at the nameserver as an A→AAAA query
+	// pattern — a §VI software fingerprint).
+	if p.cfg.QueryAAAA && q.Type == dnswire.TypeA {
+		followUp := dnswire.Question{Name: q.Name, Type: dnswire.TypeAAAA, Class: q.Class}
+		if _, ok := cache.Get(followUp, p.cfg.Clock.Now()); !ok {
+			if e6, err := p.resolve(ctx, followUp, cacheIdx); err == nil {
+				cache.Put(followUp, e6, p.cfg.Clock.Now())
+			}
+		}
+	}
+	return p.entryToResponse(resp, entry), nil
+}
+
+// entryToResponse fills resp from a cache entry.
+func (p *Platform) entryToResponse(resp *dnswire.Message, e dnscache.Entry) *dnswire.Message {
+	resp.Header.RCode = e.RCode
+	resp.Answer = append(resp.Answer, e.Records...)
+	resp.Authority = append(resp.Authority, e.Authority...)
+	return resp
+}

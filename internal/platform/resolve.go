@@ -1,0 +1,376 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync/atomic"
+
+	"dnscde/internal/dnscache"
+	"dnscde/internal/dnswire"
+	"dnscde/internal/netsim"
+	"dnscde/internal/trace"
+)
+
+// Resolution errors.
+var (
+	ErrChaseLimit       = errors.New("platform: CNAME chase limit exceeded")
+	ErrReferralLimit    = errors.New("platform: referral depth limit exceeded")
+	ErrAllServersFailed = errors.New("platform: all upstream servers failed")
+	ErrGluelessLoop     = errors.New("platform: glueless delegation recursion limit")
+)
+
+// _queryID generates message IDs for upstream queries.
+var _queryID atomic.Uint32
+
+func nextID() uint16 { return uint16(_queryID.Add(1)) }
+
+// maxGluelessDepth bounds nested resolutions for NS hosts without glue.
+const maxGluelessDepth = 3
+
+// resolve performs full recursive resolution of q on behalf of cache
+// cacheIdx, chasing CNAMEs and caching every record it learns (final
+// answers, intermediate CNAMEs, delegations and glue) into that one cache —
+// the property the paper's names-hierarchy technique (§IV-B2b) observes.
+// Forwarding platforms delegate the recursion to their upstream instead.
+func (p *Platform) resolve(ctx context.Context, q dnswire.Question, cacheIdx int) (dnscache.Entry, error) {
+	if len(p.cfg.Forwarders) > 0 {
+		return p.forwardResolve(ctx, q, cacheIdx)
+	}
+	return p.resolveDepth(ctx, q, cacheIdx, 0)
+}
+
+// forwardResolve sends q as a recursive query to an upstream resolver —
+// the forwarder configuration of §VI. The upstream performs all iterative
+// work (and its own caching); only the final answer lands in this
+// platform's selected cache.
+func (p *Platform) forwardResolve(ctx context.Context, q dnswire.Question, cacheIdx int) (dnscache.Entry, error) {
+	var lastErr error
+	for _, upstream := range p.cfg.Forwarders {
+		egress := p.pickEgress(cacheIdx)
+		conn := p.net.Bind(egress)
+		query := dnswire.NewQuery(nextID(), q.Name, q.Type) // RD set
+		p.maybeAddEDNS(query)
+		trace.Addf(ctx, "forward", "egress %v forwards %s to %v", egress, q, upstream)
+		resp, _, err := netsim.ExchangeRetry(ctx, conn, query, upstream, p.cfg.UpstreamRetries+1)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Header.RCode == dnswire.RCodeServFail || resp.Header.RCode == dnswire.RCodeRefused {
+			lastErr = fmt.Errorf("platform: forwarder %v returned %v", upstream, resp.Header.RCode)
+			continue
+		}
+		return dnscache.Entry{
+			Records:   resp.Answer,
+			RCode:     resp.Header.RCode,
+			Authority: resp.Authority,
+		}, nil
+	}
+	return dnscache.Entry{}, fmt.Errorf("%w: %v", ErrAllServersFailed, lastErr)
+}
+
+func (p *Platform) resolveDepth(ctx context.Context, q dnswire.Question, cacheIdx, depth int) (dnscache.Entry, error) {
+	cache := p.caches[cacheIdx]
+	var chain []dnswire.RR
+	name := q.Name
+	visited := map[string]bool{name: true}
+	for hop := 0; hop <= p.cfg.MaxCNAMEChase; hop++ {
+		cur := dnswire.Question{Name: name, Type: q.Type, Class: q.Class}
+		if hop > 0 {
+			// The original name was already checked by the ingress
+			// pipeline; chased targets may be cached from earlier probes.
+			if e, ok := cache.Get(cur, p.cfg.Clock.Now()); ok {
+				return mergeChain(chain, e), nil
+			}
+		}
+		out, err := p.resolveIterative(ctx, cur, cacheIdx, depth)
+		if err != nil {
+			return dnscache.Entry{}, err
+		}
+		now := p.cfg.Clock.Now()
+		if out.cname != "" {
+			trace.Addf(ctx, "cname", "%s is an alias for %s", name, out.cname)
+			chain = append(chain, out.chainRRs...)
+			// Cache the alias under its own name and type so later
+			// resolutions of the same alias skip the upstream query.
+			cache.Put(cur, dnscache.Entry{Records: out.chainRRs}, now)
+			if visited[out.cname] {
+				return dnscache.Entry{}, ErrChaseLimit // CNAME loop
+			}
+			visited[out.cname] = true
+			name = out.cname
+			continue
+		}
+		if hop > 0 {
+			// Terminal data for a chased target: cache it under the
+			// target's question; the caller caches the full chain under
+			// the original question.
+			cache.Put(cur, out.entry, now)
+		}
+		return mergeChain(chain, out.entry), nil
+	}
+	return dnscache.Entry{}, ErrChaseLimit
+}
+
+// mergeChain prepends accumulated CNAME records to a terminal entry.
+func mergeChain(chain []dnswire.RR, e dnscache.Entry) dnscache.Entry {
+	if len(chain) == 0 {
+		return e
+	}
+	merged := dnscache.Entry{RCode: e.RCode, Authority: e.Authority}
+	merged.Records = append(merged.Records, chain...)
+	merged.Records = append(merged.Records, e.Records...)
+	return merged
+}
+
+// iterOut is one step of iterative resolution: either a terminal entry or
+// a CNAME redirection.
+type iterOut struct {
+	entry    dnscache.Entry
+	cname    string       // non-empty: caller must chase
+	chainRRs []dnswire.RR // the CNAME records leading to cname
+}
+
+// resolveIterative walks the delegation tree for one concrete question,
+// starting from the deepest cached delegation (or the roots), following
+// referrals and caching what it learns.
+func (p *Platform) resolveIterative(ctx context.Context, q dnswire.Question, cacheIdx, depth int) (iterOut, error) {
+	cache := p.caches[cacheIdx]
+	servers := p.startingServers(cache, q.Name)
+
+	for ref := 0; ref < p.cfg.MaxReferrals; ref++ {
+		resp, err := p.askAny(ctx, q, servers, cacheIdx)
+		if err != nil {
+			return iterOut{}, err
+		}
+
+		switch {
+		case resp.Header.RCode == dnswire.RCodeNXDomain:
+			return iterOut{entry: dnscache.Entry{
+				RCode:     dnswire.RCodeNXDomain,
+				Authority: resp.Authority,
+			}}, nil
+
+		case len(resp.Answer) > 0:
+			return p.interpretAnswer(q, resp)
+
+		case hasNS(resp.Authority):
+			next, err := p.followReferral(ctx, resp, cacheIdx, depth)
+			if err != nil {
+				return iterOut{}, err
+			}
+			servers = next
+
+		default:
+			// NOERROR with no answer and no referral: NODATA.
+			return iterOut{entry: dnscache.Entry{
+				RCode:     dnswire.RCodeNoError,
+				Authority: resp.Authority,
+			}}, nil
+		}
+	}
+	return iterOut{}, ErrReferralLimit
+}
+
+// interpretAnswer extracts the relevant records for q from a response's
+// answer section.
+func (p *Platform) interpretAnswer(q dnswire.Question, resp *dnswire.Message) (iterOut, error) {
+	// Direct records of the requested type win.
+	direct := recordsFor(resp.Answer, q.Name, q.Type)
+	if len(direct) > 0 {
+		return iterOut{entry: dnscache.Entry{Records: direct}}, nil
+	}
+	cnames := recordsFor(resp.Answer, q.Name, dnswire.TypeCNAME)
+	if len(cnames) == 0 {
+		// Answer section holds nothing usable for this question.
+		return iterOut{entry: dnscache.Entry{RCode: dnswire.RCodeNoError, Authority: resp.Authority}}, nil
+	}
+	first := cnames[0]
+	target := dnswire.CanonicalName(first.Data.(dnswire.CNAMERecord).Target)
+
+	if !p.cfg.TrustAnswerChains {
+		// Hardened behaviour: accept only the alias itself and re-query
+		// the target — the behaviour §IV-B2a relies on.
+		return iterOut{cname: target, chainRRs: []dnswire.RR{first}}, nil
+	}
+
+	// BIND-style: walk the chain the authoritative server appended.
+	chain := []dnswire.RR{first}
+	seen := map[string]bool{q.Name: true}
+	for hops := 0; hops < p.cfg.MaxCNAMEChase; hops++ {
+		if seen[target] {
+			return iterOut{}, ErrChaseLimit
+		}
+		seen[target] = true
+		if finals := recordsFor(resp.Answer, target, q.Type); len(finals) > 0 {
+			return iterOut{entry: dnscache.Entry{Records: append(chain, finals...)}}, nil
+		}
+		next := recordsFor(resp.Answer, target, dnswire.TypeCNAME)
+		if len(next) == 0 {
+			// Chain leaves the response; chase the tail ourselves.
+			return iterOut{cname: target, chainRRs: chain}, nil
+		}
+		chain = append(chain, next[0])
+		target = dnswire.CanonicalName(next[0].Data.(dnswire.CNAMERecord).Target)
+	}
+	return iterOut{}, ErrChaseLimit
+}
+
+// followReferral caches the delegation carried by resp and returns the
+// addresses of the child zone's nameservers, resolving glueless NS hosts
+// recursively when needed.
+func (p *Platform) followReferral(ctx context.Context, resp *dnswire.Message, cacheIdx, depth int) ([]netip.Addr, error) {
+	cache := p.caches[cacheIdx]
+	now := p.cfg.Clock.Now()
+
+	nsSet := filterType(resp.Authority, dnswire.TypeNS)
+	cut := dnswire.CanonicalName(nsSet[0].Name)
+	trace.Addf(ctx, "referral", "delegation to %s (%d NS, %d glue)", cut, len(nsSet), len(resp.Additional))
+	cache.Put(dnswire.Question{Name: cut, Type: dnswire.TypeNS, Class: dnswire.ClassIN},
+		dnscache.Entry{Records: nsSet}, now)
+
+	var addrs []netip.Addr
+	for _, glue := range resp.Additional {
+		a, ok := glue.Data.(dnswire.ARecord)
+		if !ok {
+			continue
+		}
+		addrs = append(addrs, a.Addr)
+		cache.Put(dnswire.Question{Name: dnswire.CanonicalName(glue.Name), Type: dnswire.TypeA, Class: dnswire.ClassIN},
+			dnscache.Entry{Records: []dnswire.RR{glue}}, now)
+	}
+	if len(addrs) > 0 {
+		return addrs, nil
+	}
+
+	// Glueless delegation: resolve the NS hosts' addresses ourselves.
+	if depth >= maxGluelessDepth {
+		return nil, ErrGluelessLoop
+	}
+	for _, ns := range nsSet {
+		host := dnswire.CanonicalName(ns.Data.(dnswire.NSRecord).Host)
+		e, err := p.resolveDepth(ctx, dnswire.Question{Name: host, Type: dnswire.TypeA, Class: dnswire.ClassIN}, cacheIdx, depth+1)
+		if err != nil {
+			continue
+		}
+		for _, rr := range e.Records {
+			if a, ok := rr.Data.(dnswire.ARecord); ok {
+				addrs = append(addrs, a.Addr)
+			}
+		}
+		if len(addrs) > 0 {
+			break
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, ErrAllServersFailed
+	}
+	return addrs, nil
+}
+
+// askAny tries the given servers in order until one answers, each with the
+// configured retry budget, picking a fresh egress IP per query.
+func (p *Platform) askAny(ctx context.Context, q dnswire.Question, servers []netip.Addr, cacheIdx int) (*dnswire.Message, error) {
+	if len(servers) == 0 {
+		return nil, ErrAllServersFailed
+	}
+	var lastErr error
+	for _, server := range servers {
+		egress := p.pickEgress(cacheIdx)
+		conn := p.net.Bind(egress)
+		query := dnswire.NewQuery(nextID(), q.Name, q.Type)
+		query.Header.RecursionDesired = false
+		p.maybeAddEDNS(query)
+		trace.Addf(ctx, "upstream", "egress %v asks %v for %s", egress, server, q)
+		resp, _, err := netsim.ExchangeRetry(ctx, conn, query, server, p.cfg.UpstreamRetries+1)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Header.RCode == dnswire.RCodeRefused || resp.Header.RCode == dnswire.RCodeServFail {
+			lastErr = fmt.Errorf("platform: upstream %v returned %v", server, resp.Header.RCode)
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrAllServersFailed, lastErr)
+}
+
+// maybeAddEDNS attaches an EDNS0 OPT pseudo-record to an upstream query
+// when the platform is configured for it.
+func (p *Platform) maybeAddEDNS(query *dnswire.Message) {
+	if !p.cfg.EDNS {
+		return
+	}
+	query.Additional = append(query.Additional, dnswire.RR{
+		Name:  ".",
+		Class: dnswire.Class(dnswire.MaxEDNSSize),
+		Data:  dnswire.OPTRecord{UDPSize: dnswire.MaxEDNSSize},
+	})
+}
+
+// startingServers finds the deepest delegation cached for name — the
+// mechanism that makes §IV-B2b observable: a cache holding the
+// sub.cache.example delegation asks the child directly, while a fresh
+// cache must visit the parent.
+func (p *Platform) startingServers(cache *dnscache.Cache, name string) []netip.Addr {
+	labels := dnswire.SplitLabels(name)
+	now := p.cfg.Clock.Now()
+	for i := 0; i < len(labels); i++ {
+		zoneName := strings.Join(labels[i:], ".") + "."
+		nsEntry, ok := cache.Get(dnswire.Question{Name: zoneName, Type: dnswire.TypeNS, Class: dnswire.ClassIN}, now)
+		if !ok {
+			continue
+		}
+		var addrs []netip.Addr
+		for _, ns := range nsEntry.Records {
+			nsr, ok := ns.Data.(dnswire.NSRecord)
+			if !ok {
+				continue
+			}
+			host := dnswire.CanonicalName(nsr.Host)
+			if aEntry, ok := cache.Get(dnswire.Question{Name: host, Type: dnswire.TypeA, Class: dnswire.ClassIN}, now); ok {
+				for _, rr := range aEntry.Records {
+					if a, ok := rr.Data.(dnswire.ARecord); ok {
+						addrs = append(addrs, a.Addr)
+					}
+				}
+			}
+		}
+		if len(addrs) > 0 {
+			return addrs
+		}
+	}
+	return append([]netip.Addr(nil), p.cfg.Roots...)
+}
+
+// recordsFor selects records owned by name with the given type.
+func recordsFor(rrs []dnswire.RR, name string, t dnswire.Type) []dnswire.RR {
+	name = dnswire.CanonicalName(name)
+	var out []dnswire.RR
+	for _, rr := range rrs {
+		if rr.Type() == t && dnswire.CanonicalName(rr.Name) == name {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// filterType selects records of type t.
+func filterType(rrs []dnswire.RR, t dnswire.Type) []dnswire.RR {
+	var out []dnswire.RR
+	for _, rr := range rrs {
+		if rr.Type() == t {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// hasNS reports whether rrs contains an NS record.
+func hasNS(rrs []dnswire.RR) bool {
+	return len(filterType(rrs, dnswire.TypeNS)) > 0
+}

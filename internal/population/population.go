@@ -1,0 +1,480 @@
+// Package population synthesises the three network datasets of the
+// paper's §III data collection: networks operating open resolvers
+// (Alexa top-10K derived, 1739 IPs in 63 countries), enterprise networks
+// probed via their email servers (Alexa top-1K enterprises), and ISP
+// networks probed via an ad network (>12K web clients).
+//
+// The live Internet is not available offline, so each dataset's *ground
+// truth* (operator, country, packet loss, ingress/egress/cache topology,
+// cache-selection strategy) is drawn from parametric distributions fitted
+// to the aggregates the paper reports: the operator shares of Fig. 2, the
+// egress-IP CDFs of Fig. 3, the cache-count CDFs of Fig. 4, the IP-vs-
+// cache masses of Figs. 5–8 and the §IV-A note that >80% of networks use
+// unpredictable cache selection. The experiment drivers then *measure*
+// these populations with CDE and compare measured against both ground
+// truth and the paper's aggregates.
+package population
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dnscde/internal/dnscache"
+	"dnscde/internal/loadbal"
+	"dnscde/internal/smtpsim"
+)
+
+// Kind identifies a dataset.
+type Kind string
+
+// Dataset kinds, matching the paper's three collection channels.
+const (
+	OpenResolvers Kind = "open-resolvers"
+	Enterprises   Kind = "enterprises"
+	ISPs          Kind = "isps"
+)
+
+// OperatorShare is one row of Fig. 2.
+type OperatorShare struct {
+	Name  string
+	Share float64 // percent of the dataset
+}
+
+// Fig. 2 operator tables (percentages as published).
+var (
+	OpenResolverOperators = []OperatorShare{
+		{"Aruba S.p.A.", 9.597},
+		{"Google Inc.", 6.59},
+		{"Korea Telecom", 4.095},
+		{"INTERNET CZ, a.s.", 3.199},
+		{"tw telecom holdings, inc.", 3.135},
+		{"LG DACOM Corporation", 2.687},
+		{"Data Communication Business Group", 2.175},
+		{"Getty Images", 1.727},
+		{"CNCGROUP IP network China169 Beijing", 1.536},
+		{"Level 3 Communications, Inc.", 1.536},
+		{"OTHER", 63.72},
+	}
+	EnterpriseOperators = []OperatorShare{
+		{"Google Inc.", 24.211},
+		{"Yandex LLC", 10.526},
+		{"Amazon.com, Inc.", 4.2105},
+		{"Hangzhou Alibaba Advertising Co.,Ltd.", 4.2105},
+		{"Internet Initiative Japan Inc.", 4.2105},
+		{"Websense Hosted Security Network", 4.2105},
+		{"SAKURA Internet Inc.", 3.1579},
+		{"ADVANCEDHOSTERS LIMITED", 2.1053},
+		{"Dadeh Gostar Asr Novin P.J.S. Co.", 2.1053},
+		{"Limited liability company Mail.Ru", 2.1053},
+		{"OTHER", 38.947},
+	}
+	ISPOperators = []OperatorShare{
+		{"Comcast Cable Communications, Inc.", 15.02},
+		{"Time Warner Cable Internet LLC", 6.103},
+		{"Orange S.A.", 5.634},
+		{"Google Inc.", 4.695},
+		{"BT Public Internet Service", 4.225},
+		{"MCI Communications Services, Inc. Verizon", 3.286},
+		{"AT&T Services, Inc.", 2.817},
+		{"OVH SAS", 2.817},
+		{"Free SAS", 2.347},
+		{"Qwest Communications Company, LLC", 2.347},
+		{"OTHER", 50.7},
+	}
+)
+
+// operatorCountry maps operators to countries with distinctive packet
+// loss in the paper's measurements (§V: Iran 11%, China ~4%, typical 1%).
+var operatorCountry = map[string]string{
+	"CNCGROUP IP network China169 Beijing":  "CN",
+	"Hangzhou Alibaba Advertising Co.,Ltd.": "CN",
+	"Dadeh Gostar Asr Novin P.J.S. Co.":     "IR",
+	"Korea Telecom":                         "KR",
+	"LG DACOM Corporation":                  "KR",
+	"Yandex LLC":                            "RU",
+	"Limited liability company Mail.Ru":     "RU",
+	"Orange S.A.":                           "FR",
+	"Free SAS":                              "FR",
+	"OVH SAS":                               "FR",
+	"BT Public Internet Service":            "GB",
+	"Internet Initiative Japan Inc.":        "JP",
+	"SAKURA Internet Inc.":                  "JP",
+	"Aruba S.p.A.":                          "IT",
+	"INTERNET CZ, a.s.":                     "CZ",
+}
+
+// LossForCountry returns the per-packet loss probability the paper
+// measured for the country.
+func LossForCountry(country string) float64 {
+	switch country {
+	case "IR":
+		return 0.11
+	case "CN":
+		return 0.04
+	default:
+		return 0.01
+	}
+}
+
+// SelectorKind names a cache-selection strategy in a NetworkSpec.
+type SelectorKind string
+
+// Selector kinds.
+const (
+	SelRandom     SelectorKind = "random"
+	SelRoundRobin SelectorKind = "round-robin"
+	SelHashQName  SelectorKind = "hash-qname"
+	SelHashSource SelectorKind = "hash-source-ip"
+)
+
+// NetworkSpec is the ground truth of one synthetic network.
+type NetworkSpec struct {
+	Name     string
+	Kind     Kind
+	Operator string
+	Country  string
+	// Loss is the per-packet loss probability of the network's links.
+	Loss float64
+	// Latency is the one-way base delay of the network's links.
+	Latency time.Duration
+	// Jitter is the per-direction uniform jitter bound.
+	Jitter time.Duration
+
+	Ingress, Egress, Caches int
+	Selector                SelectorKind
+	// MinTTL/MaxTTL are optional cache clamps (the paper's §II-C
+	// footnote); zero means unset.
+	MinTTL, MaxTTL time.Duration
+	// EDNS reports whether the platform attaches EDNS0 to upstream
+	// queries; §II-C motivates measuring its adoption. The sampled
+	// adoption rate is EDNSAdoptionRate.
+	EDNS bool
+
+	// SMTPPolicy is set for enterprise networks (Table I channel).
+	SMTPPolicy smtpsim.CheckPolicy
+}
+
+// SingleSingle reports whether the network uses one ingress IP and one
+// cache — the Fig. 6 category dominating open resolvers.
+func (s NetworkSpec) SingleSingle() bool { return s.Ingress == 1 && s.Caches == 1 }
+
+// MultiMulti reports whether the network uses multiple ingress IPs and
+// multiple caches.
+func (s NetworkSpec) MultiMulti() bool { return s.Ingress > 1 && s.Caches > 1 }
+
+// MakeSelector instantiates the spec's load-balancing strategy.
+func (s NetworkSpec) MakeSelector(seed int64) loadbal.Selector {
+	switch s.Selector {
+	case SelRoundRobin:
+		return loadbal.NewRoundRobin()
+	case SelHashQName:
+		return loadbal.HashQName{}
+	case SelHashSource:
+		return loadbal.HashSourceIP{}
+	default:
+		return loadbal.NewRandom(seed)
+	}
+}
+
+// CachePolicy builds the spec's cache policy.
+func (s NetworkSpec) CachePolicy() dnscache.Policy {
+	return dnscache.Policy{MinTTL: s.MinTTL, MaxTTL: s.MaxTTL}
+}
+
+// Dataset is a generated population.
+type Dataset struct {
+	Kind  Kind
+	Specs []NetworkSpec
+}
+
+// Generate builds a dataset of the given kind with count networks, using
+// rng for every random choice (deterministic per seed).
+func Generate(kind Kind, count int, rng *rand.Rand) Dataset {
+	specs := make([]NetworkSpec, 0, count)
+	for i := 0; i < count; i++ {
+		var spec NetworkSpec
+		switch kind {
+		case OpenResolvers:
+			spec = openResolverSpec(rng)
+		case Enterprises:
+			spec = enterpriseSpec(rng)
+		case ISPs:
+			spec = ispSpec(rng)
+		default:
+			panic(fmt.Sprintf("population: unknown kind %q", kind))
+		}
+		spec.Kind = kind
+		spec.Name = fmt.Sprintf("%s-%d", kind, i)
+		specs = append(specs, spec)
+	}
+	return Dataset{Kind: kind, Specs: specs}
+}
+
+// pickOperator samples an operator from a Fig. 2 table; OTHER is expanded
+// to a synthetic long-tail name.
+func pickOperator(rng *rand.Rand, table []OperatorShare) string {
+	total := 0.0
+	for _, op := range table {
+		total += op.Share
+	}
+	x := rng.Float64() * total
+	for _, op := range table {
+		x -= op.Share
+		if x < 0 {
+			if op.Name == "OTHER" {
+				return fmt.Sprintf("AS%d Networks", 1000+rng.Intn(64000))
+			}
+			return op.Name
+		}
+	}
+	return table[len(table)-1].Name
+}
+
+// pickCountry assigns a country consistent with the operator; unknown
+// operators get a generic distribution with the paper's loss outliers.
+func pickCountry(rng *rand.Rand, operator string) string {
+	if c, ok := operatorCountry[operator]; ok {
+		return c
+	}
+	x := rng.Float64()
+	switch {
+	case x < 0.35:
+		return "US"
+	case x < 0.50:
+		return "DE"
+	case x < 0.60:
+		return "GB"
+	case x < 0.70:
+		return "FR"
+	case x < 0.78:
+		return "JP"
+	case x < 0.86:
+		return "BR"
+	case x < 0.92:
+		return "KR"
+	case x < 0.96:
+		return "CN"
+	case x < 0.98:
+		return "IR"
+	default:
+		return "AU"
+	}
+}
+
+// pickSelector implements §IV-A's ">80% unpredictable" observation.
+func pickSelector(rng *rand.Rand) SelectorKind {
+	x := rng.Float64()
+	switch {
+	case x < 0.82:
+		return SelRandom
+	case x < 0.92:
+		return SelRoundRobin
+	case x < 0.96:
+		return SelHashQName
+	default:
+		return SelHashSource
+	}
+}
+
+// EDNSAdoptionRate is the ground-truth fraction of platforms advertising
+// EDNS0, in line with mid-2010s resolver measurements.
+const EDNSAdoptionRate = 0.75
+
+// maybeTTLClamps gives ~10% of networks a min-TTL and ~10% a max-TTL
+// clamp (§II-C footnote), and samples EDNS adoption.
+func maybeTTLClamps(rng *rand.Rand, spec *NetworkSpec) {
+	if rng.Float64() < 0.10 {
+		spec.MinTTL = time.Duration(30+rng.Intn(270)) * time.Second
+	}
+	if rng.Float64() < 0.10 {
+		spec.MaxTTL = time.Duration(3600+rng.Intn(82800)) * time.Second
+	}
+	spec.EDNS = rng.Float64() < EDNSAdoptionRate
+}
+
+// baseLink samples latency/jitter and derives loss from the country.
+func baseLink(rng *rand.Rand, spec *NetworkSpec) {
+	spec.Loss = LossForCountry(spec.Country)
+	spec.Latency = time.Duration(2+rng.Intn(30)) * time.Millisecond
+	spec.Jitter = time.Duration(rng.Intn(3)) * time.Millisecond
+}
+
+// logNormalInt samples round(exp(N(ln(median), sigma))) clamped to
+// [lo, hi].
+func logNormalInt(rng *rand.Rand, median float64, sigma float64, lo, hi int) int {
+	v := int(math.Round(math.Exp(math.Log(median) + sigma*rng.NormFloat64())))
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// openResolverSpec: Fig. 5/6 — ~70% single IP + single cache, 85% with
+// ≤5 egress IPs, 70% with 1–2 caches, and a tiny tail of huge public
+// platforms (>500 IPs, >30 caches).
+func openResolverSpec(rng *rand.Rand) NetworkSpec {
+	spec := NetworkSpec{}
+	spec.Operator = pickOperator(rng, OpenResolverOperators)
+	spec.Country = pickCountry(rng, spec.Operator)
+	baseLink(rng, &spec)
+	spec.Selector = pickSelector(rng)
+	maybeTTLClamps(rng, &spec)
+
+	x := rng.Float64()
+	switch {
+	case x < 0.70: // single address, single cache
+		spec.Ingress, spec.Egress, spec.Caches = 1, 1, 1
+	case x < 0.85: // small
+		spec.Ingress = 1 + rng.Intn(3)
+		spec.Egress = 1 + rng.Intn(4)
+		spec.Caches = 2 + rng.Intn(3)
+	case x < 0.95: // medium
+		spec.Ingress = 2 + rng.Intn(9)
+		spec.Egress = 2 + rng.Intn(7)
+		spec.Caches = 2 + rng.Intn(5)
+	case x < 0.99: // large
+		spec.Ingress = 10 + rng.Intn(90)
+		spec.Egress = 5 + rng.Intn(25)
+		spec.Caches = 5 + rng.Intn(11)
+	default: // huge public platform
+		spec.Ingress = 500 + rng.Intn(400)
+		spec.Egress = 30 + rng.Intn(170)
+		spec.Caches = 31 + rng.Intn(30)
+	}
+	return spec
+}
+
+// enterpriseSpec: Fig. 3/4/7 — 50% with more than 20 egress IPs, 65%
+// with 1–4 caches, <5% single/single, >80% multi/multi.
+func enterpriseSpec(rng *rand.Rand) NetworkSpec {
+	spec := NetworkSpec{}
+	spec.Operator = pickOperator(rng, EnterpriseOperators)
+	spec.Country = pickCountry(rng, spec.Operator)
+	baseLink(rng, &spec)
+	spec.Selector = pickSelector(rng)
+	maybeTTLClamps(rng, &spec)
+	spec.SMTPPolicy = SampleCheckPolicy(rng)
+
+	if rng.Float64() < 0.04 { // rare single/single
+		spec.Ingress, spec.Egress, spec.Caches = 1, 1, 1
+		return spec
+	}
+	spec.Ingress = 2 + rng.Intn(29)
+	spec.Egress = logNormalInt(rng, 20, 0.8, 2, 120)
+	x := rng.Float64()
+	switch {
+	case x < 0.13:
+		spec.Caches = 1
+	case x < 0.34:
+		spec.Caches = 2
+	case x < 0.52:
+		spec.Caches = 3
+	case x < 0.67:
+		spec.Caches = 4
+	case x < 0.87:
+		spec.Caches = 5 + rng.Intn(4)
+	case x < 0.97:
+		spec.Caches = 9 + rng.Intn(12)
+	default:
+		spec.Caches = 21 + rng.Intn(15)
+	}
+	return spec
+}
+
+// ispSpec: Fig. 3/4/8 — 50% with more than 11 egress IPs, ~60% with 1–3
+// caches, <10% single/single, ~65% multi/multi; smaller than enterprises
+// on both axes.
+func ispSpec(rng *rand.Rand) NetworkSpec {
+	spec := NetworkSpec{}
+	spec.Operator = pickOperator(rng, ISPOperators)
+	spec.Country = pickCountry(rng, spec.Operator)
+	baseLink(rng, &spec)
+	spec.Selector = pickSelector(rng)
+	maybeTTLClamps(rng, &spec)
+
+	x := rng.Float64()
+	switch {
+	case x < 0.08: // single/single
+		spec.Ingress, spec.Egress, spec.Caches = 1, 1, 1
+	case x < 0.20: // multiple IPs, one cache
+		spec.Ingress = 2 + rng.Intn(8)
+		spec.Egress = logNormalInt(rng, 8, 0.6, 1, 40)
+		spec.Caches = 1
+	case x < 0.35: // one ingress IP, multiple caches
+		spec.Ingress = 1
+		spec.Egress = logNormalInt(rng, 11, 0.6, 1, 50)
+		spec.Caches = 2 + sampleISPCacheExtra(rng)
+	default: // multi/multi
+		spec.Ingress = 2 + rng.Intn(12)
+		spec.Egress = logNormalInt(rng, 13, 0.7, 2, 60)
+		spec.Caches = 2 + sampleISPCacheExtra(rng)
+	}
+	return spec
+}
+
+// sampleISPCacheExtra returns caches-2 for multi-cache ISP networks: half
+// stay at 2–3 so that the overall ≤3 share lands near 60%.
+func sampleISPCacheExtra(rng *rand.Rand) int {
+	x := rng.Float64()
+	switch {
+	case x < 0.30:
+		return 0 // 2 caches
+	case x < 0.55:
+		return 1 // 3 caches
+	case x < 0.85:
+		return 2 + rng.Intn(3) // 4-6
+	default:
+		return 5 + rng.Intn(7) // 7-13
+	}
+}
+
+// SampleCheckPolicy draws an SMTP check policy with the Table I marginal
+// fractions.
+func SampleCheckPolicy(rng *rand.Rand) smtpsim.CheckPolicy {
+	f := smtpsim.DefaultTableIFractions
+	return smtpsim.CheckPolicy{
+		SPFTXT:   rng.Float64() < f["spf-txt"],
+		SPFQtype: rng.Float64() < f["spf-qtype"],
+		DKIM:     rng.Float64() < f["dkim"],
+		ADSP:     rng.Float64() < f["adsp"],
+		DMARC:    rng.Float64() < f["dmarc"],
+		MXBounce: rng.Float64() < f["mx-bounce"],
+	}
+}
+
+// OperatorShares tallies the operator distribution of a dataset,
+// collapsing synthetic long-tail names into OTHER — the measurement that
+// regenerates Fig. 2.
+func (d Dataset) OperatorShares() map[string]float64 {
+	known := make(map[string]bool)
+	var table []OperatorShare
+	switch d.Kind {
+	case OpenResolvers:
+		table = OpenResolverOperators
+	case Enterprises:
+		table = EnterpriseOperators
+	default:
+		table = ISPOperators
+	}
+	for _, op := range table {
+		known[op.Name] = true
+	}
+	counts := make(map[string]int)
+	for _, spec := range d.Specs {
+		name := spec.Operator
+		if !known[name] {
+			name = "OTHER"
+		}
+		counts[name]++
+	}
+	shares := make(map[string]float64, len(counts))
+	for name, c := range counts {
+		shares[name] = float64(c) / float64(len(d.Specs))
+	}
+	return shares
+}

@@ -1,0 +1,281 @@
+package population
+
+import (
+	"math/rand"
+	"testing"
+
+	"dnscde/internal/stats"
+)
+
+const _bigN = 4000
+
+func generate(t *testing.T, kind Kind) Dataset {
+	t.Helper()
+	return Generate(kind, _bigN, rand.New(rand.NewSource(7)))
+}
+
+func TestGenerateCounts(t *testing.T) {
+	d := Generate(OpenResolvers, 10, rand.New(rand.NewSource(1)))
+	if len(d.Specs) != 10 {
+		t.Fatalf("specs = %d", len(d.Specs))
+	}
+	for i, s := range d.Specs {
+		if s.Name == "" || s.Operator == "" || s.Country == "" {
+			t.Errorf("spec %d incomplete: %+v", i, s)
+		}
+		if s.Ingress < 1 || s.Egress < 1 || s.Caches < 1 {
+			t.Errorf("spec %d degenerate topology: %+v", i, s)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(ISPs, 50, rand.New(rand.NewSource(3)))
+	b := Generate(ISPs, 50, rand.New(rand.NewSource(3)))
+	for i := range a.Specs {
+		if a.Specs[i] != b.Specs[i] {
+			t.Fatalf("spec %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestOpenResolverShape(t *testing.T) {
+	d := generate(t, OpenResolvers)
+	single := 0
+	egress := make([]int, 0, _bigN)
+	caches := make([]int, 0, _bigN)
+	for _, s := range d.Specs {
+		if s.SingleSingle() {
+			single++
+		}
+		egress = append(egress, s.Egress)
+		caches = append(caches, s.Caches)
+	}
+	// Fig. 6: almost 70% single IP + single cache.
+	frac := float64(single) / _bigN
+	if frac < 0.65 || frac < 0.60 {
+		if frac < 0.65 || frac > 0.75 {
+			t.Errorf("single/single = %.3f, want ≈0.70", frac)
+		}
+	}
+	// Fig. 3: 85% use 5 or fewer egress IPs.
+	if got := stats.NewCDFInts(egress).At(5); got < 0.80 || got > 0.92 {
+		t.Errorf("P(egress ≤ 5) = %.3f, want ≈0.85", got)
+	}
+	// Fig. 4: 70% use 1–2 caches.
+	if got := stats.NewCDFInts(caches).At(2); got < 0.65 || got > 0.90 {
+		t.Errorf("P(caches ≤ 2) = %.3f, want ≈0.70+", got)
+	}
+}
+
+func TestEnterpriseShape(t *testing.T) {
+	d := generate(t, Enterprises)
+	single, multi := 0, 0
+	egress := make([]int, 0, _bigN)
+	caches := make([]int, 0, _bigN)
+	for _, s := range d.Specs {
+		if s.SingleSingle() {
+			single++
+		}
+		if s.MultiMulti() {
+			multi++
+		}
+		egress = append(egress, s.Egress)
+		caches = append(caches, s.Caches)
+	}
+	// Fig. 3: 50% of enterprises use more than 20 egress IPs.
+	if got := stats.NewCDFInts(egress).Above(20); got < 0.40 || got > 0.60 {
+		t.Errorf("P(egress > 20) = %.3f, want ≈0.50", got)
+	}
+	// Fig. 4: 65% use 1–4 caches.
+	if got := stats.NewCDFInts(caches).At(4); got < 0.58 || got > 0.75 {
+		t.Errorf("P(caches ≤ 4) = %.3f, want ≈0.65", got)
+	}
+	// Fig. 6: less than 5% single/single, more than 80% multi/multi.
+	if frac := float64(single) / _bigN; frac > 0.05 {
+		t.Errorf("single/single = %.3f, want < 0.05", frac)
+	}
+	if frac := float64(multi) / _bigN; frac < 0.80 {
+		t.Errorf("multi/multi = %.3f, want > 0.80", frac)
+	}
+}
+
+func TestISPShape(t *testing.T) {
+	d := generate(t, ISPs)
+	single, multi := 0, 0
+	egress := make([]int, 0, _bigN)
+	caches := make([]int, 0, _bigN)
+	for _, s := range d.Specs {
+		if s.SingleSingle() {
+			single++
+		}
+		if s.MultiMulti() {
+			multi++
+		}
+		egress = append(egress, s.Egress)
+		caches = append(caches, s.Caches)
+	}
+	// Fig. 3: 50% of ISPs use more than 11 egress IPs.
+	if got := stats.NewCDFInts(egress).Above(11); got < 0.38 || got > 0.62 {
+		t.Errorf("P(egress > 11) = %.3f, want ≈0.50", got)
+	}
+	// Fig. 4: about 60% use 1–3 caches.
+	if got := stats.NewCDFInts(caches).At(3); got < 0.50 || got > 0.70 {
+		t.Errorf("P(caches ≤ 3) = %.3f, want ≈0.60", got)
+	}
+	// Fig. 6: <10% single/single, ≈65% multi/multi.
+	if frac := float64(single) / _bigN; frac > 0.10 {
+		t.Errorf("single/single = %.3f, want < 0.10", frac)
+	}
+	if frac := float64(multi) / _bigN; frac < 0.55 || frac > 0.75 {
+		t.Errorf("multi/multi = %.3f, want ≈0.65", frac)
+	}
+}
+
+func TestISPsSmallerThanEnterprises(t *testing.T) {
+	ent := generate(t, Enterprises)
+	isp := generate(t, ISPs)
+	meanCaches := func(d Dataset) float64 {
+		sum := 0
+		for _, s := range d.Specs {
+			sum += s.Caches
+		}
+		return float64(sum) / float64(len(d.Specs))
+	}
+	meanEgress := func(d Dataset) float64 {
+		sum := 0
+		for _, s := range d.Specs {
+			sum += s.Egress
+		}
+		return float64(sum) / float64(len(d.Specs))
+	}
+	if meanCaches(isp) >= meanCaches(ent) {
+		t.Errorf("ISP mean caches %.2f not below enterprise %.2f", meanCaches(isp), meanCaches(ent))
+	}
+	if meanEgress(isp) >= meanEgress(ent) {
+		t.Errorf("ISP mean egress %.2f not below enterprise %.2f", meanEgress(isp), meanEgress(ent))
+	}
+}
+
+func TestSelectorMix(t *testing.T) {
+	d := generate(t, ISPs)
+	unpredictable := 0
+	for _, s := range d.Specs {
+		if s.Selector == SelRandom {
+			unpredictable++
+		}
+	}
+	// §IV-A: more than 80% support unpredictable cache selection.
+	if frac := float64(unpredictable) / _bigN; frac < 0.78 || frac > 0.87 {
+		t.Errorf("unpredictable share = %.3f, want ≈0.82", frac)
+	}
+}
+
+func TestOperatorSharesMatchFig2(t *testing.T) {
+	cases := []struct {
+		kind  Kind
+		table []OperatorShare
+	}{
+		{OpenResolvers, OpenResolverOperators},
+		{Enterprises, EnterpriseOperators},
+		{ISPs, ISPOperators},
+	}
+	for _, tc := range cases {
+		d := generate(t, tc.kind)
+		shares := d.OperatorShares()
+		for _, op := range tc.table {
+			want := op.Share / 100
+			got := shares[op.Name]
+			tolerance := 0.03
+			if want > 0.2 {
+				tolerance = 0.05
+			}
+			if got < want-tolerance || got > want+tolerance {
+				t.Errorf("%s / %s: share %.3f, want ≈%.3f", tc.kind, op.Name, got, want)
+			}
+		}
+	}
+}
+
+func TestLossForCountry(t *testing.T) {
+	if LossForCountry("IR") != 0.11 {
+		t.Error("Iran loss")
+	}
+	if LossForCountry("CN") != 0.04 {
+		t.Error("China loss")
+	}
+	if LossForCountry("US") != 0.01 {
+		t.Error("typical loss")
+	}
+}
+
+func TestCountryConsistentWithOperator(t *testing.T) {
+	d := generate(t, Enterprises)
+	for _, s := range d.Specs {
+		if s.Operator == "Dadeh Gostar Asr Novin P.J.S. Co." && s.Country != "IR" {
+			t.Fatalf("Iranian operator in %s", s.Country)
+		}
+		if s.Operator == "Yandex LLC" && s.Country != "RU" {
+			t.Fatalf("Yandex in %s", s.Country)
+		}
+	}
+}
+
+func TestSMTPPolicyFractions(t *testing.T) {
+	d := generate(t, Enterprises)
+	counts := map[string]int{}
+	for _, s := range d.Specs {
+		p := s.SMTPPolicy
+		if p.SPFTXT {
+			counts["spf-txt"]++
+		}
+		if p.SPFQtype {
+			counts["spf-qtype"]++
+		}
+		if p.DKIM {
+			counts["dkim"]++
+		}
+		if p.ADSP {
+			counts["adsp"]++
+		}
+		if p.DMARC {
+			counts["dmarc"]++
+		}
+		if p.MXBounce {
+			counts["mx-bounce"]++
+		}
+	}
+	wants := map[string]float64{
+		"spf-txt": 0.696, "spf-qtype": 0.142, "dkim": 0.003,
+		"adsp": 0.02, "dmarc": 0.353, "mx-bounce": 0.304,
+	}
+	for key, want := range wants {
+		got := float64(counts[key]) / _bigN
+		if got < want-0.02 || got > want+0.02 {
+			t.Errorf("%s: %.4f, want ≈%.3f", key, got, want)
+		}
+	}
+}
+
+func TestMakeSelectorAndPolicy(t *testing.T) {
+	for _, kind := range []SelectorKind{SelRandom, SelRoundRobin, SelHashQName, SelHashSource} {
+		spec := NetworkSpec{Selector: kind}
+		if spec.MakeSelector(1) == nil {
+			t.Errorf("%s: nil selector", kind)
+		}
+	}
+	spec := NetworkSpec{MinTTL: 30, MaxTTL: 60}
+	p := spec.CachePolicy()
+	if p.MinTTL != 30 || p.MaxTTL != 60 {
+		t.Errorf("policy = %+v", p)
+	}
+}
+
+func TestGenerateUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Generate(Kind("bogus"), 1, rand.New(rand.NewSource(1)))
+}

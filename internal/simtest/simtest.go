@@ -1,0 +1,168 @@
+// Package simtest wires complete simulated Internets — network, clock,
+// root/TLD tree, CDE infrastructure and target platforms — for tests,
+// examples and the experiment drivers. It removes the boilerplate of
+// assembling the same topology in every package.
+package simtest
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dnscde/internal/clock"
+	"dnscde/internal/core"
+	"dnscde/internal/dnstree"
+	"dnscde/internal/netsim"
+	"dnscde/internal/platform"
+	"dnscde/internal/stub"
+)
+
+// Default infrastructure addresses.
+var (
+	DefaultParentAddr = netip.MustParseAddr("203.0.113.20")
+	DefaultChildAddr  = netip.MustParseAddr("203.0.113.21")
+	DefaultTarget     = netip.MustParseAddr("192.0.2.80")
+	DefaultClient     = netip.MustParseAddr("198.18.0.1")
+)
+
+// World is a wired simulated Internet with CDE infrastructure.
+type World struct {
+	Net   *netsim.Network
+	Clock *clock.Virtual
+	Tree  *dnstree.Tree
+	Infra *core.Infra
+
+	nextIngress netip.Addr
+	nextEgress  netip.Addr
+	nextClient  netip.Addr
+}
+
+// Options configures New.
+type Options struct {
+	// Seed for the network RNG; 0 uses 1.
+	Seed int64
+	// NSProfile is the link profile of the authoritative servers;
+	// zero value uses 10ms one-way, no jitter, no loss.
+	NSProfile netsim.LinkProfile
+	// TreeProfile is the link profile of root and TLD servers; zero
+	// value uses 5ms one-way.
+	TreeProfile netsim.LinkProfile
+}
+
+// New builds a world: simulated network, virtual clock, root + TLD, and a
+// CDE infrastructure on cache.example.
+func New(opts Options) (*World, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.NSProfile == (netsim.LinkProfile{}) {
+		opts.NSProfile = netsim.LinkProfile{OneWay: 10 * time.Millisecond}
+	}
+	if opts.TreeProfile == (netsim.LinkProfile{}) {
+		opts.TreeProfile = netsim.LinkProfile{OneWay: 5 * time.Millisecond}
+	}
+	w := &World{
+		Net:         netsim.New(opts.Seed),
+		Clock:       clock.NewVirtual(),
+		nextIngress: netip.MustParseAddr("10.10.0.1"),
+		nextEgress:  netip.MustParseAddr("10.20.0.1"),
+		nextClient:  netip.MustParseAddr("10.30.0.1"),
+	}
+	tree, err := dnstree.Build(w.Net, w.Clock, opts.TreeProfile)
+	if err != nil {
+		return nil, fmt.Errorf("simtest: %w", err)
+	}
+	w.Tree = tree
+	infra, err := core.NewInfra(tree, w.Clock, core.InfraConfig{
+		ParentAddr: DefaultParentAddr,
+		ChildAddr:  DefaultChildAddr,
+		Target:     DefaultTarget,
+		Profile:    opts.NSProfile,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("simtest: %w", err)
+	}
+	w.Infra = infra
+	return w, nil
+}
+
+// MustNew is New for test setup; it panics on error.
+func MustNew(opts Options) *World {
+	w, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// PlatformSpec describes a platform to create; zero fields get defaults.
+type PlatformSpec struct {
+	Name    string
+	Caches  int
+	Ingress int
+	Egress  int
+	Seed    int64
+	Profile netsim.LinkProfile
+	Mutate  func(*platform.Config)
+}
+
+// NewPlatform creates a platform with fresh ingress/egress address ranges
+// carved from the world's allocator.
+func (w *World) NewPlatform(spec PlatformSpec) (*platform.Platform, error) {
+	if spec.Caches == 0 {
+		spec.Caches = 1
+	}
+	if spec.Ingress == 0 {
+		spec.Ingress = 1
+	}
+	if spec.Egress == 0 {
+		spec.Egress = 1
+	}
+	if spec.Name == "" {
+		spec.Name = "platform"
+	}
+	if spec.Profile == (netsim.LinkProfile{}) {
+		spec.Profile = netsim.LinkProfile{OneWay: 2 * time.Millisecond}
+	}
+	ingress := netsim.AddrRange(w.nextIngress, spec.Ingress)
+	w.nextIngress = ingress[len(ingress)-1].Next()
+	egress := netsim.AddrRange(w.nextEgress, spec.Egress)
+	w.nextEgress = egress[len(egress)-1].Next()
+
+	cfg := platform.Config{
+		Name:       spec.Name,
+		IngressIPs: ingress,
+		EgressIPs:  egress,
+		CacheCount: spec.Caches,
+		Roots:      w.Tree.Roots(),
+		Clock:      w.Clock,
+		Seed:       spec.Seed,
+	}
+	if spec.Mutate != nil {
+		spec.Mutate(&cfg)
+	}
+	return platform.New(cfg, w.Net, spec.Profile)
+}
+
+// NextClientAddr allocates a fresh client host address.
+func (w *World) NextClientAddr() netip.Addr {
+	addr := w.nextClient
+	w.nextClient = w.nextClient.Next()
+	return addr
+}
+
+// NewStub creates a stub resolver (browser + OS caches) for a fresh
+// client host using the given platform ingress IP.
+func (w *World) NewStub(platformIP netip.Addr) *stub.Resolver {
+	return stub.New(stub.Config{
+		ClientAddr: w.NextClientAddr(),
+		PlatformIP: platformIP,
+		Clock:      w.Clock,
+	}, w.Net)
+}
+
+// DirectProber creates a direct prober for the given ingress IP from a
+// fresh client host.
+func (w *World) DirectProber(ingress netip.Addr) *core.DirectProber {
+	return core.NewDirectProber(w.Net, w.NextClientAddr(), ingress, 0)
+}

@@ -1,0 +1,102 @@
+package simtest
+
+import (
+	"context"
+	"testing"
+
+	"dnscde/internal/dnswire"
+	"dnscde/internal/netsim"
+	"dnscde/internal/platform"
+)
+
+func TestNewWiresWorld(t *testing.T) {
+	w, err := New(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Net == nil || w.Clock == nil || w.Tree == nil || w.Infra == nil {
+		t.Fatal("incomplete world")
+	}
+	// Root, TLD and the CDE servers must be reachable.
+	for _, addr := range []string{"203.0.113.253", "203.0.113.254", "203.0.113.20", "203.0.113.21"} {
+		if !w.Net.Registered(netsim.MustAddr(addr)) {
+			t.Errorf("host %s not registered", addr)
+		}
+	}
+}
+
+func TestMustNewPanicsOnlyOnError(t *testing.T) {
+	// Normal options never panic.
+	_ = MustNew(Options{Seed: 1})
+}
+
+func TestNewPlatformAllocatesDisjointRanges(t *testing.T) {
+	w := MustNew(Options{Seed: 2})
+	a, err := w.NewPlatform(PlatformSpec{Ingress: 3, Egress: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.NewPlatform(PlatformSpec{Ingress: 2, Egress: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range []*platform.Platform{a, b} {
+		for _, ip := range p.Config().IngressIPs {
+			if seen[ip.String()] {
+				t.Fatalf("ingress %v reused", ip)
+			}
+			seen[ip.String()] = true
+		}
+		for _, ip := range p.Config().EgressIPs {
+			if seen[ip.String()] {
+				t.Fatalf("egress %v reused", ip)
+			}
+			seen[ip.String()] = true
+		}
+	}
+}
+
+func TestNewPlatformDefaults(t *testing.T) {
+	w := MustNew(Options{Seed: 3})
+	p, err := w.NewPlatform(PlatformSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := p.GroundTruth()
+	if gt.Caches != 1 || gt.IngressIPs != 1 || gt.EgressIPs != 1 {
+		t.Errorf("defaults = %+v", gt)
+	}
+}
+
+func TestNextClientAddrUnique(t *testing.T) {
+	w := MustNew(Options{Seed: 4})
+	a, b := w.NextClientAddr(), w.NextClientAddr()
+	if a == b {
+		t.Error("client addresses collide")
+	}
+}
+
+func TestEndToEndResolutionThroughWorld(t *testing.T) {
+	w := MustNew(Options{Seed: 6})
+	p, err := w.NewPlatform(PlatformSpec{Caches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := w.Infra.NewHierarchySession(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.NewStub(p.Config().IngressIPs[0])
+	res, err := r.Lookup(context.Background(), session.ProbeName(1), dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) == 0 {
+		t.Error("no records through full stack")
+	}
+	prober := w.DirectProber(p.Config().IngressIPs[0])
+	if !prober.Direct() {
+		t.Error("direct prober not direct")
+	}
+}

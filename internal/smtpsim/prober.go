@@ -1,0 +1,35 @@
+package smtpsim
+
+import (
+	"context"
+
+	"dnscde/internal/core"
+	"dnscde/internal/dnswire"
+)
+
+// Prober adapts an SMTP server into a core.Prober: each probe sends one
+// email whose envelope-from domain is the probe name, so the enterprise's
+// resolver queries that name (under the qtypes of the server's check
+// policy). The prober sees no DNS response — the measurement signal is
+// entirely on the nameserver side, which is precisely the §IV-B2
+// indirect-ingress setting.
+type Prober struct {
+	server *Server
+}
+
+var _ core.Prober = (*Prober)(nil)
+
+// NewProber wraps an SMTP server.
+func NewProber(s *Server) *Prober { return &Prober{server: s} }
+
+// Probe implements core.Prober. qtype is ignored: the server's policy
+// decides which record types it queries.
+func (p *Prober) Probe(ctx context.Context, name string, _ dnswire.Type) (core.ProbeResult, error) {
+	if err := SendProbe(ctx, p.server, name); err != nil {
+		return core.ProbeResult{}, err
+	}
+	return core.ProbeResult{}, nil
+}
+
+// Direct implements core.Prober: SMTP probing is always indirect.
+func (*Prober) Direct() bool { return false }

@@ -1,0 +1,278 @@
+// Package smtpsim simulates the paper's §III-B data-collection channel:
+// SMTP servers of enterprise networks that, upon receiving mail for a
+// nonexistent mailbox, trigger DNS queries through their local resolution
+// platform — sender-authentication lookups (SPF, DKIM, ADSP, DMARC) at
+// MAIL FROM time and MX/A lookups when generating the RFC 5321 Delivery
+// Status Notification (bounce).
+//
+// The prober controls the *sender domain* of the probe email, so each
+// message makes the enterprise's resolver query prober-chosen names — an
+// indirect ingress channel in the sense of §IV-B2.
+package smtpsim
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"dnscde/internal/dnswire"
+	"dnscde/internal/stub"
+)
+
+// CheckPolicy describes which DNS-based checks an SMTP server performs on
+// inbound mail. The booleans mirror the rows of Table I; real servers run
+// any subset.
+type CheckPolicy struct {
+	// SPFTXT: modern SPF lookup via TXT qtype (69.6% of the paper's
+	// enterprise population).
+	SPFTXT bool
+	// SPFQtype: obsolete dedicated SPF RR type, RFC 7208 §3.1 (14.2%).
+	SPFQtype bool
+	// DKIM: selector._domainkey.<domain> TXT (0.3%).
+	DKIM bool
+	// ADSP: _adsp._domainkey.<domain> TXT (2%).
+	ADSP bool
+	// DMARC: _dmarc.<domain> TXT (35.3%).
+	DMARC bool
+	// MXBounce: MX + A lookups for the sender domain when generating the
+	// DSN (30.4%).
+	MXBounce bool
+}
+
+// DefaultTableIFractions are the population fractions reported in Table I.
+var DefaultTableIFractions = map[string]float64{
+	"spf-txt":   0.696,
+	"spf-qtype": 0.142,
+	"adsp":      0.02,
+	"dkim":      0.003,
+	"dmarc":     0.353,
+	"mx-bounce": 0.304,
+}
+
+// SMTP reply codes used by the simulated dialog.
+const (
+	codeReady      = 220
+	codeBye        = 221
+	codeOK         = 250
+	codeStartInput = 354
+	codeNoMailbox  = 550
+	codeBadSeq     = 503
+	codeUnknown    = 500
+)
+
+// Server is one enterprise SMTP server bound to a local resolution
+// platform via its stub resolver.
+type Server struct {
+	// Domain the server receives mail for, e.g. "enterprise-3.example.".
+	Domain string
+	// Mailboxes lists the existing local parts; probe mail targets a
+	// missing one.
+	Mailboxes map[string]bool
+	// Policy selects the DNS checks.
+	Policy CheckPolicy
+	// RejectAtRCPT, when true, refuses unknown mailboxes during the
+	// dialog (550) and never bounces; otherwise the server accepts and
+	// generates a DSN afterwards (the paper's bounce path).
+	RejectAtRCPT bool
+
+	resolver *stub.Resolver
+}
+
+// NewServer creates an SMTP server resolving through r.
+func NewServer(domain string, policy CheckPolicy, r *stub.Resolver) *Server {
+	return &Server{
+		Domain:    dnswire.CanonicalName(domain),
+		Mailboxes: map[string]bool{"postmaster": true},
+		Policy:    policy,
+		resolver:  r,
+	}
+}
+
+// Session is one SMTP dialog with the server.
+type Session struct {
+	srv *Server
+
+	helloDone bool
+	sender    string // envelope-from address
+	rcpts     []string
+	inData    bool
+	dataDone  bool
+}
+
+// NewSession opens a dialog (the 220 greeting is implicit).
+func (s *Server) NewSession() *Session { return &Session{srv: s} }
+
+// Command feeds one SMTP command line to the session and returns the
+// reply code. Only the command verbs the probe path needs are
+// implemented: HELO/EHLO, MAIL FROM, RCPT TO, DATA, QUIT.
+func (ss *Session) Command(ctx context.Context, line string) (int, error) {
+	verb, arg := splitVerb(line)
+	switch verb {
+	case "HELO", "EHLO":
+		ss.helloDone = true
+		return codeOK, nil
+	case "MAIL":
+		if !ss.helloDone {
+			return codeBadSeq, nil
+		}
+		addr, ok := parsePath(arg, "FROM:")
+		if !ok {
+			return codeUnknown, nil
+		}
+		ss.sender = addr
+		// Sender-authentication checks fire here, against the
+		// prober-controlled sender domain.
+		ss.srv.senderChecks(ctx, senderDomain(addr))
+		return codeOK, nil
+	case "RCPT":
+		if ss.sender == "" {
+			return codeBadSeq, nil
+		}
+		addr, ok := parsePath(arg, "TO:")
+		if !ok {
+			return codeUnknown, nil
+		}
+		local, domain := splitAddress(addr)
+		if dnswire.CanonicalName(domain) == ss.srv.Domain && !ss.srv.Mailboxes[local] && ss.srv.RejectAtRCPT {
+			return codeNoMailbox, nil
+		}
+		ss.rcpts = append(ss.rcpts, addr)
+		return codeOK, nil
+	case "DATA":
+		if len(ss.rcpts) == 0 {
+			return codeBadSeq, nil
+		}
+		ss.inData = true
+		return codeStartInput, nil
+	case ".":
+		if !ss.inData {
+			return codeUnknown, nil
+		}
+		ss.inData, ss.dataDone = false, true
+		return codeOK, nil
+	case "QUIT":
+		// Message accepted for a nonexistent box: RFC 5321 mandates a DSN,
+		// whose delivery needs MX/A lookups on the sender domain.
+		if ss.dataDone && ss.needsBounce() {
+			ss.srv.bounce(ctx, senderDomain(ss.sender))
+		}
+		return codeBye, nil
+	default:
+		return codeUnknown, nil
+	}
+}
+
+// needsBounce reports whether any accepted recipient does not exist.
+func (ss *Session) needsBounce() bool {
+	for _, rcpt := range ss.rcpts {
+		local, domain := splitAddress(rcpt)
+		if dnswire.CanonicalName(domain) == ss.srv.Domain && !ss.srv.Mailboxes[local] {
+			return true
+		}
+	}
+	return false
+}
+
+// senderChecks performs the MAIL-FROM-time DNS checks of the policy.
+func (s *Server) senderChecks(ctx context.Context, domain string) {
+	if domain == "" {
+		return
+	}
+	if s.Policy.SPFTXT {
+		_, _ = s.resolver.Lookup(ctx, domain, dnswire.TypeTXT)
+	}
+	if s.Policy.SPFQtype {
+		_, _ = s.resolver.Lookup(ctx, domain, dnswire.TypeSPF)
+	}
+	if s.Policy.DKIM {
+		_, _ = s.resolver.Lookup(ctx, "selector1._domainkey."+domain, dnswire.TypeTXT)
+	}
+	if s.Policy.ADSP {
+		_, _ = s.resolver.Lookup(ctx, "_adsp._domainkey."+domain, dnswire.TypeTXT)
+	}
+	if s.Policy.DMARC {
+		_, _ = s.resolver.Lookup(ctx, "_dmarc."+domain, dnswire.TypeTXT)
+	}
+}
+
+// bounce performs the DSN-delivery lookups.
+func (s *Server) bounce(ctx context.Context, domain string) {
+	if domain == "" || !s.Policy.MXBounce {
+		return
+	}
+	res, err := s.resolver.Lookup(ctx, domain, dnswire.TypeMX)
+	if err == nil {
+		for _, rr := range res.Records {
+			if mx, ok := rr.Data.(dnswire.MXRecord); ok {
+				_, _ = s.resolver.Lookup(ctx, mx.Host, dnswire.TypeA)
+				return
+			}
+		}
+	}
+	// No MX: RFC 5321 §5.1 falls back to the domain's A record.
+	_, _ = s.resolver.Lookup(ctx, domain, dnswire.TypeA)
+}
+
+// SendProbe drives a complete probe transaction: mail from
+// probe@<senderDomain> to a nonexistent mailbox at the server's domain.
+// This is the prober-side convenience used by the CDE SMTP channel.
+func SendProbe(ctx context.Context, s *Server, senderDomain string) error {
+	ss := s.NewSession()
+	script := []string{
+		"EHLO prober.example",
+		"MAIL FROM:<probe@" + strings.TrimSuffix(dnswire.CanonicalName(senderDomain), ".") + ">",
+		"RCPT TO:<nonexistent-mailbox@" + strings.TrimSuffix(s.Domain, ".") + ">",
+		"DATA",
+		".",
+		"QUIT",
+	}
+	for _, line := range script {
+		code, err := ss.Command(ctx, line)
+		if err != nil {
+			return fmt.Errorf("smtpsim: %q: %w", line, err)
+		}
+		if code >= 500 && code != codeNoMailbox {
+			return fmt.Errorf("smtpsim: %q rejected with %d", line, code)
+		}
+	}
+	return nil
+}
+
+// splitVerb splits "MAIL FROM:<x@y>" into ("MAIL", "FROM:<x@y>").
+func splitVerb(line string) (string, string) {
+	line = strings.TrimSpace(line)
+	if line == "." {
+		return ".", ""
+	}
+	verb, rest, _ := strings.Cut(line, " ")
+	return strings.ToUpper(verb), strings.TrimSpace(rest)
+}
+
+// parsePath extracts the address from "FROM:<a@b>" / "TO:<a@b>".
+func parsePath(arg, prefix string) (string, bool) {
+	if !strings.HasPrefix(strings.ToUpper(arg), prefix) {
+		return "", false
+	}
+	addr := strings.TrimSpace(arg[len(prefix):])
+	addr = strings.TrimPrefix(addr, "<")
+	addr = strings.TrimSuffix(addr, ">")
+	if addr == "" || !strings.Contains(addr, "@") {
+		return "", false
+	}
+	return addr, true
+}
+
+// splitAddress splits "local@domain".
+func splitAddress(addr string) (local, domain string) {
+	local, domain, _ = strings.Cut(addr, "@")
+	return local, domain
+}
+
+// senderDomain returns the domain of an envelope address.
+func senderDomain(addr string) string {
+	_, domain := splitAddress(addr)
+	if domain == "" {
+		return ""
+	}
+	return dnswire.CanonicalName(domain)
+}

@@ -1,0 +1,219 @@
+package smtpsim
+
+import (
+	"context"
+	"testing"
+
+	"dnscde/internal/core"
+	"dnscde/internal/dnswire"
+	"dnscde/internal/loadbal"
+	"dnscde/internal/platform"
+	"dnscde/internal/simtest"
+)
+
+// fixture builds a world with one enterprise platform and an SMTP server
+// resolving through it.
+func fixture(t *testing.T, caches int, policy CheckPolicy) (*simtest.World, *Server) {
+	t.Helper()
+	w := simtest.MustNew(simtest.Options{Seed: 17})
+	plat, err := w.NewPlatform(simtest.PlatformSpec{
+		Name: "enterprise", Caches: caches,
+		Mutate: func(c *platform.Config) { c.Selector = loadbal.NewRandom(3) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.NewStub(plat.Config().IngressIPs[0])
+	return w, NewServer("enterprise-1.example", policy, r)
+}
+
+func allChecks() CheckPolicy {
+	return CheckPolicy{SPFTXT: true, SPFQtype: true, DKIM: true, ADSP: true, DMARC: true, MXBounce: true}
+}
+
+func TestDialogHappyPath(t *testing.T) {
+	_, srv := fixture(t, 1, CheckPolicy{})
+	ss := srv.NewSession()
+	steps := []struct {
+		line string
+		want int
+	}{
+		{"EHLO prober.example", 250},
+		{"MAIL FROM:<probe@h1.cache.example>", 250},
+		{"RCPT TO:<nobody@enterprise-1.example>", 250},
+		{"DATA", 354},
+		{".", 250},
+		{"QUIT", 221},
+	}
+	for _, s := range steps {
+		code, err := ss.Command(context.Background(), s.line)
+		if err != nil {
+			t.Fatalf("%q: %v", s.line, err)
+		}
+		if code != s.want {
+			t.Errorf("%q: code = %d, want %d", s.line, code, s.want)
+		}
+	}
+}
+
+func TestDialogSequenceErrors(t *testing.T) {
+	_, srv := fixture(t, 1, CheckPolicy{})
+	ss := srv.NewSession()
+	if code, _ := ss.Command(context.Background(), "MAIL FROM:<a@b.example>"); code != 503 {
+		t.Errorf("MAIL before HELO: %d", code)
+	}
+	if code, _ := ss.Command(context.Background(), "RCPT TO:<a@b.example>"); code != 503 {
+		t.Errorf("RCPT before MAIL: %d", code)
+	}
+	if code, _ := ss.Command(context.Background(), "DATA"); code != 503 {
+		t.Errorf("DATA before RCPT: %d", code)
+	}
+	if code, _ := ss.Command(context.Background(), "BOGUS"); code != 500 {
+		t.Errorf("unknown verb: %d", code)
+	}
+	if code, _ := ss.Command(context.Background(), "."); code != 500 {
+		t.Errorf("terminator outside DATA: %d", code)
+	}
+}
+
+func TestDialogBadPaths(t *testing.T) {
+	_, srv := fixture(t, 1, CheckPolicy{})
+	ss := srv.NewSession()
+	if _, err := ss.Command(context.Background(), "EHLO x"); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := ss.Command(context.Background(), "MAIL TO:<a@b>"); code != 500 {
+		t.Errorf("MAIL with TO: %d", code)
+	}
+	if code, _ := ss.Command(context.Background(), "MAIL FROM:<noatsign>"); code != 500 {
+		t.Errorf("address without @: %d", code)
+	}
+}
+
+func TestRejectAtRCPT(t *testing.T) {
+	w, srv := fixture(t, 1, allChecks())
+	srv.RejectAtRCPT = true
+	ss := srv.NewSession()
+	_, _ = ss.Command(context.Background(), "EHLO x")
+	_, _ = ss.Command(context.Background(), "MAIL FROM:<probe@h9.cache.example>")
+	code, _ := ss.Command(context.Background(), "RCPT TO:<ghost@enterprise-1.example>")
+	if code != 550 {
+		t.Fatalf("RCPT to ghost: %d, want 550", code)
+	}
+	_, _ = ss.Command(context.Background(), "QUIT")
+	// No DSN → no MX query for the sender domain.
+	if got := w.Infra.Parent.Log().CountNameType("h9.cache.example.", dnswire.TypeMX); got != 0 {
+		t.Errorf("MX queries = %d, want 0 when rejecting at RCPT", got)
+	}
+}
+
+func TestSenderChecksQueryExpectedNames(t *testing.T) {
+	w, srv := fixture(t, 1, allChecks())
+	if err := SendProbe(context.Background(), srv, "probe-domain.cache.example"); err != nil {
+		t.Fatal(err)
+	}
+	log := w.Infra.Parent.Log()
+	checks := []struct {
+		label string
+		name  string
+		typ   dnswire.Type
+	}{
+		{"spf-txt", "probe-domain.cache.example.", dnswire.TypeTXT},
+		{"spf-qtype", "probe-domain.cache.example.", dnswire.TypeSPF},
+		{"dkim", "selector1._domainkey.probe-domain.cache.example.", dnswire.TypeTXT},
+		{"adsp", "_adsp._domainkey.probe-domain.cache.example.", dnswire.TypeTXT},
+		{"dmarc", "_dmarc.probe-domain.cache.example.", dnswire.TypeTXT},
+		{"mx-bounce", "probe-domain.cache.example.", dnswire.TypeMX},
+	}
+	for _, c := range checks {
+		if got := log.CountNameType(c.name, c.typ); got != 1 {
+			t.Errorf("%s: %d queries for %s %v, want 1", c.label, got, c.name, c.typ)
+		}
+	}
+	// No MX exists for the probe domain → RFC 5321 A fallback.
+	if got := log.CountNameType("probe-domain.cache.example.", dnswire.TypeA); got != 1 {
+		t.Errorf("A fallback queries = %d, want 1", got)
+	}
+}
+
+func TestPolicySubset(t *testing.T) {
+	w, srv := fixture(t, 1, CheckPolicy{DMARC: true})
+	if err := SendProbe(context.Background(), srv, "only-dmarc.cache.example"); err != nil {
+		t.Fatal(err)
+	}
+	log := w.Infra.Parent.Log()
+	if got := log.CountNameType("_dmarc.only-dmarc.cache.example.", dnswire.TypeTXT); got != 1 {
+		t.Errorf("DMARC queries = %d", got)
+	}
+	if got := log.CountNameType("only-dmarc.cache.example.", dnswire.TypeTXT); got != 0 {
+		t.Errorf("unexpected SPF queries = %d", got)
+	}
+	if got := log.CountNameType("only-dmarc.cache.example.", dnswire.TypeMX); got != 0 {
+		t.Errorf("unexpected MX queries = %d", got)
+	}
+}
+
+func TestEnumerateChainViaSMTP(t *testing.T) {
+	// The full §IV-B2a measurement through the SMTP channel: emails with
+	// alias sender domains; arrivals for the common CNAME target count
+	// the enterprise's caches.
+	for _, n := range []int{1, 3} {
+		w, srv := fixture(t, n, CheckPolicy{SPFTXT: true, MXBounce: true})
+		prober := NewProber(srv)
+		res, err := core.EnumerateChain(context.Background(), prober, w.Infra,
+			core.EnumOptions{Queries: core.RecommendedQueries(n, 0.999)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Caches != n {
+			t.Errorf("n=%d: measured %d caches via SMTP", n, res.Caches)
+		}
+	}
+}
+
+func TestEnumerateHierarchyViaSMTP(t *testing.T) {
+	for _, n := range []int{1, 4} {
+		w, srv := fixture(t, n, allChecks())
+		prober := NewProber(srv)
+		res, err := core.EnumerateHierarchy(context.Background(), prober, w.Infra,
+			core.EnumOptions{Queries: core.RecommendedQueries(n, 0.999)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Caches != n {
+			t.Errorf("n=%d: measured %d caches via SMTP hierarchy", n, res.Caches)
+		}
+	}
+}
+
+func TestProberIsIndirect(t *testing.T) {
+	_, srv := fixture(t, 1, allChecks())
+	var p core.Prober = NewProber(srv)
+	if p.Direct() {
+		t.Error("SMTP prober claims direct access")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if v, a := splitVerb("mail FROM:<x@y>"); v != "MAIL" || a != "FROM:<x@y>" {
+		t.Errorf("splitVerb = %q, %q", v, a)
+	}
+	if v, _ := splitVerb("."); v != "." {
+		t.Errorf("terminator verb = %q", v)
+	}
+	if addr, ok := parsePath("FROM:<a@b.example>", "FROM:"); !ok || addr != "a@b.example" {
+		t.Errorf("parsePath = %q, %v", addr, ok)
+	}
+	if _, ok := parsePath("FROM:<>", "FROM:"); ok {
+		t.Error("empty path accepted")
+	}
+	if local, domain := splitAddress("user@dom.example"); local != "user" || domain != "dom.example" {
+		t.Errorf("splitAddress = %q, %q", local, domain)
+	}
+	if got := senderDomain("u@D.Example"); got != "d.example." {
+		t.Errorf("senderDomain = %q", got)
+	}
+	if got := senderDomain("bare"); got != "" {
+		t.Errorf("senderDomain(bare) = %q", got)
+	}
+}

@@ -1,0 +1,304 @@
+// Package stats provides the small statistical toolkit the experiment
+// drivers use to regenerate the paper's tables and figures: empirical
+// CDFs (Figs. 3–4), bubble-scatter binning (Figs. 5, 7, 8), category
+// shares (Fig. 6) and summary statistics, plus plain-text renderers since
+// the harness is terminal-based.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the usual scalar statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Min    float64
+	Max    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	s.StdDev = math.Sqrt(sq / float64(len(xs)))
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0–100) of xs using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from the sample (copied).
+func NewCDF(xs []float64) *CDF {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return &CDF{sorted: sorted}
+}
+
+// NewCDFInts builds a CDF from integer samples.
+func NewCDFInts(xs []int) *CDF {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return NewCDF(fs)
+}
+
+// Len returns the sample size.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Above returns P(X > x) — the form the paper quotes ("50% of the
+// platforms use more than 20 IP addresses").
+func (c *CDF) Above(x float64) float64 { return 1 - c.At(x) }
+
+// Quantile returns the smallest sample value v with P(X ≤ v) ≥ q, for
+// q in (0, 1].
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	idx := int(math.Ceil(q*float64(len(c.sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(c.sorted) {
+		idx = len(c.sorted) - 1
+	}
+	return c.sorted[idx]
+}
+
+// Points returns (x, P(X ≤ x)) pairs at each distinct sample value — the
+// series a CDF plot would draw.
+func (c *CDF) Points() []Point {
+	var out []Point
+	for i, v := range c.sorted {
+		if i+1 < len(c.sorted) && c.sorted[i+1] == v {
+			continue // keep the last occurrence for the step height
+		}
+		out = append(out, Point{X: v, Y: float64(i+1) / float64(len(c.sorted))})
+	}
+	return out
+}
+
+// Point is one (x, y) coordinate of a rendered series.
+type Point struct {
+	X, Y float64
+}
+
+// Bubble is one point of a bubble scatter (Figs. 5, 7, 8): Count networks
+// share the coordinate (X ingress IPs, Y caches).
+type Bubble struct {
+	X, Y  int
+	Count int
+}
+
+// BubbleBin aggregates (x, y) pairs into bubbles, optionally snapping
+// coordinates to log-spaced bins (base > 1) so sparse tails group
+// together the way the paper's figures do. base <= 1 keeps exact values.
+func BubbleBin(xs, ys []int, base float64) []Bubble {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: BubbleBin length mismatch %d vs %d", len(xs), len(ys)))
+	}
+	snap := func(v int) int {
+		if base <= 1 || v <= 0 {
+			return v
+		}
+		exp := math.Round(math.Log(float64(v)) / math.Log(base))
+		return int(math.Round(math.Pow(base, exp)))
+	}
+	type key struct{ x, y int }
+	counts := make(map[key]int)
+	for i := range xs {
+		counts[key{snap(xs[i]), snap(ys[i])}]++
+	}
+	out := make([]Bubble, 0, len(counts))
+	for k, c := range counts {
+		out = append(out, Bubble{X: k.x, Y: k.y, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out
+}
+
+// Shares converts category counts to fractions of the total.
+func Shares[K comparable](counts map[K]int) map[K]float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := make(map[K]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for k, c := range counts {
+		out[k] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// FormatPercent renders a fraction as "12.3%".
+func FormatPercent(f float64) string {
+	return fmt.Sprintf("%.1f%%", f*100)
+}
+
+// Table renders rows as an aligned plain-text table with a header.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths) && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// RenderCDF draws a small ASCII CDF plot for a series of samples —
+// sufficient for comparing knees and crossovers against the paper's
+// figures in terminal output.
+func RenderCDF(labels []string, cdfs []*CDF, width, height int) string {
+	if len(labels) != len(cdfs) || len(cdfs) == 0 {
+		return ""
+	}
+	maxX := 1.0
+	for _, c := range cdfs {
+		if c.Len() > 0 && c.sorted[c.Len()-1] > maxX {
+			maxX = c.sorted[c.Len()-1]
+		}
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#'}
+	for ci, c := range cdfs {
+		mark := marks[ci%len(marks)]
+		for col := 0; col < width; col++ {
+			// Log-spaced x axis: the paper's figures span 1..500+ IPs.
+			x := math.Exp(math.Log(maxX) * float64(col) / float64(width-1))
+			y := c.At(x)
+			row := height - 1 - int(y*float64(height-1))
+			if row >= 0 && row < height {
+				grid[row][col] = mark
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, row := range grid {
+		frac := float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(&sb, "%5.0f%% |%s|\n", frac*100, string(row))
+	}
+	fmt.Fprintf(&sb, "        x: 1 .. %.0f (log scale)\n", maxX)
+	for i, label := range labels {
+		fmt.Fprintf(&sb, "        %c = %s\n", marks[i%len(marks)], label)
+	}
+	return sb.String()
+}

@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+	if got := Summarize(nil); got.N != 0 {
+		t.Errorf("empty summary = %+v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("P%.0f = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile")
+	}
+}
+
+func TestCDFAtAndAbove(t *testing.T) {
+	c := NewCDFInts([]int{1, 1, 2, 5, 20})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0}, {1, 0.4}, {2, 0.6}, {5, 0.8}, {20, 1}, {100, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if got := c.Above(5); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Above(5) = %v", got)
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := NewCDFInts([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if got := c.Quantile(0.5); got != 5 {
+		t.Errorf("median = %v", got)
+	}
+	if got := c.Quantile(1.0); got != 10 {
+		t.Errorf("max = %v", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("min = %v", got)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDFInts([]int{1, 1, 3})
+	pts := c.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0].X != 1 || math.Abs(pts[0].Y-2.0/3) > 1e-12 {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	if pts[1].X != 3 || pts[1].Y != 1 {
+		t.Errorf("second point = %+v", pts[1])
+	}
+}
+
+func TestBubbleBinExact(t *testing.T) {
+	xs := []int{1, 1, 2, 1}
+	ys := []int{1, 1, 3, 1}
+	bubbles := BubbleBin(xs, ys, 0)
+	if len(bubbles) != 2 {
+		t.Fatalf("bubbles = %v", bubbles)
+	}
+	if bubbles[0] != (Bubble{X: 1, Y: 1, Count: 3}) {
+		t.Errorf("bubble 0 = %+v", bubbles[0])
+	}
+	if bubbles[1] != (Bubble{X: 2, Y: 3, Count: 1}) {
+		t.Errorf("bubble 1 = %+v", bubbles[1])
+	}
+}
+
+func TestBubbleBinLogSnap(t *testing.T) {
+	// With base 2, values 4 and 5 both snap to 4 — neighbours merge.
+	bubbles := BubbleBin([]int{4, 5, 500}, []int{1, 1, 30}, 2)
+	if len(bubbles) != 2 {
+		t.Fatalf("bubbles = %v", bubbles)
+	}
+	if bubbles[0].Count != 2 {
+		t.Errorf("merged bubble = %+v", bubbles[0])
+	}
+}
+
+func TestBubbleBinMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	BubbleBin([]int{1}, []int{1, 2}, 0)
+}
+
+func TestShares(t *testing.T) {
+	got := Shares(map[string]int{"a": 3, "b": 1})
+	if got["a"] != 0.75 || got["b"] != 0.25 {
+		t.Errorf("shares = %v", got)
+	}
+	if len(Shares(map[string]int{})) != 0 {
+		t.Error("empty shares")
+	}
+}
+
+func TestFormatPercent(t *testing.T) {
+	if got := FormatPercent(0.696); got != "69.6%" {
+		t.Errorf("FormatPercent = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"Query type", "Fraction"}}
+	tb.AddRow("Modern SPF (TXT)", "69.6%")
+	tb.AddRow("DMARC", "35.3%")
+	out := tb.String()
+	if !strings.Contains(out, "Modern SPF (TXT)  69.6%") {
+		t.Errorf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("line count = %d", len(lines))
+	}
+}
+
+func TestRenderCDFContainsSeries(t *testing.T) {
+	c1 := NewCDFInts([]int{1, 1, 2, 3})
+	c2 := NewCDFInts([]int{5, 10, 20, 40})
+	out := RenderCDF([]string{"open", "isp"}, []*CDF{c1, c2}, 40, 10)
+	if !strings.Contains(out, "* = open") || !strings.Contains(out, "o = isp") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "100%") || !strings.Contains(out, "0%") {
+		t.Errorf("axis missing:\n%s", out)
+	}
+	if RenderCDF([]string{"x"}, nil, 10, 5) != "" {
+		t.Error("mismatched render should be empty")
+	}
+}
+
+func TestPropertyCDFMonotone(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]int, 1+r.Intn(50))
+		for i := range xs {
+			xs[i] = r.Intn(100)
+		}
+		c := NewCDFInts(xs)
+		prev := -1.0
+		for x := 0.0; x <= 100; x += 1 {
+			v := c.At(x)
+			if v < prev || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return c.At(100) == 1
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPercentileWithinRange(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+r.Intn(50))
+		for i := range xs {
+			xs[i] = r.Float64() * 1000
+		}
+		p := r.Float64() * 100
+		v := Percentile(xs, p)
+		s := Summarize(xs)
+		return v >= s.Min && v <= s.Max
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBubbleCountsPreserved(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(60)
+		xs := make([]int, n)
+		ys := make([]int, n)
+		for i := range xs {
+			xs[i] = 1 + r.Intn(500)
+			ys[i] = 1 + r.Intn(40)
+		}
+		total := 0
+		for _, b := range BubbleBin(xs, ys, 2) {
+			total += b.Count
+		}
+		return total == n
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package udpnet
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnscde/internal/dnswire"
+)
+
+// DNS over TCP (RFC 1035 §4.2.2): each message is prefixed with a 2-octet
+// length. The server side answers queries that arrived truncated over
+// UDP — e.g. control-zone egress readouts listing many source addresses —
+// and the Transport falls back to TCP automatically when it sees the TC
+// bit.
+
+// TCPServer serves a netsim.Handler over TCP.
+type TCPServer struct {
+	handler handlerIface
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   atomic.Bool
+}
+
+// handlerIface mirrors netsim.Handler without importing it twice.
+type handlerIface interface {
+	ServeDNS(ctx context.Context, src netip.Addr, query *dnswire.Message) (*dnswire.Message, error)
+}
+
+// NewTCPServer wraps handler.
+func NewTCPServer(handler handlerIface) *TCPServer {
+	return &TCPServer{handler: handler}
+}
+
+// Listen binds the server to addr and returns the bound address.
+func (s *TCPServer) Listen(addr string) (netip.AddrPort, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return netip.AddrPort{}, fmt.Errorf("udpnet: tcp listen %q: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	return l.Addr().(*net.TCPAddr).AddrPort(), nil
+}
+
+// Serve accepts connections until the context is cancelled or Close is
+// called. Each connection may carry multiple framed queries.
+func (s *TCPServer) Serve(ctx context.Context) error {
+	s.mu.Lock()
+	l := s.listener
+	s.mu.Unlock()
+	if l == nil {
+		return errors.New("udpnet: TCP Serve before Listen")
+	}
+	go func() {
+		<-ctx.Done()
+		s.Close()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.closed.Load() || ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("udpnet: tcp accept: %w", err)
+		}
+		go s.serveConn(ctx, conn)
+	}
+}
+
+func (s *TCPServer) serveConn(ctx context.Context, conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	src := netip.Addr{}
+	if tcpAddr, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		src = tcpAddr.AddrPort().Addr()
+	}
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		query, err := readFramed(conn)
+		if err != nil {
+			return // EOF, timeout or garbage: drop the connection
+		}
+		resp, err := s.handler.ServeDNS(ctx, src, query)
+		if err != nil {
+			resp = dnswire.NewResponse(query)
+			resp.Header.RCode = dnswire.RCodeServFail
+		}
+		if err := writeFramed(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server.
+func (s *TCPServer) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.listener != nil {
+		_ = s.listener.Close()
+	}
+}
+
+// readFramed reads one length-prefixed DNS message.
+func readFramed(r io.Reader) (*dnswire.Message, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	msgLen := binary.BigEndian.Uint16(lenBuf[:])
+	buf := make([]byte, msgLen)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return dnswire.Unpack(buf)
+}
+
+// writeFramed writes one length-prefixed DNS message.
+func writeFramed(w io.Writer, msg *dnswire.Message) error {
+	wire, err := msg.Pack()
+	if err != nil {
+		return err
+	}
+	if len(wire) > 0xFFFF {
+		return fmt.Errorf("udpnet: message exceeds TCP frame limit")
+	}
+	frame := make([]byte, 2+len(wire))
+	binary.BigEndian.PutUint16(frame, uint16(len(wire)))
+	copy(frame[2:], wire)
+	_, err = w.Write(frame)
+	return err
+}
+
+// ExchangeTCP performs one framed exchange over a fresh TCP connection.
+func ExchangeTCP(ctx context.Context, query *dnswire.Message, dst netip.AddrPort, timeout time.Duration) (*dnswire.Message, time.Duration, error) {
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	d := net.Dialer{Timeout: timeout}
+	start := time.Now()
+	conn, err := d.DialContext(ctx, "tcp", dst.String())
+	if err != nil {
+		return nil, 0, fmt.Errorf("udpnet: tcp dial %v: %w", dst, err)
+	}
+	defer func() { _ = conn.Close() }()
+	deadline := time.Now().Add(timeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	_ = conn.SetDeadline(deadline)
+	if err := writeFramed(conn, query); err != nil {
+		return nil, time.Since(start), fmt.Errorf("udpnet: tcp send: %w", err)
+	}
+	resp, err := readFramed(conn)
+	if err != nil {
+		return nil, time.Since(start), fmt.Errorf("udpnet: tcp receive: %w", err)
+	}
+	if resp.Header.ID != query.Header.ID {
+		return nil, time.Since(start), fmt.Errorf("udpnet: tcp response ID mismatch")
+	}
+	return resp, time.Since(start), nil
+}

@@ -1,0 +1,197 @@
+package udpnet
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dnscde/internal/authns"
+	"dnscde/internal/dnswire"
+	"dnscde/internal/netsim"
+	"dnscde/internal/zone"
+)
+
+// newControlAuth builds an authoritative server with the control zone on.
+func newControlAuth(t *testing.T, h *zone.Hierarchy) *authns.Server {
+	t.Helper()
+	return authns.NewServer([]*zone.Zone{h.Parent, h.Child},
+		authns.WithControlZone("ctl.cache.example."))
+}
+
+// bigTXTHandler answers every query with a TXT record too large for a
+// 512-byte UDP response.
+func bigTXTHandler() netsim.Handler {
+	return netsim.HandlerFunc(func(_ context.Context, _ netip.Addr, q *dnswire.Message) (*dnswire.Message, error) {
+		resp := dnswire.NewResponse(q)
+		resp.Header.Authoritative = true
+		values := make([]string, 0, 8)
+		for i := 0; i < 8; i++ {
+			values = append(values, strings.Repeat(fmt.Sprintf("v%d-", i), 30))
+		}
+		resp.Answer = append(resp.Answer, dnswire.RR{
+			Name: q.Question[0].Name, Class: dnswire.ClassIN, TTL: 0,
+			Data: dnswire.TXTRecord{Strings: values},
+		})
+		return resp, nil
+	})
+}
+
+// startTCP runs a TCP server for h.
+func startTCP(t *testing.T, h handlerIface) (netip.AddrPort, func()) {
+	t.Helper()
+	srv := NewTCPServer(h)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(ctx)
+	}()
+	return addr, func() {
+		cancel()
+		srv.Close()
+		wg.Wait()
+	}
+}
+
+func TestExchangeTCPDirect(t *testing.T) {
+	auth := authServer(t)
+	addr, stop := startTCP(t, auth)
+	defer stop()
+	resp, rtt, err := ExchangeTCP(context.Background(),
+		dnswire.NewQuery(9, "name.cache.example.", dnswire.TypeA), addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answer) != 1 || rtt <= 0 {
+		t.Fatalf("resp = %s rtt=%v", resp.Summary(), rtt)
+	}
+}
+
+func TestExchangeTCPMultipleQueriesPerConnServer(t *testing.T) {
+	// The server must survive many sequential connections and queries.
+	auth := authServer(t)
+	addr, stop := startTCP(t, auth)
+	defer stop()
+	for i := 0; i < 10; i++ {
+		if _, _, err := ExchangeTCP(context.Background(),
+			dnswire.NewQuery(uint16(i+1), "name.cache.example.", dnswire.TypeA), addr, 2*time.Second); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if auth.Log().Len() != 10 {
+		t.Errorf("log = %d", auth.Log().Len())
+	}
+}
+
+func TestUDPTruncationTCPFallback(t *testing.T) {
+	h := bigTXTHandler()
+	udpSrv := NewServer(h)
+	udpAddr, err := udpSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	go func() { _ = udpSrv.Serve(context.Background()) }()
+	defer udpSrv.Close()
+
+	// TCP server on the SAME port.
+	tcpSrv := NewTCPServer(h)
+	tcpAddr, err := tcpSrv.Listen(udpAddr.String())
+	if err != nil {
+		t.Skipf("cannot bind TCP on the UDP port: %v", err)
+	}
+	go func() { _ = tcpSrv.Serve(context.Background()) }()
+	defer tcpSrv.Close()
+	if tcpAddr.Port() != udpAddr.Port() {
+		t.Fatalf("port mismatch %v vs %v", tcpAddr, udpAddr)
+	}
+
+	// Without fallback: truncated, empty response.
+	tr := &Transport{Port: udpAddr.Port(), Timeout: 2 * time.Second}
+	resp, _, err := tr.Exchange(context.Background(),
+		dnswire.NewQuery(5, "big.cache.example.", dnswire.TypeTXT), udpAddr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Header.Truncated || len(resp.Answer) != 0 {
+		t.Fatalf("expected truncated UDP response, got %s", resp.Summary())
+	}
+
+	// With fallback: the full answer arrives over TCP.
+	tr.FallbackTCP = true
+	resp, _, err = tr.Exchange(context.Background(),
+		dnswire.NewQuery(6, "big.cache.example.", dnswire.TypeTXT), udpAddr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Truncated || len(resp.Answer) != 1 {
+		t.Fatalf("fallback response = %s", resp.Summary())
+	}
+	txt := resp.Answer[0].Data.(dnswire.TXTRecord)
+	if len(txt.Strings) != 8 {
+		t.Errorf("TXT strings = %d", len(txt.Strings))
+	}
+}
+
+func TestTCPServeBeforeListen(t *testing.T) {
+	srv := NewTCPServer(authServer(t))
+	if err := srv.Serve(context.Background()); err == nil {
+		t.Error("Serve before Listen succeeded")
+	}
+}
+
+func TestControlEgressOverTCPFallback(t *testing.T) {
+	// The motivating case: an egress readout listing many sources
+	// exceeds 512 bytes and needs the TCP path.
+	h, err := zone.BuildHierarchy("cache.example", 3,
+		netip.MustParseAddr("192.0.2.80"), netip.MustParseAddr("198.51.100.1"),
+		netip.MustParseAddr("198.51.100.2"), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auth := newControlAuth(t, h)
+	// Log 60 distinct sources.
+	for i := 0; i < 60; i++ {
+		src := netip.AddrFrom4([4]byte{203, 0, byte(113 + i/250), byte(i % 250)})
+		if _, err := auth.ServeDNS(context.Background(), src,
+			dnswire.NewQuery(uint16(i+1), "x-1.sub.cache.example.", dnswire.TypeA)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	udpSrv := NewServer(auth)
+	udpAddr, err := udpSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	go func() { _ = udpSrv.Serve(context.Background()) }()
+	defer udpSrv.Close()
+	tcpSrv := NewTCPServer(auth)
+	if _, err := tcpSrv.Listen(udpAddr.String()); err != nil {
+		t.Skipf("cannot bind TCP on the UDP port: %v", err)
+	}
+	go func() { _ = tcpSrv.Serve(context.Background()) }()
+	defer tcpSrv.Close()
+
+	tr := &Transport{Port: udpAddr.Port(), Timeout: 2 * time.Second, FallbackTCP: true}
+	resp, _, err := tr.Exchange(context.Background(),
+		dnswire.NewQuery(99, "egress.sub.cache.example.ctl.cache.example.", dnswire.TypeTXT), udpAddr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Answer) != 1 {
+		t.Fatalf("resp = %s", resp.Summary())
+	}
+	txt := resp.Answer[0].Data.(dnswire.TXTRecord)
+	if txt.Strings[0] != "60" || len(txt.Strings) != 61 {
+		t.Errorf("egress readout = %d strings, first %q", len(txt.Strings), txt.Strings[0])
+	}
+}

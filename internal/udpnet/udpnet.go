@@ -1,0 +1,199 @@
+// Package udpnet carries the same Handler/Exchanger abstractions as the
+// simulated network over real UDP sockets, which is what makes this
+// repository a usable measurement tool and not only a reproduction: the
+// CDE authoritative servers (cmd/cdeserver) and the prober (cmd/cdescan)
+// run unchanged over the Internet.
+package udpnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnscde/internal/dnswire"
+	"dnscde/internal/netsim"
+)
+
+// MaxPacket is the receive buffer size (EDNS0-sized).
+const MaxPacket = dnswire.MaxEDNSSize
+
+// Server serves a netsim.Handler over a UDP socket.
+type Server struct {
+	handler netsim.Handler
+
+	mu     sync.Mutex
+	conn   *net.UDPConn
+	closed atomic.Bool
+}
+
+// NewServer wraps handler.
+func NewServer(handler netsim.Handler) *Server {
+	return &Server{handler: handler}
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and returns the
+// bound address.
+func (s *Server) Listen(addr string) (netip.AddrPort, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return netip.AddrPort{}, fmt.Errorf("udpnet: resolving %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return netip.AddrPort{}, fmt.Errorf("udpnet: listening on %q: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.conn = conn
+	s.mu.Unlock()
+	return conn.LocalAddr().(*net.UDPAddr).AddrPort(), nil
+}
+
+// Serve reads queries until the context is cancelled or Close is called.
+// Each datagram is decoded, handled and answered; malformed datagrams are
+// answered with FORMERR when a message ID can be salvaged.
+func (s *Server) Serve(ctx context.Context) error {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if conn == nil {
+		return errors.New("udpnet: Serve before Listen")
+	}
+	go func() {
+		<-ctx.Done()
+		s.Close()
+	}()
+	buf := make([]byte, MaxPacket)
+	for {
+		n, raddr, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			if s.closed.Load() || ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("udpnet: read: %w", err)
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		go s.handlePacket(ctx, conn, raddr, pkt)
+	}
+}
+
+func (s *Server) handlePacket(ctx context.Context, conn *net.UDPConn, raddr *net.UDPAddr, pkt []byte) {
+	query, err := dnswire.Unpack(pkt)
+	if err != nil {
+		return // not salvageable
+	}
+	src := raddr.AddrPort().Addr()
+	resp, err := s.handler.ServeDNS(ctx, src, query)
+	if err != nil {
+		resp = dnswire.NewResponse(query)
+		resp.Header.RCode = dnswire.RCodeServFail
+	}
+	wire, err := resp.Pack()
+	if err != nil {
+		return
+	}
+	if len(wire) > dnswire.MaxUDPSize {
+		// Truncate oversize responses per RFC 1035 §4.2.1 (no EDNS
+		// negotiation implemented on the server side).
+		trunc := dnswire.NewResponse(query)
+		trunc.Header.Truncated = true
+		if wire, err = trunc.Pack(); err != nil {
+			return
+		}
+	}
+	_, _ = conn.WriteToUDP(wire, raddr)
+}
+
+// Close stops the server.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		_ = s.conn.Close()
+	}
+}
+
+// Transport is a netsim.Exchanger over real UDP. The destination port is
+// fixed per transport (53 for real resolvers; tests use ephemeral ports).
+type Transport struct {
+	// Port is the destination UDP port; zero defaults to 53.
+	Port uint16
+	// Timeout bounds each exchange; zero defaults to 2s.
+	Timeout time.Duration
+	// FallbackTCP retries over TCP (same port) when a response arrives
+	// with the TC bit set — required for oversize answers such as
+	// control-zone egress listings.
+	FallbackTCP bool
+}
+
+var _ netsim.Exchanger = (*Transport)(nil)
+
+// Exchange implements netsim.Exchanger: send the query to dst:Port and
+// wait for the matching response.
+func (t *Transport) Exchange(ctx context.Context, query *dnswire.Message, dst netip.Addr) (*dnswire.Message, time.Duration, error) {
+	port := t.Port
+	if port == 0 {
+		port = 53
+	}
+	timeout := t.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+
+	wire, err := query.Pack()
+	if err != nil {
+		return nil, 0, fmt.Errorf("udpnet: packing query: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, net.UDPAddrFromAddrPort(netip.AddrPortFrom(dst, port)))
+	if err != nil {
+		return nil, 0, fmt.Errorf("udpnet: dialing %v: %w", dst, err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	deadline := time.Now().Add(timeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, 0, fmt.Errorf("udpnet: deadline: %w", err)
+	}
+
+	start := time.Now()
+	if _, err := conn.Write(wire); err != nil {
+		return nil, 0, fmt.Errorf("udpnet: send: %w", err)
+	}
+	buf := make([]byte, MaxPacket)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				return nil, time.Since(start), netsim.ErrTimeout
+			}
+			return nil, time.Since(start), fmt.Errorf("udpnet: receive: %w", err)
+		}
+		resp, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			continue // garbage datagram; keep waiting
+		}
+		if resp.Header.ID != query.Header.ID {
+			continue // late or spoofed response
+		}
+		if resp.Header.Truncated && t.FallbackTCP {
+			full, _, err := ExchangeTCP(ctx, query, netip.AddrPortFrom(dst, port), timeout)
+			if err != nil {
+				return nil, time.Since(start), fmt.Errorf("udpnet: tcp fallback: %w", err)
+			}
+			return full, time.Since(start), nil
+		}
+		return resp, time.Since(start), nil
+	}
+}

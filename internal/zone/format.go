@@ -1,0 +1,93 @@
+package zone
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dnscde/internal/dnswire"
+)
+
+// WriteTo serialises the zone as an RFC 1035 master file that Parse
+// accepts back (a round-trippable format). Records are grouped by owner
+// in DNS order (apex first), SOA leading. It is used by cdeserver -dump
+// so operators can install generated CDE zones on their existing DNS
+// infrastructure.
+func (z *Zone) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	write := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	if err := write("$ORIGIN %s\n", z.origin); err != nil {
+		return total, err
+	}
+
+	names := z.Names()
+	// Apex first, then remaining names sorted.
+	sort.SliceStable(names, func(i, j int) bool {
+		if names[i] == z.origin {
+			return names[j] != z.origin
+		}
+		if names[j] == z.origin {
+			return false
+		}
+		return names[i] < names[j]
+	})
+
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	for _, name := range names {
+		sets := z.names[name]
+		for _, t := range sortedTypes(sets) {
+			for _, rr := range sets[t] {
+				if err := write("%s\t%d\t%s\t%s\t%s\n",
+					relativeName(name, z.origin), rr.TTL, rr.Class, t, presentRData(rr.Data)); err != nil {
+					return total, err
+				}
+			}
+		}
+	}
+	return total, nil
+}
+
+// Format returns the zone's master-file text.
+func (z *Zone) Format() string {
+	var sb strings.Builder
+	_, _ = z.WriteTo(&sb)
+	return sb.String()
+}
+
+// sortedTypes orders rrset types SOA-first, then numerically.
+func sortedTypes(sets map[dnswire.Type][]dnswire.RR) []dnswire.Type {
+	out := make([]dnswire.Type, 0, len(sets))
+	for t := range sets {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i] == dnswire.TypeSOA {
+			return out[j] != dnswire.TypeSOA
+		}
+		if out[j] == dnswire.TypeSOA {
+			return false
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// relativeName shortens name against origin; the apex renders as '@'.
+func relativeName(name, origin string) string {
+	if name == origin {
+		return "@"
+	}
+	return strings.TrimSuffix(strings.TrimSuffix(name, origin), ".")
+}
+
+// presentRData renders a payload in a Parse-compatible form; TXT/SPF
+// strings come pre-quoted from their String methods.
+func presentRData(data dnswire.RData) string {
+	return data.String()
+}

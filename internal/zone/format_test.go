@@ -1,0 +1,127 @@
+package zone
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dnscde/internal/dnswire"
+)
+
+func TestFormatRoundTrip(t *testing.T) {
+	z := testZone(t)
+	text := z.Format()
+	if !strings.HasPrefix(text, "$ORIGIN cache.example.\n") {
+		t.Fatalf("missing origin header:\n%s", text)
+	}
+	reparsed, err := ParseString(text, "")
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if reparsed.Len() != z.Len() {
+		t.Errorf("round trip lost records: %d vs %d\n%s", reparsed.Len(), z.Len(), text)
+	}
+	// Spot-check lookup equivalence on every name and a few types.
+	for _, name := range z.Names() {
+		for _, typ := range []dnswire.Type{dnswire.TypeA, dnswire.TypeNS, dnswire.TypeTXT, dnswire.TypeMX, dnswire.TypeSOA} {
+			a := z.Lookup(name, typ)
+			b := reparsed.Lookup(name, typ)
+			if a.Kind != b.Kind || len(a.Records) != len(b.Records) {
+				t.Errorf("%s %v: %v/%d vs %v/%d", name, typ, a.Kind, len(a.Records), b.Kind, len(b.Records))
+			}
+		}
+	}
+}
+
+func TestFormatApexFirst(t *testing.T) {
+	z := testZone(t)
+	lines := strings.Split(strings.TrimSpace(z.Format()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("too few lines:\n%s", z.Format())
+	}
+	// First record line is the apex SOA.
+	if !strings.HasPrefix(lines[1], "@\t") || !strings.Contains(lines[1], "\tSOA\t") {
+		t.Errorf("first record = %q, want apex SOA", lines[1])
+	}
+}
+
+func TestFormatHierarchyZonesRoundTrip(t *testing.T) {
+	h, err := BuildHierarchy("cache.example", 5, target, nsAddr, nsAddr2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, z := range []*Zone{h.Parent, h.Child} {
+		re, err := ParseString(z.Format(), "")
+		if err != nil {
+			t.Fatalf("%s: %v", z.Origin(), err)
+		}
+		if re.Origin() != z.Origin() || re.Len() != z.Len() {
+			t.Errorf("%s: round trip mismatch", z.Origin())
+		}
+	}
+}
+
+func TestFormatTXTQuoting(t *testing.T) {
+	z := New("cache.example")
+	z.MustAdd(dnswire.RR{Name: "txt.cache.example.", Class: dnswire.ClassIN, TTL: 60,
+		Data: dnswire.TXTRecord{Strings: []string{"v=spf1 -all", "second part"}}})
+	re, err := ParseString(z.Format(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := re.Lookup("txt.cache.example.", dnswire.TypeTXT)
+	txt := res.Records[0].Data.(dnswire.TXTRecord)
+	if len(txt.Strings) != 2 || txt.Strings[0] != "v=spf1 -all" {
+		t.Errorf("strings = %v", txt.Strings)
+	}
+}
+
+func TestRelativeName(t *testing.T) {
+	if got := relativeName("cache.example.", "cache.example."); got != "@" {
+		t.Errorf("apex = %q", got)
+	}
+	if got := relativeName("x-1.sub.cache.example.", "cache.example."); got != "x-1.sub" {
+		t.Errorf("relative = %q", got)
+	}
+}
+
+func TestPropertyFormatParseRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		z := New("cache.example")
+		if err := Apex(z, "ns.cache.example.", nsAddr, uint32(1+rng.Intn(86400))); err != nil {
+			return false
+		}
+		labels := []string{"a", "b", "www", "mail", "deep.sub", "x-1", "txt"}
+		for i, n := 0, rng.Intn(12); i < n; i++ {
+			owner := labels[rng.Intn(len(labels))] + ".cache.example."
+			ttl := uint32(1 + rng.Intn(100000))
+			var data dnswire.RData
+			switch rng.Intn(4) {
+			case 0:
+				data = dnswire.ARecord{Addr: netip.AddrFrom4([4]byte{192, 0, 2, byte(rng.Intn(256))})}
+			case 1:
+				data = dnswire.MXRecord{Preference: uint16(rng.Intn(100)), Host: "mx.cache.example."}
+			case 2:
+				data = dnswire.TXTRecord{Strings: []string{fmt.Sprintf("v=%d", rng.Intn(1000))}}
+			default:
+				data = dnswire.PTRRecord{Target: "host.cache.example."}
+			}
+			// CNAME conflicts are rejected by Add; ignore those errors.
+			_ = z.Add(dnswire.RR{Name: owner, Class: dnswire.ClassIN, TTL: ttl, Data: data})
+		}
+		re, err := ParseString(z.Format(), "")
+		if err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, z.Format())
+			return false
+		}
+		return re.Len() == z.Len() && re.Origin() == z.Origin()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,377 @@
+package zone
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"dnscde/internal/dnswire"
+)
+
+// Parse errors.
+var (
+	ErrParse        = errors.New("zone: parse error")
+	ErrNoOrigin     = errors.New("zone: no origin ($ORIGIN missing and none supplied)")
+	ErrUnknownType  = errors.New("zone: unknown record type")
+	ErrBadDirective = errors.New("zone: bad directive")
+)
+
+// defaultTTL applies when neither a $TTL directive nor a per-record TTL is
+// given (RFC 1035 predates $TTL; we follow BIND's historical 1h default).
+const defaultTTL = 3600
+
+// Parse reads an RFC 1035 master file and returns the zone it defines.
+// origin may be empty when the file carries its own $ORIGIN directive.
+//
+// Supported: $ORIGIN and $TTL directives, ';' comments, parenthesised
+// multi-line records (SOA), quoted character-strings (TXT/SPF), '@' owner,
+// blank-owner continuation, relative names, optional TTL and class in
+// either order, and the record types of package dnswire.
+func Parse(r io.Reader, origin string) (*Zone, error) {
+	p := &parser{
+		origin: strings.TrimSpace(origin),
+		ttl:    defaultTTL,
+	}
+	if p.origin != "" {
+		p.origin = dnswire.CanonicalName(p.origin)
+	}
+
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	var pending strings.Builder
+	depth := 0
+	for scanner.Scan() {
+		lineNo++
+		line := stripComment(scanner.Text())
+		depth += strings.Count(line, "(") - strings.Count(line, ")")
+		if depth < 0 {
+			return nil, fmt.Errorf("%w: line %d: unbalanced ')'", ErrParse, lineNo)
+		}
+		pending.WriteString(line)
+		if depth > 0 {
+			pending.WriteString(" ")
+			continue
+		}
+		full := pending.String()
+		pending.Reset()
+		if err := p.line(full); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("%w: unbalanced '(' at end of file", ErrParse)
+	}
+	if p.zone == nil {
+		if p.origin == "" {
+			return nil, ErrNoOrigin
+		}
+		p.zone = New(p.origin)
+	}
+	return p.zone, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(text, origin string) (*Zone, error) {
+	return Parse(strings.NewReader(text), origin)
+}
+
+type parser struct {
+	origin    string
+	ttl       uint32
+	lastOwner string
+	zone      *Zone
+}
+
+// stripComment removes a ';' comment, honouring quoted strings.
+func stripComment(line string) string {
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inQuote = !inQuote
+		case ';':
+			if !inQuote {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// tokenize splits a record line into fields, keeping quoted strings as
+// single tokens (with quotes removed) and dropping parentheses.
+func tokenize(line string) ([]string, bool, error) {
+	var tokens []string
+	var cur strings.Builder
+	inQuote := false
+	quoted := make(map[int]bool)
+	flush := func(wasQuoted bool) {
+		if cur.Len() > 0 || wasQuoted {
+			if wasQuoted {
+				quoted[len(tokens)] = true
+			}
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			if inQuote {
+				inQuote = false
+				flush(true)
+			} else {
+				inQuote = true
+			}
+		case inQuote:
+			cur.WriteByte(c)
+		case c == ' ' || c == '\t':
+			flush(false)
+		case c == '(' || c == ')':
+			flush(false)
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, false, fmt.Errorf("%w: unterminated quoted string", ErrParse)
+	}
+	flush(false)
+	// A line whose first token was quoted is nonsense for DNS; report
+	// whether the first token was an owner (unquoted) for caller logic.
+	firstQuoted := quoted[0]
+	return tokens, firstQuoted, nil
+}
+
+func (p *parser) line(line string) error {
+	if strings.TrimSpace(line) == "" {
+		return nil
+	}
+	// Leading whitespace means "reuse previous owner".
+	ownerOmitted := line[0] == ' ' || line[0] == '\t'
+
+	tokens, firstQuoted, err := tokenize(line)
+	if err != nil {
+		return err
+	}
+	if len(tokens) == 0 {
+		return nil
+	}
+	if firstQuoted {
+		return fmt.Errorf("%w: quoted owner name", ErrParse)
+	}
+
+	switch strings.ToUpper(tokens[0]) {
+	case "$ORIGIN":
+		if len(tokens) != 2 {
+			return fmt.Errorf("%w: $ORIGIN wants one argument", ErrBadDirective)
+		}
+		p.origin = dnswire.CanonicalName(tokens[1])
+		return nil
+	case "$TTL":
+		if len(tokens) != 2 {
+			return fmt.Errorf("%w: $TTL wants one argument", ErrBadDirective)
+		}
+		ttl, err := parseTTL(tokens[1])
+		if err != nil {
+			return err
+		}
+		p.ttl = ttl
+		return nil
+	case "$INCLUDE", "$GENERATE":
+		return fmt.Errorf("%w: %s not supported", ErrBadDirective, tokens[0])
+	}
+
+	if p.origin == "" {
+		return ErrNoOrigin
+	}
+	if p.zone == nil {
+		p.zone = New(p.origin)
+	}
+
+	var owner string
+	rest := tokens
+	if ownerOmitted {
+		if p.lastOwner == "" {
+			return fmt.Errorf("%w: blank owner with no previous record", ErrParse)
+		}
+		owner = p.lastOwner
+	} else {
+		owner = p.absolute(tokens[0])
+		rest = tokens[1:]
+	}
+	p.lastOwner = owner
+
+	ttl := p.ttl
+	class := dnswire.ClassIN
+	// TTL and class may appear in either order before the type.
+	for len(rest) > 0 {
+		up := strings.ToUpper(rest[0])
+		if up == "IN" || up == "CH" {
+			if up == "CH" {
+				class = dnswire.ClassCH
+			}
+			rest = rest[1:]
+			continue
+		}
+		if t, err := parseTTL(rest[0]); err == nil {
+			ttl = t
+			rest = rest[1:]
+			continue
+		}
+		break
+	}
+	if len(rest) == 0 {
+		return fmt.Errorf("%w: missing record type for %q", ErrParse, owner)
+	}
+	rtype, ok := dnswire.ParseType(strings.ToUpper(rest[0]))
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownType, rest[0])
+	}
+	data, err := p.rdata(rtype, rest[1:])
+	if err != nil {
+		return fmt.Errorf("record %q %v: %w", owner, rtype, err)
+	}
+	return p.zone.Add(dnswire.RR{Name: owner, Class: class, TTL: ttl, Data: data})
+}
+
+// absolute resolves a possibly-relative name against the current origin.
+func (p *parser) absolute(name string) string {
+	if name == "@" {
+		return p.origin
+	}
+	if strings.HasSuffix(name, ".") {
+		return dnswire.CanonicalName(name)
+	}
+	if p.origin == "." {
+		return dnswire.CanonicalName(name)
+	}
+	return dnswire.CanonicalName(name + "." + p.origin)
+}
+
+func (p *parser) rdata(t dnswire.Type, args []string) (dnswire.RData, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%w: want %d rdata fields, have %d", ErrParse, n, len(args))
+		}
+		return nil
+	}
+	switch t {
+	case dnswire.TypeA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		addr, err := netip.ParseAddr(args[0])
+		if err != nil || !addr.Is4() {
+			return nil, fmt.Errorf("%w: bad IPv4 %q", ErrParse, args[0])
+		}
+		return dnswire.ARecord{Addr: addr}, nil
+	case dnswire.TypeAAAA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		addr, err := netip.ParseAddr(args[0])
+		if err != nil || !addr.Is6() || addr.Is4In6() {
+			return nil, fmt.Errorf("%w: bad IPv6 %q", ErrParse, args[0])
+		}
+		return dnswire.AAAARecord{Addr: addr}, nil
+	case dnswire.TypeNS:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return dnswire.NSRecord{Host: p.absolute(args[0])}, nil
+	case dnswire.TypeCNAME:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return dnswire.CNAMERecord{Target: p.absolute(args[0])}, nil
+	case dnswire.TypePTR:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return dnswire.PTRRecord{Target: p.absolute(args[0])}, nil
+	case dnswire.TypeMX:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		pref, err := strconv.ParseUint(args[0], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad MX preference %q", ErrParse, args[0])
+		}
+		return dnswire.MXRecord{Preference: uint16(pref), Host: p.absolute(args[1])}, nil
+	case dnswire.TypeTXT:
+		if len(args) == 0 {
+			return nil, fmt.Errorf("%w: TXT wants at least one string", ErrParse)
+		}
+		return dnswire.TXTRecord{Strings: append([]string(nil), args...)}, nil
+	case dnswire.TypeSPF:
+		if len(args) == 0 {
+			return nil, fmt.Errorf("%w: SPF wants at least one string", ErrParse)
+		}
+		return dnswire.SPFRecord{Strings: append([]string(nil), args...)}, nil
+	case dnswire.TypeSOA:
+		if err := need(7); err != nil {
+			return nil, err
+		}
+		nums := make([]uint32, 5)
+		for i, a := range args[2:] {
+			v, err := parseTTL(a)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad SOA field %q", ErrParse, a)
+			}
+			nums[i] = v
+		}
+		return dnswire.SOARecord{
+			MName: p.absolute(args[0]), RName: p.absolute(args[1]),
+			Serial: nums[0], Refresh: nums[1], Retry: nums[2], Expire: nums[3], Minimum: nums[4],
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: %v", ErrUnknownType, t)
+	}
+}
+
+// parseTTL parses a TTL value: plain seconds or BIND unit notation
+// (e.g. 1h30m, 2d, 1w).
+func parseTTL(s string) (uint32, error) {
+	if s == "" {
+		return 0, fmt.Errorf("%w: empty TTL", ErrParse)
+	}
+	if v, err := strconv.ParseUint(s, 10, 32); err == nil {
+		return uint32(v), nil
+	}
+	total := uint64(0)
+	num := uint64(0)
+	haveNum := false
+	for _, c := range strings.ToLower(s) {
+		switch {
+		case c >= '0' && c <= '9':
+			num = num*10 + uint64(c-'0')
+			haveNum = true
+		case c == 's' || c == 'm' || c == 'h' || c == 'd' || c == 'w':
+			if !haveNum {
+				return 0, fmt.Errorf("%w: bad TTL %q", ErrParse, s)
+			}
+			mult := map[rune]uint64{'s': 1, 'm': 60, 'h': 3600, 'd': 86400, 'w': 604800}[c]
+			total += num * mult
+			num, haveNum = 0, false
+		default:
+			return 0, fmt.Errorf("%w: bad TTL %q", ErrParse, s)
+		}
+	}
+	if haveNum {
+		return 0, fmt.Errorf("%w: trailing number in TTL %q", ErrParse, s)
+	}
+	if total > 1<<31 {
+		return 0, fmt.Errorf("%w: TTL %q overflows", ErrParse, s)
+	}
+	return uint32(total), nil
+}

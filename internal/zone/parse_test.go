@@ -1,0 +1,297 @@
+package zone
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dnscde/internal/dnswire"
+)
+
+// _paperParentZone is the literal zone fragment from §IV-B2b of the paper
+// (with the apex SOA/NS that any real zone needs).
+const _paperParentZone = `
+$ORIGIN cache.example.
+$TTL 3600
+@	IN	SOA	ns.cache.example. hostmaster.cache.example. (
+		2017062601 ; serial
+		7200       ; refresh
+		3600       ; retry
+		1209600    ; expire
+		60 )       ; minimum
+@	IN	NS	ns.cache.example.
+ns	IN	A	198.51.100.1
+sub.cache.example.	IN	NS	ns.sub.cache.example.
+ns.sub.cache.example.	IN	A	192.0.2.4
+`
+
+const _paperChildZone = `
+$ORIGIN sub.cache.example.
+$TTL 300
+@	IN	SOA	ns.sub.cache.example. hostmaster.sub.cache.example. 1 7200 3600 1209600 60
+@	IN	NS	ns
+ns	IN	A	192.0.2.4
+x-1	IN	A	192.0.2.5
+x-2	IN	A	192.0.2.5
+x-3	IN	A	192.0.2.5
+`
+
+func TestParsePaperParentZone(t *testing.T) {
+	z, err := ParseString(_paperParentZone, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Origin() != "cache.example." {
+		t.Errorf("origin = %q", z.Origin())
+	}
+	if err := z.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	soa, err := z.SOA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := soa.Data.(dnswire.SOARecord)
+	if s.Serial != 2017062601 || s.Minimum != 60 {
+		t.Errorf("SOA = %+v", s)
+	}
+	res := z.Lookup("x-9.sub.cache.example.", dnswire.TypeA)
+	if res.Kind != Delegation {
+		t.Errorf("kind = %v, want DELEGATION", res.Kind)
+	}
+}
+
+func TestParsePaperChildZone(t *testing.T) {
+	z, err := ParseString(_paperChildZone, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"x-1", "x-2", "x-3"} {
+		res := z.Lookup(name+".sub.cache.example.", dnswire.TypeA)
+		if res.Kind != Answer {
+			t.Errorf("%s: kind = %v", name, res.Kind)
+		}
+	}
+}
+
+func TestParseRelativeAndAbsoluteNames(t *testing.T) {
+	z, err := ParseString(`
+www	300	IN	A	192.0.2.1
+abs.example.org.	IN	A	192.0.2.2
+`, "example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := z.Lookup("www.example.org.", dnswire.TypeA); res.Kind != Answer {
+		t.Errorf("relative name: %v", res.Kind)
+	}
+	if res := z.Lookup("abs.example.org.", dnswire.TypeA); res.Kind != Answer {
+		t.Errorf("absolute name: %v", res.Kind)
+	}
+	if recs := z.Lookup("www.example.org.", dnswire.TypeA).Records; recs[0].TTL != 300 {
+		t.Errorf("per-record TTL not honoured")
+	}
+}
+
+func TestParseBlankOwnerContinuation(t *testing.T) {
+	z, err := ParseString(`
+host	IN	A	192.0.2.1
+	IN	TXT	"second record same owner"
+`, "example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := z.Lookup("host.example.org.", dnswire.TypeTXT); res.Kind != Answer {
+		t.Errorf("continuation owner: %v", res.Kind)
+	}
+}
+
+func TestParseQuotedTXTWithSemicolonAndSpaces(t *testing.T) {
+	z, err := ParseString(`
+spf	IN	TXT	"v=spf1 ip4:192.0.2.0/24 -all; note"
+`, "example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := z.Lookup("spf.example.org.", dnswire.TypeTXT)
+	txt := res.Records[0].Data.(dnswire.TXTRecord)
+	if txt.Strings[0] != "v=spf1 ip4:192.0.2.0/24 -all; note" {
+		t.Errorf("TXT = %q", txt.Strings[0])
+	}
+}
+
+func TestParseTTLUnits(t *testing.T) {
+	tests := []struct {
+		in   string
+		want uint32
+	}{
+		{"30", 30}, {"1h", 3600}, {"1h30m", 5400}, {"2d", 172800}, {"1w", 604800},
+	}
+	for _, tt := range tests {
+		got, err := parseTTL(tt.in)
+		if err != nil {
+			t.Errorf("parseTTL(%q): %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("parseTTL(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+	for _, bad := range []string{"", "h", "1x", "1h2", "99999999999"} {
+		if _, err := parseTTL(bad); err == nil {
+			t.Errorf("parseTTL(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseDollarTTLDirective(t *testing.T) {
+	z, err := ParseString(`
+$TTL 120
+a	IN	A	192.0.2.1
+`, "example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ttl := z.Lookup("a.example.org.", dnswire.TypeA).Records[0].TTL; ttl != 120 {
+		t.Errorf("TTL = %d, want 120", ttl)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, text string
+		origin     string
+		wantErr    error
+	}{
+		{"no origin", "a IN A 192.0.2.1", "", ErrNoOrigin},
+		{"unknown type", "a IN BOGUS foo", "example.org", ErrUnknownType},
+		{"bad directive", "$INCLUDE other.zone", "example.org", ErrBadDirective},
+		{"unbalanced paren", "a IN SOA ns. rn. (1 2 3 4 5", "example.org", ErrParse},
+		{"bad A rdata", "a IN A not-an-ip", "example.org", ErrParse},
+		{"bad AAAA rdata", "a IN AAAA 192.0.2.1", "example.org", ErrParse},
+		{"missing type", "a IN", "example.org", ErrParse},
+		{"bad MX pref", "a IN MX ten mx.example.org.", "example.org", ErrParse},
+		{"unterminated quote", `a IN TXT "oops`, "example.org", ErrParse},
+		{"blank owner first", "\tIN A 192.0.2.1", "example.org", ErrParse},
+		{"SOA field count", "@ IN SOA ns. rn. 1 2 3", "example.org", ErrParse},
+	}
+	for _, tc := range cases {
+		_, err := ParseString(tc.text, tc.origin)
+		if !errors.Is(err, tc.wantErr) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestParseEmptyZoneWithOrigin(t *testing.T) {
+	z, err := ParseString("; nothing but comments\n", "example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Len() != 0 {
+		t.Errorf("Len = %d", z.Len())
+	}
+}
+
+func TestParseAllSupportedTypes(t *testing.T) {
+	z, err := ParseString(`
+@	IN	NS	ns.example.org.
+a	IN	A	192.0.2.1
+aaaa	IN	AAAA	2001:db8::1
+cn	IN	CNAME	a
+ptr	IN	PTR	a.example.org.
+mx	IN	MX	10 a
+txt	IN	TXT	"hello" "world"
+spf	IN	SPF	"v=spf1 -all"
+`, "example.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[string]dnswire.Type{
+		"a": dnswire.TypeA, "aaaa": dnswire.TypeAAAA,
+		"ptr": dnswire.TypePTR, "mx": dnswire.TypeMX,
+		"txt": dnswire.TypeTXT, "spf": dnswire.TypeSPF,
+	}
+	for label, typ := range wants {
+		res := z.Lookup(label+".example.org.", typ)
+		if res.Kind != Answer {
+			t.Errorf("%s %v: kind = %v", label, typ, res.Kind)
+		}
+	}
+	// NS at the apex is an answer, not a delegation.
+	if res := z.Lookup("example.org.", dnswire.TypeNS); res.Kind != Answer {
+		t.Errorf("apex NS: kind = %v", res.Kind)
+	}
+	if res := z.Lookup("cn.example.org.", dnswire.TypeA); res.Kind != CNAMEAnswer {
+		t.Errorf("cn: kind = %v", res.Kind)
+	}
+	// Multi-string TXT survives.
+	txt := z.Lookup("txt.example.org.", dnswire.TypeTXT).Records[0].Data.(dnswire.TXTRecord)
+	if len(txt.Strings) != 2 || txt.Strings[1] != "world" {
+		t.Errorf("TXT strings = %v", txt.Strings)
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	// Every record String() emitted by the sample zone must reparse to an
+	// equivalent record — a weak but useful self-consistency property.
+	z := testZone(t)
+	for _, name := range z.Names() {
+		for _, typ := range []dnswire.Type{dnswire.TypeA, dnswire.TypeNS, dnswire.TypeMX, dnswire.TypeTXT} {
+			res := z.Lookup(name, typ)
+			if res.Kind != Answer {
+				continue
+			}
+			for _, rr := range res.Records {
+				line := rr.String()
+				z2, err := ParseString(line, "cache.example")
+				if err != nil {
+					t.Errorf("reparse %q: %v", line, err)
+					continue
+				}
+				if z2.Len() != 1 {
+					t.Errorf("reparse %q produced %d records", line, z2.Len())
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyParseNeverPanics(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 1500}
+	f := func(text string) bool {
+		_, _ = ParseString(text, "example.org")
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStripComment(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"a IN A 1.2.3.4 ; comment", "a IN A 1.2.3.4 "},
+		{`txt IN TXT "keep ; this" ; drop this`, `txt IN TXT "keep ; this" `},
+		{"; whole line", ""},
+	}
+	for _, tt := range tests {
+		if got := stripComment(tt.in); got != tt.want {
+			t.Errorf("stripComment(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTokenizeQuotes(t *testing.T) {
+	tokens, firstQuoted, err := tokenize(`name IN TXT "one two" three`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstQuoted {
+		t.Error("firstQuoted = true")
+	}
+	want := []string{"name", "IN", "TXT", "one two", "three"}
+	if strings.Join(tokens, "|") != strings.Join(want, "|") {
+		t.Errorf("tokens = %v", tokens)
+	}
+}

@@ -1,0 +1,133 @@
+package zone
+
+import (
+	"fmt"
+	"net/netip"
+
+	"dnscde/internal/dnswire"
+)
+
+// This file provides builders for the exact zone shapes the paper's CDE
+// infrastructure uses (§IV-A, §IV-B2). They are used by internal/core, by
+// tests and by cmd/cdeserver.
+
+// Apex inserts the SOA and NS apex records every zone needs, with ns as
+// the in-zone nameserver host owning address addr.
+func Apex(z *Zone, ns string, addr netip.Addr, ttl uint32) error {
+	origin := z.Origin()
+	soa := dnswire.RR{Name: origin, Class: dnswire.ClassIN, TTL: ttl, Data: dnswire.SOARecord{
+		MName: ns, RName: "hostmaster." + origin,
+		Serial: 2017062601, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 60,
+	}}
+	if err := z.Add(soa); err != nil {
+		return err
+	}
+	if err := z.Add(dnswire.RR{Name: origin, Class: dnswire.ClassIN, TTL: ttl, Data: dnswire.NSRecord{Host: ns}}); err != nil {
+		return err
+	}
+	return z.Add(dnswire.RR{Name: ns, Class: dnswire.ClassIN, TTL: ttl, Data: dnswire.ARecord{Addr: addr}})
+}
+
+// BuildFlat creates the direct-probing zone of §IV-B1:
+//
+//	name.<origin> IN A <target>
+//
+// with the nameserver ns.<origin> at nsAddr.
+func BuildFlat(origin, name string, target, nsAddr netip.Addr, ttl uint32) (*Zone, error) {
+	z := New(origin)
+	if err := Apex(z, "ns."+z.Origin(), nsAddr, ttl); err != nil {
+		return nil, err
+	}
+	rr := dnswire.RR{
+		Name: name + "." + z.Origin(), Class: dnswire.ClassIN, TTL: ttl,
+		Data: dnswire.ARecord{Addr: target},
+	}
+	if err := z.Add(rr); err != nil {
+		return nil, err
+	}
+	return z, nil
+}
+
+// BuildCNAMEChain creates the §IV-B2a local-cache-bypass zone:
+//
+//	x-1.<origin> IN CNAME name.<origin>
+//	...
+//	x-q.<origin> IN CNAME name.<origin>
+//	name.<origin> IN A <target>
+//
+// Probe names are x-1 … x-q; ProbeName returns them.
+func BuildCNAMEChain(origin string, q int, target, nsAddr netip.Addr, ttl uint32) (*Zone, error) {
+	if q < 1 {
+		return nil, fmt.Errorf("zone: CNAME chain needs q >= 1, have %d", q)
+	}
+	z := New(origin)
+	if err := Apex(z, "ns."+z.Origin(), nsAddr, ttl); err != nil {
+		return nil, err
+	}
+	final := "name." + z.Origin()
+	if err := z.Add(dnswire.RR{Name: final, Class: dnswire.ClassIN, TTL: ttl, Data: dnswire.ARecord{Addr: target}}); err != nil {
+		return nil, err
+	}
+	for i := 1; i <= q; i++ {
+		alias := ProbeName(i, z.Origin())
+		if err := z.Add(dnswire.RR{Name: alias, Class: dnswire.ClassIN, TTL: ttl, Data: dnswire.CNAMERecord{Target: final}}); err != nil {
+			return nil, err
+		}
+	}
+	return z, nil
+}
+
+// ProbeName returns the i-th probe owner name, "x-<i>.<origin>".
+func ProbeName(i int, origin string) string {
+	return fmt.Sprintf("x-%d.%s", i, dnswire.CanonicalName(origin))
+}
+
+// Hierarchy is the two-zone setup of §IV-B2b: a parent that delegates
+// sub.<origin> and a child holding the probe records. The count of
+// delegation re-fetches observed at the parent's nameserver equals the
+// cache count.
+type Hierarchy struct {
+	Parent *Zone
+	Child  *Zone
+	// ChildNS is the delegated nameserver host (ns.sub.<origin>).
+	ChildNS string
+	// ChildOrigin is sub.<origin>.
+	ChildOrigin string
+}
+
+// BuildHierarchy creates the names-hierarchy pair of zones. parentNSAddr
+// and childNSAddr are the addresses of the two authoritative servers
+// (a.b.c.d in the paper); target is the address answered for the probe
+// names (a.b.c.e in the paper).
+func BuildHierarchy(origin string, q int, target, parentNSAddr, childNSAddr netip.Addr, ttl uint32) (*Hierarchy, error) {
+	if q < 1 {
+		return nil, fmt.Errorf("zone: hierarchy needs q >= 1, have %d", q)
+	}
+	parent := New(origin)
+	if err := Apex(parent, "ns."+parent.Origin(), parentNSAddr, ttl); err != nil {
+		return nil, err
+	}
+	childOrigin := "sub." + parent.Origin()
+	childNS := "ns." + childOrigin
+
+	// Parent side: delegation NS + glue, exactly the zone fragment in the
+	// paper.
+	if err := parent.Add(dnswire.RR{Name: childOrigin, Class: dnswire.ClassIN, TTL: ttl, Data: dnswire.NSRecord{Host: childNS}}); err != nil {
+		return nil, err
+	}
+	if err := parent.Add(dnswire.RR{Name: childNS, Class: dnswire.ClassIN, TTL: ttl, Data: dnswire.ARecord{Addr: childNSAddr}}); err != nil {
+		return nil, err
+	}
+
+	child := New(childOrigin)
+	if err := Apex(child, childNS, childNSAddr, ttl); err != nil {
+		return nil, err
+	}
+	for i := 1; i <= q; i++ {
+		name := ProbeName(i, childOrigin)
+		if err := child.Add(dnswire.RR{Name: name, Class: dnswire.ClassIN, TTL: ttl, Data: dnswire.ARecord{Addr: target}}); err != nil {
+			return nil, err
+		}
+	}
+	return &Hierarchy{Parent: parent, Child: child, ChildNS: childNS, ChildOrigin: childOrigin}, nil
+}
