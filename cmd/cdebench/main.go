@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"dnscde/internal/clock"
 	"dnscde/internal/experiments"
 )
 
@@ -41,10 +42,12 @@ type jsonCheck struct {
 }
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], clock.Real{}))
 }
 
-func run(args []string) int {
+// run executes the benchmark suite. The clock is injected so tests (and
+// future virtual-time harnesses) can run the timing path deterministically.
+func run(args []string, clk clock.Clock) int {
 	fs := flag.NewFlagSet("cdebench", flag.ContinueOnError)
 	var (
 		exp     = fs.String("exp", "all", "experiment id to run, or 'all'")
@@ -81,14 +84,14 @@ func run(args []string) int {
 	enc := json.NewEncoder(os.Stdout)
 	failed := 0
 	for _, id := range ids {
-		start := time.Now()
+		start := clk.Now()
 		report, err := experiments.Run(id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cdebench: %s: %v\n", id, err)
 			failed++
 			continue
 		}
-		elapsed := time.Since(start).Round(time.Millisecond)
+		elapsed := clk.Now().Sub(start).Round(time.Millisecond)
 		if *asJSON {
 			jr := jsonReport{
 				ID: report.ID, Title: report.Title,

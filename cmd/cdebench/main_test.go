@@ -1,37 +1,41 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"dnscde/internal/clock"
+)
 
 func TestRunList(t *testing.T) {
-	if code := run([]string{"-list"}); code != 0 {
+	if code := run([]string{"-list"}, clock.NewVirtual()); code != 0 {
 		t.Errorf("-list exit = %d", code)
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if code := run([]string{"-no-such-flag"}); code != 2 {
+	if code := run([]string{"-no-such-flag"}, clock.NewVirtual()); code != 2 {
 		t.Errorf("bad flag exit = %d", code)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if code := run([]string{"-exp", "nope"}); code != 1 {
+	if code := run([]string{"-exp", "nope"}, clock.NewVirtual()); code != 1 {
 		t.Errorf("unknown experiment exit = %d", code)
 	}
 }
 
 func TestRunSingleExperiment(t *testing.T) {
 	// ablation-bypass is the cheapest full experiment (three platforms).
-	if code := run([]string{"-exp", "ablation-bypass"}); code != 0 {
+	if code := run([]string{"-exp", "ablation-bypass"}, clock.NewVirtual()); code != 0 {
 		t.Errorf("ablation-bypass exit = %d", code)
 	}
 }
 
 func TestRunJSON(t *testing.T) {
-	if code := run([]string{"-exp", "resilience", "-json"}); code != 0 {
+	if code := run([]string{"-exp", "resilience", "-json"}, clock.NewVirtual()); code != 0 {
 		t.Errorf("-json exit = %d", code)
 	}
-	if code := run([]string{"-exp", "resilience", "-json", "-v"}); code != 0 {
+	if code := run([]string{"-exp", "resilience", "-json", "-v"}, clock.NewVirtual()); code != 0 {
 		t.Errorf("-json -v exit = %d", code)
 	}
 }

@@ -1,0 +1,97 @@
+// Command cdelint runs the repository's static-analysis suite
+// (internal/lint): project-specific invariants — deterministic time and
+// randomness, context plumbing on blocking I/O, mutex-copy and
+// goroutine-leak heuristics, and wire-buffer bounds discipline — that go
+// vet cannot express.
+//
+// Usage:
+//
+//	cdelint ./...
+//	cdelint -list
+//	cdelint ./internal/dnswire ./internal/udpnet/...
+//
+// A `dir/...` argument lints the whole subtree; a plain directory lints
+// just that package. Deliberate exceptions are annotated in the source:
+//
+//	//cdelint:allow walltime socket deadlines are wall-clock by definition
+//
+// cdelint exits 1 when it reports findings, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dnscde/internal/lint"
+)
+
+func main() {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdelint: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(run(os.Args[1:], cwd, os.Stdout, os.Stderr))
+}
+
+func run(args []string, cwd string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cdelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets := make([]lint.Target, 0, len(patterns))
+	for _, pat := range patterns {
+		tgt := lint.Target{Dir: pat}
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			tgt.Dir, tgt.Recursive = rest, true
+			if tgt.Dir == "" {
+				tgt.Dir = "."
+			}
+		}
+		if !filepath.IsAbs(tgt.Dir) {
+			tgt.Dir = filepath.Join(cwd, tgt.Dir)
+		}
+		targets = append(targets, tgt)
+	}
+
+	moduleRoot, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "cdelint: %v\n", err)
+		return 2
+	}
+	tree, err := lint.Load(moduleRoot, targets)
+	if err != nil {
+		fmt.Fprintf(stderr, "cdelint: %v\n", err)
+		return 2
+	}
+	diags := tree.Run(lint.Analyzers())
+	for _, d := range diags {
+		// Print module-relative paths so output is stable across checkouts.
+		if rel, err := filepath.Rel(moduleRoot, d.Pos.Filename); err == nil {
+			d.Pos.Filename = filepath.ToSlash(rel)
+		}
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "cdelint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

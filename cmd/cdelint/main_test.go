@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a synthetic module for the driver to lint.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module lintfixture\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestRunFailsOnSeededViolation(t *testing.T) {
+	// This is the contract the CI Lint step relies on: a fresh
+	// determinism leak anywhere in the tree must exit non-zero.
+	root := writeTree(t, map[string]string{
+		"internal/foo/foo.go": `package foo
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./..."}, root, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[walltime]") {
+		t.Errorf("stdout missing walltime finding:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "internal/foo/foo.go") {
+		t.Errorf("stdout missing module-relative path:\n%s", stdout.String())
+	}
+}
+
+func TestRunPassesOnCleanTree(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/foo/foo.go": `package foo
+
+func Nothing() int { return 42 }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, root, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestRunSuppressedViolationPasses(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/foo/foo.go": `package foo
+
+import "time"
+
+//cdelint:allow walltime this fixture records real timestamps on purpose
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, root, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestRunSingleDirTarget(t *testing.T) {
+	// A plain directory argument lints only that package, not the subtree.
+	root := writeTree(t, map[string]string{
+		"internal/foo/foo.go": `package foo
+
+func Nothing() int { return 0 }
+`,
+		"internal/foo/deep/deep.go": `package deep
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./internal/foo"}, root, &stdout, &stderr); code != 0 {
+		t.Fatalf("plain dir exit = %d, want 0\nstdout: %s", code, stdout.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"./internal/foo/..."}, root, &stdout, &stderr); code != 1 {
+		t.Fatalf("recursive exit = %d, want 1\nstdout: %s", code, stdout.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, t.TempDir(), &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, name := range []string{"walltime", "detrand", "ctxflow", "mutexcopy", "goleak", "wiresafe"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestRunNoModuleRoot(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, "/", &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2 (no go.mod above /)", code)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"dnscde/internal/clock"
 	"dnscde/internal/dnswire"
 )
 
@@ -110,7 +111,7 @@ func TestLoadZonesBadFile(t *testing.T) {
 }
 
 func TestRunDump(t *testing.T) {
-	if code := run([]string{"-generate", "cache.example", "-probes", "2", "-dump"}); code != 0 {
+	if code := run([]string{"-generate", "cache.example", "-probes", "2", "-dump"}, clock.NewVirtual()); code != 0 {
 		t.Errorf("-dump exit = %d", code)
 	}
 }

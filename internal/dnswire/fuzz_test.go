@@ -1,0 +1,115 @@
+package dnswire
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// fuzzMessageSeeds packs a representative set of messages — every RData
+// type, compression, EDNS, truncation — plus known-bad raw vectors from
+// the unit tests, so the fuzzer starts at the interesting corners of the
+// format.
+func fuzzMessageSeeds(f *testing.F) {
+	resp := NewResponse(NewQuery(0x1234, "probe.sub.cache.example.", TypeA))
+	resp.Header.Authoritative = true
+	resp.Answer = append(resp.Answer,
+		RR{Name: "probe.sub.cache.example.", Class: ClassIN, TTL: 300,
+			Data: CNAMERecord{Target: "x-1.sub.cache.example."}},
+		RR{Name: "x-1.sub.cache.example.", Class: ClassIN, TTL: 300,
+			Data: ARecord{Addr: netip.MustParseAddr("192.0.2.5")}},
+	)
+	resp.Authority = append(resp.Authority,
+		RR{Name: "sub.cache.example.", Class: ClassIN, TTL: 60, Data: SOARecord{
+			MName: "ns.sub.cache.example.", RName: "hostmaster.sub.cache.example.",
+			Serial: 2017062601, Refresh: 7200, Retry: 3600, Expire: 1209600, Minimum: 60,
+		}},
+		RR{Name: "sub.cache.example.", Class: ClassIN, TTL: 60,
+			Data: NSRecord{Host: "ns.sub.cache.example."}},
+	)
+	resp.Additional = append(resp.Additional,
+		RR{Name: "cache.example.", Class: ClassIN, TTL: 60,
+			Data: MXRecord{Preference: 10, Host: "mail.cache.example."}},
+		RR{Name: "cache.example.", Class: ClassIN, TTL: 60,
+			Data: TXTRecord{Strings: []string{"v=spf1 -all"}}},
+		RR{Name: ".", Class: Class(MaxEDNSSize), Data: OPTRecord{UDPSize: MaxEDNSSize}},
+		RR{Name: "raw.cache.example.", Class: ClassIN, TTL: 1,
+			Data: RawRecord{RType: Type(4095), Data: []byte{0xde, 0xad, 0xbe, 0xef}}},
+	)
+	for _, m := range []*Message{NewQuery(7, "a.example.", TypeTXT), resp} {
+		wire, err := m.Pack()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+	}
+	// Known-bad shapes: truncated header, header promising a missing
+	// record, and a pointer loop inside a question name.
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0, 1, 0x80, 0, 0, 0, 0, 1, 0, 0, 0, 0})
+	f.Add([]byte{0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C, 0, 1, 0, 1})
+}
+
+func FuzzMessageUnpack(f *testing.F) {
+	fuzzMessageSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		// Unpack may legitimately yield messages Pack refuses (e.g. a
+		// decompressed name whose re-encoding exceeds the length limits),
+		// but packing must never panic — and what Pack emits must unpack.
+		wire, err := m.Pack()
+		if err != nil {
+			return
+		}
+		if _, err := Unpack(wire); err != nil {
+			t.Fatalf("repacked message does not unpack: %v\nwire: %x", err, wire)
+		}
+	})
+}
+
+func FuzzNameUnpack(f *testing.F) {
+	for _, name := range []string{".", "a.example.", "probe.sub.cache.example."} {
+		wire, err := packName(nil, name, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire, 0)
+	}
+	// Compression pointer into an earlier name, mixed case, and the
+	// malformed shapes from the unit tests.
+	f.Add([]byte{5, 'C', 'a', 'C', 'h', 'E', 7, 'E', 'x', 'a', 'm', 'p', 'l', 'e', 0}, 0)
+	f.Add([]byte{1, 'a', 0, 1, 'b', 0xC0, 0x00}, 3)
+	f.Add([]byte{1, 'a', 0xC0, 0x00}, 2)
+	f.Add([]byte{0xC0, 0x02, 1, 'a', 0}, 0)
+	f.Add([]byte{5, 'a', 'b'}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, off int) {
+		if off < 0 || off > len(data) {
+			off = 0
+		}
+		name, next, err := unpackName(data, off)
+		if err != nil {
+			return
+		}
+		if len(name) > MaxNameLen {
+			t.Fatalf("unpackName returned %d-octet name %q", len(name), name)
+		}
+		if next < 0 || next > len(data) {
+			t.Fatalf("unpackName returned out-of-range next offset %d (len %d)", next, len(data))
+		}
+		// A name that decoded cleanly and re-encodes must survive a
+		// pack/unpack round trip (case and pointer chasing normalised).
+		repacked, err := packName(nil, name, nil)
+		if err != nil {
+			return
+		}
+		again, _, err := unpackName(repacked, 0)
+		if err != nil {
+			t.Fatalf("repacked name %q does not unpack: %v (wire %x)", name, err, repacked)
+		}
+		if again != name {
+			t.Fatalf("name round trip changed %q -> %q", name, again)
+		}
+	})
+}

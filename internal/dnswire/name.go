@@ -30,12 +30,25 @@ var (
 
 // CanonicalName lower-cases a domain name and ensures it is fully qualified
 // (ends with a single trailing dot). The root name is returned as ".".
+// Lowercasing is ASCII-only: DNS case-insensitivity covers only A–Z
+// (RFC 4343), and Unicode-aware lowering would corrupt raw label octets
+// that are not valid UTF-8.
 func CanonicalName(name string) string {
-	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	name = strings.TrimSuffix(name, ".")
 	if name == "" {
 		return "."
 	}
-	return name + "."
+	return asciiLowerString(name) + "."
+}
+
+// asciiLowerString lowercases ASCII A–Z in s, allocating only when needed.
+func asciiLowerString(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' {
+			return string(bytesToLower([]byte(s)))
+		}
+	}
+	return s
 }
 
 // SplitLabels splits a canonical name into its labels, excluding the root.

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Ctxflow enforces context plumbing in the packages that block on real
+// I/O: a probe run against millions of resolvers must be cancellable end
+// to end, so every exported entry point that can block has to accept a
+// context.Context and actually thread it through.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported functions in I/O packages that block must accept a context.Context and not drop it",
+	Run:  runCtxflow,
+}
+
+// ctxflowTargets are the packages whose exported API performs (or fronts)
+// network I/O.
+var ctxflowTargets = map[string]bool{
+	"internal/udpnet":   true,
+	"internal/platform": true,
+	"internal/authns":   true,
+}
+
+// blockingSelectors name method/function calls that can block on I/O or
+// peer activity. Bind/close operations (Listen, Close) return promptly and
+// are deliberately absent.
+var blockingSelectors = map[string]bool{
+	"Read":        true,
+	"ReadFrom":    true,
+	"ReadFromUDP": true,
+	"ReadMsgUDP":  true,
+	"ReadFull":    true,
+	"Write":       true,
+	"WriteTo":     true,
+	"WriteToUDP":  true,
+	"Accept":      true,
+	"AcceptTCP":   true,
+	"Dial":        true,
+	"DialUDP":     true,
+	"DialTCP":     true,
+	"DialContext": true,
+	"Exchange":    true,
+	"ExchangeTCP": true,
+	"ServeDNS":    true,
+	"Serve":       true,
+}
+
+func runCtxflow(p *Pass) {
+	if !ctxflowTargets[p.Pkg.RelPath] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ctxPkg, hasCtxImport := importLocalName(f.AST, "context")
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !exportedAPI(fn) {
+				continue
+			}
+			ctxParam := contextParam(fn, ctxPkg, hasCtxImport)
+			if ctxParam == "" {
+				if sel := firstBlockingCall(fn.Body); sel != "" {
+					p.Reportf(fn.Pos(),
+						"exported %s blocks on I/O (%s) but does not accept a context.Context", fn.Name.Name, sel)
+				}
+				continue
+			}
+			if ctxParam == "_" {
+				p.Reportf(fn.Pos(),
+					"exported %s accepts a context.Context but discards it (parameter is _)", fn.Name.Name)
+				continue
+			}
+			if !identUsed(fn.Body, ctxParam) {
+				p.Reportf(fn.Pos(),
+					"exported %s accepts context parameter %q but never uses it", fn.Name.Name, ctxParam)
+			}
+		}
+	}
+}
+
+// exportedAPI reports whether fn is part of the package's exported
+// surface: an exported name on either a free function or a method of an
+// exported receiver type.
+func exportedAPI(fn *ast.FuncDecl) bool {
+	if !fn.Name.IsExported() {
+		return false
+	}
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	return ast.IsExported(receiverTypeName(fn.Recv.List[0].Type))
+}
+
+// receiverTypeName unwraps *T / T / T[...] to the receiver type name.
+func receiverTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return receiverTypeName(t.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(t.X)
+	}
+	return ""
+}
+
+// contextParam returns the name of fn's context.Context parameter, "" when
+// there is none. A blank parameter is reported as "_".
+func contextParam(fn *ast.FuncDecl, ctxPkg string, hasImport bool) string {
+	if !hasImport || fn.Type.Params == nil {
+		return ""
+	}
+	for _, field := range fn.Type.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != ctxPkg {
+			continue
+		}
+		if len(field.Names) == 0 {
+			return "_"
+		}
+		return field.Names[0].Name
+	}
+	return ""
+}
+
+// firstBlockingCall returns the selector name of the first call in body
+// that matches the blocking heuristic, or "".
+func firstBlockingCall(body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && blockingSelectors[sel.Sel.Name] {
+			found = sel.Sel.Name
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// identUsed reports whether an identifier named name appears in body.
+// Shadowing is ignored: a shadowed mention still counts, which keeps the
+// check cheap and errs toward silence, not noise.
+func identUsed(body *ast.BlockStmt, name string) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			used = true
+			return false
+		}
+		return !used
+	})
+	return used
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Detrand enforces deterministic randomness: every RNG in non-test code
+// must be injected (*rand.Rand parameters or struct fields) or explicitly
+// seeded via rand.New(rand.NewSource(seed)). The package-level math/rand
+// functions draw from a process-global, randomly-seeded source, which
+// silently breaks run-to-run reproducibility of the simulated populations.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "flags package-level math/rand draws (rand.Intn, rand.Float64, ...) and rand.Seed in non-test code",
+	Run:  runDetrand,
+}
+
+// detrandDenied is the set of math/rand package-level functions that use
+// (or mutate) the global source. Constructors — New, NewSource, NewZipf —
+// are the approved pattern and stay legal.
+var detrandDenied = map[string]bool{
+	"Int":         true,
+	"Intn":        true,
+	"Int31":       true,
+	"Int31n":      true,
+	"Int63":       true,
+	"Int63n":      true,
+	"Uint32":      true,
+	"Uint64":      true,
+	"Float32":     true,
+	"Float64":     true,
+	"NormFloat64": true,
+	"ExpFloat64":  true,
+	"Perm":        true,
+	"Shuffle":     true,
+	"Read":        true,
+	"Seed":        true,
+}
+
+func runDetrand(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, importPath := range []string{"math/rand", "math/rand/v2"} {
+			local, ok := importLocalName(f.AST, importPath)
+			if !ok {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := pkgCall(call, local)
+				if ok && detrandDenied[name] {
+					p.Reportf(call.Pos(),
+						"rand.%s draws from the global math/rand source; inject a *rand.Rand or seed one with rand.New(rand.NewSource(seed))", name)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package lint implements cdelint, the project-specific static-analysis
+// suite. It turns the repository's determinism, context-flow and
+// wire-safety conventions into machine-checked invariants:
+//
+//   - walltime:  wall-clock reads stay behind the clock.Clock abstraction
+//   - detrand:   math/rand is always injected or explicitly seeded
+//   - ctxflow:   blocking exported APIs accept and use a context.Context
+//   - mutexcopy: no value receivers on types guarding state with a mutex
+//   - goleak:    goroutines carry a visible cancellation/completion signal
+//   - wiresafe:  wire-buffer indexing is preceded by a bounds check
+//
+// The engine is deliberately stdlib-only (go/ast, go/parser, go/token):
+// the repository has no module dependencies and the linter must not add
+// one. Analyses are syntactic — precise enough for this codebase's
+// conventions, with `//cdelint:allow <analyzer> <reason>` as the escape
+// hatch for deliberate exceptions.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AllowPrefix introduces a suppression comment. The full form is
+// `//cdelint:allow <analyzer> <reason>`; it silences the named analyzer on
+// the comment's line and on the line that follows it. A reason is
+// mandatory — an allow comment without one is itself a finding.
+const AllowPrefix = "cdelint:allow"
+
+// Diagnostic is one finding, positioned in the source tree.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the file:line:col style editors parse.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// File is one parsed non-test source file.
+type File struct {
+	Path string
+	AST  *ast.File
+	// allow maps a line number to the analyzer names suppressed there.
+	allow map[int][]string
+}
+
+// allowedAt reports whether analyzer is suppressed on line.
+func (f *File) allowedAt(line int, analyzer string) bool {
+	for _, name := range f.allow[line] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// Package is a directory of non-test files belonging to one Go package.
+type Package struct {
+	Dir     string // filesystem directory
+	Name    string // package name from the source
+	RelPath string // slash-separated path relative to the module root
+	Files   []*File
+}
+
+// Analyzer is one named check run over every loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass gives an analyzer access to one package plus a diagnostic sink.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless an allow comment suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, f := range p.Pkg.Files {
+		if f.Path == position.Filename && f.allowedAt(position.Line, p.Analyzer.Name) {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Target selects a directory to lint. Non-recursive targets lint exactly
+// that directory; recursive targets (the `dir/...` form) walk the subtree.
+type Target struct {
+	Dir       string
+	Recursive bool
+}
+
+// Tree is a loaded source tree ready to be analyzed.
+type Tree struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	// preDiags holds engine-level findings discovered during loading,
+	// currently malformed allow comments.
+	preDiags []Diagnostic
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory holding a
+// go.mod, which anchors the RelPath of every loaded package.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load parses every non-test Go file reachable from targets. Package paths
+// are recorded relative to moduleRoot so analyzers can match on stable
+// locations like "internal/clock" regardless of where the tree lives.
+func Load(moduleRoot string, targets []Target) (*Tree, error) {
+	tree := &Tree{Fset: token.NewFileSet()}
+	seen := map[string]bool{}
+	for _, tgt := range targets {
+		dirs, err := expandTarget(tgt)
+		if err != nil {
+			return nil, err
+		}
+		for _, dir := range dirs {
+			abs, err := filepath.Abs(dir)
+			if err != nil {
+				return nil, err
+			}
+			if seen[abs] {
+				continue
+			}
+			seen[abs] = true
+			pkg, err := tree.loadDir(abs, moduleRoot)
+			if err != nil {
+				return nil, err
+			}
+			if pkg != nil {
+				tree.Packages = append(tree.Packages, pkg)
+			}
+		}
+	}
+	sort.Slice(tree.Packages, func(i, j int) bool {
+		return tree.Packages[i].RelPath < tree.Packages[j].RelPath
+	})
+	return tree, nil
+}
+
+// expandTarget resolves a Target to the concrete directories it covers.
+func expandTarget(tgt Target) ([]string, error) {
+	if !tgt.Recursive {
+		return []string{tgt.Dir}, nil
+	}
+	var dirs []string
+	err := filepath.WalkDir(tgt.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != tgt.Dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// loadDir parses the non-test Go files of one directory; it returns nil
+// when the directory holds no lintable Go files.
+func (t *Tree) loadDir(dir, moduleRoot string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(moduleRoot, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: dir, RelPath: filepath.ToSlash(rel)}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		astFile, err := parser.ParseFile(t.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", path, err)
+		}
+		f := &File{Path: path, AST: astFile, allow: map[int][]string{}}
+		t.collectAllows(f)
+		pkg.Files = append(pkg.Files, f)
+		if pkg.Name == "" {
+			pkg.Name = astFile.Name.Name
+		}
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// collectAllows indexes the file's `//cdelint:allow` comments by line and
+// records a pre-diagnostic for any allow comment lacking a reason.
+func (t *Tree) collectAllows(f *File) {
+	for _, group := range f.AST.Comments {
+		for _, c := range group.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if !strings.HasPrefix(text, AllowPrefix) {
+				continue
+			}
+			fields := strings.Fields(strings.TrimPrefix(text, AllowPrefix))
+			pos := t.Fset.Position(c.Pos())
+			if len(fields) < 2 {
+				t.preDiags = append(t.preDiags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "cdelint",
+					Message:  "allow comment needs an analyzer name and a reason: //cdelint:allow <analyzer> <reason>",
+				})
+				continue
+			}
+			// Suppress on the comment's own line (end-of-line form) and
+			// on the next line (standalone form).
+			f.allow[pos.Line] = append(f.allow[pos.Line], fields[0])
+			f.allow[pos.Line+1] = append(f.allow[pos.Line+1], fields[0])
+		}
+	}
+}
+
+// Run applies analyzers to every loaded package and returns the findings
+// sorted by position.
+func (t *Tree) Run(analyzers []*Analyzer) []Diagnostic {
+	diags := append([]Diagnostic(nil), t.preDiags...)
+	for _, pkg := range t.Packages {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Fset: t.Fset, Pkg: pkg, diags: &diags})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	return diags
+}
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Walltime, Detrand, Ctxflow, Mutexcopy, Goleak, Wiresafe}
+}
+
+// importLocalName returns the identifier under which importPath is
+// referred to in f ("time", "rand", or an alias), and whether the file
+// imports it at all. Dot- and blank-imports report not-imported since no
+// selector-based use can be attributed to them syntactically.
+func importLocalName(f *ast.File, importPath string) (string, bool) {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != importPath {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "." || imp.Name.Name == "_" {
+				return "", false
+			}
+			return imp.Name.Name, true
+		}
+		// Default local name: the last path segment, skipping a major-
+		// version suffix ("math/rand/v2" imports as "rand").
+		segs := strings.Split(path, "/")
+		name := segs[len(segs)-1]
+		if len(segs) > 1 && isVersionSegment(name) {
+			name = segs[len(segs)-2]
+		}
+		return name, true
+	}
+	return "", false
+}
+
+// isVersionSegment reports whether seg looks like a major-version import
+// path element: "v2", "v10", ...
+func isVersionSegment(seg string) bool {
+	if len(seg) < 2 || seg[0] != 'v' {
+		return false
+	}
+	for _, c := range seg[1:] {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// pkgCall matches a call expression of the form <local>.<Sel>(...) where
+// local is the file-local name of an imported package; it returns the
+// selected name. The Obj check keeps local variables that shadow the
+// package name from matching.
+func pkgCall(call *ast.CallExpr, local string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != local || id.Obj != nil {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,449 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// analyze writes the synthetic files (path -> source, paths relative to a
+// temp module root) and runs the given analyzers over the whole tree.
+func analyze(t *testing.T, files map[string]string, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree, err := Load(root, []Target{{Dir: root, Recursive: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree.Run(analyzers)
+}
+
+// wantDiags asserts the findings: each entry of want is a substring that
+// must appear in the corresponding (position-sorted) diagnostic.
+func wantDiags(t *testing.T, got []Diagnostic, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostic(s), want %d:\n%s", len(got), len(want), renderDiags(got))
+	}
+	for i, sub := range want {
+		if !strings.Contains(got[i].String(), sub) {
+			t.Errorf("diagnostic %d = %q, want substring %q", i, got[i].String(), sub)
+		}
+	}
+}
+
+func renderDiags(diags []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString("  " + d.String() + "\n")
+	}
+	return sb.String()
+}
+
+func TestWalltime(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  []string
+	}{
+		{
+			name: "flags wall-clock reads outside internal/clock",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+import "time"
+func Stamp() time.Time { return time.Now() }
+func Nap()              { time.Sleep(time.Second) }
+`},
+			want: []string{"[walltime] time.Now", "[walltime] time.Sleep"},
+		},
+		{
+			name: "flags aliased time import",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+import clk "time"
+func Stamp() clk.Time { return clk.Now() }
+`},
+			want: []string{"[walltime] time.Now"},
+		},
+		{
+			name: "internal/clock is exempt",
+			files: map[string]string{"internal/clock/clock.go": `package clock
+import "time"
+func Wall() time.Time { return time.Now() }
+`},
+			want: nil,
+		},
+		{
+			name: "pure time values are legal",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+import "time"
+const Epoch = 300 * time.Second
+func Fixed() time.Time { return time.Date(2017, time.June, 26, 0, 0, 0, 0, time.UTC) }
+`},
+			want: nil,
+		},
+		{
+			name: "local identifier named time does not match",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+type ticker struct{ Now func() int }
+func Use(time ticker) int { return time.Now() }
+`},
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantDiags(t, analyze(t, tc.files, []*Analyzer{Walltime}), tc.want...)
+		})
+	}
+}
+
+func TestDetrand(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  []string
+	}{
+		{
+			name: "flags global-source draws and Seed",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+import "math/rand"
+func Pick(n int) int { rand.Seed(1); return rand.Intn(n) }
+`},
+			want: []string{"[detrand] rand.Seed", "[detrand] rand.Intn"},
+		},
+		{
+			name: "explicitly seeded RNG is legal",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+import "math/rand"
+func Pick(n int) int { return rand.New(rand.NewSource(7)).Intn(n) }
+func Inject(rng *rand.Rand, n int) int { return rng.Intn(n) }
+`},
+			want: nil,
+		},
+		{
+			name: "flags math/rand/v2 global draws too",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+import "math/rand/v2"
+func Pick(n int) int { return rand.IntN(n) + rand.Int() }
+`},
+			// rand/v2 renamed Intn to IntN; only the still-shared names are
+			// denied, so Int() is caught here.
+			want: []string{"[detrand] rand.Int"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantDiags(t, analyze(t, tc.files, []*Analyzer{Detrand}), tc.want...)
+		})
+	}
+}
+
+func TestCtxflow(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  []string
+	}{
+		{
+			name: "exported blocking function must accept a context",
+			files: map[string]string{"internal/udpnet/x.go": `package udpnet
+import "net"
+func Pump(conn net.Conn) error { buf := make([]byte, 16); _, err := conn.Read(buf); return err }
+`},
+			want: []string{"[ctxflow] exported Pump blocks on I/O (Read)"},
+		},
+		{
+			name: "context parameter must be used",
+			files: map[string]string{"internal/platform/x.go": `package platform
+import "context"
+func Resolve(ctx context.Context, name string) string { return name }
+`},
+			want: []string{"[ctxflow] exported Resolve accepts context parameter \"ctx\" but never uses it"},
+		},
+		{
+			name: "blank context parameter is flagged",
+			files: map[string]string{"internal/authns/x.go": `package authns
+import "context"
+func Answer(_ context.Context, name string) string { return name }
+`},
+			want: []string{"[ctxflow] exported Answer accepts a context.Context but discards it"},
+		},
+		{
+			name: "threaded context is legal",
+			files: map[string]string{"internal/udpnet/x.go": `package udpnet
+import (
+	"context"
+	"net"
+)
+func Pump(ctx context.Context, conn net.Conn) error {
+	if err := ctx.Err(); err != nil { return err }
+	buf := make([]byte, 16)
+	_, err := conn.Read(buf)
+	return err
+}
+`},
+			want: nil,
+		},
+		{
+			name: "unexported helpers and non-target packages are exempt",
+			files: map[string]string{
+				"internal/udpnet/x.go": `package udpnet
+import "net"
+func pump(conn net.Conn) error { buf := make([]byte, 16); _, err := conn.Read(buf); return err }
+`,
+				"internal/stats/x.go": `package stats
+import "net"
+func Pump(conn net.Conn) error { buf := make([]byte, 16); _, err := conn.Read(buf); return err }
+`,
+			},
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantDiags(t, analyze(t, tc.files, []*Analyzer{Ctxflow}), tc.want...)
+		})
+	}
+}
+
+func TestMutexcopy(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  []string
+	}{
+		{
+			name: "value receiver on mutex holder",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+import "sync"
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+func (c Counter) Get() int { return c.n }
+`},
+			want: []string{"[mutexcopy] method Get has a value receiver but Counter contains a mutex"},
+		},
+		{
+			name: "embedded mutex holder propagates",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+import "sync"
+type base struct{ mu sync.RWMutex }
+type Wrapper struct {
+	base
+	n int
+}
+func (w Wrapper) Get() int { return w.n }
+`},
+			want: []string{"[mutexcopy] method Get has a value receiver but Wrapper contains a mutex"},
+		},
+		{
+			name: "pointer receivers and mutex-free values are legal",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+import "sync"
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+func (c *Counter) Get() int { c.mu.Lock(); defer c.mu.Unlock(); return c.n }
+type Point struct{ X, Y int }
+func (p Point) Sum() int { return p.X + p.Y }
+type Shared struct{ mu *sync.Mutex }
+func (s Shared) Ptr() *sync.Mutex { return s.mu }
+`},
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantDiags(t, analyze(t, tc.files, []*Analyzer{Mutexcopy}), tc.want...)
+		})
+	}
+}
+
+func TestGoleak(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  []string
+	}{
+		{
+			name: "unsignalled goroutine literal",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+func Spawn() {
+	go func() { println("orphan") }()
+}
+`},
+			want: []string{"[goleak] goroutine has no visible cancellation or completion signal"},
+		},
+		{
+			name: "context, waitgroup and channel signals are legal",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+import (
+	"context"
+	"sync"
+)
+func Spawn(ctx context.Context, ch chan int) {
+	go func() { <-ctx.Done() }()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); println("counted") }()
+	go func() { ch <- 1 }()
+	wg.Wait()
+}
+`},
+			want: nil,
+		},
+		{
+			name: "package main is exempt",
+			files: map[string]string{"cmd/foo/main.go": `package main
+func main() {
+	go func() { println("fire and forget") }()
+}
+`},
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantDiags(t, analyze(t, tc.files, []*Analyzer{Goleak}), tc.want...)
+		})
+	}
+}
+
+func TestWiresafe(t *testing.T) {
+	cases := []struct {
+		name  string
+		files map[string]string
+		want  []string
+	}{
+		{
+			name: "unchecked wire indexing",
+			files: map[string]string{"internal/dnswire/x.go": `package dnswire
+func Peek(wire []byte, off int) byte { return wire[off] }
+`},
+			want: []string{`[wiresafe] indexing wire buffer "wire" without a preceding bounds check`},
+		},
+		{
+			name: "unchecked slicing",
+			files: map[string]string{"internal/dnswire/x.go": `package dnswire
+func Tail(wire []byte, off int) []byte { return wire[off:] }
+`},
+			want: []string{`[wiresafe] indexing wire buffer "wire"`},
+		},
+		{
+			name: "len guard makes indexing legal",
+			files: map[string]string{"internal/dnswire/x.go": `package dnswire
+func Peek(wire []byte, off int) byte {
+	if off >= len(wire) { return 0 }
+	return wire[off]
+}
+`},
+			want: nil,
+		},
+		{
+			name: "offset comparison against a caller-validated end is legal",
+			files: map[string]string{"internal/dnswire/x.go": `package dnswire
+func Window(wire []byte, off, end int) []byte {
+	if off+2 > end { return nil }
+	return wire[off:end]
+}
+`},
+			want: nil,
+		},
+		{
+			name: "full slice and non-wire packages are exempt",
+			files: map[string]string{
+				"internal/dnswire/x.go": `package dnswire
+func Copy(wire []byte) []byte { out := append([]byte(nil), wire[:]...); return out }
+`,
+				"internal/zone/x.go": `package zone
+func Peek(data []byte, off int) byte { return data[off] }
+`,
+			},
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantDiags(t, analyze(t, tc.files, []*Analyzer{Wiresafe}), tc.want...)
+		})
+	}
+}
+
+func TestAllowSuppression(t *testing.T) {
+	t.Run("end-of-line and standalone forms suppress", func(t *testing.T) {
+		diags := analyze(t, map[string]string{"internal/foo/foo.go": `package foo
+import "time"
+func Stamp() time.Time { return time.Now() } //cdelint:allow walltime deliberate wall-clock read for this test
+//cdelint:allow walltime standalone form covers the next line
+func Stamp2() time.Time { return time.Now() }
+`}, []*Analyzer{Walltime})
+		wantDiags(t, diags)
+	})
+	t.Run("allow only silences the named analyzer", func(t *testing.T) {
+		diags := analyze(t, map[string]string{"internal/foo/foo.go": `package foo
+import (
+	"math/rand"
+	"time"
+)
+//cdelint:allow detrand suppressing the wrong analyzer must not help
+func Stamp() int64 { _ = rand.Intn(3); return time.Now().Unix() }
+`}, []*Analyzer{Walltime, Detrand})
+		wantDiags(t, diags, "[walltime] time.Now")
+	})
+	t.Run("allow without a reason is itself a finding", func(t *testing.T) {
+		diags := analyze(t, map[string]string{"internal/foo/foo.go": `package foo
+//cdelint:allow walltime
+func Nothing() {}
+`}, []*Analyzer{Walltime})
+		wantDiags(t, diags, "[cdelint] allow comment needs an analyzer name and a reason")
+	})
+}
+
+func TestLoadSkipsTestsAndHiddenDirs(t *testing.T) {
+	diags := analyze(t, map[string]string{
+		"internal/foo/foo_test.go": `package foo
+import "time"
+func stamp() time.Time { return time.Now() }
+`,
+		"internal/foo/testdata/gen.go": `package gen
+import "time"
+func stamp() time.Time { return time.Now() }
+`,
+		"internal/foo/foo.go": `package foo
+func Nothing() {}
+`,
+	}, []*Analyzer{Walltime})
+	wantDiags(t, diags)
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module example.test\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	nested := filepath.Join(root, "a", "b")
+	if err := os.MkdirAll(nested, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FindModuleRoot(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resolve symlinks so the comparison survives /tmp indirection.
+	want, _ := filepath.EvalSymlinks(root)
+	gotResolved, _ := filepath.EvalSymlinks(got)
+	if gotResolved != want {
+		t.Errorf("FindModuleRoot = %q, want %q", got, root)
+	}
+}

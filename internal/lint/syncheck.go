@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Mutexcopy flags value receivers on types that guard state with a
+// sync.Mutex/sync.RWMutex (directly or via an embedded struct): calling a
+// value-receiver method copies the lock, and go vet's copylocks only
+// catches the assignment forms, not the receiver declaration itself.
+var Mutexcopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "flags value receivers on struct types that contain a sync.Mutex or sync.RWMutex",
+	Run:  runMutexcopy,
+}
+
+func runMutexcopy(p *Pass) {
+	holders := mutexHolders(p.Pkg)
+	if len(holders) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			recvType := fn.Recv.List[0].Type
+			if _, isPtr := recvType.(*ast.StarExpr); isPtr {
+				continue
+			}
+			if name := receiverTypeName(recvType); holders[name] {
+				p.Reportf(fn.Recv.Pos(),
+					"method %s has a value receiver but %s contains a mutex; use a pointer receiver", fn.Name.Name, name)
+			}
+		}
+	}
+}
+
+// mutexHolders returns the names of package-local struct types that hold a
+// mutex, directly or through (possibly nested) embedded package-local
+// structs.
+func mutexHolders(pkg *Package) map[string]bool {
+	structs := map[string]*ast.StructType{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.AST.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					structs[ts.Name.Name] = st
+				}
+			}
+		}
+	}
+	holders := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for name, st := range structs {
+			if holders[name] || !structHoldsMutex(st, holders) {
+				continue
+			}
+			holders[name] = true
+			changed = true
+		}
+	}
+	return holders
+}
+
+// structHoldsMutex reports whether st has a sync.Mutex/sync.RWMutex field
+// or embeds a known mutex-holding type. Pointer fields are fine — copying
+// a pointer does not copy the lock.
+func structHoldsMutex(st *ast.StructType, holders map[string]bool) bool {
+	for _, field := range st.Fields.List {
+		switch t := field.Type.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := t.X.(*ast.Ident); ok && id.Name == "sync" &&
+				(t.Sel.Name == "Mutex" || t.Sel.Name == "RWMutex") {
+				return true
+			}
+		case *ast.Ident:
+			if holders[t.Name] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Goleak flags `go func() {...}()` statements in non-main packages whose
+// body shows no cancellation or completion signal — no context, no done/
+// quit channel, no WaitGroup — which is how measurement fan-out leaks
+// goroutines under cancellation at production scan rates.
+var Goleak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutine literals in non-main packages must reference a ctx/done/quit signal, a channel receive, or a WaitGroup",
+	Run:  runGoleak,
+}
+
+// goleakSignalIdents are identifier names (exact) accepted as evidence the
+// goroutine is tied to a lifecycle.
+var goleakSignalIdents = map[string]bool{
+	"ctx": true, "done": true, "quit": true, "stop": true,
+	"wg": true, "sem": true, "cancel": true,
+}
+
+// goleakSignalSelectors are method names accepted as lifecycle evidence.
+var goleakSignalSelectors = map[string]bool{
+	"Done": true, "Wait": true, "Deadline": true, "Err": true,
+}
+
+func runGoleak(p *Pass) {
+	if p.Pkg.Name == "main" {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if _, ok := gs.Call.Fun.(*ast.FuncLit); !ok {
+				return true // `go x.method(ctx)` — the callee owns its lifecycle
+			}
+			if !goStmtHasSignal(gs) {
+				p.Reportf(gs.Pos(),
+					"goroutine has no visible cancellation or completion signal (ctx, done channel, or WaitGroup)")
+			}
+			return true
+		})
+	}
+}
+
+// goStmtHasSignal scans the go statement (literal body plus call
+// arguments) for lifecycle evidence.
+func goStmtHasSignal(gs *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(gs.Call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if goleakSignalIdents[x.Name] {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if goleakSignalSelectors[x.Sel.Name] {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SendStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Walltime enforces the clock abstraction: the cache-counting math (ω
+// distinct queries out of q probes) only reproduces if TTL arithmetic and
+// probe scheduling run on an injected clock.Clock, so direct wall-clock
+// reads are confined to internal/clock. Deliberate wall-clock uses — UDP
+// socket deadlines, periodic log flushing — carry a //cdelint:allow.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "flags time.Now/Sleep/After/Tick/NewTicker/NewTimer/AfterFunc outside internal/clock; inject a clock.Clock instead",
+	Run:  runWalltime,
+}
+
+// walltimeExempt lists the packages allowed to touch the wall clock
+// without annotation: only the clock abstraction itself.
+var walltimeExempt = map[string]bool{
+	"internal/clock": true,
+}
+
+// walltimeDenied is the set of time-package functions that read or depend
+// on the wall clock. Pure-value helpers (time.Date, time.Duration
+// arithmetic, time.Unix) stay legal.
+var walltimeDenied = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+}
+
+func runWalltime(p *Pass) {
+	if walltimeExempt[p.Pkg.RelPath] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		local, ok := importLocalName(f.AST, "time")
+		if !ok {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := pkgCall(call, local)
+			if ok && walltimeDenied[name] {
+				p.Reportf(call.Pos(),
+					"time.%s reads the wall clock outside internal/clock; inject a clock.Clock (or annotate a deliberate wall-clock use)", name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Wiresafe guards the DNS wire-format decoder: indexing an attacker-
+// controlled wire buffer without a preceding bounds check is how parsers
+// panic on truncated or malicious datagrams. Within internal/dnswire,
+// every index or slice expression on a []byte parameter must be preceded
+// (in the same function) by either a len(<buf>) call or a comparison
+// mentioning one of the offset variables used in the index.
+var Wiresafe = &Analyzer{
+	Name: "wiresafe",
+	Doc:  "in internal/dnswire, slice indexing on wire buffers must follow a bounds check in the same function",
+	Run:  runWiresafe,
+}
+
+// wiresafeTargets are the packages that decode untrusted wire bytes.
+var wiresafeTargets = map[string]bool{
+	"internal/dnswire": true,
+}
+
+func runWiresafe(p *Pass) {
+	if !wiresafeTargets[p.Pkg.RelPath] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			bufs := byteSliceParams(fn)
+			if len(bufs) == 0 {
+				continue
+			}
+			checkWireIndexing(p, fn, bufs)
+		}
+	}
+}
+
+// byteSliceParams returns the names of fn's parameters typed []byte.
+func byteSliceParams(fn *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	if fn.Type.Params == nil {
+		return out
+	}
+	for _, field := range fn.Type.Params.List {
+		arr, ok := field.Type.(*ast.ArrayType)
+		if !ok || arr.Len != nil {
+			continue
+		}
+		elem, ok := arr.Elt.(*ast.Ident)
+		if !ok || elem.Name != "byte" {
+			continue
+		}
+		for _, name := range field.Names {
+			out[name.Name] = true
+		}
+	}
+	return out
+}
+
+// checkWireIndexing walks fn's body in source order, recording bounds
+// evidence (len(<buf>) calls and comparisons) and flagging buffer indexing
+// that no earlier evidence covers.
+func checkWireIndexing(p *Pass, fn *ast.FuncDecl, bufs map[string]bool) {
+	// lenPos[buf] holds positions of len(buf) calls; cmpIdents holds, per
+	// comparison position, the identifier names it mentions.
+	lenPos := map[string][]token.Pos{}
+	type cmp struct {
+		pos    token.Pos
+		idents map[string]bool
+	}
+	var cmps []cmp
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "len" && len(x.Args) == 1 {
+				if arg, ok := x.Args[0].(*ast.Ident); ok && bufs[arg.Name] {
+					lenPos[arg.Name] = append(lenPos[arg.Name], x.Pos())
+				}
+			}
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+				c := cmp{pos: x.Pos(), idents: map[string]bool{}}
+				ast.Inspect(x, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						c.idents[id.Name] = true
+					}
+					return true
+				})
+				cmps = append(cmps, c)
+			}
+		}
+		return true
+	})
+
+	covered := func(buf string, at token.Pos, offsetIdents map[string]bool) bool {
+		for _, pos := range lenPos[buf] {
+			if pos < at {
+				return true
+			}
+		}
+		for _, c := range cmps {
+			if c.pos >= at {
+				continue
+			}
+			for name := range offsetIdents {
+				if c.idents[name] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var (
+			base    ast.Expr
+			offsets []ast.Expr
+			pos     token.Pos
+		)
+		switch x := n.(type) {
+		case *ast.IndexExpr:
+			base, offsets, pos = x.X, []ast.Expr{x.Index}, x.Pos()
+		case *ast.SliceExpr:
+			if x.Low == nil && x.High == nil {
+				return true // buf[:] never panics
+			}
+			base, offsets, pos = x.X, []ast.Expr{x.Low, x.High, x.Max}, x.Pos()
+		default:
+			return true
+		}
+		id, ok := base.(*ast.Ident)
+		if !ok || !bufs[id.Name] {
+			return true
+		}
+		offsetIdents := map[string]bool{}
+		for _, off := range offsets {
+			if off == nil {
+				continue
+			}
+			ast.Inspect(off, func(m ast.Node) bool {
+				if oid, ok := m.(*ast.Ident); ok {
+					offsetIdents[oid.Name] = true
+				}
+				return true
+			})
+		}
+		if !covered(id.Name, pos, offsetIdents) {
+			p.Reportf(pos,
+				"indexing wire buffer %q without a preceding bounds check (len(%s) or an offset comparison) in this function", id.Name, id.Name)
+		}
+		return true
+	})
+}

@@ -84,6 +84,7 @@ func (s *TCPServer) serveConn(ctx context.Context, conn net.Conn) {
 		src = tcpAddr.AddrPort().Addr()
 	}
 	for {
+		//cdelint:allow walltime socket read deadlines are wall-clock by definition
 		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
 		query, err := readFramed(conn)
 		if err != nil {
@@ -148,12 +149,14 @@ func ExchangeTCP(ctx context.Context, query *dnswire.Message, dst netip.AddrPort
 		timeout = 5 * time.Second
 	}
 	d := net.Dialer{Timeout: timeout}
+	//cdelint:allow walltime RTT of a real TCP exchange is measured on the wall clock
 	start := time.Now()
 	conn, err := d.DialContext(ctx, "tcp", dst.String())
 	if err != nil {
 		return nil, 0, fmt.Errorf("udpnet: tcp dial %v: %w", dst, err)
 	}
 	defer func() { _ = conn.Close() }()
+	//cdelint:allow walltime socket deadlines are wall-clock by definition
 	deadline := time.Now().Add(timeout)
 	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
 		deadline = ctxDeadline

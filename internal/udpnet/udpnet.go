@@ -158,6 +158,7 @@ func (t *Transport) Exchange(ctx context.Context, query *dnswire.Message, dst ne
 	}
 	defer func() { _ = conn.Close() }()
 
+	//cdelint:allow walltime socket deadlines are wall-clock by definition
 	deadline := time.Now().Add(timeout)
 	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
 		deadline = ctxDeadline
@@ -166,6 +167,7 @@ func (t *Transport) Exchange(ctx context.Context, query *dnswire.Message, dst ne
 		return nil, 0, fmt.Errorf("udpnet: deadline: %w", err)
 	}
 
+	//cdelint:allow walltime RTT of a real UDP exchange is measured on the wall clock
 	start := time.Now()
 	if _, err := conn.Write(wire); err != nil {
 		return nil, 0, fmt.Errorf("udpnet: send: %w", err)

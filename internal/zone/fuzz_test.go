@@ -1,0 +1,34 @@
+package zone
+
+import (
+	"testing"
+)
+
+func FuzzZoneParse(f *testing.F) {
+	// Seed with the paper's two zones plus directive/quoting corners the
+	// unit tests exercise.
+	f.Add(_paperParentZone, "")
+	f.Add(_paperChildZone, "")
+	f.Add("$ORIGIN x.example.\n@ IN SOA ns. host. 1 2 3 4 5\n@ IN NS ns.x.example.\n", "")
+	f.Add("@ IN TXT \"v=spf1 a:mail.example.com -all\" \"second string\"\n", "x.example.")
+	f.Add("www 300 IN A 192.0.2.1\nmail IN 600 MX 10 mx.example.\n", "example.")
+	f.Add("@ IN SOA ns. host. (\n1 ; serial\n2 3 4 5 )\n", "p.example.")
+	f.Add("$TTL 60\n$ORIGIN e.\nb IN CNAME a\na IN AAAA 2001:db8::1\n", "")
+	f.Add("bad line without enough fields\n", "example.")
+	f.Add("@ IN SPF \"v=spf1 -all\"\n@ IN PTR target.example.\n", "example.")
+	f.Fuzz(func(t *testing.T, input, origin string) {
+		if len(input) > 1<<16 {
+			t.Skip("oversize input")
+		}
+		z, err := ParseString(input, origin)
+		if err != nil {
+			return
+		}
+		// A zone that parsed must render and re-parse without panicking;
+		// formatting errors are fine, crashes are not.
+		text := z.Format()
+		if z2, err := ParseString(text, z.Origin()); err == nil && z2.Len() != z.Len() {
+			t.Fatalf("format/re-parse changed record count %d -> %d\nzone:\n%s", z.Len(), z2.Len(), text)
+		}
+	})
+}
