@@ -10,6 +10,7 @@ package dnscde_test
 
 import (
 	"context"
+	"fmt"
 	"net/netip"
 	"testing"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"dnscde/internal/dnswire"
 	"dnscde/internal/experiments"
 	"dnscde/internal/loadbal"
+	"dnscde/internal/metrics"
 	"dnscde/internal/netsim"
 	"dnscde/internal/platform"
 	"dnscde/internal/simtest"
@@ -255,5 +257,58 @@ func BenchmarkTimingEnumeration(b *testing.B) {
 		if res.Caches != 4 {
 			b.Fatalf("measured %d caches", res.Caches)
 		}
+	}
+}
+
+// BenchmarkCost_Experiment runs the Thm 5.1 cost-accounting experiment
+// end to end; its JSON output seeds the bench trajectory.
+func BenchmarkCost_Experiment(b *testing.B) { runExperiment(b, "cost", benchConfig()) }
+
+// Accounting-layer hot paths: the overhead an instrumented substrate pays
+// per event, and the one-nil-check price of disabled instrumentation.
+
+func BenchmarkCost_CounterAdd(b *testing.B) {
+	c := metrics.New().Counter("bench.counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCost_CounterDisabled(b *testing.B) {
+	var c *metrics.Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCost_HistogramObserve(b *testing.B) {
+	h := metrics.New().Histogram("bench.hist", metrics.RTTBoundsUS)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i % 1000000))
+	}
+}
+
+func BenchmarkCost_RegistryLookup(b *testing.B) {
+	reg := metrics.New()
+	reg.Counter("bench.lookup")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reg.Counter("bench.lookup").Add(1)
+	}
+}
+
+func BenchmarkCost_SnapshotDiff(b *testing.B) {
+	reg := metrics.New()
+	for i := 0; i < 64; i++ {
+		reg.Counter(fmt.Sprintf("bench.c%d", i)).Add(int64(i))
+	}
+	base := reg.Snapshot()
+	reg.Counter("bench.c1").Add(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = reg.Snapshot().Diff(base)
 	}
 }

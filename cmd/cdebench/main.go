@@ -24,12 +24,13 @@ import (
 
 // jsonReport is the machine-readable form emitted with -json.
 type jsonReport struct {
-	ID       string      `json:"id"`
-	Title    string      `json:"title"`
-	Passed   bool        `json:"passed"`
-	Elapsed  string      `json:"elapsed"`
-	Checks   []jsonCheck `json:"checks"`
-	Rendered string      `json:"rendered,omitempty"`
+	ID       string           `json:"id"`
+	Title    string           `json:"title"`
+	Passed   bool             `json:"passed"`
+	Elapsed  string           `json:"elapsed"`
+	Cost     experiments.Cost `json:"cost"`
+	Checks   []jsonCheck      `json:"checks"`
+	Rendered string           `json:"rendered,omitempty"`
 }
 
 // jsonCheck is one shape assertion in JSON form.
@@ -96,6 +97,7 @@ func run(args []string, clk clock.Clock) int {
 			jr := jsonReport{
 				ID: report.ID, Title: report.Title,
 				Passed: report.Passed(), Elapsed: elapsed.String(),
+				Cost: report.Cost,
 			}
 			for _, c := range report.Checks {
 				jr.Checks = append(jr.Checks, jsonCheck{

@@ -27,6 +27,7 @@ import (
 	"dnscde/internal/core"
 	"dnscde/internal/dnswire"
 	"dnscde/internal/loadbal"
+	"dnscde/internal/metrics"
 	"dnscde/internal/netsim"
 	"dnscde/internal/platform"
 	"dnscde/internal/simtest"
@@ -92,15 +93,22 @@ func makeSelector(kind string, seed int64) (loadbal.Selector, error) {
 	}
 }
 
-func runSim(out io.Writer, technique string, caches, ingress, egress int, selector string, loss float64, seed int64) error {
+func runSim(out io.Writer, technique string, caches, ingress, egress int, selector string, loss float64, seed int64) (err error) {
 	sel, err := makeSelector(selector, seed)
 	if err != nil {
 		return err
 	}
-	w, err := simtest.New(simtest.Options{Seed: seed})
+	reg := metrics.New()
+	w, err := simtest.New(simtest.Options{Seed: seed, Metrics: reg})
 	if err != nil {
 		return err
 	}
+	// Every run ends with what it cost, whichever technique path it took.
+	defer func() {
+		if err == nil {
+			printCostSummary(out, reg.Snapshot())
+		}
+	}()
 	plat, err := w.NewPlatform(simtest.PlatformSpec{
 		Name: "target", Caches: caches, Ingress: ingress, Egress: egress, Seed: seed,
 		Profile: netsim.LinkProfile{OneWay: 2 * time.Millisecond, Jitter: time.Millisecond, Loss: loss},
@@ -213,6 +221,20 @@ func runSim(out io.Writer, technique string, caches, ingress, egress int, select
 		}
 	}
 	return nil
+}
+
+// printCostSummary reports what a simulation run spent, read from the
+// probe-cost accounting registry rather than per-technique bookkeeping.
+func printCostSummary(out io.Writer, snap metrics.Snapshot) {
+	fmt.Fprintf(out, "\ncost summary (internal/metrics):\n")
+	fmt.Fprintf(out, "  probes sent:      %d (%d errors)\n",
+		snap.Counter("core.probes.sent"), snap.Counter("core.probes.errors"))
+	fmt.Fprintf(out, "  packets on wire:  %d sent, %d lost, %d retried\n",
+		snap.Counter("netsim.packets.sent"), snap.Counter("netsim.packets.lost"),
+		snap.Counter("netsim.retries"))
+	fmt.Fprintf(out, "  platform caches:  %d hits, %d misses, %d expired\n",
+		snap.Total("dnscache.hits"), snap.Total("dnscache.misses"), snap.Total("dnscache.expired"))
+	fmt.Fprintf(out, "  authns arrivals:  %d queries\n", snap.Counter("authns.queries"))
 }
 
 func runUDP(out io.Writer, target, name string, probes int, server, ctl string) error {

@@ -15,8 +15,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -26,6 +30,7 @@ import (
 
 	"dnscde/internal/authns"
 	"dnscde/internal/clock"
+	"dnscde/internal/metrics"
 	"dnscde/internal/netsim"
 	"dnscde/internal/udpnet"
 	"dnscde/internal/zone"
@@ -59,6 +64,7 @@ func run(args []string, clk clock.Clock) int {
 		logEvery = fs.Duration("log-every", 10*time.Second, "interval for query-log summaries")
 		dump     = fs.Bool("dump", false, "print the zones as master files and exit (use with -generate to export)")
 		ctl      = fs.String("ctl", "", "enable the DNS control zone under this origin (e.g. ctl.cache.example)")
+		mAddr    = fs.String("metrics", "", "HTTP address exporting the accounting snapshot as JSON (e.g. 127.0.0.1:9153); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,6 +89,8 @@ func run(args []string, clk clock.Clock) int {
 		opts = append(opts, authns.WithControlZone(*ctl))
 		fmt.Printf("control zone enabled: count.<name>.%s / egress.<suffix>.%s (TXT)\n", *ctl, *ctl)
 	}
+	reg := metrics.New()
+	opts = append(opts, authns.WithMetrics(reg))
 	srv := authns.NewServer(loaded, opts...)
 	udp := udpnet.NewServer(srv)
 	bound, err := udp.Listen(*addr)
@@ -103,6 +111,15 @@ func run(args []string, clk clock.Clock) int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *mAddr != "" {
+		maddr, err := serveMetrics(ctx, reg, *mAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdeserver: metrics: %v\n", err)
+			return 1
+		}
+		fmt.Printf("metrics snapshot on http://%v/metrics\n", maddr)
+	}
 
 	go summarize(ctx, srv, *logEvery, clk)
 	go func() {
@@ -169,6 +186,37 @@ func expandAddr(addr string) string {
 		return "0.0.0.0" + addr
 	}
 	return addr
+}
+
+// serveMetrics exports the accounting registry over HTTP, expvar-style:
+// GET /metrics returns the full snapshot as JSON. The listener closes
+// when ctx is cancelled; the bound address is returned so callers (and
+// tests using port 0) know where it landed.
+func serveMetrics(ctx context.Context, reg *metrics.Registry, addr string) (net.Addr, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reg.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: mux}
+	go func() {
+		<-ctx.Done()
+		hs.Close()
+	}()
+	go func() {
+		if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "cdeserver: metrics: %v\n", err)
+		}
+	}()
+	return ln.Addr(), nil
 }
 
 // summarize prints the query-log state periodically. Timestamps come from

@@ -1,12 +1,17 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"dnscde/internal/clock"
 	"dnscde/internal/dnswire"
+	"dnscde/internal/metrics"
 )
 
 func TestExpandAddr(t *testing.T) {
@@ -113,5 +118,49 @@ func TestLoadZonesBadFile(t *testing.T) {
 func TestRunDump(t *testing.T) {
 	if code := run([]string{"-generate", "cache.example", "-probes", "2", "-dump"}, clock.NewVirtual()); code != 0 {
 		t.Errorf("-dump exit = %d", code)
+	}
+}
+
+func TestServeMetricsSnapshot(t *testing.T) {
+	reg := metrics.New()
+	reg.Counter("authns.queries").Add(7)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, err := serveMetrics(ctx, reg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var snap metrics.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counter("authns.queries"); got != 7 {
+		t.Errorf("authns.queries = %d, want 7", got)
+	}
+
+	// Cancelling the context must tear the listener down.
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		//cdelint:allow walltime polling an OS socket teardown needs real time
+		if _, err := http.Get("http://" + addr.String() + "/metrics"); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("metrics listener still serving after cancel")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

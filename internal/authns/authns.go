@@ -18,6 +18,7 @@ import (
 
 	"dnscde/internal/clock"
 	"dnscde/internal/dnswire"
+	"dnscde/internal/metrics"
 	"dnscde/internal/netsim"
 	"dnscde/internal/zone"
 )
@@ -211,6 +212,11 @@ type Server struct {
 	// controlZone, when set, answers log-statistics TXT queries under
 	// this origin (see control.go).
 	controlZone string
+
+	// metricsReg, when non-nil, mirrors arrivals into the accounting
+	// registry: "authns.queries" plus per-qtype and per-source breakdowns.
+	metricsReg *metrics.Registry
+	mQueries   *metrics.Counter
 }
 
 var _ netsim.Handler = (*Server)(nil)
@@ -226,6 +232,41 @@ func WithClock(c clock.Clock) Option {
 // WithProcessingDelay charges d of simulated time to every query.
 func WithProcessingDelay(d time.Duration) Option {
 	return func(s *Server) { s.processing = d }
+}
+
+// WithMetrics attaches an accounting registry at construction time; see
+// SetMetrics.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(s *Server) { s.setMetricsLocked(reg) }
+}
+
+// SetMetrics attaches an accounting registry: arrivals are counted under
+// "authns.queries" with "authns.queries.qtype.<type>" and
+// "authns.queries.src.<addr>" breakdowns — the query-volume and egress-
+// source view of the nameserver's side channel. A nil registry detaches
+// instrumentation.
+func (s *Server) SetMetrics(reg *metrics.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setMetricsLocked(reg)
+}
+
+func (s *Server) setMetricsLocked(reg *metrics.Registry) {
+	s.metricsReg = reg
+	s.mQueries = reg.Counter("authns.queries")
+}
+
+// countArrival mirrors one logged query into the registry.
+func (s *Server) countArrival(e LogEntry) {
+	s.mu.RLock()
+	reg, total := s.metricsReg, s.mQueries
+	s.mu.RUnlock()
+	if reg == nil {
+		return
+	}
+	total.Inc()
+	reg.Counter("authns.queries.qtype." + e.Q.Type.String()).Inc()
+	reg.Counter("authns.queries.src." + e.Src.String()).Inc()
 }
 
 // NewServer creates a nameserver serving the given zones.
@@ -294,6 +335,7 @@ func (s *Server) ServeDNS(ctx context.Context, src netip.Addr, query *dnswire.Me
 		}
 	}
 	s.log.Append(entry)
+	s.countArrival(entry)
 	if s.processing > 0 {
 		netsim.ChargeLatency(ctx, s.processing)
 	}

@@ -130,7 +130,9 @@ func DiscoverEgressAdaptive(ctx context.Context, p Prober, in *Infra, window, ma
 	failures := 0
 	for i := 1; i <= maxProbes && stale < window; i++ {
 		result.ProbesSent++
-		if _, err := p.Probe(ctx, session.ProbeName(i), dnswire.TypeA); err != nil {
+		_, err := p.Probe(ctx, session.ProbeName(i), dnswire.TypeA)
+		in.countProbe(err, false)
+		if err != nil {
 			failures++
 		}
 		before := len(seen)

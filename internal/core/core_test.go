@@ -10,6 +10,7 @@ import (
 	"dnscde/internal/dnstree"
 	"dnscde/internal/dnswire"
 	"dnscde/internal/loadbal"
+	"dnscde/internal/metrics"
 	"dnscde/internal/netsim"
 	"dnscde/internal/platform"
 	"dnscde/internal/stub"
@@ -28,6 +29,7 @@ type testWorld struct {
 	clk   *clock.Virtual
 	tree  *dnstree.Tree
 	infra *Infra
+	reg   *metrics.Registry
 
 	nextIngress netip.Addr
 	nextEgress  netip.Addr
@@ -38,6 +40,7 @@ func newTestWorld(t *testing.T) *testWorld {
 	w := &testWorld{
 		net:         netsim.New(99),
 		clk:         clock.NewVirtual(),
+		reg:         metrics.New(),
 		nextIngress: netip.MustParseAddr("198.51.100.10"),
 		nextEgress:  netip.MustParseAddr("198.51.101.10"),
 	}
@@ -51,6 +54,7 @@ func newTestWorld(t *testing.T) *testWorld {
 		ChildAddr:  childAddr,
 		Target:     targetAddr,
 		Profile:    netsim.LinkProfile{OneWay: 10 * time.Millisecond},
+		Metrics:    w.reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -487,5 +491,49 @@ func TestHierarchySessionWildcardOverflow(t *testing.T) {
 	}
 	if pr.RCode != dnswire.RCodeNoError || len(pr.Records) == 0 {
 		t.Errorf("overflow probe: rcode=%v records=%v", pr.RCode, pr.Records)
+	}
+}
+
+func TestEnumerateUntilCompleteAccountsProbes(t *testing.T) {
+	// The completion instrument must (a) actually reach the target cache
+	// count and (b) charge every probe it spent to the infrastructure's
+	// cost registry, so experiments can read costs from metrics rather
+	// than driver bookkeeping.
+	w := newTestWorld(t)
+	const n = 5
+	plat := w.newPlatform(t, platformOpts{caches: n, selector: loadbal.NewRandom(11)})
+	p := w.directProber(plat)
+
+	before := w.reg.Snapshot()
+	res, err := EnumerateUntilComplete(context.Background(), p, w.infra, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Caches != n {
+		t.Fatalf("Caches = %d, want %d", res.Caches, n)
+	}
+	if res.ProbesSent < n {
+		t.Errorf("ProbesSent = %d, want >= %d (coupon collection needs at least n draws)", res.ProbesSent, n)
+	}
+	diff := w.reg.Snapshot().Diff(before)
+	if got := diff.Counter("core.probes.sent"); got != int64(res.ProbesSent) {
+		t.Errorf("core.probes.sent = %d, want %d (driver's ProbesSent)", got, res.ProbesSent)
+	}
+	if got := diff.Counter("core.enum.rounds"); got != 1 {
+		t.Errorf("core.enum.rounds = %d, want 1", got)
+	}
+	if got := diff.Counter("core.probes.errors"); got != 0 {
+		t.Errorf("core.probes.errors = %d, want 0 on a lossless network", got)
+	}
+}
+
+func TestEnumerateUntilCompleteRejectsBadTarget(t *testing.T) {
+	w := newTestWorld(t)
+	plat := w.newPlatform(t, platformOpts{})
+	if _, err := EnumerateUntilComplete(context.Background(), w.directProber(plat), w.infra, 0, 0); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := EnumerateUntilComplete(context.Background(), w.indirectProber(plat), w.infra, 1, 0); err == nil {
+		t.Error("indirect prober accepted")
 	}
 }

@@ -80,11 +80,14 @@ func EnumerateDirect(ctx context.Context, p Prober, in *Infra, opts EnumOptions)
 	if err != nil {
 		return EnumResult{}, err
 	}
+	in.mEnumRounds.Inc()
 	res := EnumResult{Technique: TechniqueDirect}
 	for i := 0; i < opts.Queries; i++ {
 		for k := 0; k < opts.Replicates; k++ {
 			res.ProbesSent++
-			if _, err := p.Probe(ctx, session.Honey, opts.QType); err != nil {
+			_, err := p.Probe(ctx, session.Honey, opts.QType)
+			in.countProbe(err, k > 0)
+			if err != nil {
 				res.ProbeErrors++
 			}
 		}
@@ -106,11 +109,14 @@ func EnumerateChain(ctx context.Context, p Prober, in *Infra, opts EnumOptions) 
 	if err != nil {
 		return EnumResult{}, err
 	}
+	in.mEnumRounds.Inc()
 	res := EnumResult{Technique: TechniqueChain}
 	for _, alias := range session.Aliases {
 		for k := 0; k < opts.Replicates; k++ {
 			res.ProbesSent++
-			if _, err := p.Probe(ctx, alias, opts.QType); err != nil {
+			_, err := p.Probe(ctx, alias, opts.QType)
+			in.countProbe(err, k > 0)
+			if err != nil {
 				res.ProbeErrors++
 			}
 		}
@@ -135,12 +141,15 @@ func EnumerateHierarchy(ctx context.Context, p Prober, in *Infra, opts EnumOptio
 	if err != nil {
 		return EnumResult{}, err
 	}
+	in.mEnumRounds.Inc()
 	res := EnumResult{Technique: TechniqueHierarchy}
 	for i := 1; i <= opts.Queries; i++ {
 		name := session.ProbeName(i)
 		for k := 0; k < opts.Replicates; k++ {
 			res.ProbesSent++
-			if _, err := p.Probe(ctx, name, opts.QType); err != nil {
+			_, err := p.Probe(ctx, name, opts.QType)
+			in.countProbe(err, k > 0)
+			if err != nil {
 				res.ProbeErrors++
 			}
 		}
@@ -149,6 +158,45 @@ func EnumerateHierarchy(ctx context.Context, p Prober, in *Infra, opts EnumOptio
 		return res, ErrAllProbesFailed
 	}
 	res.Caches = session.ObservedCaches()
+	return res, nil
+}
+
+// EnumerateUntilComplete probes one fresh honey record until the
+// nameserver has observed `target` distinct arrivals (ω == target) or
+// maxProbes is exhausted — the direct Monte-Carlo instrument of Theorem
+// 5.1: under uniform selection the expected number of probes to complete
+// is n·H_n, the coupon-collector bound. It returns the probes actually
+// spent, so repeated trials sample the full completion-time distribution.
+func EnumerateUntilComplete(ctx context.Context, p Prober, in *Infra, target, maxProbes int) (EnumResult, error) {
+	if target < 1 {
+		return EnumResult{}, fmt.Errorf("core: completion target must be >= 1, have %d", target)
+	}
+	if maxProbes < target {
+		maxProbes = target * 64
+	}
+	if !p.Direct() {
+		return EnumResult{}, fmt.Errorf("core: completion enumeration needs a direct prober")
+	}
+	session, err := in.NewFlatSession()
+	if err != nil {
+		return EnumResult{}, err
+	}
+	in.mEnumRounds.Inc()
+	res := EnumResult{Technique: TechniqueDirect}
+	for res.ProbesSent < maxProbes {
+		res.ProbesSent++
+		_, err := p.Probe(ctx, session.Honey, dnswire.TypeA)
+		in.countProbe(err, false)
+		if err != nil {
+			res.ProbeErrors++
+		}
+		if res.Caches = session.ObservedCaches(); res.Caches >= target {
+			return res, nil
+		}
+	}
+	if res.ProbeErrors == res.ProbesSent {
+		return res, ErrAllProbesFailed
+	}
 	return res, nil
 }
 

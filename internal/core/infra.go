@@ -9,6 +9,7 @@ import (
 	"dnscde/internal/clock"
 	"dnscde/internal/dnstree"
 	"dnscde/internal/dnswire"
+	"dnscde/internal/metrics"
 	"dnscde/internal/netsim"
 	"dnscde/internal/zone"
 )
@@ -40,6 +41,15 @@ type Infra struct {
 
 	mu      sync.Mutex
 	session int
+
+	// Probe-cost accounting handles, nil (no-op) without a registry.
+	metrics        *metrics.Registry
+	mProbes        *metrics.Counter
+	mProbeErrors   *metrics.Counter
+	mReplicates    *metrics.Counter
+	mEnumRounds    *metrics.Counter
+	mInitSeeds     *metrics.Counter
+	mValidateSeeds *metrics.Counter
 }
 
 // InfraConfig configures the measurement infrastructure.
@@ -55,6 +65,11 @@ type InfraConfig struct {
 	TTL uint32
 	// Profile is the link profile of the nameservers.
 	Profile netsim.LinkProfile
+	// Metrics, when non-nil, receives the probe-cost accounting: probes
+	// issued, carpet-bombing replicates, enumeration rounds and
+	// init/validate seeds under the "core." prefix, plus the nameservers'
+	// arrival counters under "authns.". Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // NewInfra builds the CDE zones, attaches them to the simulated DNS tree
@@ -79,7 +94,7 @@ func NewInfra(tree *dnstree.Tree, clk clock.Clock, cfg InfraConfig) (*Infra, err
 	child := authns.NewServer(nil, authns.WithClock(clk))
 	tree.Net.Register(cfg.ChildAddr, cfg.Profile, child)
 
-	return &Infra{
+	in := &Infra{
 		Domain:     cfg.Domain,
 		Parent:     parent,
 		Child:      child,
@@ -88,7 +103,35 @@ func NewInfra(tree *dnstree.Tree, clk clock.Clock, cfg InfraConfig) (*Infra, err
 		parentAddr: cfg.ParentAddr,
 		childAddr:  cfg.ChildAddr,
 		ttl:        cfg.TTL,
-	}, nil
+	}
+	if reg := cfg.Metrics; reg != nil {
+		parent.SetMetrics(reg)
+		child.SetMetrics(reg)
+		in.metrics = reg
+		in.mProbes = reg.Counter("core.probes.sent")
+		in.mProbeErrors = reg.Counter("core.probes.errors")
+		in.mReplicates = reg.Counter("core.probes.replicates")
+		in.mEnumRounds = reg.Counter("core.enum.rounds")
+		in.mInitSeeds = reg.Counter("core.initvalidate.init_seeds")
+		in.mValidateSeeds = reg.Counter("core.initvalidate.validate_seeds")
+	}
+	return in, nil
+}
+
+// Metrics returns the attached accounting registry (nil when accounting
+// is off).
+func (in *Infra) Metrics() *metrics.Registry { return in.metrics }
+
+// countProbe records one issued probe and its outcome; replicate marks
+// carpet-bombing repetitions beyond a probe's first transmission (§V).
+func (in *Infra) countProbe(err error, replicate bool) {
+	in.mProbes.Inc()
+	if replicate {
+		in.mReplicates.Inc()
+	}
+	if err != nil {
+		in.mProbeErrors.Inc()
+	}
 }
 
 // nextSessionID allocates a unique session number.

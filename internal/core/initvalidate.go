@@ -68,11 +68,13 @@ func InitValidate(ctx context.Context, p Prober, in *Infra, opts InitValidateOpt
 	result := InitValidateResult{N: opts.N}
 
 	// Init phase: N seed probes in parallel.
-	result.ProbeErrors += probeBurst(ctx, p, session.Honey, opts.N, opts.Concurrency)
+	in.mInitSeeds.Add(int64(opts.N))
+	result.ProbeErrors += probeBurst(ctx, p, in, session.Honey, opts.N, opts.Concurrency)
 	result.InitArrivals = session.ObservedCaches()
 
 	// Validate phase: N presence checks in parallel.
-	result.ProbeErrors += probeBurst(ctx, p, session.Honey, opts.N, opts.Concurrency)
+	in.mValidateSeeds.Add(int64(opts.N))
+	result.ProbeErrors += probeBurst(ctx, p, in, session.Honey, opts.N, opts.Concurrency)
 	total := session.ObservedCaches()
 	result.ValidateArrivals = total - result.InitArrivals
 	result.Caches = total
@@ -85,8 +87,9 @@ func InitValidate(ctx context.Context, p Prober, in *Infra, opts InitValidateOpt
 }
 
 // probeBurst sends n probes for name with the given concurrency and
-// returns the number of failed probes.
-func probeBurst(ctx context.Context, p Prober, name string, n, concurrency int) int {
+// returns the number of failed probes. Each probe is charged to the
+// infrastructure's cost accounting.
+func probeBurst(ctx context.Context, p Prober, in *Infra, name string, n, concurrency int) int {
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, concurrency)
 	var mu sync.Mutex
@@ -97,7 +100,9 @@ func probeBurst(ctx context.Context, p Prober, name string, n, concurrency int) 
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			if _, err := p.Probe(ctx, name, dnswire.TypeA); err != nil {
+			_, err := p.Probe(ctx, name, dnswire.TypeA)
+			in.countProbe(err, false)
+			if err != nil {
 				mu.Lock()
 				failures++
 				mu.Unlock()

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dnscde/internal/dnswire"
+	"dnscde/internal/metrics"
 )
 
 // Policy configures cache behaviour.
@@ -86,6 +87,13 @@ type Cache struct {
 	items map[string]*item
 	order *list.List // front = most recently used
 	stats Stats
+
+	// Accounting handles, nil (no-op) until SetMetrics attaches a
+	// registry.
+	mHits      *metrics.Counter
+	mMisses    *metrics.Counter
+	mExpired   *metrics.Counter
+	mEvictions *metrics.Counter
 }
 
 // New creates an empty cache with the given identity and policy.
@@ -96,6 +104,18 @@ func New(id string, policy Policy) *Cache {
 		items:  make(map[string]*item),
 		order:  list.New(),
 	}
+}
+
+// SetMetrics attaches an accounting registry: cache events are counted
+// under "dnscache.{hits,misses,expired,evictions}.<ID>" in addition to
+// the local Stats. A nil registry detaches instrumentation.
+func (c *Cache) SetMetrics(reg *metrics.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mHits = reg.Counter("dnscache.hits." + c.ID)
+	c.mMisses = reg.Counter("dnscache.misses." + c.ID)
+	c.mExpired = reg.Counter("dnscache.expired." + c.ID)
+	c.mEvictions = reg.Counter("dnscache.evictions." + c.ID)
 }
 
 // Policy returns the cache's policy.
@@ -158,7 +178,13 @@ func (e Entry) ownerName() string {
 // remaining TTL across its records (or the negative TTL), clamped by the
 // policy. Entries with an effective TTL of zero are not stored.
 func (c *Cache) Put(q dnswire.Question, e Entry, now time.Time) {
-	ttl := c.effectiveTTL(e)
+	// DNS TTLs are whole seconds (RFC 1035 §3.2.1), so the entry lifetime
+	// must be too: a fractional lifetime (possible via sub-second policy
+	// durations) would outlive the truncated record TTLs served from the
+	// cache, and during the final partial second Get would hand out
+	// records decayed to TTL 0 as fresh hits. Truncating aligns expiry
+	// with the moment the served TTL reaches zero.
+	ttl := c.effectiveTTL(e).Truncate(time.Second)
 	if ttl <= 0 {
 		return
 	}
@@ -187,6 +213,7 @@ func (c *Cache) Put(q dnswire.Question, e Entry, now time.Time) {
 		c.order.Remove(back)
 		delete(c.items, victim.key)
 		c.stats.Evictions++
+		c.mEvictions.Inc()
 	}
 }
 
@@ -229,6 +256,7 @@ func (c *Cache) Get(q dnswire.Question, now time.Time) (Entry, bool) {
 	it, ok := c.items[key]
 	if !ok {
 		c.stats.Misses++
+		c.mMisses.Inc()
 		return Entry{}, false
 	}
 	if !now.Before(it.expires) {
@@ -236,12 +264,21 @@ func (c *Cache) Get(q dnswire.Question, now time.Time) (Entry, bool) {
 		delete(c.items, key)
 		c.stats.Expired++
 		c.stats.Misses++
+		c.mExpired.Inc()
+		c.mMisses.Inc()
 		return Entry{}, false
 	}
 	c.order.MoveToFront(it.lru)
 	c.stats.Hits++
+	c.mHits.Inc()
 
-	elapsed := uint32(now.Sub(it.stored) / time.Second)
+	// Guard against now < stored (virtual-clock rewind or skew): the
+	// unsigned conversion would otherwise wrap into a huge elapsed value
+	// and zero every served TTL.
+	var elapsed uint32
+	if d := now.Sub(it.stored); d > 0 {
+		elapsed = uint32(d / time.Second)
+	}
 	out := Entry{RCode: it.entry.RCode}
 	out.Records = decayTTLs(it.entry.Records, elapsed)
 	out.Authority = decayTTLs(it.entry.Authority, elapsed)

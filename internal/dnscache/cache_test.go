@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dnscde/internal/dnswire"
+	"dnscde/internal/metrics"
 )
 
 var _epoch = time.Date(2017, time.June, 26, 0, 0, 0, 0, time.UTC)
@@ -345,6 +346,85 @@ func BenchmarkCacheGetHot(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, ok := c.Get(question, _epoch); !ok {
 			b.Fatal("miss")
+		}
+	}
+}
+
+// TestGetExpiresAtDecayedTTLZero is the regression test for the expiry-
+// boundary bug: a fractional policy TTL (here MinTTL = 1500ms) gave the
+// entry a fractional lifetime while the stored record TTLs truncate to
+// whole seconds, so during the final partial second Get served records
+// decayed to TTL 0 as fresh hits. The enforced semantics: an entry
+// expires no later than the moment its decayed record TTL reaches 0.
+func TestGetExpiresAtDecayedTTLZero(t *testing.T) {
+	c := New("c1", Policy{MinTTL: 1500 * time.Millisecond})
+	c.Put(q("a.example"), aEntry("a.example", 1), _epoch)
+
+	// Within the whole-second lifetime the record is served with TTL 1.
+	e, ok := c.Get(q("a.example"), _epoch.Add(500*time.Millisecond))
+	if !ok {
+		t.Fatal("entry missing inside its lifetime")
+	}
+	if e.Records[0].TTL != 1 {
+		t.Fatalf("TTL = %d, want 1 inside the lifetime", e.Records[0].TTL)
+	}
+
+	// At 1.2s the served TTL would have decayed to 0: must be expired,
+	// not a fresh hit.
+	if e, ok := c.Get(q("a.example"), _epoch.Add(1200*time.Millisecond)); ok {
+		t.Fatalf("TTL-0 record served as a fresh hit: %+v", e.Records)
+	}
+	if s := c.SnapshotStats(); s.Expired != 1 {
+		t.Errorf("Expired = %d, want 1", s.Expired)
+	}
+}
+
+// TestPutDropsSubSecondLifetime: a policy that clamps the lifetime below
+// one second (MaxTTL = 500ms) would serve TTL-0 records for its whole
+// lifetime; such entries are not stored at all (DNS TTLs are whole
+// seconds, RFC 1035 §3.2.1).
+func TestPutDropsSubSecondLifetime(t *testing.T) {
+	c := New("c1", Policy{MaxTTL: 500 * time.Millisecond})
+	c.Put(q("a.example"), aEntry("a.example", 300), _epoch)
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0 (sub-second lifetime must not be cached)", c.Len())
+	}
+}
+
+// TestGetClockSkewDoesNotServeZeroTTL: a lookup timestamped before the
+// store (virtual-clock rewind or skew) must not wrap the elapsed seconds
+// into a huge unsigned value that zeroes every served TTL.
+func TestGetClockSkewDoesNotServeZeroTTL(t *testing.T) {
+	c := New("c1", Policy{})
+	c.Put(q("a.example"), aEntry("a.example", 60), _epoch)
+	e, ok := c.Get(q("a.example"), _epoch.Add(-2*time.Second))
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if e.Records[0].TTL != 60 {
+		t.Fatalf("TTL = %d, want undecayed 60 when now precedes stored", e.Records[0].TTL)
+	}
+}
+
+func TestSetMetricsCountsEvents(t *testing.T) {
+	reg := metrics.New()
+	c := New("p/cache-0", Policy{Capacity: 1})
+	c.SetMetrics(reg)
+	c.Put(q("a.example"), aEntry("a.example", 60), _epoch)
+	c.Get(q("a.example"), _epoch)                     // hit
+	c.Get(q("b.example"), _epoch)                     // miss
+	c.Get(q("a.example"), _epoch.Add(61*time.Second)) // expired (+miss)
+	c.Put(q("c.example"), aEntry("c.example", 60), _epoch)
+	c.Put(q("d.example"), aEntry("d.example", 60), _epoch) // evicts c
+	s := reg.Snapshot()
+	for name, want := range map[string]int64{
+		"dnscache.hits.p/cache-0":      1,
+		"dnscache.misses.p/cache-0":    2,
+		"dnscache.expired.p/cache-0":   1,
+		"dnscache.evictions.p/cache-0": 1,
+	} {
+		if got := s.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
 		}
 	}
 }

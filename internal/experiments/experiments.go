@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"dnscde/internal/metrics"
 	"dnscde/internal/simtest"
 )
 
@@ -25,6 +26,9 @@ type Config struct {
 	// large enough for stable shares, small enough for quick runs. The
 	// paper's own datasets were 1K/1K/~240.
 	OpenResolvers, Enterprises, ISPs int
+	// Metrics receives the run's probe-cost accounting. Run installs a
+	// fresh registry when nil, so every report carries a Cost summary.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -48,7 +52,7 @@ func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
 
 // world builds a fresh simulated Internet.
 func (c Config) world() (*simtest.World, error) {
-	return simtest.New(simtest.Options{Seed: c.Seed + 1})
+	return simtest.New(simtest.Options{Seed: c.Seed + 1, Metrics: c.Metrics})
 }
 
 // Check is one shape assertion: a value the paper reports versus the
@@ -71,6 +75,19 @@ func (c Check) Pass() bool {
 	return d <= c.Tolerance
 }
 
+// Cost summarises what an experiment run spent, read from the
+// internal/metrics registry rather than driver bookkeeping.
+type Cost struct {
+	// Probes is core.probes.sent: probe queries issued by enumeration and
+	// measurement drivers; ProbeErrors is the subset lost to timeouts.
+	Probes      int64 `json:"probes"`
+	ProbeErrors int64 `json:"probe_errors"`
+	// Packets is netsim.packets.sent (every simulated datagram, both
+	// directions); PacketsLost is netsim.packets.lost.
+	Packets     int64 `json:"packets"`
+	PacketsLost int64 `json:"packets_lost"`
+}
+
 // Report is the outcome of one experiment.
 type Report struct {
 	ID    string
@@ -79,6 +96,8 @@ type Report struct {
 	Text string
 	// Checks are the shape assertions.
 	Checks []Check
+	// Cost is the run's accounting delta; populated by Run.
+	Cost Cost
 }
 
 // Passed reports whether every check passed.
@@ -106,6 +125,10 @@ func (r *Report) Render() string {
 			fmt.Fprintf(&sb, "  [%s] %-48s paper=%.3f measured=%.3f (±%.3f)\n",
 				status, c.Name, c.Paper, c.Measured, c.Tolerance)
 		}
+	}
+	if r.Cost != (Cost{}) {
+		fmt.Fprintf(&sb, "\nQueries spent: %d probes (%d lost), %d packets (%d lost)\n",
+			r.Cost.Probes, r.Cost.ProbeErrors, r.Cost.Packets, r.Cost.PacketsLost)
 	}
 	return sb.String()
 }
@@ -140,6 +163,7 @@ var Registry = map[string]Driver{
 	"fingerprint":           FingerprintSurvey,
 	"ablation-crosstraffic": AblationCrossTraffic,
 	"selectionshare":        SelectionShare,
+	"cost":                  CostAccounting,
 }
 
 // Descriptions maps experiment ids to one-line summaries for -list
@@ -169,6 +193,7 @@ var Descriptions = map[string]string{
 	"classify":              "future work: selection-strategy classifier",
 	"fingerprint":           "§II-C/§VI: resolver-software survey",
 	"selectionshare":        "§IV-A: unpredictable-selection share",
+	"cost":                  "Thm 5.1 cost: measured enumeration queries vs n·H_n",
 }
 
 // IDs returns the registry keys in sorted order.
@@ -181,11 +206,29 @@ func IDs() []string {
 	return out
 }
 
-// Run executes the experiment with the given identifier.
+// Run executes the experiment with the given identifier. It guarantees a
+// cost-accounting registry is attached (installing a fresh one when
+// cfg.Metrics is nil) and stamps the run's accounting delta into
+// Report.Cost.
 func Run(id string, cfg Config) (*Report, error) {
 	driver, ok := Registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
-	return driver(cfg)
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.New()
+	}
+	before := cfg.Metrics.Snapshot()
+	report, err := driver(cfg)
+	if err != nil {
+		return report, err
+	}
+	diff := cfg.Metrics.Snapshot().Diff(before)
+	report.Cost = Cost{
+		Probes:      diff.Counter("core.probes.sent"),
+		ProbeErrors: diff.Counter("core.probes.errors"),
+		Packets:     diff.Total("netsim.packets.sent"),
+		PacketsLost: diff.Total("netsim.packets.lost"),
+	}
+	return report, nil
 }

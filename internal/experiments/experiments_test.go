@@ -26,6 +26,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-selection", "ablation-bypass", "ablation-threshold",
 		"ablation-forwarder", "poisoning", "resilience", "edns", "ttlconsistency",
 		"classify", "fingerprint", "ablation-crosstraffic", "selectionshare",
+		"cost",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
@@ -129,5 +130,19 @@ func TestDescriptionsCoverRegistry(t *testing.T) {
 		if _, ok := Registry[id]; !ok {
 			t.Errorf("description for unknown experiment %q", id)
 		}
+	}
+}
+
+func TestCostAccounting(t *testing.T) {
+	report := runAndCheck(t, "cost")
+	// The run's own cost summary must come from the registry Run installs.
+	if report.Cost.Probes == 0 {
+		t.Error("Report.Cost.Probes = 0, want the run's metered probe count")
+	}
+	if report.Cost.Packets == 0 {
+		t.Error("Report.Cost.Packets = 0, want the run's metered packet count")
+	}
+	if !strings.Contains(report.Render(), "Queries spent:") {
+		t.Error("Render misses the queries-spent line")
 	}
 }

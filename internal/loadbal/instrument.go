@@ -1,0 +1,59 @@
+package loadbal
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"dnscde/internal/dnswire"
+	"dnscde/internal/metrics"
+)
+
+// Instrumented decorates a Selector, counting how often each cache index
+// is picked under "<prefix>.select.<idx>". The per-index distribution is
+// the load balancer's ground-truth behaviour — what the enumeration
+// experiments measure from the outside.
+type Instrumented struct {
+	inner  Selector
+	reg    *metrics.Registry
+	prefix string
+
+	mu       sync.Mutex
+	counters []*metrics.Counter // grown on demand, index-addressed
+}
+
+var _ Selector = (*Instrumented)(nil)
+
+// Instrument wraps inner so selections are counted in reg. A nil registry
+// returns inner unchanged — no wrapper cost when accounting is off.
+func Instrument(inner Selector, reg *metrics.Registry, prefix string) Selector {
+	if reg == nil {
+		return inner
+	}
+	return &Instrumented{inner: inner, reg: reg, prefix: prefix}
+}
+
+// Select implements Selector.
+func (s *Instrumented) Select(q dnswire.Question, src netip.Addr, n int) int {
+	idx := s.inner.Select(q, src, n)
+	s.counter(idx).Inc()
+	return idx
+}
+
+// counter returns the handle for idx, creating intermediate handles so the
+// slice stays index-addressed.
+func (s *Instrumented) counter(idx int) *metrics.Counter {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.counters) <= idx {
+		s.counters = append(s.counters,
+			s.reg.Counter(fmt.Sprintf("%s.select.%d", s.prefix, len(s.counters))))
+	}
+	return s.counters[idx]
+}
+
+// Category implements Selector, delegating to the wrapped strategy.
+func (s *Instrumented) Category() Category { return s.inner.Category() }
+
+// Name implements Selector, delegating to the wrapped strategy.
+func (s *Instrumented) Name() string { return s.inner.Name() }

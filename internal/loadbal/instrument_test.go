@@ -1,0 +1,41 @@
+package loadbal
+
+import (
+	"net/netip"
+	"testing"
+
+	"dnscde/internal/dnswire"
+	"dnscde/internal/metrics"
+)
+
+func TestInstrumentCountsSelections(t *testing.T) {
+	reg := metrics.New()
+	sel := Instrument(NewRoundRobin(), reg, "loadbal.p")
+	q := dnswire.Question{Name: "a.example.", Type: dnswire.TypeA, Class: dnswire.ClassIN}
+	src := netip.MustParseAddr("198.18.0.1")
+	for i := 0; i < 7; i++ {
+		sel.Select(q, src, 3)
+	}
+	s := reg.Snapshot()
+	// Round robin over 3 caches for 7 picks: 3, 2, 2.
+	want := map[string]int64{
+		"loadbal.p.select.0": 3,
+		"loadbal.p.select.1": 2,
+		"loadbal.p.select.2": 2,
+	}
+	for name, w := range want {
+		if got := s.Counter(name); got != w {
+			t.Errorf("%s = %d, want %d", name, got, w)
+		}
+	}
+	if sel.Name() != "round-robin" || sel.Category() != TrafficDependent {
+		t.Error("wrapper must delegate Name/Category")
+	}
+}
+
+func TestInstrumentNilRegistryIsTransparent(t *testing.T) {
+	inner := NewRandom(1)
+	if sel := Instrument(inner, nil, "x"); sel != Selector(inner) {
+		t.Error("nil registry must return the inner selector unchanged")
+	}
+}

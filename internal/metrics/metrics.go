@@ -1,0 +1,357 @@
+// Package metrics is the probe-cost accounting layer: named atomic
+// counters and fixed-bucket histograms behind a Registry, with
+// snapshot/diff/merge for before/after bookkeeping. The paper's central
+// quantitative claims are about measurement *cost* — Θ(n·H_n) queries to
+// enumerate n caches (Thm 5.1), carpet-bombing overhead K, init/validate
+// budgets — and this package is what lets every experiment report the
+// query budget CDE actually spent rather than only the shapes it
+// recovered.
+//
+// Determinism: the package never reads a clock or a random source —
+// every recorded value is injected by the instrumented call site — and
+// snapshots render in sorted name order, so instrumented simulations stay
+// reproducible byte for byte (cdelint's walltime/detrand invariants hold
+// trivially).
+//
+// Disabled instrumentation is free by construction: a nil *Registry
+// returns nil handles, and every handle method is a no-op on a nil
+// receiver, so the hot path pays one nil check and no allocation.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter is
+// a valid no-op handle.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; zero on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram of int64 observations. Bucket i
+// counts observations v <= Bounds[i]; the final implicit bucket counts
+// overflow. A nil *Histogram is a valid no-op handle.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64 // len(bounds)+1; last is overflow
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v; misses land in overflow.
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations; zero on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations; zero on a nil receiver.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// RTTBoundsUS is the default per-link round-trip-time bucket layout, in
+// microseconds: 100µs to 2.5s in roughly 1-2.5-5 steps, spanning the
+// simulated LAN latencies up to a lost-packet retransmission timeout.
+var RTTBoundsUS = []int64{
+	100, 250, 500,
+	1_000, 2_500, 5_000,
+	10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000,
+	1_000_000, 2_500_000,
+}
+
+// Registry holds named counters and histograms. A nil *Registry hands out
+// nil handles, so instrumented code needs no enabled/disabled branches.
+// Registry is safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil (the no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds (which must be sorted ascending) on first use.
+// An existing histogram keeps its original bounds. Returns nil on a nil
+// registry.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		b := append([]int64(nil), bounds...)
+		h = &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is the frozen state of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the upper bucket bounds; Buckets has one extra final
+	// element counting overflow observations.
+	Bounds  []int64 `json:"bounds"`
+	Buckets []int64 `json:"buckets"`
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+}
+
+// Snapshot is a frozen copy of a registry's state. The zero value is an
+// empty snapshot. Snapshots are plain data: they marshal to JSON directly
+// (map keys sort, so the encoding is deterministic).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry's current state. A nil registry yields an
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			hs := HistogramSnapshot{
+				Bounds:  append([]int64(nil), h.bounds...),
+				Buckets: make([]int64, len(h.buckets)),
+				Count:   h.count.Load(),
+				Sum:     h.sum.Load(),
+			}
+			for i := range h.buckets {
+				hs.Buckets[i] = h.buckets[i].Load()
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// Counter returns the snapshotted value of the named counter (zero when
+// absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Total sums every counter whose name equals prefix or starts with
+// prefix + "." — the aggregate over a dotted-name family such as
+// "dnscache.hits".
+func (s Snapshot) Total(prefix string) int64 {
+	var total int64
+	dotted := prefix + "."
+	for name, v := range s.Counters {
+		if name == prefix || strings.HasPrefix(name, dotted) {
+			total += v
+		}
+	}
+	return total
+}
+
+// Diff returns s - base: the activity recorded between the two snapshots.
+// Counters and histogram counts that did not change are dropped, so the
+// result isolates one measurement's cost.
+func (s Snapshot) Diff(base Snapshot) Snapshot {
+	out := Snapshot{}
+	for name, v := range s.Counters {
+		if d := v - base.Counters[name]; d != 0 {
+			if out.Counters == nil {
+				out.Counters = make(map[string]int64)
+			}
+			out.Counters[name] = d
+		}
+	}
+	for name, h := range s.Histograms {
+		b := base.Histograms[name]
+		if h.Count == b.Count && h.Sum == b.Sum {
+			continue
+		}
+		d := HistogramSnapshot{
+			Bounds:  append([]int64(nil), h.Bounds...),
+			Buckets: make([]int64, len(h.Buckets)),
+			Count:   h.Count - b.Count,
+			Sum:     h.Sum - b.Sum,
+		}
+		for i, v := range h.Buckets {
+			if i < len(b.Buckets) {
+				v -= b.Buckets[i]
+			}
+			d.Buckets[i] = v
+		}
+		if out.Histograms == nil {
+			out.Histograms = make(map[string]HistogramSnapshot)
+		}
+		out.Histograms[name] = d
+	}
+	return out
+}
+
+// Merge returns the element-wise sum of s and other. Histograms sharing a
+// name must share a bucket layout; s's layout wins when they differ.
+func (s Snapshot) Merge(other Snapshot) Snapshot {
+	out := Snapshot{}
+	for name, v := range s.Counters {
+		if out.Counters == nil {
+			out.Counters = make(map[string]int64)
+		}
+		out.Counters[name] = v
+	}
+	for name, v := range other.Counters {
+		if out.Counters == nil {
+			out.Counters = make(map[string]int64)
+		}
+		out.Counters[name] += v
+	}
+	for name, h := range s.Histograms {
+		if out.Histograms == nil {
+			out.Histograms = make(map[string]HistogramSnapshot)
+		}
+		out.Histograms[name] = cloneHistogramSnapshot(h)
+	}
+	for name, h := range other.Histograms {
+		if out.Histograms == nil {
+			out.Histograms = make(map[string]HistogramSnapshot)
+		}
+		have, ok := out.Histograms[name]
+		if !ok {
+			out.Histograms[name] = cloneHistogramSnapshot(h)
+			continue
+		}
+		have.Count += h.Count
+		have.Sum += h.Sum
+		for i := range have.Buckets {
+			if i < len(h.Buckets) {
+				have.Buckets[i] += h.Buckets[i]
+			}
+		}
+		out.Histograms[name] = have
+	}
+	return out
+}
+
+func cloneHistogramSnapshot(h HistogramSnapshot) HistogramSnapshot {
+	return HistogramSnapshot{
+		Bounds:  append([]int64(nil), h.Bounds...),
+		Buckets: append([]int64(nil), h.Buckets...),
+		Count:   h.Count,
+		Sum:     h.Sum,
+	}
+}
+
+// Names returns the counter names in sorted order.
+func (s Snapshot) Names() []string {
+	out := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Format renders the snapshot as aligned text, names sorted, histograms
+// as count/sum/mean — the deterministic human-readable dump used by the
+// command-line cost summaries.
+func (s Snapshot) Format() string {
+	var sb strings.Builder
+	width := 0
+	for name := range s.Counters {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	for name := range s.Histograms {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	for _, name := range s.Names() {
+		fmt.Fprintf(&sb, "  %-*s %d\n", width, name, s.Counters[name])
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		mean := int64(0)
+		if h.Count > 0 {
+			mean = h.Sum / h.Count
+		}
+		fmt.Fprintf(&sb, "  %-*s count=%d sum=%d mean=%d\n", width, name, h.Count, h.Sum, mean)
+	}
+	return sb.String()
+}

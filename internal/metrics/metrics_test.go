@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("probes.sent")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	if again := r.Counter("probes.sent"); again != c {
+		t.Error("second lookup returned a different handle")
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("anything")
+	if c != nil {
+		t.Fatal("nil registry must hand out nil counters")
+	}
+	c.Inc() // must not panic
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Error("nil counter must read zero")
+	}
+	h := r.Histogram("h", RTTBoundsUS)
+	if h != nil {
+		t.Fatal("nil registry must hand out nil histograms")
+	}
+	h.Observe(42) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram must read zero")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("rtt", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 500, 5000} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms["rtt"]
+	// v<=10: {5,10}; v<=100: {11,100}; v<=1000: {500}; overflow: {5000}.
+	want := []int64{2, 2, 1, 1}
+	if len(snap.Buckets) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(snap.Buckets), len(want))
+	}
+	for i, w := range want {
+		if snap.Buckets[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Buckets[i], w)
+		}
+	}
+	if snap.Count != 6 || snap.Sum != 5+10+11+100+500+5000 {
+		t.Errorf("count/sum = %d/%d", snap.Count, snap.Sum)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := New()
+	c := r.Counter("a")
+	h := r.Histogram("h", []int64{10})
+	c.Add(3)
+	h.Observe(5)
+	before := r.Snapshot()
+	c.Add(4)
+	r.Counter("b").Inc()
+	h.Observe(50)
+	d := r.Snapshot().Diff(before)
+	if d.Counter("a") != 4 || d.Counter("b") != 1 {
+		t.Errorf("diff counters = %v", d.Counters)
+	}
+	if _, ok := d.Counters["unchanged"]; ok {
+		t.Error("unchanged counter leaked into diff")
+	}
+	hd := d.Histograms["h"]
+	if hd.Count != 1 || hd.Sum != 50 {
+		t.Errorf("diff histogram count/sum = %d/%d, want 1/50", hd.Count, hd.Sum)
+	}
+	if hd.Buckets[0] != 0 || hd.Buckets[1] != 1 {
+		t.Errorf("diff histogram buckets = %v, want [0 1]", hd.Buckets)
+	}
+}
+
+func TestSnapshotDiffDropsUnchanged(t *testing.T) {
+	r := New()
+	r.Counter("quiet").Add(2)
+	r.Histogram("hq", []int64{1}).Observe(1)
+	before := r.Snapshot()
+	d := r.Snapshot().Diff(before)
+	if len(d.Counters) != 0 || len(d.Histograms) != 0 {
+		t.Errorf("no-activity diff not empty: %+v", d)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := Snapshot{
+		Counters:   map[string]int64{"x": 1, "y": 2},
+		Histograms: map[string]HistogramSnapshot{"h": {Bounds: []int64{10}, Buckets: []int64{1, 0}, Count: 1, Sum: 5}},
+	}
+	b := Snapshot{
+		Counters:   map[string]int64{"y": 3, "z": 4},
+		Histograms: map[string]HistogramSnapshot{"h": {Bounds: []int64{10}, Buckets: []int64{0, 2}, Count: 2, Sum: 60}},
+	}
+	m := a.Merge(b)
+	if m.Counter("x") != 1 || m.Counter("y") != 5 || m.Counter("z") != 4 {
+		t.Errorf("merge counters = %v", m.Counters)
+	}
+	h := m.Histograms["h"]
+	if h.Count != 3 || h.Sum != 65 || h.Buckets[0] != 1 || h.Buckets[1] != 2 {
+		t.Errorf("merge histogram = %+v", h)
+	}
+	// Merge must not alias the inputs.
+	m.Counters["x"] = 99
+	if a.Counter("x") != 1 {
+		t.Error("merge aliased input counters")
+	}
+}
+
+func TestSnapshotTotal(t *testing.T) {
+	s := Snapshot{Counters: map[string]int64{
+		"dnscache.hits.p/cache-0": 3,
+		"dnscache.hits.p/cache-1": 4,
+		"dnscache.hitsother":      100,
+		"dnscache.hits":           1,
+	}}
+	if got := s.Total("dnscache.hits"); got != 8 {
+		t.Errorf("Total = %d, want 8 (exact name + dotted children only)", got)
+	}
+}
+
+func TestFormatSortedAndDeterministic(t *testing.T) {
+	r := New()
+	r.Counter("zz").Inc()
+	r.Counter("aa").Add(2)
+	r.Histogram("mm", []int64{10}).Observe(4)
+	out := r.Snapshot().Format()
+	ia, iz, im := strings.Index(out, "aa"), strings.Index(out, "zz"), strings.Index(out, "mm")
+	if !(ia < iz && iz < im) {
+		t.Errorf("format not sorted (counters then histograms):\n%s", out)
+	}
+	if out != r.Snapshot().Format() {
+		t.Error("format not deterministic")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("a.b").Add(7)
+	r.Histogram("h", []int64{10}).Observe(3)
+	blob, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counter("a.b") != 7 || back.Histograms["h"].Count != 1 {
+		t.Errorf("round trip lost data: %s", blob)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("shared").Inc()
+				r.Histogram("h", RTTBoundsUS).Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counter("shared") != 8000 {
+		t.Errorf("shared = %d, want 8000", s.Counter("shared"))
+	}
+	if s.Histograms["h"].Count != 8000 {
+		t.Errorf("histogram count = %d, want 8000", s.Histograms["h"].Count)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"dnscde/internal/dnswire"
+	"dnscde/internal/metrics"
 )
 
 // Simulation errors.
@@ -91,6 +92,15 @@ type Network struct {
 	timeout time.Duration
 
 	stats Stats
+
+	// metrics, when non-nil, mirrors packet-level events into the
+	// accounting registry; the handles are pre-created so the hot path
+	// pays one nil check per event.
+	metrics      *metrics.Registry
+	mSent        *metrics.Counter
+	mLost        *metrics.Counter
+	mRetries     *metrics.Counter
+	linkRTTHists sync.Map // netip.Addr -> *metrics.Histogram
 }
 
 // Stats counts network-level events, used by tests and by the carpet-
@@ -109,6 +119,39 @@ func New(seed int64) *Network {
 		rng:     rand.New(rand.NewSource(seed)),
 		timeout: 2 * time.Second,
 	}
+}
+
+// SetMetrics attaches an accounting registry: every subsequent exchange
+// counts its packets under "netsim.packets.sent"/"netsim.packets.lost",
+// retransmissions under "netsim.retries", and records per-destination
+// round-trip times in "netsim.rtt_us.<dst>" histograms (microseconds).
+// A nil registry detaches instrumentation.
+func (n *Network) SetMetrics(reg *metrics.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.metrics = reg
+	n.mSent = reg.Counter("netsim.packets.sent")
+	n.mLost = reg.Counter("netsim.packets.lost")
+	n.mRetries = reg.Counter("netsim.retries")
+	// Drop handles cached against a previously attached registry.
+	n.linkRTTHists.Range(func(k, _ any) bool {
+		n.linkRTTHists.Delete(k)
+		return true
+	})
+}
+
+// rttHist returns the per-destination RTT histogram, caching the handle so
+// steady-state exchanges skip the registry's name lookup.
+func (n *Network) rttHist(reg *metrics.Registry, dst netip.Addr) *metrics.Histogram {
+	if reg == nil {
+		return nil
+	}
+	if h, ok := n.linkRTTHists.Load(dst); ok {
+		return h.(*metrics.Histogram)
+	}
+	h := reg.Histogram("netsim.rtt_us."+dst.String(), metrics.RTTBoundsUS)
+	n.linkRTTHists.Store(dst, h)
+	return h
 }
 
 // SetTimeout sets the simulated duration charged to an exchange whose query
@@ -248,6 +291,14 @@ func (n *Network) Bind(src netip.Addr) *Conn {
 // Src returns the bound source address.
 func (c *Conn) Src() netip.Addr { return c.src }
 
+// retryCounter exposes the network's retransmission counter to
+// ExchangeRetry (nil when no registry is attached).
+func (c *Conn) retryCounter() *metrics.Counter {
+	c.net.mu.Lock()
+	defer c.net.mu.Unlock()
+	return c.net.mRetries
+}
+
 // Exchange implements Exchanger. The query is packed to wire format,
 // "transmitted" (subject to loss and latency), decoded, handled, and the
 // response travels back the same way. The returned duration is the full
@@ -262,6 +313,7 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 	n.mu.Lock()
 	n.stats.Exchanges++
 	timeout := n.timeout
+	reg, mSent, mLost := n.metrics, n.mSent, n.mLost
 	n.mu.Unlock()
 
 	h, ok := n.lookup(dst)
@@ -280,6 +332,7 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 	n.mu.Lock()
 	n.stats.BytesSent += int64(len(wire))
 	n.mu.Unlock()
+	mSent.Inc()
 
 	oneWay := srcProfile.OneWay + h.profile.OneWay +
 		n.jitter(srcProfile.Jitter) + n.jitter(h.profile.Jitter)
@@ -289,6 +342,7 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 		n.mu.Lock()
 		n.stats.Lost++
 		n.mu.Unlock()
+		mLost.Inc()
 		chargeUpstream(ctx, timeout)
 		return nil, timeout, ErrTimeout
 	}
@@ -314,6 +368,7 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 	n.mu.Lock()
 	n.stats.BytesRecvd += int64(len(respWire))
 	n.mu.Unlock()
+	mSent.Inc()
 
 	returnWay := srcProfile.OneWay + h.profile.OneWay +
 		n.jitter(srcProfile.Jitter) + n.jitter(h.profile.Jitter)
@@ -323,6 +378,7 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 		n.mu.Lock()
 		n.stats.Lost++
 		n.mu.Unlock()
+		mLost.Inc()
 		total := timeout + handlerTime
 		chargeUpstream(ctx, total)
 		return nil, total, ErrTimeout
@@ -334,6 +390,7 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 	}
 
 	rtt := oneWay + handlerTime + returnWay
+	n.rttHist(reg, dst).Observe(rtt.Microseconds())
 	chargeUpstream(ctx, rtt)
 	return respDecoded, rtt, nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dnscde/internal/dnswire"
+	"dnscde/internal/metrics"
 )
 
 var (
@@ -333,5 +334,52 @@ func TestHandlerPanicBecomesError(t *testing.T) {
 	if _, _, err := n.Bind(testClient).Exchange(context.Background(),
 		dnswire.NewQuery(2, "a.example", dnswire.TypeA), testServer); err != nil {
 		t.Errorf("network unusable after panic: %v", err)
+	}
+}
+
+func TestSetMetricsCountsPacketsAndRTT(t *testing.T) {
+	n := New(1)
+	reg := metrics.New()
+	n.SetMetrics(reg)
+	n.Register(testServer, LinkProfile{OneWay: 5 * time.Millisecond}, echoHandler())
+	conn := n.Bind(testClient)
+	for i := 0; i < 3; i++ {
+		if _, _, err := conn.Exchange(context.Background(), dnswire.NewQuery(uint16(i+1), "a.example", dnswire.TypeA), testServer); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := reg.Snapshot()
+	// Each lossless exchange sends one query and one response packet.
+	if got := s.Counter("netsim.packets.sent"); got != 6 {
+		t.Errorf("packets.sent = %d, want 6", got)
+	}
+	if got := s.Counter("netsim.packets.lost"); got != 0 {
+		t.Errorf("packets.lost = %d, want 0", got)
+	}
+	h := s.Histograms["netsim.rtt_us."+testServer.String()]
+	if h.Count != 3 {
+		t.Errorf("rtt histogram count = %d, want 3", h.Count)
+	}
+	if want := int64(3 * 10_000); h.Sum != want { // 10ms per round trip
+		t.Errorf("rtt histogram sum = %d µs, want %d", h.Sum, want)
+	}
+}
+
+func TestSetMetricsCountsLossAndRetries(t *testing.T) {
+	n := New(1)
+	reg := metrics.New()
+	n.SetMetrics(reg)
+	n.Register(testServer, LinkProfile{Loss: 1.0}, echoHandler())
+	conn := n.Bind(testClient)
+	_, _, err := ExchangeRetry(context.Background(), conn, dnswire.NewQuery(1, "a.example", dnswire.TypeA), testServer, 4)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout under total loss", err)
+	}
+	s := reg.Snapshot()
+	if got := s.Counter("netsim.packets.lost"); got != 4 {
+		t.Errorf("packets.lost = %d, want 4 (every attempt's query dropped)", got)
+	}
+	if got := s.Counter("netsim.retries"); got != 3 {
+		t.Errorf("retries = %d, want 3 (attempts beyond the first)", got)
 	}
 }

@@ -7,19 +7,46 @@ import (
 	"time"
 
 	"dnscde/internal/dnswire"
+	"dnscde/internal/metrics"
 )
+
+// retryAccounter is implemented by Exchangers that expose a retransmission
+// counter (the simulated Conn when its Network has a metrics registry
+// attached); other Exchangers, such as the real-socket transport, simply
+// go uncounted.
+type retryAccounter interface {
+	retryCounter() *metrics.Counter
+}
 
 // ExchangeRetry performs an exchange with up to attempts tries, retrying
 // only on timeout (packet loss). It mirrors a stub resolver's
 // retransmission behaviour and returns the cumulative time spent across
 // all attempts, so lost packets still cost simulated time.
+//
+// Cancellation is honoured between attempts: once ctx is done, no further
+// retransmission is sent and the context's error is returned as-is —
+// distinct from ErrTimeout, so callers can tell an aborted measurement
+// from packet loss. The check is needed here because transports may
+// surface a ctx-deadline expiry as an ordinary timeout (a real UDP socket
+// clamps its read deadline to the ctx deadline), which would otherwise
+// keep a cancelled prober retransmitting until attempts ran out.
 func ExchangeRetry(ctx context.Context, ex Exchanger, query *dnswire.Message, dst netip.Addr, attempts int) (*dnswire.Message, time.Duration, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
+	var retries *metrics.Counter
+	if ra, ok := ex.(retryAccounter); ok {
+		retries = ra.retryCounter()
+	}
 	var total time.Duration
 	var lastErr error
 	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, total, cerr
+			}
+			retries.Inc()
+		}
 		resp, rtt, err := ex.Exchange(ctx, query, dst)
 		total += rtt
 		if err == nil {

@@ -1,0 +1,64 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnscde/internal/dnswire"
+)
+
+// lossyExchanger models a transport that surfaces every failure as
+// ErrTimeout without consulting ctx itself — exactly what
+// udpnet.Transport does when the socket deadline (clamped to the ctx
+// deadline) expires. The ctx check must therefore live in ExchangeRetry.
+type lossyExchanger struct {
+	calls int
+}
+
+func (l *lossyExchanger) Exchange(ctx context.Context, query *dnswire.Message, dst netip.Addr) (*dnswire.Message, time.Duration, error) {
+	l.calls++
+	return nil, 10 * time.Millisecond, ErrTimeout
+}
+
+// TestExchangeRetryStopsOnCancelledContext is the regression test for the
+// retry loop ignoring ctx between attempts: a cancelled prober kept
+// retransmitting until the attempt budget was exhausted whenever losses
+// surfaced as ErrTimeout.
+func TestExchangeRetryStopsOnCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first retry decision
+	ex := &lossyExchanger{}
+	query := dnswire.NewQuery(1, "h1.cache.example.", dnswire.TypeA)
+
+	_, _, err := ExchangeRetry(ctx, ex, query, MustAddr("192.0.2.1"), 8)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (cancellation must be distinct from loss)", err)
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, must not be reported as packet loss", err)
+	}
+	if ex.calls != 1 {
+		t.Fatalf("exchanger called %d times, want 1 (no retransmission after cancel)", ex.calls)
+	}
+}
+
+// TestExchangeRetryExhaustsAttemptsOnLoss pins the pre-existing contract:
+// with a live context, retries continue through losses and the final
+// error is ErrTimeout with the cumulative time of all attempts.
+func TestExchangeRetryExhaustsAttemptsOnLoss(t *testing.T) {
+	ex := &lossyExchanger{}
+	query := dnswire.NewQuery(2, "h2.cache.example.", dnswire.TypeA)
+	_, total, err := ExchangeRetry(context.Background(), ex, query, MustAddr("192.0.2.1"), 3)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if ex.calls != 3 {
+		t.Fatalf("exchanger called %d times, want 3", ex.calls)
+	}
+	if total != 30*time.Millisecond {
+		t.Fatalf("total = %v, want cumulative 30ms", total)
+	}
+}

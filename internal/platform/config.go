@@ -19,6 +19,7 @@ import (
 	"dnscde/internal/clock"
 	"dnscde/internal/dnscache"
 	"dnscde/internal/loadbal"
+	"dnscde/internal/metrics"
 )
 
 // EgressPolicy selects which egress IP issues an upstream query.
@@ -96,6 +97,12 @@ type Config struct {
 	// models §IV-B3's restricted platforms, which force the timing-based
 	// (indirect egress) technique.
 	AllowedSuffixes []string
+
+	// Metrics, when non-nil, receives the platform's accounting: query
+	// and recursion counters, per-cache hit/miss/expiry/eviction counts
+	// and per-index selection counts, all prefixed with the platform
+	// Name. Nil disables instrumentation at zero cost.
+	Metrics *metrics.Registry
 
 	// Clock drives TTL arithmetic; nil defaults to the wall clock.
 	Clock clock.Clock

@@ -9,6 +9,8 @@ import (
 
 	"dnscde/internal/dnscache"
 	"dnscde/internal/dnswire"
+	"dnscde/internal/loadbal"
+	"dnscde/internal/metrics"
 	"dnscde/internal/netsim"
 	"dnscde/internal/trace"
 )
@@ -28,6 +30,14 @@ type Platform struct {
 	down      []bool             // caches taken out of rotation (§II-B)
 
 	stats PlatformStats
+
+	// Accounting handles, nil (no-op) without a configured registry.
+	mQueries      *metrics.Counter
+	mRecursions   *metrics.Counter
+	mCacheHits    *metrics.Counter
+	mCacheMisses  *metrics.Counter
+	mRefused      *metrics.Counter
+	mUpstreamFail *metrics.Counter
 }
 
 // PlatformStats counts platform-level events, available as ground truth.
@@ -57,6 +67,18 @@ func New(cfg Config, n *netsim.Network, profile netsim.LinkProfile) (*Platform, 
 	p.down = make([]bool, cfg.CacheCount)
 	for i := range p.caches {
 		p.caches[i] = dnscache.New(fmt.Sprintf("%s/cache-%d", cfg.Name, i), cfg.CachePolicy)
+	}
+	if reg := cfg.Metrics; reg != nil {
+		for _, c := range p.caches {
+			c.SetMetrics(reg)
+		}
+		p.cfg.Selector = loadbal.Instrument(p.cfg.Selector, reg, "loadbal."+cfg.Name)
+		p.mQueries = reg.Counter("platform.queries." + cfg.Name)
+		p.mRecursions = reg.Counter("platform.recursions." + cfg.Name)
+		p.mCacheHits = reg.Counter("platform.cache_hits." + cfg.Name)
+		p.mCacheMisses = reg.Counter("platform.cache_misses." + cfg.Name)
+		p.mRefused = reg.Counter("platform.refused." + cfg.Name)
+		p.mUpstreamFail = reg.Counter("platform.upstream_fail." + cfg.Name)
 	}
 	for i, ip := range cfg.IngressIPs {
 		p.ingressOf[ip] = i
@@ -201,12 +223,14 @@ func (p *Platform) serveFrom(ctx context.Context, ingress, src netip.Addr, query
 		return resp, nil
 	}
 	p.count(func(s *PlatformStats) { s.Queries++ })
+	p.mQueries.Inc()
 
 	resp := dnswire.NewResponse(query)
 	resp.Header.RecursionAvailable = true
 
 	if !p.allowed(q.Name) {
 		p.count(func(s *PlatformStats) { s.Refused++ })
+		p.mRefused.Inc()
 		resp.Header.RCode = dnswire.RCodeRefused
 		return resp, nil
 	}
@@ -218,6 +242,7 @@ func (p *Platform) serveFrom(ctx context.Context, ingress, src netip.Addr, query
 	if len(cluster) == 0 {
 		// Every cache behind this ingress IP is down.
 		p.count(func(s *PlatformStats) { s.UpstreamFail++ })
+		p.mUpstreamFail.Inc()
 		resp.Header.RCode = dnswire.RCodeServFail
 		return resp, nil
 	}
@@ -229,6 +254,7 @@ func (p *Platform) serveFrom(ctx context.Context, ingress, src netip.Addr, query
 	now := p.cfg.Clock.Now()
 	if entry, ok := cache.Get(q, now); ok {
 		p.count(func(s *PlatformStats) { s.CacheHits++ })
+		p.mCacheHits.Inc()
 		trace.Addf(ctx, "cache-hit", "%s answered %s", cache.ID, q)
 		if p.cfg.CacheHitDelay > 0 {
 			netsim.ChargeLatency(ctx, p.cfg.CacheHitDelay)
@@ -236,11 +262,13 @@ func (p *Platform) serveFrom(ctx context.Context, ingress, src netip.Addr, query
 		return p.entryToResponse(resp, entry), nil
 	}
 	p.count(func(s *PlatformStats) { s.CacheMisses++ })
+	p.mCacheMisses.Inc()
 	trace.Addf(ctx, "cache-miss", "%s lacks %s", cache.ID, q)
 
 	entry, err := p.resolve(ctx, q, cacheIdx)
 	if err != nil {
 		p.count(func(s *PlatformStats) { s.UpstreamFail++ })
+		p.mUpstreamFail.Inc()
 		resp.Header.RCode = dnswire.RCodeServFail
 		return resp, nil
 	}

@@ -36,6 +36,7 @@ const maxGluelessDepth = 3
 // the property the paper's names-hierarchy technique (§IV-B2b) observes.
 // Forwarding platforms delegate the recursion to their upstream instead.
 func (p *Platform) resolve(ctx context.Context, q dnswire.Question, cacheIdx int) (dnscache.Entry, error) {
+	p.mRecursions.Inc()
 	if len(p.cfg.Forwarders) > 0 {
 		return p.forwardResolve(ctx, q, cacheIdx)
 	}

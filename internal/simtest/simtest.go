@@ -12,6 +12,7 @@ import (
 	"dnscde/internal/clock"
 	"dnscde/internal/core"
 	"dnscde/internal/dnstree"
+	"dnscde/internal/metrics"
 	"dnscde/internal/netsim"
 	"dnscde/internal/platform"
 	"dnscde/internal/stub"
@@ -31,6 +32,10 @@ type World struct {
 	Clock *clock.Virtual
 	Tree  *dnstree.Tree
 	Infra *core.Infra
+	// Metrics is the cost-accounting registry wired through the network,
+	// infrastructure and every platform built by NewPlatform; nil when the
+	// world was created without one (all instrumentation is then no-op).
+	Metrics *metrics.Registry
 
 	nextIngress netip.Addr
 	nextEgress  netip.Addr
@@ -47,6 +52,9 @@ type Options struct {
 	// TreeProfile is the link profile of root and TLD servers; zero
 	// value uses 5ms one-way.
 	TreeProfile netsim.LinkProfile
+	// Metrics, when non-nil, is attached to the network, the CDE
+	// infrastructure and every platform the world creates.
+	Metrics *metrics.Registry
 }
 
 // New builds a world: simulated network, virtual clock, root + TLD, and a
@@ -64,9 +72,13 @@ func New(opts Options) (*World, error) {
 	w := &World{
 		Net:         netsim.New(opts.Seed),
 		Clock:       clock.NewVirtual(),
+		Metrics:     opts.Metrics,
 		nextIngress: netip.MustParseAddr("10.10.0.1"),
 		nextEgress:  netip.MustParseAddr("10.20.0.1"),
 		nextClient:  netip.MustParseAddr("10.30.0.1"),
+	}
+	if opts.Metrics != nil {
+		w.Net.SetMetrics(opts.Metrics)
 	}
 	tree, err := dnstree.Build(w.Net, w.Clock, opts.TreeProfile)
 	if err != nil {
@@ -78,6 +90,7 @@ func New(opts Options) (*World, error) {
 		ChildAddr:  DefaultChildAddr,
 		Target:     DefaultTarget,
 		Profile:    opts.NSProfile,
+		Metrics:    opts.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("simtest: %w", err)
@@ -137,6 +150,7 @@ func (w *World) NewPlatform(spec PlatformSpec) (*platform.Platform, error) {
 		Roots:      w.Tree.Roots(),
 		Clock:      w.Clock,
 		Seed:       spec.Seed,
+		Metrics:    w.Metrics,
 	}
 	if spec.Mutate != nil {
 		spec.Mutate(&cfg)

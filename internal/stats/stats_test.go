@@ -227,3 +227,91 @@ func TestPropertyBubbleCountsPreserved(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPercentileEdgeCases(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"empty", nil, 50, 0},
+		{"empty p0", []float64{}, 0, 0},
+		{"single p0", []float64{7}, 0, 7},
+		{"single p50", []float64{7}, 50, 7},
+		{"single p100", []float64{7}, 100, 7},
+		{"negative p clamps to min", []float64{3, 1, 2}, -10, 1},
+		{"p over 100 clamps to max", []float64{3, 1, 2}, 150, 3},
+		{"p0 is min", []float64{5, 4, 9}, 0, 4},
+		{"p100 is max", []float64{5, 4, 9}, 100, 9},
+		{"median interpolates", []float64{1, 2, 3, 4}, 50, 2.5},
+		{"exact order statistic", []float64{10, 20, 30}, 50, 20},
+		{"duplicates", []float64{2, 2, 2, 2}, 75, 2},
+		{"unsorted input", []float64{9, 1, 5}, 50, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Percentile(tt.xs, tt.p); got != tt.want {
+				t.Errorf("Percentile(%v, %v) = %v, want %v", tt.xs, tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCDFQuantileEdgeCases(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"empty q1", nil, 1, 0},
+		{"single q0", []float64{4}, 0, 4},
+		{"single q1", []float64{4}, 1, 4},
+		{"negative q clamps to min", []float64{2, 8}, -0.5, 2},
+		{"q over 1 clamps to max", []float64{2, 8}, 1.5, 8},
+		{"q1 is max", []float64{3, 1, 2}, 1, 3},
+		{"median of two", []float64{1, 9}, 0.5, 1},
+		{"duplicates", []float64{5, 5, 5}, 0.9, 5},
+		{"small q is min", []float64{10, 20, 30, 40}, 0.25, 10},
+		{"three quarters", []float64{10, 20, 30, 40}, 0.75, 30},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := NewCDF(tt.xs).Quantile(tt.q); got != tt.want {
+				t.Errorf("NewCDF(%v).Quantile(%v) = %v, want %v", tt.xs, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCDFAtEdgeCases(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		x    float64
+		want float64
+	}{
+		{"empty", nil, 3, 0},
+		{"below min", []float64{1, 2, 3}, 0.5, 0},
+		{"at min", []float64{1, 2, 3}, 1, 1.0 / 3},
+		{"between samples", []float64{1, 2, 3}, 2.5, 2.0 / 3},
+		{"at max", []float64{1, 2, 3}, 3, 1},
+		{"above max", []float64{1, 2, 3}, 100, 1},
+		{"duplicates counted once each", []float64{2, 2, 4}, 2, 2.0 / 3},
+		{"single below", []float64{7}, 6, 0},
+		{"single at", []float64{7}, 7, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := NewCDF(tt.xs)
+			if got := c.At(tt.x); got != tt.want {
+				t.Errorf("NewCDF(%v).At(%v) = %v, want %v", tt.xs, tt.x, got, tt.want)
+			}
+			if got := c.Above(tt.x); got != 1-tt.want {
+				t.Errorf("NewCDF(%v).Above(%v) = %v, want %v", tt.xs, tt.x, got, 1-tt.want)
+			}
+		})
+	}
+}
