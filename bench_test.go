@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"dnscde/internal/core"
+	"dnscde/internal/detpar"
 	"dnscde/internal/dnswire"
 	"dnscde/internal/experiments"
 	"dnscde/internal/loadbal"
@@ -147,6 +148,35 @@ func BenchmarkExtension_SelectionShare(b *testing.B) {
 }
 
 // --- substrate micro-benchmarks ---
+
+// BenchmarkDetpar_Speedup runs the Theorem 5.1 experiment at 1 and at
+// GOMAXPROCS workers under identical configs. The per-worker sub-benchmark
+// times quantify the detpar fan-out's wall-clock speedup (ns/op ratio);
+// the reports are asserted byte-identical, so the speedup is never bought
+// with a determinism regression. On a single-core runner the two times
+// converge — the ratio is only meaningful where GOMAXPROCS > 1.
+func BenchmarkDetpar_Speedup(b *testing.B) {
+	baseline := ""
+	for _, workers := range []int{1, 0} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", detpar.Workers(workers)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.Workers = workers
+				report, err := experiments.Run("thm51", cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rendered := report.Render()
+				if baseline == "" {
+					baseline = rendered
+				} else if rendered != baseline {
+					b.Fatalf("report at workers=%d differs from workers=1 baseline", workers)
+				}
+			}
+		})
+	}
+}
 
 func BenchmarkWirePackUnpack(b *testing.B) {
 	msg := dnswire.NewQuery(1, "x-1.sub.cache.example.", dnswire.TypeA)

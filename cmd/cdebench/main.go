@@ -11,23 +11,32 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"dnscde/internal/clock"
+	"dnscde/internal/detpar"
 	"dnscde/internal/experiments"
 )
 
 // jsonReport is the machine-readable form emitted with -json.
 type jsonReport struct {
-	ID       string           `json:"id"`
-	Title    string           `json:"title"`
-	Passed   bool             `json:"passed"`
-	Elapsed  string           `json:"elapsed"`
+	ID      string `json:"id"`
+	Title   string `json:"title"`
+	Passed  bool   `json:"passed"`
+	Elapsed string `json:"elapsed"`
+	// WallMS is the experiment's wall-clock time in milliseconds and
+	// Allocs its heap-allocation count (runtime Mallocs delta); together
+	// they are the bench trajectory CI tracks in bench-wall.json.
+	WallMS   float64          `json:"wall_ms"`
+	Allocs   uint64           `json:"allocs"`
+	Workers  int              `json:"workers"`
 	Cost     experiments.Cost `json:"cost"`
 	Checks   []jsonCheck      `json:"checks"`
 	Rendered string           `json:"rendered,omitempty"`
@@ -59,6 +68,7 @@ func run(args []string, clk clock.Clock) int {
 		isp     = fs.Int("isp", 0, "ISP population size (0 = default)")
 		asJSON  = fs.Bool("json", false, "emit one JSON object per experiment instead of text")
 		verbose = fs.Bool("v", false, "with -json, include the rendered text in each object")
+		workers = fs.Int("workers", 0, "trial-loop worker count (0 = GOMAXPROCS); reports are byte-identical at any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -75,6 +85,7 @@ func run(args []string, clk clock.Clock) int {
 		OpenResolvers: *open,
 		Enterprises:   *ent,
 		ISPs:          *isp,
+		Workers:       *workers,
 	}
 
 	ids := []string{*exp}
@@ -82,22 +93,30 @@ func run(args []string, clk clock.Clock) int {
 		ids = experiments.IDs()
 	}
 
+	ctx := context.Background()
 	enc := json.NewEncoder(os.Stdout)
 	failed := 0
 	for _, id := range ids {
+		var memBefore runtime.MemStats
+		runtime.ReadMemStats(&memBefore)
 		start := clk.Now()
-		report, err := experiments.Run(id, cfg)
+		report, err := experiments.RunContext(ctx, id, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cdebench: %s: %v\n", id, err)
 			failed++
 			continue
 		}
 		elapsed := clk.Now().Sub(start).Round(time.Millisecond)
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
 		if *asJSON {
 			jr := jsonReport{
 				ID: report.ID, Title: report.Title,
 				Passed: report.Passed(), Elapsed: elapsed.String(),
-				Cost: report.Cost,
+				WallMS:  float64(elapsed) / float64(time.Millisecond),
+				Allocs:  memAfter.Mallocs - memBefore.Mallocs,
+				Workers: detpar.Workers(cfg.Workers),
+				Cost:    report.Cost,
 			}
 			for _, c := range report.Checks {
 				jr.Checks = append(jr.Checks, jsonCheck{

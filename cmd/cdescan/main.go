@@ -14,10 +14,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/netip"
 	"os"
 	"sort"
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	"dnscde/internal/core"
+	"dnscde/internal/detpar"
 	"dnscde/internal/dnswire"
 	"dnscde/internal/loadbal"
 	"dnscde/internal/metrics"
@@ -50,6 +53,8 @@ func run(args []string, out io.Writer) int {
 		selector  = fs.String("selector", "random", "random, round-robin, hash-qname or hash-source-ip")
 		loss      = fs.Float64("loss", 0.01, "simulated per-packet loss")
 		seed      = fs.Int64("seed", 1, "simulation seed")
+		scans     = fs.Int("scans", 1, "sim mode: independent platforms to scan (each gets a derived seed)")
+		workers   = fs.Int("workers", 0, "sim mode: worker count for -scans > 1 (0 = GOMAXPROCS); output is byte-identical at any value")
 
 		target = fs.String("target", "", "udp mode: resolver address ip:port")
 		name   = fs.String("name", "", "udp mode: name to probe")
@@ -62,7 +67,7 @@ func run(args []string, out io.Writer) int {
 	}
 	switch *mode {
 	case "sim":
-		if err := runSim(out, *technique, *caches, *ingress, *egress, *selector, *loss, *seed); err != nil {
+		if err := runSims(out, *technique, *caches, *ingress, *egress, *selector, *loss, *seed, *scans, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "cdescan: %v\n", err)
 			return 1
 		}
@@ -91,6 +96,32 @@ func makeSelector(kind string, seed int64) (loadbal.Selector, error) {
 	default:
 		return nil, fmt.Errorf("unknown selector %q", kind)
 	}
+}
+
+// runSims scans one or more independent simulated platforms. With
+// -scans > 1 each scan owns a full world seeded from the detpar stream
+// and runs on a bounded worker pool; outputs are merged in scan order,
+// so the combined report is byte-identical at any -workers value.
+func runSims(out io.Writer, technique string, caches, ingress, egress int, selector string, loss float64, seed int64, scans, workers int) error {
+	if scans <= 1 {
+		return runSim(out, technique, caches, ingress, egress, selector, loss, seed)
+	}
+	outputs, err := detpar.Map(context.Background(), seed, scans, workers,
+		func(i int, rng *rand.Rand) (string, error) {
+			var buf bytes.Buffer
+			fmt.Fprintf(&buf, "--- scan %d/%d ---\n", i+1, scans)
+			if err := runSim(&buf, technique, caches, ingress, egress, selector, loss, rng.Int63()); err != nil {
+				return "", fmt.Errorf("scan %d: %w", i+1, err)
+			}
+			return buf.String(), nil
+		})
+	if err != nil {
+		return err
+	}
+	for _, s := range outputs {
+		fmt.Fprint(out, s)
+	}
+	return nil
 }
 
 func runSim(out io.Writer, technique string, caches, ingress, egress int, selector string, loss float64, seed int64) (err error) {

@@ -13,7 +13,9 @@ import (
 	"context"
 	"fmt"
 	"net/netip"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnscde/internal/clock"
@@ -35,55 +37,107 @@ type LogEntry struct {
 	UDPSize uint16
 }
 
+// logShards is the shard count of a QueryLog. Every probe of a parallel
+// measurement burst logs its arrival here, so the write path is sharded:
+// an append takes one of 16 locks instead of serializing the whole pool
+// on a single mutex.
+const logShards = 16
+
+// logShard is one stripe of the log. Entries carry a global sequence
+// number so reads can merge the stripes back into arrival order.
+type logShard struct {
+	mu      sync.Mutex
+	entries []seqEntry
+}
+
+type seqEntry struct {
+	seq uint64
+	e   LogEntry
+}
+
 // QueryLog is a thread-safe append-only log of observed queries.
 // The zero value is ready to use.
+//
+// Writes are striped across logShards locks; a global atomic sequence
+// number assigned at append time preserves arrival order, which Entries
+// restores by merging the shards. Counting queries iterate the shards
+// directly — order never matters for a count.
 type QueryLog struct {
-	mu      sync.Mutex
-	entries []LogEntry
+	seq    atomic.Uint64
+	shards [logShards]logShard
 }
 
 // Append adds an entry.
 func (l *QueryLog) Append(e LogEntry) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.entries = append(l.entries, e)
+	s := l.seq.Add(1) - 1
+	sh := &l.shards[s%logShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.entries = append(sh.entries, seqEntry{seq: s, e: e})
 }
 
 // Len returns the number of logged queries.
 func (l *QueryLog) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.entries)
+	n := 0
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// Entries returns a copy of the log.
+// Entries returns a copy of the log in arrival order.
 func (l *QueryLog) Entries() []LogEntry {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]LogEntry, len(l.entries))
-	copy(out, l.entries)
+	var merged []seqEntry
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		merged = append(merged, sh.entries...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a].seq < merged[b].seq })
+	out := make([]LogEntry, len(merged))
+	for i, se := range merged {
+		out[i] = se.e
+	}
 	return out
 }
 
 // Reset clears the log between experiments.
 func (l *QueryLog) Reset() {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.entries = nil
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		sh.entries = nil
+		sh.mu.Unlock()
+	}
+}
+
+// forEach visits every logged entry shard by shard — unordered, which is
+// fine for the counting methods built on it.
+func (l *QueryLog) forEach(fn func(e *LogEntry)) {
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for j := range sh.entries {
+			fn(&sh.entries[j].e)
+		}
+		sh.mu.Unlock()
+	}
 }
 
 // CountName returns how many logged queries asked for name (any type).
 // This is the ω of §IV-B1a.
 func (l *QueryLog) CountName(name string) int {
 	name = dnswire.CanonicalName(name)
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	n := 0
-	for _, e := range l.entries {
+	l.forEach(func(e *LogEntry) {
 		if e.Q.Name == name {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -93,14 +147,12 @@ func (l *QueryLog) CountName(name string) int {
 // per type with this method so ω is not inflated.
 func (l *QueryLog) CountNameType(name string, t dnswire.Type) int {
 	name = dnswire.CanonicalName(name)
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	n := 0
-	for _, e := range l.entries {
+	l.forEach(func(e *LogEntry) {
 		if e.Q.Name == name && e.Q.Type == t {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -110,33 +162,29 @@ func (l *QueryLog) CountNameType(name string, t dnswire.Type) int {
 // it touched; the maximum is the best single-group estimate.
 func (l *QueryLog) CountNameMaxType(name string) int {
 	name = dnswire.CanonicalName(name)
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	perType := make(map[dnswire.Type]int)
 	best := 0
-	for _, e := range l.entries {
+	l.forEach(func(e *LogEntry) {
 		if e.Q.Name != name {
-			continue
+			return
 		}
 		perType[e.Q.Type]++
 		if perType[e.Q.Type] > best {
 			best = perType[e.Q.Type]
 		}
-	}
+	})
 	return best
 }
 
 // CountSuffix returns how many logged queries asked for names under
 // suffix (inclusive).
 func (l *QueryLog) CountSuffix(suffix string) int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	n := 0
-	for _, e := range l.entries {
+	l.forEach(func(e *LogEntry) {
 		if dnswire.IsSubdomain(e.Q.Name, suffix) {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -144,11 +192,11 @@ func (l *QueryLog) CountSuffix(suffix string) int {
 // restricted to queries under suffix (pass "" or "." for all). These are
 // the platform's egress IPs.
 func (l *QueryLog) DistinctSources(suffix string) []netip.Addr {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	seen := make(map[netip.Addr]struct{})
 	var out []netip.Addr
-	for _, e := range l.entries {
+	// First-seen order is part of the contract, so walk the merged
+	// arrival-ordered view rather than the raw shards.
+	for _, e := range l.Entries() {
 		if suffix != "" && !dnswire.IsSubdomain(e.Q.Name, suffix) {
 			continue
 		}
@@ -164,18 +212,16 @@ func (l *QueryLog) DistinctSources(suffix string) []netip.Addr {
 // suffix) that carried an EDNS0 OPT record — the §II-C adoption
 // measurement.
 func (l *QueryLog) EDNSShare(suffix string) float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	total, edns := 0, 0
-	for _, e := range l.entries {
+	l.forEach(func(e *LogEntry) {
 		if suffix != "" && !dnswire.IsSubdomain(e.Q.Name, suffix) {
-			continue
+			return
 		}
 		total++
 		if e.EDNS {
 			edns++
 		}
-	}
+	})
 	if total == 0 {
 		return 0
 	}
@@ -185,15 +231,13 @@ func (l *QueryLog) EDNSShare(suffix string) float64 {
 // CountByType tallies logged queries per qtype, optionally restricted to
 // names under suffix. The SMTP experiment (Table I) is built on this.
 func (l *QueryLog) CountByType(suffix string) map[dnswire.Type]int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	out := make(map[dnswire.Type]int)
-	for _, e := range l.entries {
+	l.forEach(func(e *LogEntry) {
 		if suffix != "" && !dnswire.IsSubdomain(e.Q.Name, suffix) {
-			continue
+			return
 		}
 		out[e.Q.Type]++
-	}
+	})
 	return out
 }
 

@@ -142,6 +142,45 @@ func (in *Infra) nextSessionID() int {
 	return in.session
 }
 
+// shardStride is the size of each shard's session-ID space. The base
+// Infra allocates IDs 1, 2, 3, …; Shard(i) allocates from
+// (i+1)*shardStride. No experiment comes near a million sessions per
+// namespace, so the spaces never collide.
+const shardStride = 1 << 20
+
+// Shard returns a view of the infrastructure with its own session-ID
+// namespace, disjoint from the base Infra's and from every other shard's.
+// Parallel measurement loops give each work item the shard of its index:
+// session (and therefore probe) names then depend only on the item's
+// index, not on goroutine scheduling — which matters because hash-based
+// cache selectors make measured results a function of the probed names.
+// Zones, servers, logs and accounting handles are shared with the base
+// Infra; calling Shard(i) twice yields views that collide with each
+// other, so derive exactly one per parallel slot.
+func (in *Infra) Shard(i int) *Infra {
+	if i < 0 {
+		i = 0
+	}
+	return &Infra{
+		Domain:         in.Domain,
+		Parent:         in.Parent,
+		Child:          in.Child,
+		Target:         in.Target,
+		parentZone:     in.parentZone,
+		parentAddr:     in.parentAddr,
+		childAddr:      in.childAddr,
+		ttl:            in.ttl,
+		session:        (i + 1) * shardStride,
+		metrics:        in.metrics,
+		mProbes:        in.mProbes,
+		mProbeErrors:   in.mProbeErrors,
+		mReplicates:    in.mReplicates,
+		mEnumRounds:    in.mEnumRounds,
+		mInitSeeds:     in.mInitSeeds,
+		mValidateSeeds: in.mValidateSeeds,
+	}
+}
+
 // FlatSession is a direct-probing session (§IV-B1): one honey A record.
 type FlatSession struct {
 	// Honey is the probe name ("name.cache.example" in the paper).

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Header flag bit masks within the 16-bit flags word (RFC 1035 §4.1.1).
@@ -124,8 +125,24 @@ func (m *Message) FirstQuestion() (Question, error) {
 	return m.Question[0], nil
 }
 
+// cmpPool recycles compression maps across Pack calls. The map only ever
+// holds substrings of the names being packed, so clearing it on return
+// drops every reference; size 8 covers a typical probe exchange without
+// rehashing.
+var cmpPool = sync.Pool{
+	New: func() any { return make(compressionMap, 8) },
+}
+
 // Pack encodes m into wire format, applying name compression.
 func (m *Message) Pack() ([]byte, error) {
+	return m.AppendPack(make([]byte, 0, 512))
+}
+
+// AppendPack appends the wire encoding of m to buf and returns the
+// extended slice. It is the allocation-free variant of Pack for callers
+// that reuse scratch buffers (the netsim exchange path): with enough
+// capacity in buf nothing escapes to the heap.
+func (m *Message) AppendPack(buf []byte) ([]byte, error) {
 	counts := [4]int{len(m.Question), len(m.Answer), len(m.Authority), len(m.Additional)}
 	for _, c := range counts {
 		if c > 0xFFFF {
@@ -133,14 +150,42 @@ func (m *Message) Pack() ([]byte, error) {
 		}
 	}
 
-	buf := make([]byte, 0, 512)
+	// Name-compression offsets are relative to the start of the message,
+	// which is buf's current end when appending to a prefix.
+	base := len(buf)
 	buf = binary.BigEndian.AppendUint16(buf, m.Header.ID)
 	buf = binary.BigEndian.AppendUint16(buf, m.headerFlags())
 	for _, c := range counts {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(c))
 	}
+	if base != 0 {
+		// Compression pointers are message-relative; packName records
+		// absolute buf offsets, so compression is only sound when the
+		// message starts at offset 0. Appending to a non-empty prefix is
+		// rare (no hot-path caller does it) — pack without compression.
+		var err error
+		for _, q := range m.Question {
+			if buf, err = packName(buf, q.Name, nil); err != nil {
+				return nil, fmt.Errorf("packing question %q: %w", q.Name, err)
+			}
+			buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
+			buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
+		}
+		for _, section := range [][]RR{m.Answer, m.Authority, m.Additional} {
+			for _, rr := range section {
+				if buf, err = packRR(buf, rr, nil); err != nil {
+					return nil, fmt.Errorf("packing record %q: %w", rr.Name, err)
+				}
+			}
+		}
+		return buf, nil
+	}
 
-	cmp := make(compressionMap)
+	cmp := cmpPool.Get().(compressionMap)
+	defer func() {
+		clear(cmp)
+		cmpPool.Put(cmp)
+	}()
 	var err error
 	for _, q := range m.Question {
 		if buf, err = packName(buf, q.Name, cmp); err != nil {

@@ -34,11 +34,28 @@ var (
 // (RFC 4343), and Unicode-aware lowering would corrupt raw label octets
 // that are not valid UTF-8.
 func CanonicalName(name string) string {
+	// Fast path: a name that already ends in "." and contains no uppercase
+	// is returned unchanged (strip-one-dot + lower + re-append is the
+	// identity on it). This keeps the wire hot path allocation-free, since
+	// names coming off the wire or out of NewQuery are already canonical.
+	if len(name) > 0 && name[len(name)-1] == '.' && !hasUpper(name) {
+		return name
+	}
 	name = strings.TrimSuffix(name, ".")
 	if name == "" {
 		return "."
 	}
 	return asciiLowerString(name) + "."
+}
+
+// hasUpper reports whether s contains an ASCII uppercase letter.
+func hasUpper(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; 'A' <= c && c <= 'Z' {
+			return true
+		}
+	}
+	return false
 }
 
 // asciiLowerString lowercases ASCII A–Z in s, allocating only when needed.
@@ -88,25 +105,32 @@ func ParentName(name string) string {
 }
 
 // ValidateName checks that name satisfies the RFC 1035 length limits.
+// It allocates only on the error path.
 func ValidateName(name string) error {
-	name = CanonicalName(name)
-	if name == "." {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
 		return nil
 	}
 	// Wire length: one length octet per label plus the label bytes plus the
 	// terminating root label.
 	wire := 1
-	for _, label := range SplitLabels(name) {
-		if len(label) == 0 {
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i < len(name) && name[i] != '.' {
+			continue
+		}
+		n := i - start
+		if n == 0 {
 			return ErrEmptyLabel
 		}
-		if len(label) > MaxLabelLen {
-			return fmt.Errorf("%w: %q", ErrLabelTooLong, label)
+		if n > MaxLabelLen {
+			return fmt.Errorf("%w: %q", ErrLabelTooLong, name[start:i])
 		}
-		wire += 1 + len(label)
+		wire += 1 + n
+		start = i + 1
 	}
 	if wire > MaxNameLen {
-		return fmt.Errorf("%w: %q", ErrNameTooLong, name)
+		return fmt.Errorf("%w: %q", ErrNameTooLong, CanonicalName(name))
 	}
 	return nil
 }
@@ -118,25 +142,35 @@ type compressionMap map[string]int
 // packName appends the wire encoding of name to buf, using and updating cmp
 // for compression when cmp is non-nil. Offsets beyond 0x3FFF cannot be
 // pointed at and are simply not recorded.
+//
+// Compression keys are the dotted suffixes of the canonical name
+// (name[off:] including the trailing dot) — the same strings the old
+// strings.Join construction produced, but as substrings of name, so the
+// loop allocates nothing on an already-canonical input.
 func packName(buf []byte, name string, cmp compressionMap) ([]byte, error) {
 	if err := ValidateName(name); err != nil {
 		return nil, err
 	}
 	name = CanonicalName(name)
-	labels := SplitLabels(name)
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".") + "."
+	if name == "." {
+		return append(buf, 0), nil
+	}
+	for off := 0; off < len(name); {
+		suffix := name[off:]
 		if cmp != nil {
-			if off, ok := cmp[suffix]; ok {
-				ptr := uint16(0xC000) | uint16(off)
+			if at, ok := cmp[suffix]; ok {
+				ptr := uint16(0xC000) | uint16(at)
 				return append(buf, byte(ptr>>8), byte(ptr)), nil
 			}
 			if len(buf) <= 0x3FFF {
 				cmp[suffix] = len(buf)
 			}
 		}
-		buf = append(buf, byte(len(labels[i])))
-		buf = append(buf, labels[i]...)
+		// ValidateName guarantees a dot terminates every label.
+		n := strings.IndexByte(suffix, '.')
+		buf = append(buf, byte(n))
+		buf = append(buf, name[off:off+n]...)
+		off += n + 1
 	}
 	return append(buf, 0), nil
 }
@@ -145,7 +179,12 @@ func packName(buf []byte, name string, cmp compressionMap) ([]byte, error) {
 // It returns the canonical name and the offset of the first byte after the
 // name's in-place encoding.
 func unpackName(msg []byte, off int) (string, int, error) {
-	var sb strings.Builder
+	// nb is a stack scratch for the decoded presentation form: one past
+	// MaxNameLen so a name that is exactly one octet too long is rejected
+	// by the final length check (same error the old builder path produced)
+	// rather than mid-build.
+	var nb [MaxNameLen + 1]byte
+	n := 0
 	ptrCount := 0
 	// next is the offset to resume at after the first pointer jump; -1
 	// means no pointer has been followed yet.
@@ -161,14 +200,13 @@ func unpackName(msg []byte, off int) (string, int, error) {
 			if next == -1 {
 				next = off
 			}
-			name := sb.String()
-			if name == "" {
-				name = "."
+			if n == 0 {
+				return ".", next, nil
 			}
-			if len(name) > MaxNameLen {
+			if n > MaxNameLen {
 				return "", 0, ErrNameTooLong
 			}
-			return name, next, nil
+			return string(nb[:n]), next, nil
 		case b&0xC0 == 0xC0:
 			if off+1 >= len(msg) {
 				return "", 0, ErrTruncatedMessage
@@ -193,8 +231,18 @@ func unpackName(msg []byte, off int) (string, int, error) {
 			if off+1+b > len(msg) {
 				return "", 0, ErrTruncatedMessage
 			}
-			sb.Write(bytesToLower(msg[off+1 : off+1+b]))
-			sb.WriteByte('.')
+			if n+b+1 > len(nb) {
+				return "", 0, ErrNameTooLong
+			}
+			for _, c := range msg[off+1 : off+1+b] {
+				if 'A' <= c && c <= 'Z' {
+					c += 'a' - 'A'
+				}
+				nb[n] = c
+				n++
+			}
+			nb[n] = '.'
+			n++
 			off += 1 + b
 		}
 	}

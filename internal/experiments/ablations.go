@@ -19,9 +19,8 @@ import (
 // enumeration: round robin needs q = n; uniform random needs ≈ n·H_n;
 // key-dependent selection defeats the identical-query technique entirely
 // (the distinct-name techniques still work).
-func AblationSelection(cfg Config) (*Report, error) {
+func AblationSelection(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	ctx := context.Background()
 	const n = 6
 
 	table := &stats.Table{Header: []string{
@@ -122,9 +121,8 @@ func AblationSelection(cfg Config) (*Report, error) {
 // AblationBypass compares the two §IV-B2 local-cache bypasses (CNAME
 // chain vs names hierarchy) and the effect of BIND-style trusted answer
 // chains on the CNAME technique.
-func AblationBypass(cfg Config) (*Report, error) {
+func AblationBypass(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	ctx := context.Background()
 	const n = 4
 
 	table := &stats.Table{Header: []string{"Technique", "resolver", "measured ω", "parent-zone queries"}}
@@ -195,9 +193,8 @@ func AblationBypass(cfg Config) (*Report, error) {
 // AblationThreshold compares the timing-channel thresholding functions
 // (calibrated midpoint vs unsupervised 1-D 2-means) as network jitter
 // grows toward the cached/uncached separation.
-func AblationThreshold(cfg Config) (*Report, error) {
+func AblationThreshold(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	ctx := context.Background()
 	const n = 4
 
 	table := &stats.Table{Header: []string{"Jitter", "midpoint ω", "kmeans ω", "truth"}}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/rand"
 	"time"
 
 	"dnscde/internal/core"
+	"dnscde/internal/detpar"
 	"dnscde/internal/dnswire"
 	"dnscde/internal/loadbal"
 	"dnscde/internal/netsim"
@@ -19,66 +21,83 @@ import (
 // selection) two ways: a pure Monte-Carlo coupon-collector simulation and
 // an end-to-end measurement against live platforms, counting probes until
 // enumeration covers all n caches.
-func Theorem51(cfg Config) (*Report, error) {
+func Theorem51(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	rng := cfg.rng()
-	w, err := cfg.world()
-	if err != nil {
-		return nil, err
-	}
 
 	table := &stats.Table{Header: []string{"n", "n·H_n (analytic)", "Monte-Carlo", "End-to-end"}}
 	report := &Report{ID: "thm51", Title: "Theorem 5.1: expected probes to cover all n caches (coupon collector)"}
-	ctx := context.Background()
 
 	for _, n := range []int{2, 4, 8, 16, 32} {
 		analytic := core.ExpectedProbesToCoverAll(n)
 
-		// Monte-Carlo coupon collector.
+		// Monte-Carlo coupon collector: independent trials on the detpar
+		// pool, each with its own derived RNG stream.
 		const trials = 1000
-		mcTotal := 0
-		for trial := 0; trial < trials; trial++ {
-			covered := make([]bool, n)
-			remaining := n
-			for remaining > 0 {
-				idx := rng.Intn(n)
-				if !covered[idx] {
-					covered[idx] = true
-					remaining--
+		counts, err := detpar.Map(ctx, detpar.Derive(cfg.Seed, 51, uint64(n)), trials, cfg.Workers,
+			func(_ int, rng *rand.Rand) (int, error) {
+				covered := make([]bool, n)
+				remaining, probes := n, 0
+				for remaining > 0 {
+					idx := rng.Intn(n)
+					if !covered[idx] {
+						covered[idx] = true
+						remaining--
+					}
+					probes++
 				}
-				mcTotal++
-			}
+				return probes, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		mcTotal := 0
+		for _, c := range counts {
+			mcTotal += c
 		}
 		mc := float64(mcTotal) / trials
 
 		// End-to-end: probe a live platform with a fresh honey name per
 		// trial, counting probes until the nameserver has seen n arrivals.
+		// Each trial owns a full world (network, infra, platform), so
+		// trials share no RNG, cache or log state and the merged result is
+		// identical at any worker count.
 		const e2eTrials = 30
-		e2eTotal := 0
-		plat, err := w.NewPlatform(simtest.PlatformSpec{
-			Caches: n, Seed: int64(n),
-			Mutate: func(c *platform.Config) { c.Selector = loadbal.NewRandom(int64(n) * 31) },
-		})
+		e2eCounts, err := detpar.Map(ctx, detpar.Derive(cfg.Seed, 52, uint64(n)), e2eTrials, cfg.Workers,
+			func(trial int, rng *rand.Rand) (int, error) {
+				w, err := simtest.New(simtest.Options{Seed: rng.Int63(), Metrics: cfg.Metrics})
+				if err != nil {
+					return 0, err
+				}
+				plat, err := w.NewPlatform(simtest.PlatformSpec{
+					Caches: n, Seed: int64(n),
+					Mutate: func(c *platform.Config) { c.Selector = loadbal.NewRandom(rng.Int63()) },
+				})
+				if err != nil {
+					return 0, err
+				}
+				prober := w.DirectProber(plat.Config().IngressIPs[0])
+				session, err := w.Infra.NewFlatSession()
+				if err != nil {
+					return 0, err
+				}
+				probes := 0
+				for session.ObservedCaches() < n {
+					probes++
+					if _, err := prober.Probe(ctx, session.Honey, dnswire.TypeA); err != nil {
+						continue
+					}
+					if probes > 200*n {
+						return 0, fmt.Errorf("thm51: runaway trial %d for n=%d", trial, n)
+					}
+				}
+				return probes, nil
+			})
 		if err != nil {
 			return nil, err
 		}
-		prober := w.DirectProber(plat.Config().IngressIPs[0])
-		for trial := 0; trial < e2eTrials; trial++ {
-			session, err := w.Infra.NewFlatSession()
-			if err != nil {
-				return nil, err
-			}
-			probes := 0
-			for session.ObservedCaches() < n {
-				probes++
-				if _, err := prober.Probe(ctx, session.Honey, dnswire.TypeA); err != nil {
-					continue
-				}
-				if probes > 200*n {
-					return nil, fmt.Errorf("thm51: runaway trial for n=%d", n)
-				}
-			}
-			e2eTotal += probes
+		e2eTotal := 0
+		for _, c := range e2eCounts {
+			e2eTotal += c
 		}
 		e2e := float64(e2eTotal) / e2eTrials
 
@@ -99,13 +118,8 @@ func Theorem51(cfg Config) (*Report, error) {
 // several N/n ratios it measures the fraction of caches covered during
 // init (paper: 1 - exp(-N/n)) and the number of validate probes answered
 // from cache, compared with the paper's N·(1-exp(-N/n))² estimate.
-func InitValidateSweep(cfg Config) (*Report, error) {
+func InitValidateSweep(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	w, err := cfg.world()
-	if err != nil {
-		return nil, err
-	}
-	ctx := context.Background()
 
 	const n = 8
 	const trials = 40
@@ -113,27 +127,48 @@ func InitValidateSweep(cfg Config) (*Report, error) {
 		"N/n", "coverage (meas)", "1-e^-N/n", "validate hits (meas)", "N(1-e^-N/n)^2", "caches found"}}
 	report := &Report{ID: "initvalidate", Title: "§V-B init/validate protocol: coverage and success rate vs N/n"}
 
+	type ivTrial struct {
+		cover, hits, caches float64
+	}
 	for _, ratio := range []int{1, 2, 4, 8} {
 		bigN := ratio * n
-		coverSum, hitsSum, cachesSum := 0.0, 0.0, 0.0
-		for trial := 0; trial < trials; trial++ {
-			plat, err := w.NewPlatform(simtest.PlatformSpec{
-				Caches: n, Seed: int64(ratio*1000 + trial),
-				Mutate: func(c *platform.Config) {
-					c.Selector = loadbal.NewRandom(int64(ratio*100 + trial))
-				},
+		results, err := detpar.Map(ctx, detpar.Derive(cfg.Seed, 53, uint64(ratio)), trials, cfg.Workers,
+			func(trial int, rng *rand.Rand) (ivTrial, error) {
+				// A world per trial: platform, caches and query log are
+				// trial-private, so trials can run on any worker count
+				// without sharing state.
+				w, err := simtest.New(simtest.Options{Seed: rng.Int63(), Metrics: cfg.Metrics})
+				if err != nil {
+					return ivTrial{}, err
+				}
+				plat, err := w.NewPlatform(simtest.PlatformSpec{
+					Caches: n, Seed: int64(ratio*1000 + trial),
+					Mutate: func(c *platform.Config) {
+						c.Selector = loadbal.NewRandom(int64(ratio*100 + trial))
+					},
+				})
+				if err != nil {
+					return ivTrial{}, err
+				}
+				prober := w.DirectProber(plat.Config().IngressIPs[0])
+				res, err := core.InitValidate(ctx, prober, w.Infra, core.InitValidateOptions{N: bigN})
+				if err != nil {
+					return ivTrial{}, err
+				}
+				return ivTrial{
+					cover:  float64(res.InitArrivals) / float64(n),
+					hits:   float64(res.ValidateHits),
+					caches: float64(res.Caches),
+				}, nil
 			})
-			if err != nil {
-				return nil, err
-			}
-			prober := w.DirectProber(plat.Config().IngressIPs[0])
-			res, err := core.InitValidate(ctx, prober, w.Infra, core.InitValidateOptions{N: bigN})
-			if err != nil {
-				return nil, err
-			}
-			coverSum += float64(res.InitArrivals) / float64(n)
-			hitsSum += float64(res.ValidateHits)
-			cachesSum += float64(res.Caches)
+		if err != nil {
+			return nil, err
+		}
+		coverSum, hitsSum, cachesSum := 0.0, 0.0, 0.0
+		for _, r := range results {
+			coverSum += r.cover
+			hitsSum += r.hits
+			cachesSum += r.caches
 		}
 		coverage := coverSum / trials
 		hits := hitsSum / trials
@@ -166,9 +201,8 @@ func InitValidateSweep(cfg Config) (*Report, error) {
 // CarpetBombing reproduces the §V packet-loss mitigation: enumeration
 // accuracy at the paper's measured loss rates (typical 1%, China 4%,
 // Iran 11%) as the replication factor K grows.
-func CarpetBombing(cfg Config) (*Report, error) {
+func CarpetBombing(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	ctx := context.Background()
 
 	const n = 6
 	const trials = 25
@@ -187,32 +221,49 @@ func CarpetBombing(cfg Config) (*Report, error) {
 		perExchange := 1 - (1-lc.loss)*(1-lc.loss)
 		recommended := core.CarpetBombingFactor(perExchange, 0.99)
 		for _, k := range []int{1, 2, 3} {
-			w, err := simtest.New(simtest.Options{Seed: cfg.Seed + int64(k*1000) + int64(lc.loss*10000)})
+			type cbTrial struct {
+				caches int
+				failed bool
+			}
+			results, err := detpar.Map(ctx,
+				detpar.Derive(cfg.Seed, 54, uint64(k), uint64(lc.loss*10000)), trials, cfg.Workers,
+				func(trial int, rng *rand.Rand) (cbTrial, error) {
+					w, err := simtest.New(simtest.Options{Seed: rng.Int63(), Metrics: cfg.Metrics})
+					if err != nil {
+						return cbTrial{}, err
+					}
+					plat, err := w.NewPlatform(simtest.PlatformSpec{
+						Caches: n, Seed: int64(trial),
+						Profile: probeLossProfile(lc.loss),
+						Mutate: func(c *platform.Config) {
+							c.Selector = loadbal.NewRandom(int64(trial * 7))
+						},
+					})
+					if err != nil {
+						return cbTrial{}, err
+					}
+					prober := w.DirectProber(plat.Config().IngressIPs[0])
+					res, err := core.EnumerateDirect(ctx, prober, w.Infra, core.EnumOptions{
+						Queries:    core.RecommendedQueries(n, 0.99),
+						Replicates: k,
+					})
+					if err != nil {
+						// A fully lost enumeration counts as an inexact
+						// trial, exactly as the sequential sweep did.
+						return cbTrial{failed: true}, nil
+					}
+					return cbTrial{caches: res.Caches}, nil
+				})
 			if err != nil {
 				return nil, err
 			}
 			sum, exact := 0.0, 0
-			for trial := 0; trial < trials; trial++ {
-				plat, err := w.NewPlatform(simtest.PlatformSpec{
-					Caches: n, Seed: int64(trial),
-					Profile: probeLossProfile(lc.loss),
-					Mutate: func(c *platform.Config) {
-						c.Selector = loadbal.NewRandom(int64(trial * 7))
-					},
-				})
-				if err != nil {
-					return nil, err
-				}
-				prober := w.DirectProber(plat.Config().IngressIPs[0])
-				res, err := core.EnumerateDirect(ctx, prober, w.Infra, core.EnumOptions{
-					Queries:    core.RecommendedQueries(n, 0.99),
-					Replicates: k,
-				})
-				if err != nil {
+			for _, r := range results {
+				if r.failed {
 					continue
 				}
-				sum += float64(res.Caches)
-				if res.Caches == n {
+				sum += float64(r.caches)
+				if r.caches == n {
 					exact++
 				}
 			}

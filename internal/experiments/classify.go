@@ -3,8 +3,10 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math/rand"
 
 	"dnscde/internal/core"
+	"dnscde/internal/detpar"
 	"dnscde/internal/loadbal"
 	"dnscde/internal/platform"
 	"dnscde/internal/simtest"
@@ -15,9 +17,8 @@ import (
 // future work, built from CDE primitives): platforms with known selection
 // strategies are classified from the outside and a confusion matrix is
 // reported.
-func Classify(cfg Config) (*Report, error) {
+func Classify(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	ctx := context.Background()
 	const perKind = 20
 	const vantages = 16
 
@@ -35,35 +36,45 @@ func Classify(cfg Config) (*Report, error) {
 	table := &stats.Table{Header: []string{"True selector", "classified correctly", "verdicts"}}
 	report := &Report{ID: "classify", Title: "Future work (§IV-A): classifying cache-selection strategies with CDE"}
 
-	w, err := cfg.world()
-	if err != nil {
-		return nil, err
-	}
 	for ki, kind := range kinds {
+		// One world per platform under test: vantage addresses, query log
+		// and selector state are platform-private, so the per-kind sweep
+		// parallelises without any cross-platform coupling.
+		classes, err := detpar.Map(ctx, detpar.Derive(cfg.Seed, 56, uint64(ki)), perKind, cfg.Workers,
+			func(i int, rng *rand.Rand) (core.SelectionClass, error) {
+				seed := int64(ki*1000 + i)
+				caches := 2 + (i % 5) // 2..6 caches
+				w, err := simtest.New(simtest.Options{Seed: rng.Int63(), Metrics: cfg.Metrics})
+				if err != nil {
+					return "", err
+				}
+				plat, err := w.NewPlatform(simtest.PlatformSpec{
+					Name: fmt.Sprintf("classify-%s-%d", kind.label, i), Caches: caches, Seed: seed,
+					Mutate: func(c *platform.Config) { c.Selector = kind.make(seed) },
+				})
+				if err != nil {
+					return "", err
+				}
+				ingress := plat.Config().IngressIPs[0]
+				prober := w.DirectProber(ingress)
+				extras := make([]core.Prober, 0, vantages)
+				for v := 0; v < vantages; v++ {
+					extras = append(extras, w.DirectProber(ingress))
+				}
+				res, err := core.ClassifySelection(ctx, prober, w.Infra, core.ClassifyOptions{ExtraVantages: extras})
+				if err != nil {
+					return "", err
+				}
+				return res.Class, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		correct := 0
 		verdicts := map[core.SelectionClass]int{}
-		for i := 0; i < perKind; i++ {
-			seed := int64(ki*1000 + i)
-			caches := 2 + (i % 5) // 2..6 caches
-			plat, err := w.NewPlatform(simtest.PlatformSpec{
-				Name: fmt.Sprintf("classify-%s-%d", kind.label, i), Caches: caches, Seed: seed,
-				Mutate: func(c *platform.Config) { c.Selector = kind.make(seed) },
-			})
-			if err != nil {
-				return nil, err
-			}
-			ingress := plat.Config().IngressIPs[0]
-			prober := w.DirectProber(ingress)
-			extras := make([]core.Prober, 0, vantages)
-			for v := 0; v < vantages; v++ {
-				extras = append(extras, w.DirectProber(ingress))
-			}
-			res, err := core.ClassifySelection(ctx, prober, w.Infra, core.ClassifyOptions{ExtraVantages: extras})
-			if err != nil {
-				return nil, err
-			}
-			verdicts[res.Class]++
-			if res.Class == kind.want {
+		for _, class := range classes {
+			verdicts[class]++
+			if class == kind.want {
 				correct++
 			}
 		}

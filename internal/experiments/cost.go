@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/rand"
 
 	"dnscde/internal/core"
+	"dnscde/internal/detpar"
 	"dnscde/internal/loadbal"
 	"dnscde/internal/metrics"
 	"dnscde/internal/platform"
@@ -24,48 +26,55 @@ const costTrials = 48
 // n·H_n. A second set of checks pins the registry's counters to the
 // drivers' counts exactly, so the two accounting paths can never drift
 // apart silently.
-func CostAccounting(cfg Config) (*Report, error) {
+func CostAccounting(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.New()
 	}
-	w, err := cfg.world()
-	if err != nil {
-		return nil, err
-	}
-	ctx := context.Background()
 
 	table := &stats.Table{Header: []string{"n", "n·H_n (analytic)", "queries spent (metrics)", "tolerance"}}
 	report := &Report{ID: "cost", Title: "Thm 5.1 cost accounting: metrics-measured enumeration queries vs n·H_n"}
 
 	for _, n := range []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32} {
 		analytic := core.ExpectedProbesToCoverAll(n)
-		plat, err := w.NewPlatform(simtest.PlatformSpec{
-			Caches: n, Seed: int64(n),
-			Mutate: func(c *platform.Config) { c.Selector = loadbal.NewRandom(int64(n)*101 + 3) },
-		})
+
+		// The registry diff brackets the whole trial fan-out: counter
+		// increments are commutative, so the delta equals the sum over
+		// trials regardless of how they interleave — and the exactness
+		// check against driver bookkeeping still holds at any worker
+		// count. Each trial owns a world (platform, logs, RNG streams),
+		// which also keeps every arrival log small; the old shared-world
+		// loop had to Reset logs per n to avoid quadratic scans.
+		before := cfg.Metrics.Snapshot()
+		probeCounts, err := detpar.Map(ctx, detpar.Derive(cfg.Seed, 55, uint64(n)), costTrials, cfg.Workers,
+			func(trial int, rng *rand.Rand) (int, error) {
+				w, err := simtest.New(simtest.Options{Seed: rng.Int63(), Metrics: cfg.Metrics})
+				if err != nil {
+					return 0, err
+				}
+				plat, err := w.NewPlatform(simtest.PlatformSpec{
+					Caches: n, Seed: int64(n),
+					Mutate: func(c *platform.Config) { c.Selector = loadbal.NewRandom(rng.Int63()) },
+				})
+				if err != nil {
+					return 0, err
+				}
+				prober := w.DirectProber(plat.Config().IngressIPs[0])
+				res, err := core.EnumerateUntilComplete(ctx, prober, w.Infra, n, 400*n)
+				if err != nil {
+					return 0, fmt.Errorf("cost: n=%d trial %d: %w", n, trial, err)
+				}
+				if res.Caches != n {
+					return 0, fmt.Errorf("cost: n=%d trial %d: completed with %d caches", n, trial, res.Caches)
+				}
+				return res.ProbesSent, nil
+			})
 		if err != nil {
 			return nil, err
 		}
-		prober := w.DirectProber(plat.Config().IngressIPs[0])
-
-		// Keep the arrival logs bounded: each probe's completion test
-		// scans the log, so carrying 48 trials × many n forward would turn
-		// the experiment quadratic.
-		w.Infra.Parent.Log().Reset()
-		w.Infra.Child.Log().Reset()
-
-		before := cfg.Metrics.Snapshot()
 		driverProbes := 0
-		for trial := 0; trial < costTrials; trial++ {
-			res, err := core.EnumerateUntilComplete(ctx, prober, w.Infra, n, 400*n)
-			if err != nil {
-				return nil, fmt.Errorf("cost: n=%d trial %d: %w", n, trial, err)
-			}
-			if res.Caches != n {
-				return nil, fmt.Errorf("cost: n=%d trial %d: completed with %d caches", n, trial, res.Caches)
-			}
-			driverProbes += res.ProbesSent
+		for _, c := range probeCounts {
+			driverProbes += c
 		}
 		diff := cfg.Metrics.Snapshot().Diff(before)
 		metered := diff.Counter("core.probes.sent")

@@ -7,6 +7,7 @@ import (
 	"net/netip"
 
 	"dnscde/internal/core"
+	"dnscde/internal/detpar"
 	"dnscde/internal/dnswire"
 	"dnscde/internal/loadbal"
 	"dnscde/internal/platform"
@@ -27,9 +28,8 @@ import (
 // strategy classifier degrades traffic-dependent platforms to
 // "unpredictable", exactly why the paper scopes its Theorem 5.1 analysis
 // to the no-cross-traffic case.
-func AblationCrossTraffic(cfg Config) (*Report, error) {
+func AblationCrossTraffic(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	ctx := context.Background()
 	const n = 4
 	const trials = 10
 
@@ -37,7 +37,11 @@ func AblationCrossTraffic(cfg Config) (*Report, error) {
 		"Selector", "background q/probe", "mean measured caches", "classified traffic-dependent"}}
 	report := &Report{ID: "ablation-crosstraffic", Title: "Ablation: enumeration and classification under cross traffic (§V-B)"}
 
-	for _, sel := range []struct {
+	type ctTrial struct {
+		caches     int
+		trafficDep bool
+	}
+	for si, sel := range []struct {
 		label string
 		make  func(seed int64) loadbal.Selector
 	}{
@@ -45,37 +49,49 @@ func AblationCrossTraffic(cfg Config) (*Report, error) {
 		{"random", func(seed int64) loadbal.Selector { return loadbal.NewRandom(seed) }},
 	} {
 		for _, bg := range []int{0, 1, 4} {
+			// Each trial already owns its world; the seeds stay keyed on the
+			// trial index (not the detpar stream) so the measured behaviour
+			// is identical to the old sequential sweep.
+			results, err := detpar.Map(ctx, detpar.Derive(cfg.Seed, 57, uint64(si), uint64(bg)), trials, cfg.Workers,
+				func(trial int, _ *rand.Rand) (ctTrial, error) {
+					seed := cfg.Seed + int64(trial)
+					w, err := simtest.New(simtest.Options{Seed: seed, Metrics: cfg.Metrics})
+					if err != nil {
+						return ctTrial{}, err
+					}
+					plat, err := w.NewPlatform(simtest.PlatformSpec{
+						Caches: n, Seed: seed,
+						Mutate: func(c *platform.Config) { c.Selector = sel.make(seed) },
+					})
+					if err != nil {
+						return ctTrial{}, err
+					}
+					ingress := plat.Config().IngressIPs[0]
+					prober := newNoisyProber(w, ingress, bg, seed)
+
+					enum, err := core.EnumerateDirect(ctx, prober, w.Infra, core.EnumOptions{
+						Queries: core.RecommendedQueries(n, 0.999),
+					})
+					if err != nil {
+						return ctTrial{}, err
+					}
+					cls, err := core.ClassifySelection(ctx, prober, w.Infra, core.ClassifyOptions{})
+					if err != nil {
+						return ctTrial{}, err
+					}
+					return ctTrial{
+						caches:     enum.Caches,
+						trafficDep: cls.Class == core.ClassTrafficDependent,
+					}, nil
+				})
+			if err != nil {
+				return nil, err
+			}
 			caches := 0.0
 			classifiedTD := 0
-			for trial := 0; trial < trials; trial++ {
-				seed := cfg.Seed + int64(trial)
-				w, err := simtest.New(simtest.Options{Seed: seed})
-				if err != nil {
-					return nil, err
-				}
-				plat, err := w.NewPlatform(simtest.PlatformSpec{
-					Caches: n, Seed: seed,
-					Mutate: func(c *platform.Config) { c.Selector = sel.make(seed) },
-				})
-				if err != nil {
-					return nil, err
-				}
-				ingress := plat.Config().IngressIPs[0]
-				prober := newNoisyProber(w, ingress, bg, seed)
-
-				enum, err := core.EnumerateDirect(ctx, prober, w.Infra, core.EnumOptions{
-					Queries: core.RecommendedQueries(n, 0.999),
-				})
-				if err != nil {
-					return nil, err
-				}
-				caches += float64(enum.Caches)
-
-				cls, err := core.ClassifySelection(ctx, prober, w.Infra, core.ClassifyOptions{})
-				if err != nil {
-					return nil, err
-				}
-				if cls.Class == core.ClassTrafficDependent {
+			for _, r := range results {
+				caches += float64(r.caches)
+				if r.trafficDep {
 					classifiedTD++
 				}
 			}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestWorkersInvariance is the determinism regression test for the detpar
+// refactor: every registry experiment must render byte-identical reports
+// at workers=1 and workers=8. Trial RNGs are derived per index (never
+// from goroutine scheduling), results merge in index order, and metrics
+// counters are commutative, so the whole report — tables, checks and the
+// cost summary — must not depend on the worker count.
+//
+// Population sizes are scaled down so the full registry stays affordable;
+// invariance does not depend on scale. In -short mode only the
+// Monte-Carlo-heavy experiments run (the dataset sweeps dominate the
+// runtime without exercising different machinery).
+func TestWorkersInvariance(t *testing.T) {
+	shortSet := map[string]bool{
+		"thm51": true, "initvalidate": true, "carpet": true,
+		"cost": true, "classify": true, "ablation-crosstraffic": true,
+	}
+	for _, id := range IDs() {
+		if testing.Short() && !shortSet[id] {
+			continue
+		}
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			render := func(workers int) string {
+				cfg := Config{
+					Seed:          2017,
+					OpenResolvers: 30,
+					Enterprises:   20,
+					ISPs:          6,
+					Workers:       workers,
+				}
+				report, err := RunContext(context.Background(), id, cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				return report.Render()
+			}
+			seq, par := render(1), render(8)
+			if seq != par {
+				t.Errorf("report differs between workers=1 and workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", seq, par)
+			}
+		})
+	}
+}

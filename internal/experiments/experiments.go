@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -29,6 +30,12 @@ type Config struct {
 	// Metrics receives the run's probe-cost accounting. Run installs a
 	// fresh registry when nil, so every report carries a Cost summary.
 	Metrics *metrics.Registry
+	// Workers bounds the parallelism of the Monte-Carlo trial loops and
+	// the dataset measurement pool; <= 0 uses the hardware (GOMAXPROCS).
+	// Reports are byte-identical at any worker count — parallel fan-out
+	// goes through detpar, whose per-index RNG derivation and
+	// index-ordered merge keep results independent of scheduling.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -133,8 +140,10 @@ func (r *Report) Render() string {
 	return sb.String()
 }
 
-// Driver runs one experiment.
-type Driver func(Config) (*Report, error)
+// Driver runs one experiment. The context aborts long sweeps early (a
+// cancelled ctx stops trial fan-outs between trials and measurement pools
+// between targets); drivers pass it down to every probe exchange.
+type Driver func(context.Context, Config) (*Report, error)
 
 // Registry maps experiment identifiers to drivers. Identifiers follow
 // DESIGN.md §4.
@@ -206,11 +215,17 @@ func IDs() []string {
 	return out
 }
 
-// Run executes the experiment with the given identifier. It guarantees a
-// cost-accounting registry is attached (installing a fresh one when
-// cfg.Metrics is nil) and stamps the run's accounting delta into
-// Report.Cost.
+// Run executes the experiment with the given identifier under a
+// background context; see RunContext.
 func Run(id string, cfg Config) (*Report, error) {
+	return RunContext(context.Background(), id, cfg)
+}
+
+// RunContext executes the experiment with the given identifier. It
+// guarantees a cost-accounting registry is attached (installing a fresh
+// one when cfg.Metrics is nil) and stamps the run's accounting delta into
+// Report.Cost. Cancelling ctx aborts the run between trials.
+func RunContext(ctx context.Context, id string, cfg Config) (*Report, error) {
 	driver, ok := Registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
@@ -219,7 +234,7 @@ func Run(id string, cfg Config) (*Report, error) {
 		cfg.Metrics = metrics.New()
 	}
 	before := cfg.Metrics.Snapshot()
-	report, err := driver(cfg)
+	report, err := driver(ctx, cfg)
 	if err != nil {
 		return report, err
 	}

@@ -24,7 +24,7 @@ import (
 // Poisoning quantifies the §II-A motivation: a k-record injection attack
 // (spoofed NS + A) must land every record in the same cache. Closed form
 // (1/n)^(k-1) versus Monte-Carlo through the real selectors.
-func Poisoning(cfg Config) (*Report, error) {
+func Poisoning(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	const trials = 100000
 
@@ -58,7 +58,7 @@ func Poisoning(cfg Config) (*Report, error) {
 // Resilience reproduces the §II-B monitoring scenario: a platform with
 // four caches loses two; repeated CDE enumeration detects the failure and
 // the recovery, without cooperation from the network.
-func Resilience(cfg Config) (*Report, error) {
+func Resilience(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	w, err := cfg.world()
 	if err != nil {
@@ -72,7 +72,6 @@ func Resilience(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	prober := w.DirectProber(plat.Config().IngressIPs[0])
-	ctx := context.Background()
 
 	measure := func() (int, error) {
 		res, err := core.EnumerateAdaptive(ctx, prober, w.Infra, core.AdaptiveOptions{})
@@ -120,7 +119,7 @@ func Resilience(cfg Config) (*Report, error) {
 // tools enable studies of adoption of new mechanisms for DNS, such as the
 // transport layer EDNS mechanism"): one probe per platform, adoption read
 // from the OPT records arriving at the nameservers.
-func EDNSSurvey(cfg Config) (*Report, error) {
+func EDNSSurvey(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	rng := cfg.rng()
 	w, err := cfg.world()
@@ -133,7 +132,6 @@ func EDNSSurvey(cfg Config) (*Report, error) {
 	}
 	dataset := population.Generate(population.OpenResolvers, size, rng)
 
-	ctx := context.Background()
 	truthAdopters, measuredAdopters := 0, 0
 	for i, spec := range dataset.Specs {
 		plat, err := deployPlatform(w, spec, int64(i))
@@ -182,13 +180,12 @@ const _ttlProbeGap = time.Second
 // TTL-consistency test (query the same record twice inside its TTL and
 // flag platforms that fetch twice) misclassifies multi-cache platforms as
 // TTL violators; combining it with CDE enumeration separates the cases.
-func TTLConsistency(cfg Config) (*Report, error) {
+func TTLConsistency(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	w, err := cfg.world()
 	if err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
 
 	const perGroup = 20
 	groups := []struct {
@@ -283,9 +280,8 @@ func TTLConsistency(cfg Config) (*Report, error) {
 // (§VI): the nameserver-side count reflects the upstream tier but is
 // bounded by the forwarder tier's misses, and a single-cache forwarder
 // fully shields the upstream.
-func AblationForwarder(cfg Config) (*Report, error) {
+func AblationForwarder(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	ctx := context.Background()
 
 	table := &stats.Table{Header: []string{"forwarder caches", "upstream caches", "measured ω", "expected"}}
 	report := &Report{ID: "ablation-forwarder", Title: "Ablation: CDE through forwarding platforms (§VI)"}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dnscde/internal/population"
@@ -11,7 +12,7 @@ import (
 // the three datasets. The populations are generated with the published
 // shares as sampling weights; the experiment verifies that the realised
 // datasets reproduce them.
-func Figure2(cfg Config) (*Report, error) {
+func Figure2(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	rng := cfg.rng()
 

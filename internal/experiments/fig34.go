@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dnscde/internal/population"
@@ -9,7 +10,7 @@ import (
 
 // datasetMeasurements runs the full measurement pipeline for all three
 // populations and returns (per kind) the measurements.
-func datasetMeasurements(cfg Config, measureEgress bool) (map[population.Kind][]measurement, error) {
+func datasetMeasurements(ctx context.Context, cfg Config, measureEgress bool) (map[population.Kind][]measurement, error) {
 	rng := cfg.rng()
 	out := make(map[population.Kind][]measurement, 3)
 	for _, d := range []struct {
@@ -26,7 +27,7 @@ func datasetMeasurements(cfg Config, measureEgress bool) (map[population.Kind][]
 			return nil, err
 		}
 		dataset := population.Generate(d.kind, d.count, rng)
-		ms, err := measureDataset(w, dataset, measureEgress)
+		ms, err := measureDataset(ctx, cfg, w, dataset, measureEgress)
 		if err != nil {
 			return nil, err
 		}
@@ -38,9 +39,9 @@ func datasetMeasurements(cfg Config, measureEgress bool) (map[population.Kind][]
 // Figure3 reproduces Fig. 3: the CDF of the number of egress IP addresses
 // per resolution platform, for the three populations, as *measured* by
 // CDE egress discovery.
-func Figure3(cfg Config) (*Report, error) {
+func Figure3(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	ms, err := datasetMeasurements(cfg, true)
+	ms, err := datasetMeasurements(ctx, cfg, true)
 	if err != nil {
 		return nil, err
 	}
@@ -96,9 +97,9 @@ func Figure3(cfg Config) (*Report, error) {
 // Figure4 reproduces Fig. 4: the CDF of the number of caches per
 // resolution platform, as measured by CDE enumeration through each
 // population's collection channel.
-func Figure4(cfg Config) (*Report, error) {
+func Figure4(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	ms, err := datasetMeasurements(cfg, false)
+	ms, err := datasetMeasurements(ctx, cfg, false)
 	if err != nil {
 		return nil, err
 	}

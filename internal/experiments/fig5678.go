@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -10,14 +11,14 @@ import (
 
 // scatterReport builds the bubble-scatter report (ingress IPs vs measured
 // caches) for one population — the shared machinery of Figs. 5, 7 and 8.
-func scatterReport(cfg Config, id, title string, kind population.Kind, count int, checks func([]measurement) []Check) (*Report, error) {
+func scatterReport(ctx context.Context, cfg Config, id, title string, kind population.Kind, count int, checks func([]measurement) []Check) (*Report, error) {
 	rng := cfg.rng()
 	w, err := cfg.world()
 	if err != nil {
 		return nil, err
 	}
 	dataset := population.Generate(kind, count, rng)
-	ms, err := measureDataset(w, dataset, false)
+	ms, err := measureDataset(ctx, cfg, w, dataset, false)
 	if err != nil {
 		return nil, err
 	}
@@ -63,9 +64,9 @@ func fracWhere(ms []measurement, pred func(measurement) bool) float64 {
 // Figure5 reproduces Fig. 5: IP addresses vs caches for networks with
 // open resolvers — dominated by the 1-IP/1-cache mass, with a sparse tail
 // of huge platforms (>500 IPs, >30 caches).
-func Figure5(cfg Config) (*Report, error) {
+func Figure5(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	return scatterReport(cfg, "fig5",
+	return scatterReport(ctx, cfg, "fig5",
 		"IP addresses vs caches in DNS platforms with open resolvers",
 		population.OpenResolvers, cfg.OpenResolvers,
 		func(ms []measurement) []Check {
@@ -83,9 +84,9 @@ func Figure5(cfg Config) (*Report, error) {
 // Figure7 reproduces Fig. 7: IP addresses vs caches for the SMTP
 // (enterprise) population — scattered, more even, fewer IPs than the
 // open-resolver giants.
-func Figure7(cfg Config) (*Report, error) {
+func Figure7(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	return scatterReport(cfg, "fig7",
+	return scatterReport(ctx, cfg, "fig7",
 		"IP addresses vs caches count in SMTP population",
 		population.Enterprises, cfg.Enterprises,
 		func(ms []measurement) []Check {
@@ -103,9 +104,9 @@ func Figure7(cfg Config) (*Report, error) {
 // Figure8 reproduces Fig. 8: IP addresses vs caches for the ad-network
 // (ISP) population — the fewest caches and smallest IP counts of the
 // three datasets.
-func Figure8(cfg Config) (*Report, error) {
+func Figure8(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	return scatterReport(cfg, "fig8",
+	return scatterReport(ctx, cfg, "fig8",
 		"IP addresses vs caches count in ad-network population",
 		population.ISPs, cfg.ISPs,
 		func(ms []measurement) []Check {
@@ -123,9 +124,9 @@ func Figure8(cfg Config) (*Report, error) {
 // Figure6 reproduces Fig. 6: the share of platforms per cache-to-IP
 // category across the three populations, using ground-truth ingress
 // counts and CDE-measured cache counts.
-func Figure6(cfg Config) (*Report, error) {
+func Figure6(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	ms, err := datasetMeasurements(cfg, false)
+	ms, err := datasetMeasurements(ctx, cfg, false)
 	if err != nil {
 		return nil, err
 	}

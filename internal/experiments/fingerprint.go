@@ -39,7 +39,7 @@ var _softwareProfiles = []softwareProfile{
 // patch distribution; §VI: prior studies fingerprint only egress IPs).
 // Every platform is fingerprinted with three probes and classified; the
 // measured shares are compared with the deployed ground truth.
-func FingerprintSurvey(cfg Config) (*Report, error) {
+func FingerprintSurvey(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	w, err := cfg.world()
@@ -50,7 +50,6 @@ func FingerprintSurvey(cfg Config) (*Report, error) {
 	if size < 150 {
 		size = 150
 	}
-	ctx := context.Background()
 
 	truth := map[core.Software]int{}
 	measured := map[core.Software]int{}

@@ -3,11 +3,10 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"dnscde/internal/adnet"
 	"dnscde/internal/core"
+	"dnscde/internal/detpar"
 	"dnscde/internal/population"
 	"dnscde/internal/simtest"
 	"dnscde/internal/smtpsim"
@@ -34,8 +33,13 @@ type measurement struct {
 // population's collection channel: direct probing for open resolvers,
 // SMTP for enterprises, ad-network web clients for ISPs. Platforms are
 // deployed sequentially (the address allocator is not concurrent); the
-// measurements themselves run on a worker pool.
-func measureDataset(w *simtest.World, dataset population.Dataset, measureEgress bool) ([]measurement, error) {
+// measurements run on a detpar pool of cfg.Workers workers. Each target
+// measures through its own Infra shard, so session (probe) names — which
+// hash-based cache selectors turn into measured results — depend only on
+// the target's index, never on goroutine scheduling; results are
+// therefore byte-identical at any worker count. Cancelling ctx stops the
+// fan-out between targets.
+func measureDataset(ctx context.Context, cfg Config, w *simtest.World, dataset population.Dataset, measureEgress bool) ([]measurement, error) {
 	type target struct {
 		spec   population.NetworkSpec
 		prober core.Prober
@@ -68,24 +72,19 @@ func measureDataset(w *simtest.World, dataset population.Dataset, measureEgress 
 	}
 
 	results := make([]measurement, len(targets))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	ctx := context.Background()
-	for i, tgt := range targets {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, tgt target) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i] = measureOne(ctx, w, tgt.spec, tgt.prober, measureEgress)
-		}(i, tgt)
+	err := detpar.Each(ctx, len(targets), cfg.Workers, func(i int) error {
+		results[i] = measureOne(ctx, w.Infra.Shard(i), targets[i].spec, targets[i].prober, measureEgress)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	return results, nil
 }
 
-// measureOne runs the CDE measurements for a single network.
-func measureOne(ctx context.Context, w *simtest.World, spec population.NetworkSpec, prober core.Prober, measureEgress bool) measurement {
+// measureOne runs the CDE measurements for a single network against the
+// given infrastructure view (a per-target shard under parallel runs).
+func measureOne(ctx context.Context, in *core.Infra, spec population.NetworkSpec, prober core.Prober, measureEgress bool) measurement {
 	m := measurement{spec: spec}
 
 	// Carpet bombing: replicate probes according to the network's loss
@@ -93,7 +92,7 @@ func measureOne(ctx context.Context, w *simtest.World, spec population.NetworkSp
 	perExchangeLoss := 1 - (1-spec.Loss)*(1-spec.Loss)
 	replicates := core.CarpetBombingFactor(perExchangeLoss, 0.99)
 
-	enum, err := core.EnumerateAdaptive(ctx, prober, w.Infra, core.AdaptiveOptions{
+	enum, err := core.EnumerateAdaptive(ctx, prober, in, core.AdaptiveOptions{
 		Replicates: replicates,
 	})
 	if err != nil {
@@ -112,7 +111,7 @@ func measureOne(ctx context.Context, w *simtest.World, spec population.NetworkSp
 	m.caches = enum.Caches
 
 	if measureEgress {
-		eg, err := core.DiscoverEgressAdaptive(ctx, prober, w.Infra, 32, 4096)
+		eg, err := core.DiscoverEgressAdaptive(ctx, prober, in, 32, 4096)
 		if err != nil {
 			m.err = fmt.Errorf("egress discovery %s: %w", spec.Name, err)
 			return m

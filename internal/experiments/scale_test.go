@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"dnscde/internal/population"
@@ -21,7 +22,7 @@ func TestScaleFullPaperPopulation(t *testing.T) {
 		t.Fatal(err)
 	}
 	dataset := population.Generate(population.OpenResolvers, 1000, rng)
-	ms, err := measureDataset(w, dataset, false)
+	ms, err := measureDataset(context.Background(), cfg, w, dataset, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,7 +15,7 @@ import (
 // an open-resolver population is classified from the outside; platforms
 // with one cache (or one visible cache) are unclassifiable and reported
 // separately.
-func SelectionShare(cfg Config) (*Report, error) {
+func SelectionShare(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	rng := cfg.rng()
 	w, err := cfg.world()
@@ -27,7 +27,6 @@ func SelectionShare(cfg Config) (*Report, error) {
 		size = 150
 	}
 	dataset := population.Generate(population.OpenResolvers, size, rng)
-	ctx := context.Background()
 
 	const vantages = 16
 	verdicts := map[core.SelectionClass]int{}

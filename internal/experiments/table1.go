@@ -16,7 +16,7 @@ import (
 // the enterprise (SMTP) population. One probe email is sent to each
 // enterprise's server; the query types arriving at the CDE nameservers
 // are classified per category and the per-server fractions reported.
-func TableI(cfg Config) (*Report, error) {
+func TableI(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	rng := cfg.rng()
 	w, err := cfg.world()
@@ -32,7 +32,6 @@ func TableI(cfg Config) (*Report, error) {
 	dataset := population.Generate(population.Enterprises, size, rng)
 
 	counts := map[string]int{}
-	ctx := context.Background()
 	for i, spec := range dataset.Specs {
 		srv, err := deployEnterprise(w, spec, int64(i))
 		if err != nil {

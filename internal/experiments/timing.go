@@ -18,9 +18,8 @@ import (
 // (open-resolver style) and indirect access (web-browser style). It
 // reports measured cache counts against ground truth and the separation
 // between cached and uncached latency.
-func TimingChannel(cfg Config) (*Report, error) {
+func TimingChannel(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	ctx := context.Background()
 
 	table := &stats.Table{Header: []string{
 		"Access", "n (truth)", "measured", "threshold", "cached RTT", "uncached RTT"}}

@@ -9,9 +9,15 @@ import (
 // seeded via rand.New(rand.NewSource(seed)). The package-level math/rand
 // functions draw from a process-global, randomly-seeded source, which
 // silently breaks run-to-run reproducibility of the simulated populations.
+//
+// It also flags a *rand.Rand captured by a goroutine literal: *rand.Rand
+// is not safe for concurrent use, and even under a mutex the draw order
+// would depend on goroutine scheduling — exactly the nondeterminism the
+// detpar per-index seed derivation exists to avoid. Pass each goroutine
+// its own derived RNG (detpar.Rand / detpar.ForEach) instead.
 var Detrand = &Analyzer{
 	Name: "detrand",
-	Doc:  "flags package-level math/rand draws (rand.Intn, rand.Float64, ...) and rand.Seed in non-test code",
+	Doc:  "flags package-level math/rand draws (rand.Intn, ...), rand.Seed, and *rand.Rand values captured by goroutine literals in non-test code",
 	Run:  runDetrand,
 }
 
@@ -56,6 +62,109 @@ func runDetrand(p *Pass) {
 				}
 				return true
 			})
+			checkGoroutineCaptures(p, f, local)
 		}
 	}
+}
+
+// checkGoroutineCaptures reports *rand.Rand variables that a `go func(){}`
+// literal closes over. The RNG objects are collected syntactically: idents
+// assigned from rand.New(...) / detpar.Rand(...), and declarations (vars,
+// params, results) whose type is written *rand.Rand. Objects declared
+// inside the literal itself — its own params or locals — are fine; only
+// free variables shared with the spawning goroutine are flagged.
+func checkGoroutineCaptures(p *Pass, f *File, randLocal string) {
+	detparLocal, _ := importLocalName(f.AST, "dnscde/internal/detpar")
+
+	rngs := map[*ast.Object]bool{}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if name, ok := pkgCall(call, randLocal); ok && name == "New" {
+					markRNG(rngs, n.Lhs[i])
+				}
+				if detparLocal != "" {
+					if name, ok := pkgCall(call, detparLocal); ok && name == "Rand" {
+						markRNG(rngs, n.Lhs[i])
+					}
+				}
+			}
+		case *ast.Field:
+			if isRandRandType(n.Type, randLocal) {
+				for _, id := range n.Names {
+					if id.Obj != nil {
+						rngs[id.Obj] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if isRandRandType(n.Type, randLocal) {
+				for _, id := range n.Names {
+					if id.Obj != nil {
+						rngs[id.Obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(rngs) == 0 {
+		return
+	}
+
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		reported := map[*ast.Object]bool{}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok || id.Obj == nil || !rngs[id.Obj] || reported[id.Obj] {
+				return true
+			}
+			// Declared within the literal (own param/local) — not a capture.
+			if id.Obj.Pos() >= lit.Pos() && id.Obj.Pos() <= lit.End() {
+				return true
+			}
+			reported[id.Obj] = true
+			p.Reportf(id.Pos(),
+				"*rand.Rand %q is captured by a goroutine literal; draws become scheduling-dependent — derive a per-goroutine RNG (detpar.Rand / detpar.ForEach) instead", id.Name)
+			return true
+		})
+		return true
+	})
+}
+
+// markRNG records the object behind an assignment target, if any.
+func markRNG(rngs map[*ast.Object]bool, lhs ast.Expr) {
+	if id, ok := lhs.(*ast.Ident); ok && id.Obj != nil {
+		rngs[id.Obj] = true
+	}
+}
+
+// isRandRandType matches the written type *<rand>.Rand.
+func isRandRandType(t ast.Expr, randLocal string) bool {
+	star, ok := t.(*ast.StarExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := star.X.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Rand" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == randLocal && id.Obj == nil
 }

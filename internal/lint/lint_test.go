@@ -139,6 +139,70 @@ func Pick(n int) int { return rand.IntN(n) + rand.Int() }
 			// denied, so Int() is caught here.
 			want: []string{"[detrand] rand.Int"},
 		},
+		{
+			name: "flags *rand.Rand captured by a goroutine literal",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+import "math/rand"
+func Race(n int) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		go func() { _ = rng.Intn(n) }()
+	}
+}
+`},
+			want: []string{`[detrand] *rand.Rand "rng" is captured by a goroutine literal`},
+		},
+		{
+			name: "flags an injected RNG parameter captured by a goroutine",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+import "math/rand"
+func Fan(rng *rand.Rand, n int) {
+	go func() { _ = rng.Int63() }()
+}
+`},
+			want: []string{`[detrand] *rand.Rand "rng" is captured by a goroutine literal`},
+		},
+		{
+			name: "goroutine with its own RNG parameter is legal",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+import "math/rand"
+func Fan(seed int64, n int) {
+	outer := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		go func(r *rand.Rand) { _ = r.Intn(n) }(rand.New(rand.NewSource(outer.Int63())))
+	}
+}
+`},
+			want: nil,
+		},
+		{
+			name: "goroutine deriving its RNG locally is legal",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+import "math/rand"
+func Fan(seed int64, n int) {
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			_ = rng.Intn(n)
+		}()
+	}
+}
+`},
+			want: nil,
+		},
+		{
+			name: "goroutine capture honours the allow escape",
+			files: map[string]string{"internal/foo/foo.go": `package foo
+import "math/rand"
+func Race(rng *rand.Rand, n int) {
+	go func() {
+		_ = rng.Intn(n) //cdelint:allow detrand single goroutine, rng not used after spawn
+	}()
+}
+`},
+			want: nil,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -12,6 +12,7 @@ package netsim
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -19,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"dnscde/internal/detpar"
 	"dnscde/internal/dnswire"
 	"dnscde/internal/metrics"
 )
@@ -85,7 +87,13 @@ type host struct {
 type Network struct {
 	mu    sync.Mutex
 	hosts map[netip.Addr]*host
-	rng   *rand.Rand
+
+	// seed derives the per-source-address RNG streams. Loss and jitter
+	// draws for an exchange come from the RNG of its *source* address
+	// (see srcRand), so concurrent exchanges from different sources never
+	// contend on — or scheduling-dependently interleave — one stream.
+	seed    int64
+	srcRNGs sync.Map // netip.Addr -> *lockedRand
 
 	// timeout is the simulated time charged for a lost packet, mirroring
 	// a resolver's retransmission timer.
@@ -112,13 +120,58 @@ type Stats struct {
 	BytesRecvd int64
 }
 
-// New creates an empty network with a deterministic RNG.
+// New creates an empty network with deterministic randomness: seed fixes
+// every per-source RNG stream (see srcRand).
 func New(seed int64) *Network {
 	return &Network{
 		hosts:   make(map[netip.Addr]*host),
-		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
 		timeout: 2 * time.Second,
 	}
+}
+
+// lockedRand is one source address' persistent RNG stream. The lock makes
+// a *shared* source safe (two goroutines probing from the same address
+// draw atomically); determinism additionally requires that at most one
+// goroutine uses a given source at a time, which the detpar-converted
+// callers guarantee by assigning each parallel trial its own addresses.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (lr *lockedRand) roll() float64 {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	return lr.rng.Float64()
+}
+
+func (lr *lockedRand) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	return time.Duration(lr.rng.Int63n(int64(max) + 1))
+}
+
+// srcRand returns the persistent RNG stream for exchanges originating at
+// src, creating it on first use. The stream is a pure function of
+// (network seed, src), so the sequence of draws a source consumes depends
+// only on its own exchange history — never on what other sources are
+// doing concurrently. It lives on the Network rather than the Conn
+// because callers re-Bind the same source per resolution; a per-Conn
+// stream would replay identical draws every time.
+func (n *Network) srcRand(src netip.Addr) *lockedRand {
+	if lr, ok := n.srcRNGs.Load(src); ok {
+		return lr.(*lockedRand)
+	}
+	b := src.As16()
+	lo := binary.BigEndian.Uint64(b[:8])
+	hi := binary.BigEndian.Uint64(b[8:])
+	lr := &lockedRand{rng: rand.New(rand.NewSource(detpar.Derive(n.seed, lo, hi)))}
+	actual, _ := n.srcRNGs.LoadOrStore(src, lr)
+	return actual.(*lockedRand)
 }
 
 // SetMetrics attaches an accounting registry: every subsequent exchange
@@ -202,23 +255,6 @@ func (n *Network) lookup(addr netip.Addr) (*host, bool) {
 	return h, ok
 }
 
-// roll samples the RNG under the lock.
-func (n *Network) roll() float64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.rng.Float64()
-}
-
-// jitter samples a uniform duration in [0, max].
-func (n *Network) jitter(max time.Duration) time.Duration {
-	if max <= 0 {
-		return 0
-	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return time.Duration(n.rng.Int63n(int64(max) + 1))
-}
-
 type latencyMeterKey struct{}
 
 // latencyMeter accumulates simulated upstream time spent by a handler so
@@ -299,6 +335,17 @@ func (c *Conn) retryCounter() *metrics.Counter {
 	return c.net.mRetries
 }
 
+// scratchPool recycles the wire-encoding buffers used by Exchange. Safe
+// because dnswire.Unpack never aliases its input: every decoded field is
+// copied out of the wire bytes, so the scratch can be reused the moment
+// Unpack returns.
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
 // Exchange implements Exchanger. The query is packed to wire format,
 // "transmitted" (subject to loss and latency), decoded, handled, and the
 // response travels back the same way. The returned duration is the full
@@ -324,8 +371,12 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 	if sh, ok := n.lookup(c.src); ok {
 		srcProfile = sh.profile
 	}
+	lr := n.srcRand(c.src)
 
-	wire, err := query.Pack()
+	scratch := scratchPool.Get().(*[]byte)
+	defer scratchPool.Put(scratch)
+	wire, err := query.AppendPack((*scratch)[:0])
+	*scratch = wire[:0]
 	if err != nil {
 		return nil, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
@@ -335,10 +386,10 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 	mSent.Inc()
 
 	oneWay := srcProfile.OneWay + h.profile.OneWay +
-		n.jitter(srcProfile.Jitter) + n.jitter(h.profile.Jitter)
+		lr.jitter(srcProfile.Jitter) + lr.jitter(h.profile.Jitter)
 
 	// Query packet subject to loss on either endpoint's link.
-	if n.roll() < srcProfile.Loss || n.roll() < h.profile.Loss {
+	if lr.roll() < srcProfile.Loss || lr.roll() < h.profile.Loss {
 		n.mu.Lock()
 		n.stats.Lost++
 		n.mu.Unlock()
@@ -361,7 +412,10 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 	}
 	handlerTime := meter.total()
 
-	respWire, err := resp.Pack()
+	// The query bytes are fully decoded; reuse the same scratch for the
+	// response direction.
+	respWire, err := resp.AppendPack(wire[:0])
+	*scratch = respWire[:0]
 	if err != nil {
 		return nil, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
@@ -371,10 +425,10 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 	mSent.Inc()
 
 	returnWay := srcProfile.OneWay + h.profile.OneWay +
-		n.jitter(srcProfile.Jitter) + n.jitter(h.profile.Jitter)
+		lr.jitter(srcProfile.Jitter) + lr.jitter(h.profile.Jitter)
 
 	// Response packet subject to loss as well.
-	if n.roll() < srcProfile.Loss || n.roll() < h.profile.Loss {
+	if lr.roll() < srcProfile.Loss || lr.roll() < h.profile.Loss {
 		n.mu.Lock()
 		n.stats.Lost++
 		n.mu.Unlock()
