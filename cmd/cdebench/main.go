@@ -23,6 +23,7 @@ import (
 	"dnscde/internal/clock"
 	"dnscde/internal/detpar"
 	"dnscde/internal/experiments"
+	"dnscde/internal/netsim"
 )
 
 // jsonReport is the machine-readable form emitted with -json.
@@ -69,8 +70,14 @@ func run(args []string, clk clock.Clock) int {
 		asJSON  = fs.Bool("json", false, "emit one JSON object per experiment instead of text")
 		verbose = fs.Bool("v", false, "with -json, include the rendered text in each object")
 		workers = fs.Int("workers", 0, "trial-loop worker count (0 = GOMAXPROCS); reports are byte-identical at any value")
+		faults  = fs.String("faults", "", "fault profile injected into every platform link, e.g. 'burst=0.11:4,servfail=0.02' (see the faults experiment)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	faultProfile, err := netsim.ParseFaultProfile(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdebench: -faults: %v\n", err)
 		return 2
 	}
 	if *list {
@@ -86,6 +93,7 @@ func run(args []string, clk clock.Clock) int {
 		Enterprises:   *ent,
 		ISPs:          *isp,
 		Workers:       *workers,
+		Faults:        faultProfile,
 	}
 
 	ids := []string{*exp}

@@ -31,6 +31,20 @@ func TestRunSingleExperiment(t *testing.T) {
 	}
 }
 
+func TestRunBadFaultsProfile(t *testing.T) {
+	if code := run([]string{"-exp", "faults", "-faults", "bogus=1"}, clock.NewVirtual()); code != 2 {
+		t.Errorf("bad -faults exit = %d", code)
+	}
+}
+
+func TestRunExperimentUnderFaults(t *testing.T) {
+	// Any experiment must run (not necessarily pass its calibrated
+	// shape checks) with an injected platform fault profile.
+	if code := run([]string{"-exp", "ablation-bypass", "-faults", "burst=0.02:4"}, clock.NewVirtual()); code > 1 {
+		t.Errorf("ablation-bypass under -faults exit = %d, want 0 or 1", code)
+	}
+}
+
 func TestRunJSON(t *testing.T) {
 	if code := run([]string{"-exp", "resilience", "-json"}, clock.NewVirtual()); code != 0 {
 		t.Errorf("-json exit = %d", code)

@@ -52,6 +52,7 @@ func run(args []string, out io.Writer) int {
 		egress    = fs.Int("egress", 3, "simulated platform egress IPs")
 		selector  = fs.String("selector", "random", "random, round-robin, hash-qname or hash-source-ip")
 		loss      = fs.Float64("loss", 0.01, "simulated per-packet loss")
+		faults    = fs.String("faults", "", "sim mode: fault profile for the platform link, e.g. 'burst=0.11:4,servfail=0.02,truncate=0.1'")
 		seed      = fs.Int64("seed", 1, "simulation seed")
 		scans     = fs.Int("scans", 1, "sim mode: independent platforms to scan (each gets a derived seed)")
 		workers   = fs.Int("workers", 0, "sim mode: worker count for -scans > 1 (0 = GOMAXPROCS); output is byte-identical at any value")
@@ -65,9 +66,14 @@ func run(args []string, out io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	faultProfile, err := netsim.ParseFaultProfile(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdescan: -faults: %v\n", err)
+		return 2
+	}
 	switch *mode {
 	case "sim":
-		if err := runSims(out, *technique, *caches, *ingress, *egress, *selector, *loss, *seed, *scans, *workers); err != nil {
+		if err := runSims(out, *technique, *caches, *ingress, *egress, *selector, *loss, faultProfile, *seed, *scans, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "cdescan: %v\n", err)
 			return 1
 		}
@@ -102,15 +108,15 @@ func makeSelector(kind string, seed int64) (loadbal.Selector, error) {
 // -scans > 1 each scan owns a full world seeded from the detpar stream
 // and runs on a bounded worker pool; outputs are merged in scan order,
 // so the combined report is byte-identical at any -workers value.
-func runSims(out io.Writer, technique string, caches, ingress, egress int, selector string, loss float64, seed int64, scans, workers int) error {
+func runSims(out io.Writer, technique string, caches, ingress, egress int, selector string, loss float64, faults *netsim.FaultProfile, seed int64, scans, workers int) error {
 	if scans <= 1 {
-		return runSim(out, technique, caches, ingress, egress, selector, loss, seed)
+		return runSim(out, technique, caches, ingress, egress, selector, loss, faults, seed)
 	}
 	outputs, err := detpar.Map(context.Background(), seed, scans, workers,
 		func(i int, rng *rand.Rand) (string, error) {
 			var buf bytes.Buffer
 			fmt.Fprintf(&buf, "--- scan %d/%d ---\n", i+1, scans)
-			if err := runSim(&buf, technique, caches, ingress, egress, selector, loss, rng.Int63()); err != nil {
+			if err := runSim(&buf, technique, caches, ingress, egress, selector, loss, faults, rng.Int63()); err != nil {
 				return "", fmt.Errorf("scan %d: %w", i+1, err)
 			}
 			return buf.String(), nil
@@ -124,7 +130,7 @@ func runSims(out io.Writer, technique string, caches, ingress, egress int, selec
 	return nil
 }
 
-func runSim(out io.Writer, technique string, caches, ingress, egress int, selector string, loss float64, seed int64) (err error) {
+func runSim(out io.Writer, technique string, caches, ingress, egress int, selector string, loss float64, faults *netsim.FaultProfile, seed int64) (err error) {
 	sel, err := makeSelector(selector, seed)
 	if err != nil {
 		return err
@@ -142,15 +148,19 @@ func runSim(out io.Writer, technique string, caches, ingress, egress int, select
 	}()
 	plat, err := w.NewPlatform(simtest.PlatformSpec{
 		Name: "target", Caches: caches, Ingress: ingress, Egress: egress, Seed: seed,
-		Profile: netsim.LinkProfile{OneWay: 2 * time.Millisecond, Jitter: time.Millisecond, Loss: loss},
+		Profile: netsim.LinkProfile{OneWay: 2 * time.Millisecond, Jitter: time.Millisecond, Loss: loss, Faults: faults},
 		Mutate:  func(c *platform.Config) { c.Selector = sel },
 	})
 	if err != nil {
 		return err
 	}
 	gt := plat.GroundTruth()
-	fmt.Fprintf(out, "target platform: caches=%d ingress=%d egress=%d selector=%s loss=%.1f%%\n\n",
+	fmt.Fprintf(out, "target platform: caches=%d ingress=%d egress=%d selector=%s loss=%.1f%%\n",
 		gt.Caches, gt.IngressIPs, gt.EgressIPs, gt.Selector, loss*100)
+	if faults != nil {
+		fmt.Fprintf(out, "injected faults: %s\n", faults)
+	}
+	fmt.Fprintln(out)
 
 	ctx := context.Background()
 	ingressIP := plat.Config().IngressIPs[0]
@@ -266,6 +276,15 @@ func printCostSummary(out io.Writer, snap metrics.Snapshot) {
 	fmt.Fprintf(out, "  platform caches:  %d hits, %d misses, %d expired\n",
 		snap.Total("dnscache.hits"), snap.Total("dnscache.misses"), snap.Total("dnscache.expired"))
 	fmt.Fprintf(out, "  authns arrivals:  %d queries\n", snap.Counter("authns.queries"))
+	injected := snap.Counter("netsim.faults.servfail") + snap.Counter("netsim.faults.refused") +
+		snap.Counter("netsim.faults.truncated") + snap.Counter("netsim.faults.duplicated") +
+		snap.Counter("netsim.faults.late") + snap.Counter("netsim.faults.outage")
+	if injected > 0 {
+		fmt.Fprintf(out, "  injected faults:  %d servfail, %d refused, %d truncated, %d duplicated, %d late, %d outage\n",
+			snap.Counter("netsim.faults.servfail"), snap.Counter("netsim.faults.refused"),
+			snap.Counter("netsim.faults.truncated"), snap.Counter("netsim.faults.duplicated"),
+			snap.Counter("netsim.faults.late"), snap.Counter("netsim.faults.outage"))
+	}
 }
 
 func runUDP(out io.Writer, target, name string, probes int, server, ctl string) error {

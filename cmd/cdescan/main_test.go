@@ -3,11 +3,13 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"dnscde/internal/netsim"
 )
 
 func TestRunSimAllTechniques(t *testing.T) {
 	var sb strings.Builder
-	if err := runSim(&sb, "all", 3, 2, 4, "random", 0.01, 7); err != nil {
+	if err := runSim(&sb, "all", 3, 2, 4, "random", 0.01, nil, 7); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -28,7 +30,7 @@ func TestRunSimAllTechniques(t *testing.T) {
 
 func TestRunSimSingleTechnique(t *testing.T) {
 	var sb strings.Builder
-	if err := runSim(&sb, "direct", 2, 1, 1, "round-robin", 0, 1); err != nil {
+	if err := runSim(&sb, "direct", 2, 1, 1, "round-robin", 0, nil, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -37,6 +39,31 @@ func TestRunSimSingleTechnique(t *testing.T) {
 	}
 	if strings.Contains(out, "timing side channel") {
 		t.Errorf("unexpected timing output:\n%s", out)
+	}
+}
+
+func TestRunSimWithFaults(t *testing.T) {
+	fp, err := netsim.ParseFaultProfile("burst=0.11:4,servfail=0.05,truncate=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := runSim(&sb, "direct", 3, 1, 1, "random", 0, fp, 11); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "injected faults: burst=0.11:4,servfail=0.05,truncate=0.05") {
+		t.Errorf("missing injected-faults banner:\n%s", out)
+	}
+	if !strings.Contains(out, "injected faults:  ") {
+		t.Errorf("cost summary missing fault counters:\n%s", out)
+	}
+}
+
+func TestRunFaultsFlagValidation(t *testing.T) {
+	var sb strings.Builder
+	if code := run([]string{"-faults", "bogus=1"}, &sb); code != 2 {
+		t.Errorf("bad -faults exit = %d", code)
 	}
 }
 
@@ -76,7 +103,7 @@ func TestRunUDPValidation(t *testing.T) {
 
 func TestRunSimSurvey(t *testing.T) {
 	var sb strings.Builder
-	if err := runSim(&sb, "survey", 3, 1, 2, "round-robin", 0, 9); err != nil {
+	if err := runSim(&sb, "survey", 3, 1, 2, "round-robin", 0, nil, 9); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -89,7 +116,7 @@ func TestRunSimSurvey(t *testing.T) {
 
 func TestRunSimTrace(t *testing.T) {
 	var sb strings.Builder
-	if err := runSim(&sb, "trace", 1, 1, 1, "random", 0, 4); err != nil {
+	if err := runSim(&sb, "trace", 1, 1, 1, "random", 0, nil, 4); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"dnscde/internal/dnswire"
+	"dnscde/internal/trace"
 )
 
 // Technique identifies a CDE enumeration methodology.
@@ -167,6 +168,13 @@ func EnumerateHierarchy(ctx context.Context, p Prober, in *Infra, opts EnumOptio
 // 5.1: under uniform selection the expected number of probes to complete
 // is n·H_n, the coupon-collector bound. It returns the probes actually
 // spent, so repeated trials sample the full completion-time distribution.
+//
+// The loop carries §V-B loss compensation: an online LossEstimator tracks
+// failed probes (timeouts and SERVFAIL/REFUSED answers) and each round
+// replicates its probe by the carpet-bombing factor for the estimated
+// rate. On a loss-free path the estimate stays 0 and the factor 1, so the
+// probe count is exactly the uncompensated one — the cost-accounting
+// experiment's n·H_n comparison is unaffected.
 func EnumerateUntilComplete(ctx context.Context, p Prober, in *Infra, target, maxProbes int) (EnumResult, error) {
 	if target < 1 {
 		return EnumResult{}, fmt.Errorf("core: completion target must be >= 1, have %d", target)
@@ -182,13 +190,24 @@ func EnumerateUntilComplete(ctx context.Context, p Prober, in *Infra, target, ma
 		return EnumResult{}, err
 	}
 	in.mEnumRounds.Inc()
+	est := &LossEstimator{}
 	res := EnumResult{Technique: TechniqueDirect}
+	lastK := 1
 	for res.ProbesSent < maxProbes {
-		res.ProbesSent++
-		_, err := p.Probe(ctx, session.Honey, dnswire.TypeA)
-		in.countProbe(err, false)
-		if err != nil {
-			res.ProbeErrors++
+		k := est.Replicates(0.99, 8)
+		if k != lastK {
+			trace.Addf(ctx, "compensate", "loss=%.3f K=%d after %d probes", est.Rate(), k, res.ProbesSent)
+			lastK = k
+		}
+		for r := 0; r < k && res.ProbesSent < maxProbes; r++ {
+			res.ProbesSent++
+			pres, err := p.Probe(ctx, session.Honey, dnswire.TypeA)
+			in.countProbe(err, r > 0)
+			failed := probeFailed(pres, err)
+			est.Record(failed)
+			if failed {
+				res.ProbeErrors++
+			}
 		}
 		if res.Caches = session.ObservedCaches(); res.Caches >= target {
 			return res, nil

@@ -37,7 +37,7 @@ func AblationSelection(ctx context.Context, cfg Config) (*Report, error) {
 		{"hash-source-ip", func() loadbal.Selector { return loadbal.HashSourceIP{} }},
 	}
 	for _, sel := range selectors {
-		w, err := simtest.New(simtest.Options{Seed: cfg.Seed})
+		w, err := cfg.trialWorld(cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +144,7 @@ func AblationBypass(ctx context.Context, cfg Config) (*Report, error) {
 		}},
 	}
 	for _, tc := range cases {
-		w, err := simtest.New(simtest.Options{Seed: cfg.Seed})
+		w, err := cfg.trialWorld(cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -201,7 +201,7 @@ func AblationThreshold(ctx context.Context, cfg Config) (*Report, error) {
 	report := &Report{ID: "ablation-threshold", Title: "Ablation: timing-channel threshold under jitter"}
 
 	for _, jitter := range []time.Duration{0, time.Millisecond, 4 * time.Millisecond} {
-		w, err := simtest.New(simtest.Options{Seed: cfg.Seed + int64(jitter)})
+		w, err := cfg.trialWorld(cfg.Seed + int64(jitter))
 		if err != nil {
 			return nil, err
 		}

@@ -64,7 +64,7 @@ func Theorem51(ctx context.Context, cfg Config) (*Report, error) {
 		const e2eTrials = 30
 		e2eCounts, err := detpar.Map(ctx, detpar.Derive(cfg.Seed, 52, uint64(n)), e2eTrials, cfg.Workers,
 			func(trial int, rng *rand.Rand) (int, error) {
-				w, err := simtest.New(simtest.Options{Seed: rng.Int63(), Metrics: cfg.Metrics})
+				w, err := cfg.trialWorld(rng.Int63())
 				if err != nil {
 					return 0, err
 				}
@@ -137,7 +137,7 @@ func InitValidateSweep(ctx context.Context, cfg Config) (*Report, error) {
 				// A world per trial: platform, caches and query log are
 				// trial-private, so trials can run on any worker count
 				// without sharing state.
-				w, err := simtest.New(simtest.Options{Seed: rng.Int63(), Metrics: cfg.Metrics})
+				w, err := cfg.trialWorld(rng.Int63())
 				if err != nil {
 					return ivTrial{}, err
 				}
@@ -228,7 +228,7 @@ func CarpetBombing(ctx context.Context, cfg Config) (*Report, error) {
 			results, err := detpar.Map(ctx,
 				detpar.Derive(cfg.Seed, 54, uint64(k), uint64(lc.loss*10000)), trials, cfg.Workers,
 				func(trial int, rng *rand.Rand) (cbTrial, error) {
-					w, err := simtest.New(simtest.Options{Seed: rng.Int63(), Metrics: cfg.Metrics})
+					w, err := cfg.trialWorld(rng.Int63())
 					if err != nil {
 						return cbTrial{}, err
 					}

@@ -44,7 +44,7 @@ func Classify(ctx context.Context, cfg Config) (*Report, error) {
 			func(i int, rng *rand.Rand) (core.SelectionClass, error) {
 				seed := int64(ki*1000 + i)
 				caches := 2 + (i % 5) // 2..6 caches
-				w, err := simtest.New(simtest.Options{Seed: rng.Int63(), Metrics: cfg.Metrics})
+				w, err := cfg.trialWorld(rng.Int63())
 				if err != nil {
 					return "", err
 				}

@@ -48,7 +48,7 @@ func CostAccounting(ctx context.Context, cfg Config) (*Report, error) {
 		before := cfg.Metrics.Snapshot()
 		probeCounts, err := detpar.Map(ctx, detpar.Derive(cfg.Seed, 55, uint64(n)), costTrials, cfg.Workers,
 			func(trial int, rng *rand.Rand) (int, error) {
-				w, err := simtest.New(simtest.Options{Seed: rng.Int63(), Metrics: cfg.Metrics})
+				w, err := cfg.trialWorld(rng.Int63())
 				if err != nil {
 					return 0, err
 				}

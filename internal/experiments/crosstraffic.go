@@ -55,7 +55,7 @@ func AblationCrossTraffic(ctx context.Context, cfg Config) (*Report, error) {
 			results, err := detpar.Map(ctx, detpar.Derive(cfg.Seed, 57, uint64(si), uint64(bg)), trials, cfg.Workers,
 				func(trial int, _ *rand.Rand) (ctTrial, error) {
 					seed := cfg.Seed + int64(trial)
-					w, err := simtest.New(simtest.Options{Seed: seed, Metrics: cfg.Metrics})
+					w, err := cfg.trialWorld(seed)
 					if err != nil {
 						return ctTrial{}, err
 					}

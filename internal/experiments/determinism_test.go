@@ -20,6 +20,7 @@ func TestWorkersInvariance(t *testing.T) {
 	shortSet := map[string]bool{
 		"thm51": true, "initvalidate": true, "carpet": true,
 		"cost": true, "classify": true, "ablation-crosstraffic": true,
+		"faults": true,
 	}
 	for _, id := range IDs() {
 		if testing.Short() && !shortSet[id] {

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"dnscde/internal/metrics"
+	"dnscde/internal/netsim"
 	"dnscde/internal/simtest"
 )
 
@@ -36,6 +37,11 @@ type Config struct {
 	// goes through detpar, whose per-index RNG derivation and
 	// index-ordered merge keep results independent of scheduling.
 	Workers int
+	// Faults, when non-nil, injects the deterministic fault profile
+	// (burst loss, SERVFAIL/REFUSED, truncation, duplication, outages)
+	// into every platform link an experiment builds — cdebench's -faults
+	// flag. Nil leaves all links clean.
+	Faults *netsim.FaultProfile
 }
 
 func (c Config) withDefaults() Config {
@@ -59,7 +65,14 @@ func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
 
 // world builds a fresh simulated Internet.
 func (c Config) world() (*simtest.World, error) {
-	return simtest.New(simtest.Options{Seed: c.Seed + 1, Metrics: c.Metrics})
+	return simtest.New(simtest.Options{Seed: c.Seed + 1, Metrics: c.Metrics, PlatformFaults: c.Faults})
+}
+
+// trialWorld builds a per-trial world with the given seed, carrying the
+// run's metrics registry and injected fault profile. Trial fan-outs use
+// it so -faults reaches every platform an experiment builds.
+func (c Config) trialWorld(seed int64) (*simtest.World, error) {
+	return simtest.New(simtest.Options{Seed: seed, Metrics: c.Metrics, PlatformFaults: c.Faults})
 }
 
 // Check is one shape assertion: a value the paper reports versus the
@@ -173,6 +186,7 @@ var Registry = map[string]Driver{
 	"ablation-crosstraffic": AblationCrossTraffic,
 	"selectionshare":        SelectionShare,
 	"cost":                  CostAccounting,
+	"faults":                Faults,
 }
 
 // Descriptions maps experiment ids to one-line summaries for -list
@@ -203,6 +217,7 @@ var Descriptions = map[string]string{
 	"fingerprint":           "§II-C/§VI: resolver-software survey",
 	"selectionshare":        "§IV-A: unpredictable-selection share",
 	"cost":                  "Thm 5.1 cost: measured enumeration queries vs n·H_n",
+	"faults":                "§V-B fault sweep: raw vs loss-compensated enumeration",
 }
 
 // IDs returns the registry keys in sorted order.

@@ -26,7 +26,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-selection", "ablation-bypass", "ablation-threshold",
 		"ablation-forwarder", "poisoning", "resilience", "edns", "ttlconsistency",
 		"classify", "fingerprint", "ablation-crosstraffic", "selectionshare",
-		"cost",
+		"cost", "faults",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
@@ -103,6 +103,7 @@ func TestClassify(t *testing.T)       { runAndCheck(t, "classify") }
 func TestFingerprint(t *testing.T)    { runAndCheck(t, "fingerprint") }
 func TestCrossTraffic(t *testing.T)   { runAndCheck(t, "ablation-crosstraffic") }
 func TestSelectionShare(t *testing.T) { runAndCheck(t, "selectionshare") }
+func TestFaults(t *testing.T)         { runAndCheck(t, "faults") }
 
 func TestFigure3(t *testing.T) {
 	if testing.Short() {

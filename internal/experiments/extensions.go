@@ -294,7 +294,7 @@ func AblationForwarder(ctx context.Context, cfg Config) (*Report, error) {
 		{4, 4, 4}, // equal tiers, RR alignment covers all
 	}
 	for ci, tc := range cases {
-		w, err := simtest.New(simtest.Options{Seed: cfg.Seed + int64(ci)})
+		w, err := cfg.trialWorld(cfg.Seed + int64(ci))
 		if err != nil {
 			return nil, err
 		}

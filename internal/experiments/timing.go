@@ -26,7 +26,7 @@ func TimingChannel(ctx context.Context, cfg Config) (*Report, error) {
 	report := &Report{ID: "timing", Title: "§IV-B3 timing side channel: counting caches from response latency"}
 
 	for _, n := range []int{1, 2, 4, 8} {
-		w, err := simtest.New(simtest.Options{Seed: cfg.Seed + int64(n)})
+		w, err := cfg.trialWorld(cfg.Seed + int64(n))
 		if err != nil {
 			return nil, err
 		}

@@ -18,11 +18,13 @@ import (
 	"math/rand"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnscde/internal/detpar"
 	"dnscde/internal/dnswire"
 	"dnscde/internal/metrics"
+	"dnscde/internal/trace"
 )
 
 // Simulation errors.
@@ -69,6 +71,12 @@ type LinkProfile struct {
 	// this host is dropped. The paper measured ~11% in Iran, ~4% in China
 	// and ~1% elsewhere.
 	Loss float64
+	// Faults, when non-nil, layers deterministic fault injection on the
+	// link: Gilbert–Elliott burst loss (replacing Loss), injected
+	// SERVFAIL/REFUSED, truncation, duplication, late responses and
+	// scheduled outages. See FaultProfile. A pointer keeps LinkProfile
+	// comparable with ==.
+	Faults *FaultProfile
 }
 
 // DefaultLinkProfile matches the paper's "typical" network: ~1% loss and a
@@ -80,6 +88,10 @@ func DefaultLinkProfile() LinkProfile {
 type host struct {
 	handler Handler
 	profile LinkProfile
+	// down marks a transient outage toggled by SetDown; queries to a down
+	// host vanish (client times out). Atomic so the hot path reads it
+	// without holding the network lock.
+	down atomic.Bool
 }
 
 // Network is a simulated Internet. The zero value is not usable; use New.
@@ -99,6 +111,12 @@ type Network struct {
 	// a resolver's retransmission timer.
 	timeout time.Duration
 
+	// clientProfile is the link profile applied to source addresses with
+	// no registered host (probers Bind arbitrary client addresses). It
+	// defaults to the zero profile — a perfect local link — and is
+	// settable via SetClientProfile.
+	clientProfile LinkProfile
+
 	stats Stats
 
 	// metrics, when non-nil, mirrors packet-level events into the
@@ -108,6 +126,12 @@ type Network struct {
 	mSent        *metrics.Counter
 	mLost        *metrics.Counter
 	mRetries     *metrics.Counter
+	mServFail    *metrics.Counter
+	mRefused     *metrics.Counter
+	mTruncated   *metrics.Counter
+	mDuplicated  *metrics.Counter
+	mLate        *metrics.Counter
+	mOutage      *metrics.Counter
 	linkRTTHists sync.Map // netip.Addr -> *metrics.Histogram
 }
 
@@ -118,6 +142,9 @@ type Stats struct {
 	Lost       int64
 	BytesSent  int64
 	BytesRecvd int64
+	// Faults counts injected faults by kind; always maintained, registry
+	// or not, so tests can assert on injection without metrics plumbing.
+	Faults FaultStats
 }
 
 // New creates an empty network with deterministic randomness: seed fixes
@@ -138,6 +165,9 @@ func New(seed int64) *Network {
 type lockedRand struct {
 	mu  sync.Mutex
 	rng *rand.Rand
+	// flows holds per-destination fault state (exchange counters and
+	// Gilbert–Elliott chain positions); nil until a faulted link is used.
+	flows map[netip.Addr]*flowState
 }
 
 func (lr *lockedRand) roll() float64 {
@@ -186,6 +216,12 @@ func (n *Network) SetMetrics(reg *metrics.Registry) {
 	n.mSent = reg.Counter("netsim.packets.sent")
 	n.mLost = reg.Counter("netsim.packets.lost")
 	n.mRetries = reg.Counter("netsim.retries")
+	n.mServFail = reg.Counter("netsim.faults.servfail")
+	n.mRefused = reg.Counter("netsim.faults.refused")
+	n.mTruncated = reg.Counter("netsim.faults.truncated")
+	n.mDuplicated = reg.Counter("netsim.faults.duplicated")
+	n.mLate = reg.Counter("netsim.faults.late")
+	n.mOutage = reg.Counter("netsim.faults.outage")
 	// Drop handles cached against a previously attached registry.
 	n.linkRTTHists.Range(func(k, _ any) bool {
 		n.linkRTTHists.Delete(k)
@@ -213,6 +249,35 @@ func (n *Network) SetTimeout(d time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.timeout = d
+}
+
+// SetClientProfile sets the link profile applied to *unregistered* source
+// addresses — the probers' client side of every exchange. Historically an
+// unregistered source silently got a zero profile (no loss, no delay, no
+// faults) even when callers intended otherwise; the fallback is now
+// explicit and configurable. The default remains the zero profile, so
+// existing simulations are unchanged.
+func (n *Network) SetClientProfile(p LinkProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clientProfile = p
+}
+
+// ClientProfile returns the profile applied to unregistered sources.
+func (n *Network) ClientProfile() LinkProfile {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.clientProfile
+}
+
+// SetDown marks the host at addr as down (or back up): while down, queries
+// to it vanish and clients time out, modelling the paper's §II-B transient
+// platform outages without losing the host's registration or cache state
+// the way Unregister would.
+func (n *Network) SetDown(addr netip.Addr, down bool) {
+	if h, ok := n.lookup(addr); ok {
+		h.down.Store(down)
+	}
 }
 
 // Register attaches handler to addr with the given link profile. It
@@ -314,6 +379,9 @@ type Exchanger interface {
 type Conn struct {
 	net *Network
 	src netip.Addr
+	// tcp marks a TCP-semantics exchange: immune to in-flight truncation
+	// and duplication, at the cost of one extra handshake round trip.
+	tcp bool
 }
 
 var _ Exchanger = (*Conn)(nil)
@@ -326,6 +394,17 @@ func (n *Network) Bind(src netip.Addr) *Conn {
 
 // Src returns the bound source address.
 func (c *Conn) Src() netip.Addr { return c.src }
+
+// TCP returns a copy of the Conn that exchanges with TCP semantics: the
+// simulated path never truncates or duplicates its messages (TCP is a
+// byte stream with its own retransmission), and every exchange is charged
+// one extra round trip for the connection handshake — the same cost shape
+// udpnet's real-socket TCP fallback pays.
+func (c *Conn) TCP() *Conn {
+	cc := *c
+	cc.tcp = true
+	return &cc
+}
 
 // retryCounter exposes the network's retransmission counter to
 // ExchangeRetry (nil when no registry is attached).
@@ -361,17 +440,32 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 	n.stats.Exchanges++
 	timeout := n.timeout
 	reg, mSent, mLost := n.metrics, n.mSent, n.mLost
+	clientProfile := n.clientProfile
 	n.mu.Unlock()
 
 	h, ok := n.lookup(dst)
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %v", ErrNoRoute, dst)
 	}
-	var srcProfile LinkProfile
+	// An unregistered source (the usual case for probers, which Bind
+	// arbitrary client addresses) gets the network's configurable client
+	// profile rather than a silent zero profile.
+	srcProfile := clientProfile
 	if sh, ok := n.lookup(c.src); ok {
 		srcProfile = sh.profile
 	}
 	lr := n.srcRand(c.src)
+
+	// Fault state for this (src → dst) flow, only materialised when a
+	// FaultProfile is attached to either side: the zero-fault path must
+	// consume byte-identical RNG draws to the pre-fault-layer simulator.
+	dstFP := h.profile.Faults
+	var fs *flowState
+	var flowIdx int
+	if srcProfile.Faults != nil || dstFP != nil {
+		fs = lr.flow(dst)
+		flowIdx = lr.nextFlowIdx(fs)
+	}
 
 	scratch := scratchPool.Get().(*[]byte)
 	defer scratchPool.Put(scratch)
@@ -385,11 +479,27 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 	n.mu.Unlock()
 	mSent.Inc()
 
+	// Transient outage: the destination is down (operator SetDown or a
+	// scheduled window); the query vanishes and the client times out.
+	if h.down.Load() || (dstFP != nil && inOutage(dstFP.Outages, flowIdx)) {
+		n.mu.Lock()
+		n.stats.Lost++
+		n.stats.Faults.Outage++
+		n.mu.Unlock()
+		mLost.Inc()
+		n.mOutage.Inc()
+		trace.Addf(ctx, "fault", "outage: %v unreachable from %v", dst, c.src)
+		chargeUpstream(ctx, timeout)
+		return nil, timeout, ErrTimeout
+	}
+
 	oneWay := srcProfile.OneWay + h.profile.OneWay +
 		lr.jitter(srcProfile.Jitter) + lr.jitter(h.profile.Jitter)
 
-	// Query packet subject to loss on either endpoint's link.
-	if lr.roll() < srcProfile.Loss || lr.roll() < h.profile.Loss {
+	// Query packet subject to loss on either endpoint's link. The short-
+	// circuit matters: with no faults attached this is exactly the
+	// historical two-draw-max Bernoulli pattern.
+	if lr.lostPacket(fs, srcProfile, true) || lr.lostPacket(fs, h.profile, false) {
 		n.mu.Lock()
 		n.stats.Lost++
 		n.mu.Unlock()
@@ -403,14 +513,58 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 		return nil, 0, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
 
+	// Injected server failure: the destination short-circuits with
+	// SERVFAIL/REFUSED instead of resolving — one draw covers both rates.
+	var injected dnswire.RCode
+	injectedOK := false
+	if dstFP != nil && (dstFP.ServFailRate > 0 || dstFP.RefusedRate > 0) {
+		switch u := lr.roll(); {
+		case u < dstFP.ServFailRate:
+			injected, injectedOK = dnswire.RCodeServFail, true
+			n.noteFault(ctx, "servfail", c.src, dst)
+		case u < dstFP.ServFailRate+dstFP.RefusedRate:
+			injected, injectedOK = dnswire.RCodeRefused, true
+			n.noteFault(ctx, "refused", c.src, dst)
+		}
+	}
+
 	// Run the handler with a fresh meter so its nested exchanges are
 	// charged to this round trip.
 	meter := &latencyMeter{}
-	resp, err := safeServe(h.handler, context.WithValue(ctx, latencyMeterKey{}, meter), c.src, decoded)
-	if err != nil {
-		return nil, 0, fmt.Errorf("netsim: handler at %v: %w", dst, err)
+	var resp *dnswire.Message
+	if injectedOK {
+		resp = dnswire.NewResponse(decoded)
+		resp.Header.RCode = injected
+	} else {
+		resp, err = safeServe(h.handler, context.WithValue(ctx, latencyMeterKey{}, meter), c.src, decoded)
+		if err != nil {
+			return nil, 0, fmt.Errorf("netsim: handler at %v: %w", dst, err)
+		}
+		// Duplicated query delivery: the handler serves the query a second
+		// time and that response is discarded, but its side effects (cache
+		// fills, authoritative arrivals) persist. TCP streams never
+		// duplicate. The duplicate overlaps the original in real time, so
+		// no extra latency is charged.
+		if dstFP != nil && dstFP.DuplicateRate > 0 && !c.tcp && lr.roll() < dstFP.DuplicateRate {
+			n.noteFault(ctx, "duplicate", c.src, dst)
+			dupMeter := &latencyMeter{}
+			_, _ = safeServe(h.handler, context.WithValue(ctx, latencyMeterKey{}, dupMeter), c.src, decoded)
+		}
 	}
 	handlerTime := meter.total()
+
+	// In-flight truncation: the response loses its record sections and
+	// gains the TC bit, pushing TCP-capable clients to re-ask via
+	// Conn.TCP / udpnet's FallbackTCP. TCP exchanges are immune.
+	if dstFP != nil && dstFP.TruncateRate > 0 && !c.tcp && lr.roll() < dstFP.TruncateRate {
+		n.noteFault(ctx, "truncate", c.src, dst)
+		tr := dnswire.NewResponse(decoded)
+		tr.Header.RCode = resp.Header.RCode
+		tr.Header.RecursionAvailable = resp.Header.RecursionAvailable
+		tr.Header.Authoritative = resp.Header.Authoritative
+		tr.Header.Truncated = true
+		resp = tr
+	}
 
 	// The query bytes are fully decoded; reuse the same scratch for the
 	// response direction.
@@ -428,11 +582,21 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 		lr.jitter(srcProfile.Jitter) + lr.jitter(h.profile.Jitter)
 
 	// Response packet subject to loss as well.
-	if lr.roll() < srcProfile.Loss || lr.roll() < h.profile.Loss {
+	if lr.lostPacket(fs, srcProfile, true) || lr.lostPacket(fs, h.profile, false) {
 		n.mu.Lock()
 		n.stats.Lost++
 		n.mu.Unlock()
 		mLost.Inc()
+		total := timeout + handlerTime
+		chargeUpstream(ctx, total)
+		return nil, total, ErrTimeout
+	}
+
+	// Late response: it arrives after the client's retransmission timer,
+	// so the client sees a timeout (and pays for it) even though the
+	// server did all its work.
+	if dstFP != nil && dstFP.LateRate > 0 && lr.roll() < dstFP.LateRate {
+		n.noteFault(ctx, "late", c.src, dst)
 		total := timeout + handlerTime
 		chargeUpstream(ctx, total)
 		return nil, total, ErrTimeout
@@ -444,7 +608,38 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 	}
 
 	rtt := oneWay + handlerTime + returnWay
+	if c.tcp {
+		// TCP pays a handshake round trip before the query flows.
+		rtt += oneWay + returnWay
+	}
 	n.rttHist(reg, dst).Observe(rtt.Microseconds())
 	chargeUpstream(ctx, rtt)
 	return respDecoded, rtt, nil
+}
+
+// noteFault records one injected fault in the always-on Stats mirror, the
+// metrics registry (when attached) and the context's trace (when present).
+func (n *Network) noteFault(ctx context.Context, kind string, src, dst netip.Addr) {
+	n.mu.Lock()
+	var ctr *metrics.Counter
+	switch kind {
+	case "servfail":
+		n.stats.Faults.ServFail++
+		ctr = n.mServFail
+	case "refused":
+		n.stats.Faults.Refused++
+		ctr = n.mRefused
+	case "truncate":
+		n.stats.Faults.Truncated++
+		ctr = n.mTruncated
+	case "duplicate":
+		n.stats.Faults.Duplicated++
+		ctr = n.mDuplicated
+	case "late":
+		n.stats.Faults.Late++
+		ctr = n.mLate
+	}
+	n.mu.Unlock()
+	ctr.Inc()
+	trace.Addf(ctx, "fault", "%s: %v -> %v", kind, src, dst)
 }

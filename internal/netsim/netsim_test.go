@@ -293,12 +293,15 @@ func TestExchangeRetryAccumulatesTime(t *testing.T) {
 	n := New(3)
 	n.SetTimeout(time.Second)
 	n.Register(testServer, LinkProfile{Loss: 1}, echoHandler())
-	_, total, err := ExchangeRetry(context.Background(), n.Bind(testClient), dnswire.NewQuery(1, "a.example", dnswire.TypeA), testServer, 3)
+	query := dnswire.NewQuery(1, "a.example", dnswire.TypeA)
+	_, total, err := ExchangeRetry(context.Background(), n.Bind(testClient), query, testServer, 3)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v", err)
 	}
-	if total != 3*time.Second {
-		t.Errorf("total = %v, want 3s across 3 attempts", total)
+	bo, seed := DefaultBackoff(), retrySeed(query, testServer)
+	want := 3*time.Second + bo.Wait(seed, 1) + bo.Wait(seed, 2)
+	if total != want {
+		t.Errorf("total = %v, want %v (3 timeouts + 2 backoff waits)", total, want)
 	}
 }
 

@@ -3,9 +3,12 @@ package netsim
 import (
 	"context"
 	"errors"
+	"hash/fnv"
+	"math"
 	"net/netip"
 	"time"
 
+	"dnscde/internal/detpar"
 	"dnscde/internal/dnswire"
 	"dnscde/internal/metrics"
 )
@@ -18,10 +21,86 @@ type retryAccounter interface {
 	retryCounter() *metrics.Counter
 }
 
+// Backoff is a deterministic exponential-backoff schedule for
+// retransmissions: wait Base before the first retransmit, multiply by
+// Factor each further retransmit, cap at Max, and spread each wait by a
+// jitter fraction drawn deterministically from (query, dst, retry) — no
+// wall clock, no global RNG, so simulated runs stay byte-identical at any
+// worker count.
+//
+// The zero Backoff waits not at all, reproducing the legacy
+// retransmit-immediately behaviour.
+type Backoff struct {
+	// Base is the wait before the first retransmission.
+	Base time.Duration
+	// Max caps any single wait; 0 means uncapped.
+	Max time.Duration
+	// Factor multiplies the wait per further retransmission; values < 1
+	// are treated as 1 (constant schedule).
+	Factor float64
+	// Jitter spreads each wait uniformly over [1-Jitter, 1+Jitter] of its
+	// nominal value, decorrelating retransmissions of concurrent probes
+	// the way real stub resolvers do to avoid synchronised retry storms.
+	Jitter float64
+}
+
+// DefaultBackoff mirrors a stub resolver's retransmission policy: 500ms
+// initial timeout supplement, doubling per attempt, capped at 5s, ±25%
+// jitter.
+func DefaultBackoff() Backoff {
+	return Backoff{Base: 500 * time.Millisecond, Max: 5 * time.Second, Factor: 2, Jitter: 0.25}
+}
+
+// Wait returns the pause before retransmission number retry (1-based).
+// It is a pure function of (seed, retry): the jitter term comes from a
+// splitmix64 derivation, not from any shared RNG stream, so inserting or
+// removing backoff waits never perturbs the network's loss/jitter draws.
+func (b Backoff) Wait(seed uint64, retry int) time.Duration {
+	if b.Base <= 0 || retry < 1 {
+		return 0
+	}
+	w := float64(b.Base)
+	factor := b.Factor
+	if factor < 1 {
+		factor = 1
+	}
+	for i := 1; i < retry; i++ {
+		w *= factor
+		if b.Max > 0 && w >= float64(b.Max) {
+			break
+		}
+	}
+	if b.Max > 0 && w > float64(b.Max) {
+		w = float64(b.Max)
+	}
+	if b.Jitter > 0 {
+		u := float64(detpar.Derive(int64(seed), uint64(retry))) / float64(math.MaxInt64)
+		w *= 1 - b.Jitter + 2*b.Jitter*u
+	}
+	return time.Duration(w)
+}
+
+// retrySeed derives the deterministic jitter seed for one logical probe.
+// It hashes the question and destination — not the message ID, which is
+// allocated from a process-global counter and therefore differs between
+// scheduling orders of concurrent probers.
+func retrySeed(query *dnswire.Message, dst netip.Addr) uint64 {
+	h := fnv.New64a()
+	if q, err := query.FirstQuestion(); err == nil {
+		h.Write([]byte(q.Name))
+		h.Write([]byte{byte(q.Type >> 8), byte(q.Type)})
+	}
+	b := dst.As16()
+	h.Write(b[:])
+	return h.Sum64()
+}
+
 // ExchangeRetry performs an exchange with up to attempts tries, retrying
-// only on timeout (packet loss). It mirrors a stub resolver's
-// retransmission behaviour and returns the cumulative time spent across
-// all attempts, so lost packets still cost simulated time.
+// only on timeout (packet loss) with the DefaultBackoff schedule between
+// attempts. It mirrors a stub resolver's retransmission behaviour and
+// returns the cumulative time spent across all attempts — timeouts plus
+// backoff waits — so lost packets cost simulated time the way they cost a
+// real measurement wall-clock time.
 //
 // Cancellation is honoured between attempts: once ctx is done, no further
 // retransmission is sent and the context's error is returned as-is —
@@ -31,6 +110,12 @@ type retryAccounter interface {
 // clamps its read deadline to the ctx deadline), which would otherwise
 // keep a cancelled prober retransmitting until attempts ran out.
 func ExchangeRetry(ctx context.Context, ex Exchanger, query *dnswire.Message, dst netip.Addr, attempts int) (*dnswire.Message, time.Duration, error) {
+	return ExchangeRetryBackoff(ctx, ex, query, dst, attempts, DefaultBackoff())
+}
+
+// ExchangeRetryBackoff is ExchangeRetry with an explicit backoff schedule;
+// the zero Backoff retransmits immediately.
+func ExchangeRetryBackoff(ctx context.Context, ex Exchanger, query *dnswire.Message, dst netip.Addr, attempts int, bo Backoff) (*dnswire.Message, time.Duration, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
@@ -38,6 +123,7 @@ func ExchangeRetry(ctx context.Context, ex Exchanger, query *dnswire.Message, ds
 	if ra, ok := ex.(retryAccounter); ok {
 		retries = ra.retryCounter()
 	}
+	seed := retrySeed(query, dst)
 	var total time.Duration
 	var lastErr error
 	for i := 0; i < attempts; i++ {
@@ -46,6 +132,12 @@ func ExchangeRetry(ctx context.Context, ex Exchanger, query *dnswire.Message, ds
 				return nil, total, cerr
 			}
 			retries.Inc()
+			// The backoff wait is simulated time: it inflates both this
+			// probe's cumulative cost and any enclosing exchange's RTT,
+			// exactly like the timeout that triggered it.
+			wait := bo.Wait(seed, i)
+			total += wait
+			chargeUpstream(ctx, wait)
 		}
 		resp, rtt, err := ex.Exchange(ctx, query, dst)
 		total += rtt

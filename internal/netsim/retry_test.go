@@ -47,18 +47,87 @@ func TestExchangeRetryStopsOnCancelledContext(t *testing.T) {
 
 // TestExchangeRetryExhaustsAttemptsOnLoss pins the pre-existing contract:
 // with a live context, retries continue through losses and the final
-// error is ErrTimeout with the cumulative time of all attempts.
+// error is ErrTimeout with the cumulative time of all attempts — per-try
+// transport time plus the deterministic backoff waits between them.
 func TestExchangeRetryExhaustsAttemptsOnLoss(t *testing.T) {
 	ex := &lossyExchanger{}
 	query := dnswire.NewQuery(2, "h2.cache.example.", dnswire.TypeA)
-	_, total, err := ExchangeRetry(context.Background(), ex, query, MustAddr("192.0.2.1"), 3)
+	dst := MustAddr("192.0.2.1")
+	_, total, err := ExchangeRetry(context.Background(), ex, query, dst, 3)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}
 	if ex.calls != 3 {
 		t.Fatalf("exchanger called %d times, want 3", ex.calls)
 	}
-	if total != 30*time.Millisecond {
-		t.Fatalf("total = %v, want cumulative 30ms", total)
+	bo, seed := DefaultBackoff(), retrySeed(query, dst)
+	want := 30*time.Millisecond + bo.Wait(seed, 1) + bo.Wait(seed, 2)
+	if total != want {
+		t.Fatalf("total = %v, want %v (3 tries + 2 backoff waits)", total, want)
+	}
+}
+
+// TestExchangeRetryCumulativeTimeInvariant is the regression test for the
+// instant-retransmit bug: k failed attempts must cost at least the sum of
+// the per-try times plus (k-1) backoff waits, and each wait is bounded by
+// the schedule's jittered envelope. A retry loop that retransmits the
+// moment a timeout returns undercosts lossy probes versus the stub
+// resolver behaviour it models.
+func TestExchangeRetryCumulativeTimeInvariant(t *testing.T) {
+	const attempts = 5
+	ex := &lossyExchanger{}
+	query := dnswire.NewQuery(3, "h3.cache.example.", dnswire.TypeA)
+	dst := MustAddr("192.0.2.1")
+	_, total, err := ExchangeRetry(context.Background(), ex, query, dst, attempts)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+
+	bo := DefaultBackoff()
+	transport := time.Duration(attempts) * 10 * time.Millisecond
+	var minWait, maxWait time.Duration
+	for i := 1; i < attempts; i++ {
+		nominal := bo.Base << (i - 1) // Factor 2 doubling
+		if nominal > bo.Max {
+			nominal = bo.Max
+		}
+		minWait += time.Duration(float64(nominal) * (1 - bo.Jitter))
+		maxWait += time.Duration(float64(nominal) * (1 + bo.Jitter))
+	}
+	if total < transport+minWait || total > transport+maxWait {
+		t.Fatalf("total = %v, want within [%v, %v] (transport %v + jittered backoff)",
+			total, transport+minWait, transport+maxWait, transport)
+	}
+
+	// Determinism: the same probe retried again consumes the same waits.
+	ex2 := &lossyExchanger{}
+	_, total2, _ := ExchangeRetry(context.Background(), ex2, query, dst, attempts)
+	if total2 != total {
+		t.Fatalf("cumulative time not deterministic: %v vs %v", total, total2)
+	}
+}
+
+// TestBackoffWaitSchedule pins the schedule shape: monotone growth to the
+// cap, jitter within its envelope, zero schedule waits not at all.
+func TestBackoffWaitSchedule(t *testing.T) {
+	bo := DefaultBackoff()
+	for retry := 1; retry <= 8; retry++ {
+		nominal := bo.Base << (retry - 1)
+		if nominal > bo.Max {
+			nominal = bo.Max
+		}
+		lo := time.Duration(float64(nominal) * (1 - bo.Jitter))
+		hi := time.Duration(float64(nominal) * (1 + bo.Jitter))
+		w := bo.Wait(42, retry)
+		if w < lo || w > hi {
+			t.Errorf("Wait(42, %d) = %v, want within [%v, %v]", retry, w, lo, hi)
+		}
+		if w != bo.Wait(42, retry) {
+			t.Errorf("Wait(42, %d) not deterministic", retry)
+		}
+	}
+	var zero Backoff
+	if w := zero.Wait(42, 3); w != 0 {
+		t.Errorf("zero Backoff Wait = %v, want 0 (legacy immediate retransmit)", w)
 	}
 }

@@ -37,9 +37,10 @@ type World struct {
 	// world was created without one (all instrumentation is then no-op).
 	Metrics *metrics.Registry
 
-	nextIngress netip.Addr
-	nextEgress  netip.Addr
-	nextClient  netip.Addr
+	nextIngress    netip.Addr
+	nextEgress     netip.Addr
+	nextClient     netip.Addr
+	platformFaults *netsim.FaultProfile
 }
 
 // Options configures New.
@@ -55,6 +56,11 @@ type Options struct {
 	// Metrics, when non-nil, is attached to the network, the CDE
 	// infrastructure and every platform the world creates.
 	Metrics *metrics.Registry
+	// PlatformFaults, when non-nil, is injected into the link profile of
+	// every platform the world creates (unless a spec carries its own
+	// fault profile) — the switchboard for running any experiment under
+	// the deterministic fault substrate.
+	PlatformFaults *netsim.FaultProfile
 }
 
 // New builds a world: simulated network, virtual clock, root + TLD, and a
@@ -70,12 +76,13 @@ func New(opts Options) (*World, error) {
 		opts.TreeProfile = netsim.LinkProfile{OneWay: 5 * time.Millisecond}
 	}
 	w := &World{
-		Net:         netsim.New(opts.Seed),
-		Clock:       clock.NewVirtual(),
-		Metrics:     opts.Metrics,
-		nextIngress: netip.MustParseAddr("10.10.0.1"),
-		nextEgress:  netip.MustParseAddr("10.20.0.1"),
-		nextClient:  netip.MustParseAddr("10.30.0.1"),
+		Net:            netsim.New(opts.Seed),
+		Clock:          clock.NewVirtual(),
+		Metrics:        opts.Metrics,
+		nextIngress:    netip.MustParseAddr("10.10.0.1"),
+		nextEgress:     netip.MustParseAddr("10.20.0.1"),
+		nextClient:     netip.MustParseAddr("10.30.0.1"),
+		platformFaults: opts.PlatformFaults,
 	}
 	if opts.Metrics != nil {
 		w.Net.SetMetrics(opts.Metrics)
@@ -136,6 +143,9 @@ func (w *World) NewPlatform(spec PlatformSpec) (*platform.Platform, error) {
 	}
 	if spec.Profile == (netsim.LinkProfile{}) {
 		spec.Profile = netsim.LinkProfile{OneWay: 2 * time.Millisecond}
+	}
+	if spec.Profile.Faults == nil {
+		spec.Profile.Faults = w.platformFaults
 	}
 	ingress := netsim.AddrRange(w.nextIngress, spec.Ingress)
 	w.nextIngress = ingress[len(ingress)-1].Next()

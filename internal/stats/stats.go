@@ -50,15 +50,34 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// sortedWithoutNaN returns a sorted copy of xs with NaN samples removed.
+// sort.Float64s "sorts" NaNs to unspecified positions (every comparison
+// with NaN is false), which silently corrupts both order-statistic
+// interpolation and binary search; dropping them keeps the remaining
+// sample's statistics exact.
+func sortedWithoutNaN(xs []float64) []float64 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	sort.Float64s(sorted)
+	return sorted
+}
+
 // Percentile returns the p-th percentile (0–100) of xs using linear
-// interpolation between order statistics.
+// interpolation between order statistics. NaN samples are ignored; if no
+// real samples remain the result is NaN (distinguishable from the
+// empty-input 0).
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
+	sorted := sortedWithoutNaN(xs)
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -80,12 +99,11 @@ type CDF struct {
 	sorted []float64
 }
 
-// NewCDF builds a CDF from the sample (copied).
+// NewCDF builds a CDF from the sample (copied). NaN samples are dropped:
+// a NaN has no place on a distribution axis, and left in it would break
+// the sorted-order invariant that At's binary search depends on.
 func NewCDF(xs []float64) *CDF {
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
-	return &CDF{sorted: sorted}
+	return &CDF{sorted: sortedWithoutNaN(xs)}
 }
 
 // NewCDFInts builds a CDF from integer samples.

@@ -315,3 +315,79 @@ func TestCDFAtEdgeCases(t *testing.T) {
 		})
 	}
 }
+
+// TestPercentileNaNSamples is the regression test for NaN poisoning:
+// sort.Float64s leaves NaNs at unspecified positions (every comparison
+// involving NaN is false), so a single NaN sample used to make every
+// percentile silently wrong. NaNs are now filtered out.
+func TestPercentileNaNSamples(t *testing.T) {
+	nan := math.NaN()
+	tests := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64 // NaN means "want NaN"
+	}{
+		{"nan leading", []float64{nan, 1, 2, 3}, 50, 2},
+		{"nan trailing", []float64{1, 2, 3, nan}, 50, 2},
+		{"nan interleaved", []float64{3, nan, 1, nan, 2}, 50, 2},
+		{"nan min", []float64{nan, 5, 4}, 0, 4},
+		{"nan max", []float64{4, 5, nan}, 100, 5},
+		{"nan interpolation", []float64{nan, 1, 2, 3, 4}, 50, 2.5},
+		{"single real among nans", []float64{nan, 7, nan}, 50, 7},
+		{"all nan", []float64{nan, nan}, 50, nan},
+		{"all nan p0", []float64{nan}, 0, nan},
+		{"all nan p100", []float64{nan}, 100, nan},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Percentile(tt.xs, tt.p)
+			if math.IsNaN(tt.want) {
+				if !math.IsNaN(got) {
+					t.Errorf("Percentile(%v, %v) = %v, want NaN", tt.xs, tt.p, got)
+				}
+				return
+			}
+			if got != tt.want {
+				t.Errorf("Percentile(%v, %v) = %v, want %v", tt.xs, tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestCDFNaNSamples: NaNs must be dropped at construction, or
+// SearchFloat64s' binary search runs against an unsorted slice and
+// returns garbage indices.
+func TestCDFNaNSamples(t *testing.T) {
+	nan := math.NaN()
+	tests := []struct {
+		name    string
+		xs      []float64
+		x       float64
+		wantAt  float64
+		wantLen int
+	}{
+		{"nan leading", []float64{nan, 1, 2, 3, 4}, 2, 0.5, 4},
+		{"nan trailing", []float64{1, 2, 3, 4, nan}, 4, 1, 4},
+		{"nan interleaved", []float64{1, nan, 2, nan, 3, 4}, 0, 0, 4},
+		{"all nan", []float64{nan, nan}, 1, 0, 0},
+		{"no nan unchanged", []float64{1, 2, 3, 4}, 3, 0.75, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := NewCDF(tt.xs)
+			if c.Len() != tt.wantLen {
+				t.Errorf("NewCDF(%v).Len() = %d, want %d", tt.xs, c.Len(), tt.wantLen)
+			}
+			if got := c.At(tt.x); got != tt.wantAt {
+				t.Errorf("NewCDF(%v).At(%v) = %v, want %v", tt.xs, tt.x, got, tt.wantAt)
+			}
+			// The sorted-order invariant behind At must hold.
+			for i := 1; i < len(c.sorted); i++ {
+				if c.sorted[i-1] > c.sorted[i] {
+					t.Fatalf("NewCDF(%v) not sorted: %v", tt.xs, c.sorted)
+				}
+			}
+		})
+	}
+}

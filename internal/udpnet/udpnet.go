@@ -136,9 +136,8 @@ type Transport struct {
 
 var _ netsim.Exchanger = (*Transport)(nil)
 
-// Exchange implements netsim.Exchanger: send the query to dst:Port and
-// wait for the matching response.
-func (t *Transport) Exchange(ctx context.Context, query *dnswire.Message, dst netip.Addr) (*dnswire.Message, time.Duration, error) {
+// params resolves the configured port and timeout to their defaults.
+func (t *Transport) params() (uint16, time.Duration) {
 	port := t.Port
 	if port == 0 {
 		port = 53
@@ -147,6 +146,32 @@ func (t *Transport) Exchange(ctx context.Context, query *dnswire.Message, dst ne
 	if timeout == 0 {
 		timeout = 2 * time.Second
 	}
+	return port, timeout
+}
+
+// Exchange implements netsim.Exchanger: send the query to dst:Port and
+// wait for the matching response. With FallbackTCP set the exchange is
+// routed through the same TCPFallback wrapper the simulator exercises,
+// so a TC-bit answer is transparently re-asked over TCP.
+func (t *Transport) Exchange(ctx context.Context, query *dnswire.Message, dst netip.Addr) (*dnswire.Message, time.Duration, error) {
+	if !t.FallbackTCP {
+		return t.exchangeUDP(ctx, query, dst)
+	}
+	f := TCPFallback{UDP: ExchangerFunc(t.exchangeUDP), TCP: ExchangerFunc(t.exchangeTCP)}
+	return f.Exchange(ctx, query, dst)
+}
+
+// exchangeTCP is the fallback leg: one framed exchange to dst:Port.
+func (t *Transport) exchangeTCP(ctx context.Context, query *dnswire.Message, dst netip.Addr) (*dnswire.Message, time.Duration, error) {
+	port, timeout := t.params()
+	return ExchangeTCP(ctx, query, netip.AddrPortFrom(dst, port), timeout)
+}
+
+// exchangeUDP is the UDP leg: send, then wait for the matching response.
+// Truncated responses are returned as-is for the caller (TCPFallback) to
+// act on.
+func (t *Transport) exchangeUDP(ctx context.Context, query *dnswire.Message, dst netip.Addr) (*dnswire.Message, time.Duration, error) {
+	port, timeout := t.params()
 
 	wire, err := query.Pack()
 	if err != nil {
@@ -188,13 +213,6 @@ func (t *Transport) Exchange(ctx context.Context, query *dnswire.Message, dst ne
 		}
 		if resp.Header.ID != query.Header.ID {
 			continue // late or spoofed response
-		}
-		if resp.Header.Truncated && t.FallbackTCP {
-			full, _, err := ExchangeTCP(ctx, query, netip.AddrPortFrom(dst, port), timeout)
-			if err != nil {
-				return nil, time.Since(start), fmt.Errorf("udpnet: tcp fallback: %w", err)
-			}
-			return full, time.Since(start), nil
 		}
 		return resp, time.Since(start), nil
 	}
