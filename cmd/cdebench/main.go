@@ -24,6 +24,7 @@ import (
 	"dnscde/internal/detpar"
 	"dnscde/internal/experiments"
 	"dnscde/internal/netsim"
+	"dnscde/internal/scenario"
 )
 
 // jsonReport is the machine-readable form emitted with -json.
@@ -71,8 +72,16 @@ func run(args []string, clk clock.Clock) int {
 		verbose = fs.Bool("v", false, "with -json, include the rendered text in each object")
 		workers = fs.Int("workers", 0, "trial-loop worker count (0 = GOMAXPROCS); reports are byte-identical at any value")
 		faults  = fs.String("faults", "", "fault profile injected into every platform link, e.g. 'burst=0.11:4,servfail=0.02' (see the faults experiment)")
+
+		scenarios = fs.String("scenarios", "internal/scenario/testdata/scenarios",
+			"with -exp scenario: directory holding the *.scn corpus and its golden/ reports")
+		update = fs.Bool("update", false, "with -exp scenario: regenerate the golden reports instead of diffing")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *update && *exp != "scenario" {
+		fmt.Fprintf(os.Stderr, "cdebench: -update is only valid with -exp scenario\n")
 		return 2
 	}
 	faultProfile, err := netsim.ParseFaultProfile(*faults)
@@ -85,6 +94,10 @@ func run(args []string, clk clock.Clock) int {
 			fmt.Printf("%-22s %s\n", id, experiments.Descriptions[id])
 		}
 		return 0
+	}
+
+	if *exp == "scenario" {
+		return runScenarioConformance(context.Background(), *scenarios, *update, *asJSON)
 	}
 
 	cfg := experiments.Config{
@@ -149,6 +162,65 @@ func run(args []string, clk clock.Clock) int {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "cdebench: %d experiment(s) failed shape checks\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// scenarioJSON is the machine-readable conformance record emitted by
+// -exp scenario -json; `cdebench -exp scenario -json | tee
+// conformance.json` is the artifact CI uploads.
+type scenarioJSON struct {
+	Scenario         string          `json:"scenario"`
+	Workers          []int           `json:"workers"`
+	WorkersInvariant bool            `json:"workers_invariant"`
+	GoldenMatch      bool            `json:"golden_match"`
+	Updated          bool            `json:"updated,omitempty"`
+	Detail           string          `json:"detail,omitempty"`
+	Report           json.RawMessage `json:"report,omitempty"`
+}
+
+// runScenarioConformance executes the scenario corpus at the default
+// worker sweep and diffs (or, with update, rewrites) the golden reports.
+func runScenarioConformance(ctx context.Context, dir string, update, asJSON bool) int {
+	results, err := scenario.RunConformance(ctx, dir, scenario.DefaultWorkerSweep, update)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdebench: scenario: %v\n", err)
+		return 1
+	}
+	enc := json.NewEncoder(os.Stdout)
+	failed := 0
+	for _, res := range results {
+		if !res.Passed() {
+			failed++
+		}
+		if asJSON {
+			sj := scenarioJSON{
+				Scenario:         res.Scenario,
+				Workers:          res.Workers,
+				WorkersInvariant: res.WorkersInvariant,
+				GoldenMatch:      res.GoldenMatch,
+				Updated:          res.Updated,
+				Detail:           res.Detail,
+				Report:           json.RawMessage(res.Report),
+			}
+			if err := enc.Encode(sj); err != nil {
+				fmt.Fprintf(os.Stderr, "cdebench: encoding %s: %v\n", res.Scenario, err)
+				return 1
+			}
+			continue
+		}
+		switch {
+		case res.Updated:
+			fmt.Printf("%-24s UPDATED golden (%d bytes)\n", res.Scenario, len(res.Report))
+		case res.Passed():
+			fmt.Printf("%-24s PASS (workers %v invariant, golden match)\n", res.Scenario, res.Workers)
+		default:
+			fmt.Printf("%-24s FAIL %s\n", res.Scenario, res.Detail)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "cdebench: %d scenario(s) failed conformance\n", failed)
 		return 1
 	}
 	return 0

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"testing"
 
 	"dnscde/internal/clock"
@@ -51,5 +52,63 @@ func TestRunJSON(t *testing.T) {
 	}
 	if code := run([]string{"-exp", "resilience", "-json", "-v"}, clock.NewVirtual()); code != 0 {
 		t.Errorf("-json -v exit = %d", code)
+	}
+}
+
+// scenarioCorpus reaches the checked-in corpus from the package dir.
+const scenarioCorpus = "../../internal/scenario/testdata/scenarios"
+
+func TestRunScenarioConformance(t *testing.T) {
+	if code := run([]string{"-exp", "scenario", "-scenarios", scenarioCorpus}, clock.NewVirtual()); code != 0 {
+		t.Errorf("-exp scenario exit = %d", code)
+	}
+	if code := run([]string{"-exp", "scenario", "-scenarios", scenarioCorpus, "-json"}, clock.NewVirtual()); code != 0 {
+		t.Errorf("-exp scenario -json exit = %d", code)
+	}
+}
+
+func TestRunScenarioMissingDir(t *testing.T) {
+	if code := run([]string{"-exp", "scenario", "-scenarios", t.TempDir()}, clock.NewVirtual()); code != 1 {
+		t.Errorf("empty corpus dir exit = %d, want 1", code)
+	}
+}
+
+func TestRunScenarioInvalidGrammar(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(dir+"/bad.scn", []byte("bananas\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-exp", "scenario", "-scenarios", dir}, clock.NewVirtual()); code != 1 {
+		t.Errorf("invalid grammar exit = %d, want 1", code)
+	}
+}
+
+func TestRunUpdateRequiresScenarioExp(t *testing.T) {
+	if code := run([]string{"-exp", "fig4", "-update"}, clock.NewVirtual()); code != 2 {
+		t.Errorf("-update without -exp scenario exit = %d, want 2", code)
+	}
+}
+
+func TestRunScenarioUpdateWritesGolden(t *testing.T) {
+	dir := t.TempDir()
+	src, err := os.ReadFile(scenarioCorpus + "/open-resolver-1.scn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/open-resolver-1.scn", src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// First pass fails (no golden yet), -update writes it, verify passes.
+	if code := run([]string{"-exp", "scenario", "-scenarios", dir}, clock.NewVirtual()); code != 1 {
+		t.Errorf("missing golden exit = %d, want 1", code)
+	}
+	if code := run([]string{"-exp", "scenario", "-scenarios", dir, "-update"}, clock.NewVirtual()); code != 0 {
+		t.Errorf("-update exit = %d", code)
+	}
+	if _, err := os.Stat(dir + "/golden/open-resolver-1.json"); err != nil {
+		t.Errorf("golden not written: %v", err)
+	}
+	if code := run([]string{"-exp", "scenario", "-scenarios", dir}, clock.NewVirtual()); code != 0 {
+		t.Errorf("verify after -update exit = %d", code)
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"dnscde/internal/metrics"
 	"dnscde/internal/netsim"
 	"dnscde/internal/platform"
+	"dnscde/internal/scenario"
 	"dnscde/internal/simtest"
 	"dnscde/internal/trace"
 	"dnscde/internal/udpnet"
@@ -56,6 +57,7 @@ func run(args []string, out io.Writer) int {
 		seed      = fs.Int64("seed", 1, "simulation seed")
 		scans     = fs.Int("scans", 1, "sim mode: independent platforms to scan (each gets a derived seed)")
 		workers   = fs.Int("workers", 0, "sim mode: worker count for -scans > 1 (0 = GOMAXPROCS); output is byte-identical at any value")
+		scnFile   = fs.String("scenario", "", "sim mode: run a declarative scenario file (*.scn) instead of the flag-built platform; prints the canonical report")
 
 		target = fs.String("target", "", "udp mode: resolver address ip:port")
 		name   = fs.String("name", "", "udp mode: name to probe")
@@ -73,6 +75,18 @@ func run(args []string, out io.Writer) int {
 	}
 	switch *mode {
 	case "sim":
+		if *scnFile != "" {
+			sc, err := scenario.LoadFile(*scnFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cdescan: %v\n", err)
+				return 2
+			}
+			if err := runScenario(out, sc, *workers); err != nil {
+				fmt.Fprintf(os.Stderr, "cdescan: %v\n", err)
+				return 1
+			}
+			return 0
+		}
 		if err := runSims(out, *technique, *caches, *ingress, *egress, *selector, *loss, faultProfile, *seed, *scans, *workers); err != nil {
 			fmt.Fprintf(os.Stderr, "cdescan: %v\n", err)
 			return 1
@@ -87,6 +101,22 @@ func run(args []string, out io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// runScenario executes a declarative scenario (internal/scenario) and
+// prints its canonical JSON report — the same bytes the conformance
+// harness diffs against the goldens.
+func runScenario(out io.Writer, sc *scenario.Scenario, workers int) error {
+	report, err := scenario.Run(context.Background(), sc, scenario.RunOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	b, err := report.CanonicalJSON()
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(b)
+	return err
 }
 
 func makeSelector(kind string, seed int64) (loadbal.Selector, error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 
@@ -124,5 +125,41 @@ func TestRunSimTrace(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("trace output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestRunScenarioFlag(t *testing.T) {
+	const scn = "../../internal/scenario/testdata/scenarios/open-resolver-1.scn"
+	var a, b strings.Builder
+	if code := run([]string{"-scenario", scn, "-workers", "1"}, &a); code != 0 {
+		t.Fatalf("-scenario exit = %d", code)
+	}
+	if !strings.Contains(a.String(), `"scenario": "open-resolver-1"`) {
+		t.Errorf("canonical report missing scenario name:\n%s", a.String())
+	}
+	if code := run([]string{"-scenario", scn, "-workers", "8"}, &b); code != 0 {
+		t.Fatalf("-scenario -workers 8 exit = %d", code)
+	}
+	if a.String() != b.String() {
+		t.Error("-scenario output differs between -workers 1 and 8")
+	}
+}
+
+func TestRunScenarioMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if code := run([]string{"-scenario", "no/such/file.scn"}, &sb); code != 2 {
+		t.Errorf("missing scenario file exit = %d, want 2", code)
+	}
+}
+
+func TestRunScenarioBadGrammar(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/bad.scn"
+	if err := os.WriteFile(path, []byte("$SCENARIO x\nbananas\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if code := run([]string{"-scenario", path}, &sb); code != 2 {
+		t.Errorf("invalid scenario grammar exit = %d, want 2", code)
 	}
 }

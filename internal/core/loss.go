@@ -54,8 +54,14 @@ func (e *LossEstimator) Rate() float64 {
 
 // Replicates returns the §V carpet-bombing factor K for the current
 // estimate: the smallest K with 1-rate^K >= confidence, capped at maxK
-// (maxK <= 0 means uncapped). With no observed loss this is always 1.
+// (maxK <= 0 means uncapped). Before any probe has been recorded the
+// estimator has no evidence of loss, so K is defined to be exactly 1 —
+// never NaN-driven or confidence-dependent — and the compensated loop's
+// first probe costs the same as the uncompensated one.
 func (e *LossEstimator) Replicates(confidence float64, maxK int) int {
+	if sent, _ := e.Counts(); sent == 0 {
+		return 1
+	}
 	k := CarpetBombingFactor(e.Rate(), confidence)
 	if maxK > 0 && k > maxK {
 		k = maxK

@@ -174,3 +174,30 @@ func TestCompensatedCountsServFailAsLoss(t *testing.T) {
 		t.Errorf("ω = %d, want 2 despite SERVFAIL injection", res.Caches)
 	}
 }
+
+// TestLossEstimatorZeroProbesDefined pins the zero-probe contract: with
+// sent==0 there is no evidence of loss, so Rate is exactly 0 (never NaN
+// from 0/0) and Replicates is exactly 1 for every confidence target —
+// including the degenerate confidence >= 1 that would otherwise be
+// clamped inside CarpetBombingFactor.
+func TestLossEstimatorZeroProbesDefined(t *testing.T) {
+	var e LossEstimator
+	if r := e.Rate(); r != 0 || math.IsNaN(r) {
+		t.Errorf("Rate at sent==0 = %v, want exactly 0", r)
+	}
+	for _, conf := range []float64{0, 0.5, 0.99, 0.999999, 1, 2} {
+		if k := e.Replicates(conf, 0); k != 1 {
+			t.Errorf("Replicates(conf=%v, uncapped) at sent==0 = %d, want 1", conf, k)
+		}
+		if k := e.Replicates(conf, 8); k != 1 {
+			t.Errorf("Replicates(conf=%v, cap 8) at sent==0 = %d, want 1", conf, k)
+		}
+	}
+	// The contract holds for the metrics-seeded path too: an all-zero
+	// registry must not manufacture replication.
+	var seeded LossEstimator
+	seeded.SeedFromMetrics(metrics.New())
+	if k := seeded.Replicates(0.99, 8); k != 1 {
+		t.Errorf("Replicates after seeding from empty registry = %d, want 1", k)
+	}
+}

@@ -1,0 +1,48 @@
+package netsim
+
+import "testing"
+
+// FuzzParseFaultProfile asserts the fault-grammar parser never panics
+// and that String() of any accepted profile reparses to a profile whose
+// own String() is stable — the normalization must converge.
+func FuzzParseFaultProfile(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"burst=0.11:4",
+		"burst=0.05",
+		"servfail=0.02,refused=0.01,truncate=0.1",
+		"duplicate=0.03,late=0.02",
+		"outage=4+8",
+		"outage=0+1,outage=10+20,burst=0.11:4",
+		"burst=1:1",
+		"bogus=1",
+		"burst=",
+		"outage=4",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 1<<12 {
+			t.Skip("oversize spec")
+		}
+		fp, err := ParseFaultProfile(spec)
+		if err != nil || fp == nil {
+			return
+		}
+		s := fp.String()
+		fp2, err := ParseFaultProfile(s)
+		if err != nil {
+			t.Fatalf("String() output %q does not reparse: %v", s, err)
+		}
+		// One normalization pass must converge: the reparse's rendering is
+		// a fixpoint (the first String may round float rates).
+		s2 := fp2.String()
+		fp3, err := ParseFaultProfile(s2)
+		if err != nil {
+			t.Fatalf("second String() output %q does not reparse: %v", s2, err)
+		}
+		if s3 := fp3.String(); s3 != s2 {
+			t.Fatalf("String not convergent: %q -> %q -> %q", s, s2, s3)
+		}
+	})
+}

@@ -131,3 +131,108 @@ func TestBackoffWaitSchedule(t *testing.T) {
 		t.Errorf("zero Backoff Wait = %v, want 0 (legacy immediate retransmit)", w)
 	}
 }
+
+// TestBackoffWaitTable drives the schedule through its envelope
+// table-style: nominal growth, the 5s cap, jitter bounded by ±Jitter,
+// exactness when jitter is off, and the degenerate inputs.
+func TestBackoffWaitTable(t *testing.T) {
+	seeds := []uint64{0, 1, 42, 1 << 20, ^uint64(0)}
+	cases := []struct {
+		name    string
+		bo      Backoff
+		retry   int
+		nominal time.Duration
+	}{
+		{"first retry waits Base", DefaultBackoff(), 1, 500 * time.Millisecond},
+		{"second retry doubles", DefaultBackoff(), 2, time.Second},
+		{"third retry doubles again", DefaultBackoff(), 3, 2 * time.Second},
+		{"fifth retry hits the 5s cap", DefaultBackoff(), 5, 5 * time.Second},
+		{"deep retry stays capped", DefaultBackoff(), 40, 5 * time.Second},
+		{"no jitter is exact", Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2}, 4, 800 * time.Millisecond},
+		{"no jitter caps exactly", Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2}, 6, time.Second},
+		{"factor below 1 is constant", Backoff{Base: 100 * time.Millisecond, Factor: 0.5}, 5, 100 * time.Millisecond},
+		{"uncapped keeps growing", Backoff{Base: time.Millisecond, Factor: 2}, 10, 512 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			lo := time.Duration(float64(tc.nominal) * (1 - tc.bo.Jitter))
+			hi := time.Duration(float64(tc.nominal) * (1 + tc.bo.Jitter))
+			var minSeen, maxSeen time.Duration
+			for i, seed := range seeds {
+				w := tc.bo.Wait(seed, tc.retry)
+				if w < lo || w > hi {
+					t.Errorf("Wait(%d, %d) = %v, want within [%v, %v]", seed, tc.retry, w, lo, hi)
+				}
+				if tc.bo.Jitter == 0 && w != tc.nominal {
+					t.Errorf("Wait(%d, %d) = %v, want exactly %v with jitter off", seed, tc.retry, w, tc.nominal)
+				}
+				if w2 := tc.bo.Wait(seed, tc.retry); w2 != w {
+					t.Errorf("Wait(%d, %d) not a pure function: %v then %v", seed, tc.retry, w, w2)
+				}
+				if i == 0 || w < minSeen {
+					minSeen = w
+				}
+				if w > maxSeen {
+					maxSeen = w
+				}
+			}
+			// Jitter must actually spread the schedule: identical waits
+			// across all seeds would re-synchronise concurrent probes.
+			if tc.bo.Jitter > 0 && minSeen == maxSeen {
+				t.Errorf("Wait(%d) = %v for every seed, want seed-dependent jitter", tc.retry, minSeen)
+			}
+		})
+	}
+	t.Run("degenerate inputs wait 0", func(t *testing.T) {
+		bo := DefaultBackoff()
+		for _, retry := range []int{0, -1} {
+			if w := bo.Wait(7, retry); w != 0 {
+				t.Errorf("Wait(7, %d) = %v, want 0", retry, w)
+			}
+		}
+		if w := (Backoff{Max: time.Second, Factor: 2}).Wait(7, 3); w != 0 {
+			t.Errorf("zero-Base Wait = %v, want 0", w)
+		}
+	})
+}
+
+// cancellingExchanger cancels its context while serving attempt number
+// cancelOn, then times out — modelling a measurement aborted while a
+// probe is in flight. Like udpnet.Transport, it reports the expiry as a
+// plain timeout; surfacing ctx.Err() is the retry loop's job.
+type cancellingExchanger struct {
+	cancel   context.CancelFunc
+	cancelOn int
+	calls    int
+}
+
+func (c *cancellingExchanger) Exchange(ctx context.Context, query *dnswire.Message, dst netip.Addr) (*dnswire.Message, time.Duration, error) {
+	c.calls++
+	if c.calls == c.cancelOn {
+		c.cancel()
+	}
+	return nil, 10 * time.Millisecond, ErrTimeout
+}
+
+// TestExchangeRetryBackoffCancelledMidSequence: when the context is
+// cancelled while an attempt is in flight, the loop must stop before the
+// next retransmission and surface ctx.Err() — not ErrTimeout — no matter
+// how deep into the attempt budget the cancellation lands.
+func TestExchangeRetryBackoffCancelledMidSequence(t *testing.T) {
+	for _, cancelOn := range []int{1, 2, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		ex := &cancellingExchanger{cancel: cancel, cancelOn: cancelOn}
+		query := dnswire.NewQuery(4, "h4.cache.example.", dnswire.TypeA)
+		_, _, err := ExchangeRetryBackoff(ctx, ex, query, MustAddr("192.0.2.1"), 8, DefaultBackoff())
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelOn=%d: err = %v, want context.Canceled", cancelOn, err)
+		}
+		if errors.Is(err, ErrTimeout) {
+			t.Errorf("cancelOn=%d: err = %v, must not read as packet loss", cancelOn, err)
+		}
+		if ex.calls != cancelOn {
+			t.Errorf("cancelOn=%d: %d attempts, want %d (no retransmit after cancel)", cancelOn, ex.calls, cancelOn)
+		}
+		cancel()
+	}
+}

@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"context"
+	"flag"
+	"os"
+	"testing"
+)
+
+// update regenerates the golden reports:
+//
+//	go test ./internal/scenario -run TestConformance -update
+var update = flag.Bool("update", false, "rewrite golden scenario reports")
+
+const corpusDir = "testdata/scenarios"
+
+// TestConformance is the corpus lock: every scenario in
+// testdata/scenarios must produce byte-identical canonical reports at
+// workers=1 and workers=8, matching the checked-in golden.
+func TestConformance(t *testing.T) {
+	results, err := RunConformance(context.Background(), corpusDir, DefaultWorkerSweep, *update)
+	if err != nil {
+		t.Fatalf("RunConformance: %v", err)
+	}
+	if len(results) < 8 {
+		t.Errorf("corpus has %d scenarios, want >= 8", len(results))
+	}
+	for _, res := range results {
+		res := res
+		t.Run(res.Scenario, func(t *testing.T) {
+			if !res.WorkersInvariant {
+				t.Fatalf("not worker-invariant: %s", res.Detail)
+			}
+			if res.Updated {
+				t.Logf("golden updated (%d bytes)", len(res.Report))
+				return
+			}
+			if !res.GoldenMatch {
+				t.Errorf("golden drift: %s", res.Detail)
+			}
+		})
+	}
+}
+
+// TestConformanceUpdateIsDeterministic regenerates goldens into a
+// scratch corpus twice and verifies the second pass sees no drift — the
+// -update workflow itself must be a fixpoint.
+func TestConformanceUpdateIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double corpus run")
+	}
+	dir := t.TempDir()
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A two-file sub-corpus keeps the double run cheap.
+	copied := 0
+	for _, e := range entries {
+		if e.IsDir() || copied == 2 {
+			continue
+		}
+		b, err := os.ReadFile(corpusDir + "/" + e.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dir+"/"+e.Name(), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		copied++
+	}
+	ctx := context.Background()
+	if _, err := RunConformance(ctx, dir, []int{1}, true); err != nil {
+		t.Fatalf("update pass: %v", err)
+	}
+	results, err := RunConformance(ctx, dir, []int{1}, false)
+	if err != nil {
+		t.Fatalf("verify pass: %v", err)
+	}
+	for _, res := range results {
+		if !res.Passed() {
+			t.Errorf("%s: drift right after -update: %s", res.Scenario, res.Detail)
+		}
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("LoadDir(empty) = nil error, want 'no files'")
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"a.scn", "b.scn"} {
+		text := "$SCENARIO samename\nplatform p (\n)\nworkload direct (\n)\n"
+		if err := os.WriteFile(dir+"/"+name, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Error("LoadDir with duplicate scenario names = nil error, want collision")
+	}
+}
+
+func TestConformanceMissingGolden(t *testing.T) {
+	dir := t.TempDir()
+	text := "$SCENARIO orphan\n$TRIALS 1\nplatform p (\n)\nworkload direct (\n    queries 4\n)\n"
+	if err := os.WriteFile(dir+"/orphan.scn", []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunConformance(context.Background(), dir, []int{1}, false)
+	if err != nil {
+		t.Fatalf("RunConformance: %v", err)
+	}
+	if len(results) != 1 || results[0].Passed() {
+		t.Errorf("missing golden passed: %+v", results)
+	}
+}

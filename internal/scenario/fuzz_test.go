@@ -1,0 +1,38 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzScenarioParse asserts the parser never panics and that any input
+// it accepts round-trips: Format output must reparse, and Format must be
+// a fixpoint of parse∘Format.
+func FuzzScenarioParse(f *testing.F) {
+	f.Add(minimal)
+	f.Add("$SCENARIO x\n$SEED 7\n$TRIALS 2\nplatform p (\n    caches 8\n    selector round-robin\n    min-ttl 30s\n    link oneway=5ms jitter=1ms loss=0.01\n    faults burst=0.11:4,servfail=0.02\n)\nworkload direct (\n    queries 24\n    compensated\n)\n")
+	f.Add("$SCENARIO f\nplatform up (\n)\nplatform dn (\n    forward up\n)\nworkload adnet (\n    clients 4\n)\n")
+	f.Add("; comment\n$BOGUS\nplatform (\n")
+	// The checked-in corpus seeds the interesting grammar corners.
+	paths, _ := filepath.Glob(filepath.Join(corpusDir, "*"+ScenarioExt))
+	for _, p := range paths {
+		if b, err := os.ReadFile(p); err == nil {
+			f.Add(string(b))
+		}
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		sc, err := ParseString(text)
+		if err != nil {
+			return
+		}
+		formatted := sc.Format()
+		sc2, err := ParseString(formatted)
+		if err != nil {
+			t.Fatalf("Format output does not reparse: %v\n%s", err, formatted)
+		}
+		if got := sc2.Format(); got != formatted {
+			t.Fatalf("Format not a fixpoint:\nfirst:\n%s\nsecond:\n%s", formatted, got)
+		}
+	})
+}

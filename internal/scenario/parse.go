@@ -1,0 +1,358 @@
+package scenario
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"dnscde/internal/netsim"
+)
+
+// Parse errors. Every parse failure wraps ErrParse, so callers can
+// distinguish bad grammar from I/O failures.
+var ErrParse = errors.New("scenario: parse error")
+
+// maxScenarioBytes bounds a scenario file; the grammar describes
+// topologies, not data, so anything larger is a mistake (or a fuzzer).
+const maxScenarioBytes = 1 << 20
+
+// Parse reads a scenario file and returns the validated scenario.
+//
+// The grammar is zone-file flavoured: ';' starts a comment, '$'
+// directives carry scalar metadata, and stanzas are parenthesised
+// blocks with one "key value..." setting per line:
+//
+//	; open resolver with 4 hidden caches
+//	$SCENARIO open-resolver-4
+//	$SEED     42
+//	$TRIALS   3
+//
+//	platform target (
+//	    caches   4
+//	    ingress  2
+//	    egress   6
+//	    selector random
+//	    link     oneway=2ms jitter=1ms loss=0.01
+//	    faults   burst=0.05:4,servfail=0.02
+//	)
+//
+//	workload direct (
+//	    queries    24
+//	    replicates 2
+//	)
+//
+// The parser is strict: unknown directives, unknown stanza keys,
+// duplicate keys, values out of range and unterminated stanzas are all
+// errors carrying the offending line number.
+func Parse(r io.Reader) (*Scenario, error) {
+	p := &parser{s: &Scenario{}}
+	scanner := bufio.NewScanner(io.LimitReader(r, maxScenarioBytes+1))
+	scanner.Buffer(make([]byte, 0, 4096), 256*1024)
+	read := 0
+	for scanner.Scan() {
+		p.lineNo++
+		read += len(scanner.Bytes()) + 1
+		if read > maxScenarioBytes {
+			return nil, fmt.Errorf("%w: file exceeds %d bytes", ErrParse, maxScenarioBytes)
+		}
+		if err := p.line(scanner.Text()); err != nil {
+			return nil, fmt.Errorf("line %d: %w", p.lineNo, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	if p.block != "" {
+		return nil, fmt.Errorf("%w: unterminated %s stanza opened on line %d", ErrParse, p.block, p.blockLine)
+	}
+	if err := p.s.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	return p.s, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(text string) (*Scenario, error) {
+	return Parse(strings.NewReader(text))
+}
+
+type parser struct {
+	s      *Scenario
+	lineNo int
+	// block is "" at top level, "platform" or "workload" inside a stanza.
+	block     string
+	blockLine int
+	keys      map[string]bool // keys seen in the current stanza
+	dirs      map[string]bool // $ directives seen
+	plat      *PlatformDef
+	work      *WorkloadDef
+}
+
+// stripComment removes a ';' comment.
+func stripComment(line string) string {
+	if i := strings.IndexByte(line, ';'); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+func (p *parser) line(raw string) error {
+	line := strings.TrimSpace(stripComment(raw))
+	if line == "" {
+		return nil
+	}
+	fields := strings.Fields(line)
+
+	if p.block != "" {
+		return p.stanzaLine(fields)
+	}
+
+	switch key := fields[0]; {
+	case strings.HasPrefix(key, "$"):
+		return p.directive(fields)
+	case key == "platform":
+		if len(fields) != 3 || fields[2] != "(" {
+			return fmt.Errorf("%w: want 'platform <name> ('", ErrParse)
+		}
+		p.openBlock("platform")
+		p.s.Platforms = append(p.s.Platforms, PlatformDef{Name: fields[1]})
+		p.plat = &p.s.Platforms[len(p.s.Platforms)-1]
+		return nil
+	case key == "workload":
+		if len(fields) != 3 || fields[2] != "(" {
+			return fmt.Errorf("%w: want 'workload <kind> ('", ErrParse)
+		}
+		p.openBlock("workload")
+		p.s.Workloads = append(p.s.Workloads, WorkloadDef{Kind: fields[1]})
+		p.work = &p.s.Workloads[len(p.s.Workloads)-1]
+		return nil
+	default:
+		return fmt.Errorf("%w: unexpected %q at top level (want a $ directive, 'platform' or 'workload')", ErrParse, key)
+	}
+}
+
+func (p *parser) openBlock(kind string) {
+	p.block = kind
+	p.blockLine = p.lineNo
+	p.keys = map[string]bool{}
+}
+
+func (p *parser) directive(fields []string) error {
+	name := strings.ToUpper(fields[0])
+	if p.dirs == nil {
+		p.dirs = map[string]bool{}
+	}
+	if p.dirs[name] {
+		return fmt.Errorf("%w: duplicate directive %s", ErrParse, name)
+	}
+	p.dirs[name] = true
+	if len(fields) != 2 {
+		return fmt.Errorf("%w: %s wants exactly one argument", ErrParse, name)
+	}
+	switch name {
+	case "$SCENARIO":
+		p.s.Name = fields[1]
+	case "$SEED":
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("%w: $SEED wants a positive integer, have %q", ErrParse, fields[1])
+		}
+		p.s.Seed = v
+	case "$TRIALS":
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("%w: $TRIALS wants an integer, have %q", ErrParse, fields[1])
+		}
+		p.s.Trials = v
+	default:
+		return fmt.Errorf("%w: unknown directive %s", ErrParse, name)
+	}
+	return nil
+}
+
+func (p *parser) stanzaLine(fields []string) error {
+	if fields[0] == ")" {
+		if len(fields) != 1 {
+			return fmt.Errorf("%w: ')' must stand alone", ErrParse)
+		}
+		p.block, p.plat, p.work = "", nil, nil
+		return nil
+	}
+	key := fields[0]
+	if p.keys[key] {
+		return fmt.Errorf("%w: duplicate key %q in %s stanza", ErrParse, key, p.block)
+	}
+	p.keys[key] = true
+	args := fields[1:]
+	if p.block == "platform" {
+		return p.platformKey(key, args)
+	}
+	return p.workloadKey(key, args)
+}
+
+func (p *parser) platformKey(key string, args []string) error {
+	one := func() (string, error) {
+		if len(args) != 1 {
+			return "", fmt.Errorf("%w: %s wants exactly one value", ErrParse, key)
+		}
+		return args[0], nil
+	}
+	switch key {
+	case "caches", "ingress", "egress", "capacity":
+		v, err := one()
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return fmt.Errorf("%w: %s wants a non-negative integer, have %q", ErrParse, key, v)
+		}
+		switch key {
+		case "caches":
+			p.plat.Caches = n
+		case "ingress":
+			p.plat.Ingress = n
+		case "egress":
+			p.plat.Egress = n
+		case "capacity":
+			p.plat.Capacity = n
+		}
+	case "selector":
+		v, err := one()
+		if err != nil {
+			return err
+		}
+		p.plat.Selector = v
+	case "egress-policy":
+		v, err := one()
+		if err != nil {
+			return err
+		}
+		p.plat.EgressPolicy = v
+	case "min-ttl", "max-ttl":
+		v, err := one()
+		if err != nil {
+			return err
+		}
+		d, err := parseDuration(v)
+		if err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrParse, key, err)
+		}
+		if key == "min-ttl" {
+			p.plat.MinTTL = d
+		} else {
+			p.plat.MaxTTL = d
+		}
+	case "link":
+		if len(args) == 0 {
+			return fmt.Errorf("%w: link wants oneway=/jitter=/loss= terms", ErrParse)
+		}
+		for _, term := range args {
+			k, v, ok := strings.Cut(term, "=")
+			if !ok {
+				return fmt.Errorf("%w: link term %q: want key=value", ErrParse, term)
+			}
+			switch k {
+			case "oneway", "jitter":
+				d, err := parseDuration(v)
+				if err != nil {
+					return fmt.Errorf("%w: link %s: %v", ErrParse, k, err)
+				}
+				if k == "oneway" {
+					p.plat.LinkOneWay = d
+				} else {
+					p.plat.LinkJitter = d
+				}
+			case "loss":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return fmt.Errorf("%w: link loss %q: want a float", ErrParse, v)
+				}
+				p.plat.LinkLoss = f
+			default:
+				return fmt.Errorf("%w: unknown link term %q", ErrParse, k)
+			}
+		}
+	case "faults":
+		v, err := one()
+		if err != nil {
+			return err
+		}
+		fp, err := netsim.ParseFaultProfile(v)
+		if err != nil {
+			return fmt.Errorf("%w: faults: %v", ErrParse, err)
+		}
+		p.plat.Faults = fp
+		p.plat.FaultsSpec = v
+	case "forward":
+		v, err := one()
+		if err != nil {
+			return err
+		}
+		p.plat.ForwardTo = v
+	default:
+		return fmt.Errorf("%w: unknown platform key %q", ErrParse, key)
+	}
+	return nil
+}
+
+func (p *parser) workloadKey(key string, args []string) error {
+	one := func() (string, error) {
+		if len(args) != 1 {
+			return "", fmt.Errorf("%w: %s wants exactly one value", ErrParse, key)
+		}
+		return args[0], nil
+	}
+	switch key {
+	case "platform":
+		v, err := one()
+		if err != nil {
+			return err
+		}
+		p.work.Platform = v
+	case "queries", "replicates", "clients":
+		v, err := one()
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return fmt.Errorf("%w: %s wants a non-negative integer, have %q", ErrParse, key, v)
+		}
+		switch key {
+		case "queries":
+			p.work.Queries = n
+		case "replicates":
+			p.work.Replicates = n
+		case "clients":
+			p.work.Clients = n
+		}
+	case "compensated":
+		if len(args) != 0 {
+			return fmt.Errorf("%w: compensated takes no value", ErrParse)
+		}
+		p.work.Compensated = true
+	default:
+		return fmt.Errorf("%w: unknown workload key %q", ErrParse, key)
+	}
+	return nil
+}
+
+// parseDuration accepts Go duration syntax plus a bare "0".
+func parseDuration(s string) (time.Duration, error) {
+	if s == "0" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %q", s)
+	}
+	return d, nil
+}

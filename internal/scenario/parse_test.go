@@ -1,0 +1,205 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+const minimal = `
+$SCENARIO t
+platform p (
+    caches 2
+)
+workload direct (
+)
+`
+
+func TestParseMinimalDefaults(t *testing.T) {
+	sc, err := ParseString(minimal)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if sc.Name != "t" || sc.Seed != 1 || sc.Trials != 3 {
+		t.Errorf("defaults = %q/%d/%d, want t/1/3", sc.Name, sc.Seed, sc.Trials)
+	}
+	p := sc.Platforms[0]
+	if p.Caches != 2 || p.Ingress != 1 || p.Egress != 1 {
+		t.Errorf("platform shape = %d/%d/%d, want 2/1/1", p.Caches, p.Ingress, p.Egress)
+	}
+	if p.Selector != "random" || p.EgressPolicy != "random" {
+		t.Errorf("policies = %q/%q, want random/random", p.Selector, p.EgressPolicy)
+	}
+	if p.LinkOneWay != 2*time.Millisecond {
+		t.Errorf("default oneway = %v, want 2ms", p.LinkOneWay)
+	}
+	w := sc.Workloads[0]
+	if w.Platform != "p" {
+		t.Errorf("workload platform = %q, want p (first platform)", w.Platform)
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	sc, err := ParseString(`
+; full grammar exercise
+$SCENARIO full-demo
+$SEED 7
+$TRIALS 2
+
+platform upstream (
+    caches        8
+    ingress       2
+    egress        4
+    selector      round-robin
+    egress-policy per-cache
+    min-ttl       30s
+    max-ttl       1h
+    capacity      512
+    link          oneway=5ms jitter=1ms loss=0.01
+    faults        burst=0.11:4,servfail=0.02
+)
+
+platform front ( ; forwards upstream
+    caches  4
+    forward upstream
+)
+
+workload direct (
+    platform   front
+    queries    24
+    replicates 2
+    compensated
+)
+
+workload adnet (
+    platform front
+    clients  12
+)
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	up := sc.Platforms[0]
+	if up.MinTTL != 30*time.Second || up.MaxTTL != time.Hour || up.Capacity != 512 {
+		t.Errorf("TTL policy = %v/%v/%d", up.MinTTL, up.MaxTTL, up.Capacity)
+	}
+	if up.Faults == nil || up.Faults.ServFailRate != 0.02 {
+		t.Errorf("faults = %v, want burst+servfail profile", up.Faults)
+	}
+	if up.LinkLoss != 0.01 || up.LinkJitter != time.Millisecond {
+		t.Errorf("link = loss %v jitter %v", up.LinkLoss, up.LinkJitter)
+	}
+	if sc.Platforms[1].ForwardTo != "upstream" {
+		t.Errorf("forward = %q, want upstream", sc.Platforms[1].ForwardTo)
+	}
+	d := sc.Workloads[0]
+	if !d.Compensated || d.Queries != 24 || d.Replicates != 2 {
+		t.Errorf("direct workload = %+v", d)
+	}
+	if sc.Workloads[1].Clients != 12 {
+		t.Errorf("adnet clients = %d, want 12", sc.Workloads[1].Clients)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"empty", "", "missing $SCENARIO"},
+		{"no platform", "$SCENARIO x\nworkload direct (\n)\n", "no platform"},
+		{"no workload", "$SCENARIO x\nplatform p (\n)\n", "no workload"},
+		{"unknown directive", "$BOGUS 1\n", "unknown directive"},
+		{"duplicate directive", "$SEED 1\n$SEED 2\n", "duplicate directive"},
+		{"bad seed", "$SCENARIO x\n$SEED zero\n", "positive integer"},
+		{"seed zero", "$SCENARIO x\n$SEED 0\n", "positive integer"},
+		{"trials range", "$SCENARIO x\n$TRIALS 9999\nplatform p (\n)\nworkload direct (\n)\n", "out of range"},
+		{"top-level junk", "$SCENARIO x\nbananas\n", "unexpected"},
+		{"unterminated", "$SCENARIO x\nplatform p (\ncaches 1\n", "unterminated platform stanza"},
+		{"close with junk", "$SCENARIO x\nplatform p (\n) trailing\n", "stand alone"},
+		{"unknown platform key", "$SCENARIO x\nplatform p (\nwidth 3\n)\n", "unknown platform key"},
+		{"duplicate key", "$SCENARIO x\nplatform p (\ncaches 1\ncaches 2\n)\n", "duplicate key"},
+		{"bad caches", "$SCENARIO x\nplatform p (\ncaches minus\n)\n", "non-negative integer"},
+		{"caches range", "$SCENARIO x\nplatform p (\ncaches 20000\n)\nworkload direct (\n)\n", "out of range"},
+		{"bad selector", "$SCENARIO x\nplatform p (\nselector fancy\n)\nworkload direct (\n)\n", "unknown selector"},
+		{"bad egress policy", "$SCENARIO x\nplatform p (\negress-policy fancy\n)\nworkload direct (\n)\n", "unknown egress-policy"},
+		{"bad link term", "$SCENARIO x\nplatform p (\nlink speed=1\n)\n", "unknown link term"},
+		{"link no eq", "$SCENARIO x\nplatform p (\nlink oneway\n)\n", "want key=value"},
+		{"bad duration", "$SCENARIO x\nplatform p (\nlink oneway=fast\n)\n", "bad duration"},
+		{"loss range", "$SCENARIO x\nplatform p (\nlink loss=1.5\n)\nworkload direct (\n)\n", "out of range"},
+		{"bad faults", "$SCENARIO x\nplatform p (\nfaults bogus=1\n)\n", "unknown fault key"},
+		{"ttl order", "$SCENARIO x\nplatform p (\nmin-ttl 1h\nmax-ttl 1s\n)\nworkload direct (\n)\n", "bad TTL policy"},
+		{"dup platform", "$SCENARIO x\nplatform p (\n)\nplatform p (\n)\nworkload direct (\n)\n", "duplicate platform"},
+		{"self forward", "$SCENARIO x\nplatform p (\nforward p\n)\nworkload direct (\n)\n", "forwards to itself"},
+		{"forward later", "$SCENARIO x\nplatform p (\nforward q\n)\nplatform q (\n)\nworkload direct (\n)\n", "earlier-declared"},
+		{"unknown workload kind", "$SCENARIO x\nplatform p (\n)\nworkload teleport (\n)\n", "unknown workload kind"},
+		{"unknown workload key", "$SCENARIO x\nplatform p (\n)\nworkload direct (\nspeed 1\n)\n", "unknown workload key"},
+		{"workload platform", "$SCENARIO x\nplatform p (\n)\nworkload direct (\nplatform q\n)\n", "unknown platform"},
+		{"compensated chain", "$SCENARIO x\nplatform p (\n)\nworkload chain (\ncompensated\n)\n", "only valid for kind direct"},
+		{"compensated value", "$SCENARIO x\nplatform p (\n)\nworkload direct (\ncompensated yes\n)\n", "takes no value"},
+		{"clients on direct", "$SCENARIO x\nplatform p (\n)\nworkload direct (\nclients 4\n)\n", "only valid for kind adnet"},
+		{"bad name", "$SCENARIO Nope!\nplatform p (\n)\nworkload direct (\n)\n", "bad name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.text)
+			if err == nil {
+				t.Fatalf("Parse(%q): want error containing %q, got nil", tc.text, tc.want)
+			}
+			if !errors.Is(err, ErrParse) {
+				t.Errorf("error %v does not wrap ErrParse", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseReportsLineNumbers(t *testing.T) {
+	_, err := ParseString("$SCENARIO x\nplatform p (\n    caches 1\n    caches 2\n)\n")
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("error %v, want line 4 attribution", err)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	for _, text := range []string{minimal, `
+$SCENARIO round-trip
+$SEED 99
+$TRIALS 2
+platform up (
+    caches 8
+    selector round-robin
+    faults burst=0.05:4,outage=4+8
+)
+platform down (
+    caches 2
+    min-ttl 30s
+    capacity 128
+    forward up
+)
+workload direct (
+    platform down
+    queries 24
+    compensated
+)
+workload adnet (
+    platform down
+    clients 6
+)
+`} {
+		sc, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		formatted := sc.Format()
+		sc2, err := ParseString(formatted)
+		if err != nil {
+			t.Fatalf("reparse of Format output: %v\n%s", err, formatted)
+		}
+		if got := sc2.Format(); got != formatted {
+			t.Errorf("Format not a fixpoint:\nfirst:\n%s\nsecond:\n%s", formatted, got)
+		}
+	}
+}

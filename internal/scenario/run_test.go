@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// runCanonical parses text and returns the canonical report bytes.
+func runCanonical(t *testing.T, text string, workers int) []byte {
+	t.Helper()
+	sc, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	report, err := Run(context.Background(), sc, RunOptions{Workers: workers})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := report.CanonicalJSON()
+	if err != nil {
+		t.Fatalf("CanonicalJSON: %v", err)
+	}
+	return b
+}
+
+const smallScenario = `
+$SCENARIO small
+$SEED 3
+$TRIALS 4
+platform p (
+    caches  4
+    ingress 2
+    egress  3
+)
+workload direct (
+    queries 32
+)
+workload hierarchy (
+    queries 32
+)
+`
+
+func TestRunMeasuresDeclaredTopology(t *testing.T) {
+	sc, err := ParseString(smallScenario)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	report, err := Run(context.Background(), sc, RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(report.Workloads) != 2 {
+		t.Fatalf("workloads = %d, want 2", len(report.Workloads))
+	}
+	for _, wr := range report.Workloads {
+		if wr.TruthCaches != 4 {
+			t.Errorf("%s: truth = %d, want 4", wr.Kind, wr.TruthCaches)
+		}
+		// 32 probes against 4 caches under uniform selection cover all
+		// caches with probability ~1-4·(3/4)^32 ≈ 0.9996 per trial.
+		if wr.MeanCaches < 3.5 || wr.MeanCaches > 4 {
+			t.Errorf("%s: mean ω = %v, want ≈ 4", wr.Kind, wr.MeanCaches)
+		}
+		if len(wr.CachesPerTrial) != sc.Trials {
+			t.Errorf("%s: %d per-trial entries, want %d", wr.Kind, len(wr.CachesPerTrial), sc.Trials)
+		}
+		if wr.ProbesSent == 0 {
+			t.Errorf("%s: no probes accounted", wr.Kind)
+		}
+	}
+	if report.Cost.Probes == 0 || report.Cost.Packets == 0 {
+		t.Errorf("cost = %+v, want non-zero probe/packet accounting", report.Cost)
+	}
+}
+
+func TestRunWorkerInvariance(t *testing.T) {
+	seq := runCanonical(t, smallScenario, 1)
+	for _, workers := range []int{2, 8} {
+		par := runCanonical(t, smallScenario, workers)
+		if !bytes.Equal(seq, par) {
+			t.Errorf("workers=%d report differs from workers=1:\n%s", workers, firstDiff(seq, par))
+		}
+	}
+}
+
+func TestRunRepeatable(t *testing.T) {
+	a := runCanonical(t, smallScenario, 4)
+	b := runCanonical(t, smallScenario, 4)
+	if !bytes.Equal(a, b) {
+		t.Errorf("two identical runs differ: %s", firstDiff(a, b))
+	}
+}
+
+func TestRunForwarderChain(t *testing.T) {
+	report, err := Run(context.Background(), mustParse(t, `
+$SCENARIO fwd
+$TRIALS 2
+platform up (
+    caches 4
+)
+platform front (
+    caches 1
+    forward up
+)
+workload direct (
+    platform front
+    queries 32
+)
+`), RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// A single-cache forwarder shields the upstream tier: after its one
+	// miss the honey record is cached frontside, so ω measures 1.
+	if got := report.Workloads[0].MeanCaches; got != 1 {
+		t.Errorf("single-cache forwarder ω = %v, want 1", got)
+	}
+}
+
+func TestRunFaultyScenarioCompensates(t *testing.T) {
+	report, err := Run(context.Background(), mustParse(t, `
+$SCENARIO lossy
+$SEED 55
+$TRIALS 3
+platform p (
+    caches 8
+    faults burst=0.11:4
+)
+workload direct (
+    queries 50
+)
+workload direct (
+    queries 50
+    compensated
+)
+`), RunOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	raw, comp := report.Workloads[0], report.Workloads[1]
+	if comp.MeanCaches < raw.MeanCaches {
+		t.Errorf("compensated ω %v < raw ω %v under 11%% burst loss", comp.MeanCaches, raw.MeanCaches)
+	}
+	if comp.ProbesSent <= raw.ProbesSent {
+		t.Errorf("compensated probes %d <= raw %d, want inflation", comp.ProbesSent, raw.ProbesSent)
+	}
+	if report.Cost.PacketsLost == 0 {
+		t.Errorf("no packets lost under burst=0.11")
+	}
+}
+
+func TestRunRejectsInvalidScenario(t *testing.T) {
+	_, err := Run(context.Background(), &Scenario{}, RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "$SCENARIO") {
+		t.Errorf("Run(zero scenario) = %v, want validation error", err)
+	}
+}
+
+func mustParse(t *testing.T, text string) *Scenario {
+	t.Helper()
+	sc, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return sc
+}
