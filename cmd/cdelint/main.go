@@ -1,29 +1,45 @@
 // Command cdelint runs the repository's static-analysis suite
 // (internal/lint): project-specific invariants — deterministic time and
 // randomness, context plumbing on blocking I/O, mutex-copy and
-// goroutine-leak heuristics, and wire-buffer bounds discipline — that go
-// vet cannot express.
+// goroutine-leak heuristics, wire-buffer bounds discipline, hot-path
+// allocation budgets, enum exhaustiveness, simulated-time purity and
+// error-chain hygiene — that go vet cannot express.
 //
 // Usage:
 //
 //	cdelint ./...
 //	cdelint -list
-//	cdelint ./internal/dnswire ./internal/udpnet/...
+//	cdelint -run hotalloc,errflow ./internal/dnswire ./internal/udpnet/...
+//	cdelint -json ./... > findings.json
+//	cdelint -baseline lint.baseline -ratchet ./...
+//	cdelint -baseline lint.baseline -write-baseline ./...
 //
 // A `dir/...` argument lints the whole subtree; a plain directory lints
 // just that package. Deliberate exceptions are annotated in the source:
 //
 //	//cdelint:allow walltime socket deadlines are wall-clock by definition
 //
-// cdelint exits 1 when it reports findings, 2 on usage or load errors.
+// The baseline file records accepted pre-existing findings as
+// line-number-free entries (`<file> <analyzer> <message>`), so findings
+// survive unrelated edits that shift line numbers. With -baseline,
+// baselined findings are filtered out and only new findings fail the
+// run; with -ratchet, entries that no longer match any finding (the debt
+// was paid) also fail the run until they are removed from the file —
+// the baseline only shrinks. -write-baseline rewrites the file from the
+// current findings.
+//
+// cdelint exits 1 when it reports findings (or a stale ratchet entry),
+// 2 on usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"dnscde/internal/lint"
@@ -38,10 +54,30 @@ func main() {
 	os.Exit(run(os.Args[1:], cwd, os.Stdout, os.Stderr))
 }
 
+// jsonReport is the stable machine-readable output schema (version 1).
+type jsonReport struct {
+	Version     int        `json:"version"`
+	Diagnostics []jsonDiag `json:"diagnostics"`
+	Count       int        `json:"count"`
+}
+
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, cwd string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cdelint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	baselinePath := fs.String("baseline", "", "baseline file of accepted findings")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite the -baseline file from current findings and exit")
+	ratchet := fs.Bool("ratchet", false, "with -baseline: fail on stale entries that no longer match a finding")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -50,6 +86,20 @@ func run(args []string, cwd string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
 		}
 		return 0
+	}
+	if (*writeBaseline || *ratchet) && *baselinePath == "" {
+		fmt.Fprintln(stderr, "cdelint: -write-baseline and -ratchet require -baseline")
+		return 2
+	}
+
+	analyzers := lint.Analyzers()
+	if *runNames != "" {
+		var err error
+		analyzers, err = lint.Select(*runNames)
+		if err != nil {
+			fmt.Fprintf(stderr, "cdelint: %v\n", err)
+			return 2
+		}
 	}
 
 	patterns := fs.Args()
@@ -81,17 +131,155 @@ func run(args []string, cwd string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cdelint: %v\n", err)
 		return 2
 	}
-	diags := tree.Run(lint.Analyzers())
-	for _, d := range diags {
+	diags := tree.Run(analyzers)
+	for i := range diags {
 		// Print module-relative paths so output is stable across checkouts.
-		if rel, err := filepath.Rel(moduleRoot, d.Pos.Filename); err == nil {
-			d.Pos.Filename = filepath.ToSlash(rel)
+		if rel, err := filepath.Rel(moduleRoot, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = filepath.ToSlash(rel)
 		}
-		fmt.Fprintln(stdout, d.String())
 	}
+
+	if *writeBaseline {
+		path := *baselinePath
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(cwd, path)
+		}
+		if err := saveBaseline(path, diags); err != nil {
+			fmt.Fprintf(stderr, "cdelint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "cdelint: wrote %d baseline entr%s to %s\n",
+			len(diags), plural(len(diags), "y", "ies"), *baselinePath)
+		return 0
+	}
+
+	var stale []string
+	if *baselinePath != "" {
+		path := *baselinePath
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(cwd, path)
+		}
+		accepted, err := loadBaseline(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "cdelint: %v\n", err)
+			return 2
+		}
+		diags, stale = applyBaseline(diags, accepted)
+	}
+
+	if *jsonOut {
+		report := jsonReport{Version: 1, Diagnostics: []jsonDiag{}, Count: len(diags)}
+		for _, d := range diags {
+			report.Diagnostics = append(report.Diagnostics, jsonDiag{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(stderr, "cdelint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+
+	failed := false
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "cdelint: %d finding(s)\n", len(diags))
+		failed = true
+	}
+	if *ratchet && len(stale) > 0 {
+		fmt.Fprintf(stderr, "cdelint: %d stale baseline entr%s (fixed findings still listed — remove them):\n",
+			len(stale), plural(len(stale), "y", "ies"))
+		for _, entry := range stale {
+			fmt.Fprintf(stderr, "  %s\n", entry)
+		}
+		failed = true
+	}
+	if failed {
 		return 1
 	}
 	return 0
+}
+
+// baselineKey is the line-number-free identity of a finding: file,
+// analyzer and message. Line and column are deliberately excluded so a
+// baseline survives unrelated edits above the finding.
+func baselineKey(d lint.Diagnostic) string {
+	return d.Pos.Filename + " " + d.Analyzer + " " + d.Message
+}
+
+// loadBaseline reads accepted findings as a multiset of keys. Blank lines
+// and lines starting with '#' are ignored. A missing file is an error —
+// passing -baseline asserts the file is part of the checkout.
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	accepted := map[string]int{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		accepted[line]++
+	}
+	return accepted, nil
+}
+
+// applyBaseline filters diags through the accepted multiset: each
+// matching finding consumes one baseline count. It returns the remaining
+// (new) findings and the stale entries whose counts were never consumed.
+func applyBaseline(diags []lint.Diagnostic, accepted map[string]int) (fresh []lint.Diagnostic, stale []string) {
+	remaining := make(map[string]int, len(accepted))
+	for k, n := range accepted {
+		remaining[k] = n
+	}
+	fresh = diags[:0:0]
+	for _, d := range diags {
+		key := baselineKey(d)
+		if remaining[key] > 0 {
+			remaining[key]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for key, n := range remaining {
+		for i := 0; i < n; i++ {
+			stale = append(stale, key)
+		}
+	}
+	sort.Strings(stale)
+	return fresh, stale
+}
+
+// saveBaseline writes the current findings as a baseline file.
+func saveBaseline(path string, diags []lint.Diagnostic) error {
+	var b strings.Builder
+	b.WriteString("# cdelint baseline: accepted findings, one per line as\n")
+	b.WriteString("#   <file> <analyzer> <message>\n")
+	b.WriteString("# Entries are line-number-free; remove an entry once the finding is fixed\n")
+	b.WriteString("# (the -ratchet flag enforces this). Regenerate with -write-baseline.\n")
+	keys := make([]string, 0, len(diags))
+	for _, d := range diags {
+		keys = append(keys, baselineKey(d))
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

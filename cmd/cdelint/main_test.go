@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -119,5 +120,165 @@ func TestRunNoModuleRoot(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"./..."}, "/", &stdout, &stderr); code != 2 {
 		t.Fatalf("exit = %d, want 2 (no go.mod above /)", code)
+	}
+}
+
+// leakyTree is a fixture with exactly one walltime finding.
+func leakyTree(t *testing.T) string {
+	return writeTree(t, map[string]string{
+		"internal/foo/foo.go": `package foo
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+}
+
+func TestRunJSONSchema(t *testing.T) {
+	root := leakyTree(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, root, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	var report struct {
+		Version     int `json:"version"`
+		Diagnostics []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("output is not the v1 schema: %v\n%s", err, stdout.String())
+	}
+	if report.Version != 1 {
+		t.Errorf("version = %d, want 1", report.Version)
+	}
+	if report.Count != 1 || len(report.Diagnostics) != 1 {
+		t.Fatalf("count = %d, len = %d, want 1/1", report.Count, len(report.Diagnostics))
+	}
+	d := report.Diagnostics[0]
+	if d.File != "internal/foo/foo.go" || d.Analyzer != "walltime" || d.Line == 0 || d.Col == 0 || d.Message == "" {
+		t.Errorf("diagnostic = %+v", d)
+	}
+}
+
+func TestRunJSONCleanTreeEmitsEmptyList(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/foo/foo.go": "package foo\n\nfunc Nothing() int { return 0 }\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, root, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(stdout.String(), `"diagnostics": []`) {
+		t.Errorf("clean tree must serialize an empty array, not null:\n%s", stdout.String())
+	}
+}
+
+func TestRunAnalyzerSelection(t *testing.T) {
+	root := leakyTree(t)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-run", "errflow", "./..."}, root, &stdout, &stderr); code != 0 {
+		t.Fatalf("-run errflow exit = %d, want 0 (walltime not selected)\nstdout: %s", code, stdout.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-run", "walltime", "./..."}, root, &stdout, &stderr); code != 1 {
+		t.Fatalf("-run walltime exit = %d, want 1", code)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-run", "nonsense", "./..."}, root, &stdout, &stderr); code != 2 {
+		t.Fatalf("-run nonsense exit = %d, want 2\nstderr: %s", code, stderr.String())
+	}
+}
+
+func TestRunBaselineLifecycle(t *testing.T) {
+	root := leakyTree(t)
+	var stdout, stderr bytes.Buffer
+
+	// Record the debt.
+	if code := run([]string{"-baseline", "lint.baseline", "-write-baseline", "./..."}, root, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exit = %d\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(filepath.Join(root, "lint.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "internal/foo/foo.go walltime ") {
+		t.Fatalf("baseline missing entry:\n%s", data)
+	}
+
+	// Baselined finding no longer fails the run.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", "lint.baseline", "./..."}, root, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0\nstdout: %s", code, stdout.String())
+	}
+
+	// A second, new finding still fails.
+	extra := filepath.Join(root, "internal", "foo", "extra.go")
+	if err := os.WriteFile(extra, []byte("package foo\n\nimport \"time\"\n\nfunc Nap() { time.Sleep(time.Second) }\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", "lint.baseline", "./..."}, root, &stdout, &stderr); code != 1 {
+		t.Fatalf("new-finding run exit = %d, want 1\nstdout: %s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "time.Sleep") || strings.Contains(stdout.String(), "time.Now") {
+		t.Errorf("only the new finding should print:\n%s", stdout.String())
+	}
+
+	// Fix both findings: the ratchet now rejects the stale entry.
+	if err := os.Remove(extra); err != nil {
+		t.Fatal(err)
+	}
+	clean := filepath.Join(root, "internal", "foo", "foo.go")
+	if err := os.WriteFile(clean, []byte("package foo\n\nfunc Nothing() int { return 0 }\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", "lint.baseline", "./..."}, root, &stdout, &stderr); code != 0 {
+		t.Fatalf("non-ratchet run exit = %d, want 0 (stale entries tolerated)", code)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", "lint.baseline", "-ratchet", "./..."}, root, &stdout, &stderr); code != 1 {
+		t.Fatalf("ratchet run exit = %d, want 1 (stale entry)\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stale baseline entr") {
+		t.Errorf("ratchet failure should name the stale entries:\n%s", stderr.String())
+	}
+
+	// Paying the debt down (empty baseline) satisfies the ratchet.
+	if err := os.WriteFile(filepath.Join(root, "lint.baseline"), []byte("# empty\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", "lint.baseline", "-ratchet", "./..."}, root, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean ratchet exit = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+}
+
+func TestRunBaselineFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-ratchet", "./..."}, t.TempDir(), &stdout, &stderr); code != 2 {
+		t.Fatalf("-ratchet without -baseline exit = %d, want 2", code)
+	}
+	if code := run([]string{"-write-baseline", "./..."}, t.TempDir(), &stdout, &stderr); code != 2 {
+		t.Fatalf("-write-baseline without -baseline exit = %d, want 2", code)
+	}
+	root := writeTree(t, map[string]string{
+		"internal/foo/foo.go": "package foo\n\nfunc Nothing() int { return 0 }\n",
+	})
+	if code := run([]string{"-baseline", "missing.baseline", "./..."}, root, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing baseline file exit = %d, want 2", code)
 	}
 }

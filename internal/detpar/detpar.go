@@ -108,10 +108,17 @@ func Each(ctx context.Context, n, workers int, fn func(i int) error) error {
 // channel, workers write results into their index's slot, and the lowest-
 // index error wins. Workers stop picking up new indices once an error is
 // recorded or ctx is cancelled; in-flight indices run to completion.
+//
+// mapIndexed fans out every parallel trial in the repository; its setup
+// allocates O(workers) once (annotated below) and the per-index loop must
+// stay allocation-free.
+//
+//cdelint:hotpath
 func mapIndexed[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		n = 0
 	}
+	//cdelint:allow hotalloc result slice allocated once per fan-out, amortised over n trials
 	out := make([]T, n)
 	if n == 0 {
 		return out, ctx.Err()
@@ -121,11 +128,14 @@ func mapIndexed[T any](ctx context.Context, n, workers int, fn func(i int) (T, e
 		workers = n
 	}
 
+	//cdelint:allow hotalloc error slots allocated once per fan-out, amortised over n trials
 	errs := make([]error, n)
 	var failed sync.Once
+	//cdelint:allow hotalloc one stop channel per fan-out
 	stop := make(chan struct{})
 	abort := func() { failed.Do(func() { close(stop) }) }
 
+	//cdelint:allow hotalloc one index channel per fan-out
 	indices := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)

@@ -1,0 +1,82 @@
+package dnswire
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// wireAllocBudget is the per-round-trip heap-allocation ceiling for
+// AppendPack+Unpack of a representative cache-probe response. The pack
+// side is allocation-free into a reused buffer; the unpack side pays only
+// for the decoded Message itself (struct, section slices, name strings,
+// rdata boxes). The hotalloc analyzer enforces the same contract
+// statically; this guard catches what static analysis cannot see (escape-
+// analysis regressions, stdlib changes). EXPERIMENTS.md documents the
+// budget — raise it only with a bench justification in the PR.
+const wireAllocBudget = 11
+
+// benchResponse builds the shape the enumeration hot path round-trips:
+// one question, an answer pair (CNAME chain step + A record), matching
+// the paper's cache-probe responses.
+func benchResponse() *Message {
+	m := NewQuery(0x1234, "probe-0001.example.com.", TypeA)
+	m.Header.Response = true
+	m.Answer = append(m.Answer,
+		RR{Name: "probe-0001.example.com.", Class: ClassIN, TTL: 300,
+			Data: CNAMERecord{Target: "cache-17.example.net."}},
+		RR{Name: "cache-17.example.net.", Class: ClassIN, TTL: 300,
+			Data: ARecord{Addr: netip.MustParseAddr("192.0.2.17")}},
+	)
+	return m
+}
+
+func TestWirePackUnpackAllocBudget(t *testing.T) {
+	msg := benchResponse()
+	buf := make([]byte, 0, 512)
+	var sink *Message
+	allocs := testing.AllocsPerRun(200, func() {
+		wire, err := msg.AppendPack(buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Unpack(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink = m
+	})
+	_ = sink
+	if allocs > wireAllocBudget {
+		t.Errorf("pack+unpack allocates %.1f times per round trip, budget is %d", allocs, wireAllocBudget)
+	}
+}
+
+func BenchmarkWirePackUnpack(b *testing.B) {
+	msg := benchResponse()
+	buf := make([]byte, 0, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire, err := msg.AppendPack(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireAppendPack(b *testing.B) {
+	msg := benchResponse()
+	buf := make([]byte, 0, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire, err := msg.AppendPack(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = wire[:0]
+	}
+}

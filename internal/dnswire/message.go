@@ -142,6 +142,8 @@ func (m *Message) Pack() ([]byte, error) {
 // extended slice. It is the allocation-free variant of Pack for callers
 // that reuse scratch buffers (the netsim exchange path): with enough
 // capacity in buf nothing escapes to the heap.
+//
+//cdelint:hotpath
 func (m *Message) AppendPack(buf []byte) ([]byte, error) {
 	counts := [4]int{len(m.Question), len(m.Answer), len(m.Authority), len(m.Additional)}
 	for _, c := range counts {
@@ -171,7 +173,7 @@ func (m *Message) AppendPack(buf []byte) ([]byte, error) {
 			buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
 			buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
 		}
-		for _, section := range [][]RR{m.Answer, m.Authority, m.Additional} {
+		for _, section := range [...][]RR{m.Answer, m.Authority, m.Additional} {
 			for _, rr := range section {
 				if buf, err = packRR(buf, rr, nil); err != nil {
 					return nil, fmt.Errorf("packing record %q: %w", rr.Name, err)
@@ -194,7 +196,7 @@ func (m *Message) AppendPack(buf []byte) ([]byte, error) {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Type))
 		buf = binary.BigEndian.AppendUint16(buf, uint16(q.Class))
 	}
-	for _, section := range [][]RR{m.Answer, m.Authority, m.Additional} {
+	for _, section := range [...][]RR{m.Answer, m.Authority, m.Additional} {
 		for _, rr := range section {
 			if buf, err = packRR(buf, rr, cmp); err != nil {
 				return nil, fmt.Errorf("packing record %q: %w", rr.Name, err)
@@ -252,11 +254,16 @@ func packRR(buf []byte, rr RR, cmp compressionMap) ([]byte, error) {
 	return buf, nil
 }
 
-// Unpack decodes a wire-format message.
+// Unpack decodes a wire-format message. Beyond the Message being built —
+// which is the product, not overhead — the decode loop itself must not
+// allocate.
+//
+//cdelint:hotpath
 func Unpack(wire []byte) (*Message, error) {
 	if len(wire) < 12 {
 		return nil, ErrTruncatedMessage
 	}
+	//cdelint:allow hotalloc the decoded Message is the product; its one allocation is the contract
 	m := &Message{}
 	m.Header.ID = binary.BigEndian.Uint16(wire)
 	flags := binary.BigEndian.Uint16(wire[2:])
@@ -283,7 +290,7 @@ func Unpack(wire []byte) (*Message, error) {
 		}
 		m.Question = append(m.Question, q)
 	}
-	sections := []struct {
+	sections := [...]struct {
 		count int
 		dst   *[]RR
 		name  string

@@ -45,6 +45,7 @@ func CanonicalName(name string) string {
 	if name == "" {
 		return "."
 	}
+	//cdelint:allow hotalloc non-canonical input only; wire and NewQuery names return early above
 	return asciiLowerString(name) + "."
 }
 
@@ -250,6 +251,7 @@ func unpackName(msg []byte, off int) (string, int, error) {
 
 // bytesToLower returns an ASCII-lowercased copy of b.
 func bytesToLower(b []byte) []byte {
+	//cdelint:allow hotalloc reached only for names containing uppercase; canonical wire names do not
 	out := make([]byte, len(b))
 	for i, c := range b {
 		if 'A' <= c && c <= 'Z' {

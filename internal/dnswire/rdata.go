@@ -340,6 +340,7 @@ func unpackRData(msg []byte, off, length int, t Type) (RData, error) {
 	case TypeOPT:
 		return OPTRecord{}, nil
 	default:
+		//cdelint:allow hotalloc unknown-type rdata must be copied out of the caller's reused wire buffer
 		data := make([]byte, length)
 		copy(data, msg[off:end])
 		return RawRecord{RType: t, Data: data}, nil
@@ -377,6 +378,7 @@ func unpackStrings(data []byte) ([]string, error) {
 		if i+n > len(data) {
 			return nil, fmt.Errorf("%w: character-string overruns rdata", ErrBadRData)
 		}
+		//cdelint:allow hotalloc decoded TXT character-strings are the product, sized by wire content
 		out = append(out, string(data[i:i+n]))
 		i += n
 	}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // Ctxflow enforces context plumbing in the packages that block on real
@@ -51,13 +52,12 @@ func runCtxflow(p *Pass) {
 		return
 	}
 	for _, f := range p.Pkg.Files {
-		ctxPkg, hasCtxImport := importLocalName(f.AST, "context")
 		for _, decl := range f.AST.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil || !exportedAPI(fn) {
 				continue
 			}
-			ctxParam := contextParam(fn, ctxPkg, hasCtxImport)
+			ctxParam := contextParam(p.Info(), fn)
 			if ctxParam == "" {
 				if sel := firstBlockingCall(fn.Body); sel != "" {
 					p.Reportf(fn.Pos(),
@@ -106,19 +106,26 @@ func receiverTypeName(expr ast.Expr) string {
 	return ""
 }
 
+// isContextType reports whether t is exactly context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
 // contextParam returns the name of fn's context.Context parameter, "" when
-// there is none. A blank parameter is reported as "_".
-func contextParam(fn *ast.FuncDecl, ctxPkg string, hasImport bool) string {
-	if !hasImport || fn.Type.Params == nil {
+// there is none. A blank parameter is reported as "_". Resolution is
+// type-based, so renamed imports and type aliases are matched.
+func contextParam(info *types.Info, fn *ast.FuncDecl) string {
+	if fn.Type.Params == nil {
 		return ""
 	}
 	for _, field := range fn.Type.Params.List {
-		sel, ok := field.Type.(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "Context" {
-			continue
-		}
-		id, ok := sel.X.(*ast.Ident)
-		if !ok || id.Name != ctxPkg {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
 			continue
 		}
 		if len(field.Names) == 0 {

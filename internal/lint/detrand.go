@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // Detrand enforces deterministic randomness: every RNG in non-test code
@@ -43,83 +44,63 @@ var detrandDenied = map[string]bool{
 	"Seed":        true,
 }
 
+// isMathRandPath matches both generations of the stdlib rand package.
+func isMathRandPath(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
 func runDetrand(p *Pass) {
+	info := p.Info()
 	for _, f := range p.Pkg.Files {
-		for _, importPath := range []string{"math/rand", "math/rand/v2"} {
-			local, ok := importLocalName(f.AST, importPath)
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
 			if !ok {
-				continue
-			}
-			ast.Inspect(f.AST, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				name, ok := pkgCall(call, local)
-				if ok && detrandDenied[name] {
-					p.Reportf(call.Pos(),
-						"rand.%s draws from the global math/rand source; inject a *rand.Rand or seed one with rand.New(rand.NewSource(seed))", name)
-				}
 				return true
-			})
-			checkGoroutineCaptures(p, f, local)
-		}
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !isMathRandPath(fn.Pkg().Path()) {
+				return true
+			}
+			// Methods on an injected or locally seeded *rand.Rand share names
+			// with the global draws (Intn, Float64, ...); only the package-
+			// level functions touch the global source.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if detrandDenied[fn.Name()] {
+				p.Reportf(call.Pos(),
+					"rand.%s draws from the global math/rand source; inject a *rand.Rand or seed one with rand.New(rand.NewSource(seed))", fn.Name())
+			}
+			return true
+		})
+		checkGoroutineCaptures(p, f)
 	}
 }
 
-// checkGoroutineCaptures reports *rand.Rand variables that a `go func(){}`
-// literal closes over. The RNG objects are collected syntactically: idents
-// assigned from rand.New(...) / detpar.Rand(...), and declarations (vars,
-// params, results) whose type is written *rand.Rand. Objects declared
-// inside the literal itself — its own params or locals — are fine; only
-// free variables shared with the spawning goroutine are flagged.
-func checkGoroutineCaptures(p *Pass, f *File, randLocal string) {
-	detparLocal, _ := importLocalName(f.AST, "dnscde/internal/detpar")
-
-	rngs := map[*ast.Object]bool{}
-	ast.Inspect(f.AST, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for i, rhs := range n.Rhs {
-				if i >= len(n.Lhs) {
-					break
-				}
-				call, ok := rhs.(*ast.CallExpr)
-				if !ok {
-					continue
-				}
-				if name, ok := pkgCall(call, randLocal); ok && name == "New" {
-					markRNG(rngs, n.Lhs[i])
-				}
-				if detparLocal != "" {
-					if name, ok := pkgCall(call, detparLocal); ok && name == "Rand" {
-						markRNG(rngs, n.Lhs[i])
-					}
-				}
-			}
-		case *ast.Field:
-			if isRandRandType(n.Type, randLocal) {
-				for _, id := range n.Names {
-					if id.Obj != nil {
-						rngs[id.Obj] = true
-					}
-				}
-			}
-		case *ast.ValueSpec:
-			if isRandRandType(n.Type, randLocal) {
-				for _, id := range n.Names {
-					if id.Obj != nil {
-						rngs[id.Obj] = true
-					}
-				}
-			}
-		}
-		return true
-	})
-	if len(rngs) == 0 {
-		return
+// isRandRand reports whether t is *rand.Rand (either rand generation).
+func isRandRand(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
 	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rand" && obj.Pkg() != nil && isMathRandPath(obj.Pkg().Path())
+}
 
+// checkGoroutineCaptures reports *rand.Rand variables that a `go func(){}`
+// literal closes over. Objects declared inside the literal itself — its
+// own params or locals, including RNGs it derives for itself — are fine;
+// only free variables shared with the spawning goroutine are flagged.
+func checkGoroutineCaptures(p *Pass, f *File) {
+	info := p.Info()
 	ast.Inspect(f.AST, func(n ast.Node) bool {
 		g, ok := n.(*ast.GoStmt)
 		if !ok {
@@ -129,42 +110,29 @@ func checkGoroutineCaptures(p *Pass, f *File, randLocal string) {
 		if !ok {
 			return true
 		}
-		reported := map[*ast.Object]bool{}
+		reported := map[types.Object]bool{}
 		ast.Inspect(lit.Body, func(m ast.Node) bool {
 			id, ok := m.(*ast.Ident)
-			if !ok || id.Obj == nil || !rngs[id.Obj] || reported[id.Obj] {
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || reported[obj] || !isRandRand(obj.Type()) {
+				return true
+			}
+			v, isVar := obj.(*types.Var)
+			if !isVar || v.IsField() {
 				return true
 			}
 			// Declared within the literal (own param/local) — not a capture.
-			if id.Obj.Pos() >= lit.Pos() && id.Obj.Pos() <= lit.End() {
+			if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
 				return true
 			}
-			reported[id.Obj] = true
+			reported[obj] = true
 			p.Reportf(id.Pos(),
 				"*rand.Rand %q is captured by a goroutine literal; draws become scheduling-dependent — derive a per-goroutine RNG (detpar.Rand / detpar.ForEach) instead", id.Name)
 			return true
 		})
 		return true
 	})
-}
-
-// markRNG records the object behind an assignment target, if any.
-func markRNG(rngs map[*ast.Object]bool, lhs ast.Expr) {
-	if id, ok := lhs.(*ast.Ident); ok && id.Obj != nil {
-		rngs[id.Obj] = true
-	}
-}
-
-// isRandRandType matches the written type *<rand>.Rand.
-func isRandRandType(t ast.Expr, randLocal string) bool {
-	star, ok := t.(*ast.StarExpr)
-	if !ok {
-		return false
-	}
-	sel, ok := star.X.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Rand" {
-		return false
-	}
-	id, ok := sel.X.(*ast.Ident)
-	return ok && id.Name == randLocal && id.Obj == nil
 }

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Errflow keeps the error chain intact. Two rules:
+//
+//  1. Everywhere: fmt.Errorf with a constant format string must wrap
+//     error-typed arguments with %w, not flatten them through %v/%s —
+//     flattening breaks errors.Is/As matching against the sentinel
+//     errors (ErrMalformed, ErrNoRoute, ...) the fault-injection and
+//     loss-compensation layers dispatch on.
+//  2. In the I/O packages (dnswire, udpnet, netsim): an assignment that
+//     discards every result of a call returning an error (`_ = f()`,
+//     `_, _ = f()`) silently swallows failures on exactly the paths the
+//     paper's loss model needs to observe. Callees named Close are
+//     exempt — Close-on-cleanup errors are discarded by convention.
+var Errflow = &Analyzer{
+	Name: "errflow",
+	Doc:  "fmt.Errorf must wrap errors with %w; I/O packages must not blank-discard returned errors (Close exempt)",
+	Run:  runErrflow,
+}
+
+// errflowDiscardTargets are the packages where blank-discarding an error
+// is flagged.
+var errflowDiscardTargets = map[string]bool{
+	"internal/dnswire": true,
+	"internal/udpnet":  true,
+	"internal/netsim":  true,
+}
+
+func runErrflow(p *Pass) {
+	info := p.Info()
+	checkDiscards := errflowDiscardTargets[p.Pkg.RelPath]
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfVerbs(p, info, x)
+			case *ast.AssignStmt:
+				if checkDiscards {
+					checkErrorDiscard(p, info, x)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfVerbs flags error-typed arguments of fmt.Errorf formatted
+// with %v or %s instead of %w.
+func checkErrorfVerbs(p *Pass, info *types.Info, call *ast.CallExpr) {
+	if name, ok := pkgFunc(info, call, "fmt"); !ok || name != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 || call.Ellipsis.IsValid() {
+		return
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs, ok := parseVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return // indexed or otherwise exotic format; don't guess
+	}
+	args := call.Args[1:]
+	for i, verb := range verbs {
+		if i >= len(args) {
+			break
+		}
+		if verb != 'v' && verb != 's' {
+			continue
+		}
+		argTV, ok := info.Types[args[i]]
+		if !ok || argTV.Type == nil || argTV.IsNil() {
+			continue
+		}
+		if isErrorType(argTV.Type) {
+			p.Reportf(args[i].Pos(),
+				"fmt.Errorf formats an error with %%%c; use %%w so errors.Is/As can unwrap it", verb)
+		}
+	}
+}
+
+// parseVerbs extracts the verb letter for each sequential argument of a
+// format string, counting `*` width/precision as argument slots. It
+// reports ok=false for explicit argument indexes (%[1]v), which would
+// break the positional mapping.
+func parseVerbs(format string) ([]rune, bool) {
+	var verbs []rune
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(runes) && runes[i] == '%' {
+			continue // literal percent
+		}
+		j := i
+	scan:
+		for j < len(runes) {
+			c := runes[j]
+			switch {
+			case c == '[':
+				return nil, false
+			case c == '*':
+				verbs = append(verbs, '*')
+				j++
+			case c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' ||
+				c == '.' || (c >= '1' && c <= '9'):
+				j++
+			default:
+				verbs = append(verbs, c)
+				break scan
+			}
+		}
+		i = j
+	}
+	return verbs, true
+}
+
+// isErrorType reports whether t implements the built-in error interface.
+func isErrorType(t types.Type) bool {
+	errIface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if errIface == nil {
+		return false
+	}
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface)
+}
+
+// checkErrorDiscard flags assignments whose left-hand sides are all blank
+// and whose single call RHS returns an error.
+func checkErrorDiscard(p *Pass, info *types.Info, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	for _, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return
+		}
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if calleeName(info, call) == "Close" {
+		return
+	}
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return
+	}
+	returnsError := false
+	switch rt := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				returnsError = true
+			}
+		}
+	default:
+		returnsError = isErrorType(tv.Type)
+	}
+	if returnsError {
+		p.Reportf(as.Pos(),
+			"call result including an error is discarded with blank assignments; handle it, log it, or add an allow comment with the reason")
+	}
+}
+
+// calleeName returns the syntactic name of a call's callee (method or
+// function identifier), or "".
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

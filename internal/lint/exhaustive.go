@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive keeps switches over enum-like const sets honest: the
+// scenario grammar's workload kinds, the fault-injection kinds, selector
+// and egress policies are all module-defined named types with a fixed
+// set of package-level constants, and a switch that silently ignores a
+// member is how "add a fault kind" corrupts counters three packages away.
+//
+// A named type T declared in the module is enum-like when its declaring
+// package defines at least two package-level constants of exactly type T.
+// Every switch over such a T must either cover all members or carry a
+// default that fails loudly; a default with an empty body is flagged too,
+// because it swallows unhandled members without a trace.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over module-defined enum const sets must cover every member or carry a non-empty default",
+	Run:  runExhaustive,
+}
+
+// enumMember is one constant of an enum set.
+type enumMember struct {
+	obj *types.Const
+	key string // exact constant value, for alias-tolerant coverage
+}
+
+// enumSets indexes (once per tree) the module's enum-like const sets by
+// their named type.
+func enumSets(t *Tree) map[*types.TypeName][]enumMember {
+	return memoize(t, "exhaustive.enums", func() map[*types.TypeName][]enumMember {
+		sets := map[*types.TypeName][]enumMember{}
+		for _, pkg := range t.Packages {
+			if pkg.Types == nil {
+				continue
+			}
+			scope := pkg.Types.Scope()
+			for _, name := range scope.Names() {
+				c, ok := scope.Lookup(name).(*types.Const)
+				if !ok {
+					continue
+				}
+				named, ok := c.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				tn := named.Obj()
+				// Member and type must share a package: constants another
+				// package declares of an imported type are values, not
+				// new enum members.
+				if tn.Pkg() != pkg.Types {
+					continue
+				}
+				sets[tn] = append(sets[tn], enumMember{obj: c, key: c.Val().ExactString()})
+			}
+		}
+		for tn, members := range sets {
+			if len(members) < 2 {
+				delete(sets, tn)
+				continue
+			}
+			sort.Slice(members, func(i, j int) bool { return members[i].obj.Pos() < members[j].obj.Pos() })
+			sets[tn] = members
+		}
+		return sets
+	})
+}
+
+func runExhaustive(p *Pass) {
+	sets := enumSets(p.Tree)
+	if len(sets) == 0 {
+		return
+	}
+	info := p.Info()
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagTV, ok := info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := tagTV.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			members, ok := sets[named.Obj()]
+			if !ok {
+				return true
+			}
+			checkEnumSwitch(p, info, sw, named.Obj(), members)
+			return true
+		})
+	}
+}
+
+// checkEnumSwitch verifies one switch against its enum set.
+func checkEnumSwitch(p *Pass, info *types.Info, sw *ast.SwitchStmt, tn *types.TypeName, members []enumMember) {
+	covered := map[string]bool{}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			defaultClause = clause
+			continue
+		}
+		for _, expr := range clause.List {
+			if tv, ok := info.Types[expr]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	if defaultClause != nil {
+		if len(defaultClause.Body) == 0 {
+			p.Reportf(defaultClause.Pos(),
+				"switch over %s has an empty default; unhandled members pass silently — handle them or fail loudly", tn.Name())
+		}
+		return
+	}
+
+	var missing []string
+	for _, m := range members {
+		if !covered[m.key] {
+			missing = append(missing, m.obj.Name())
+		}
+	}
+	if len(missing) > 0 {
+		p.Reportf(sw.Pos(),
+			"switch over %s is not exhaustive: missing %s (add the cases or a default that fails loudly)",
+			tn.Name(), strings.Join(missing, ", "))
+	}
+}

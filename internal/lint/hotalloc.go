@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotalloc enforces the zero-allocation contract on hot paths: a function
+// annotated `//cdelint:hotpath` — and everything it statically calls
+// inside the module — must be free of heap-allocating constructs. The
+// probe loop packs, transmits and unpacks one DNS message per exchange;
+// an allocation introduced anywhere on that path multiplies by the
+// million-resolver scan rates of the paper's Internet measurement.
+//
+// Flagged constructs: make/new, escaping composite literals (&T{} and
+// slice/map literals), fmt formatting, non-constant string concatenation,
+// append to a slice declared without a capacity hint, and interface
+// boxing of non-pointer-shaped values at call sites.
+//
+// Two deliberate blind spots keep the signal clean: fmt.Errorf calls are
+// exempt (error construction is the cold path by convention, and errflow
+// requires %w wrapping there), and calls through interfaces or function
+// values are not traversed (the static call graph cannot see them).
+// An allow comment on a call line prunes that edge from the hot closure:
+//
+//	resp = dnswire.NewResponse(decoded) //cdelint:allow hotalloc fault path
+//
+// keeps NewResponse's own allocations out of the closure without
+// annotating the callee.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//cdelint:hotpath functions and their static in-module callees must not contain heap-allocating constructs",
+	Run:  runHotalloc,
+}
+
+// hotOrigin explains why a function is on the hot path.
+type hotOrigin struct {
+	root *FuncInfo // the annotated function whose closure reached it
+}
+
+// hotClosure computes (once per tree) the set of module functions
+// reachable from //cdelint:hotpath annotations over static calls,
+// skipping edges whose call site carries a hotalloc allow comment.
+func hotClosure(t *Tree) map[*types.Func]*hotOrigin {
+	return memoize(t, "hotalloc.closure", func() map[*types.Func]*hotOrigin {
+		funcs := moduleFuncs(t)
+		closure := map[*types.Func]*hotOrigin{}
+		var queue []*FuncInfo
+		for _, fi := range sortedFuncs(funcs) {
+			if fi.Hotpath {
+				closure[fi.Obj] = &hotOrigin{root: fi}
+				queue = append(queue, fi)
+			}
+		}
+		for len(queue) > 0 {
+			fi := queue[0]
+			queue = queue[1:]
+			origin := closure[fi.Obj]
+			ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := staticCallee(t.Info, call)
+				if callee == nil || closure[callee] != nil {
+					return true
+				}
+				ci, inModule := funcs[callee]
+				if !inModule || t.suppressed(call.Pos(), "hotalloc") {
+					return true
+				}
+				closure[callee] = &hotOrigin{root: origin.root}
+				queue = append(queue, ci)
+				return true
+			})
+		}
+		return closure
+	})
+}
+
+func runHotalloc(p *Pass) {
+	closure := hotClosure(p.Tree)
+	if len(closure) == 0 {
+		return
+	}
+	for _, fi := range sortedFuncs(moduleFuncs(p.Tree)) {
+		if fi.Pkg != p.Pkg {
+			continue
+		}
+		if origin, ok := closure[fi.Obj]; ok {
+			checkHotBody(p, fi, origin)
+		}
+	}
+}
+
+// checkHotBody reports every allocating construct in one hot function.
+func checkHotBody(p *Pass, fi *FuncInfo, origin *hotOrigin) {
+	info := p.Info()
+	where := "hotpath " + funcDisplayName(origin.root.Obj)
+	if origin.root == fi {
+		where = "a //cdelint:hotpath function"
+	}
+
+	unhinted := unhintedSlices(info, fi.Decl)
+	// handledLits are composite literals already reported as part of an
+	// enclosing &T{...}; concatEnd marks the end of the last reported
+	// string concatenation so a+b+c yields one finding, not two.
+	handledLits := map[*ast.CompositeLit]bool{}
+	var concatEnd token.Pos
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(p, info, x, unhinted, where)
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if lit, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					handledLits[lit] = true
+					p.Reportf(x.Pos(), "&%s escapes to the heap in %s; reuse a pooled or caller-provided value",
+						typeLabel(info, lit), where)
+				}
+			}
+		case *ast.CompositeLit:
+			if handledLits[x] {
+				return true
+			}
+			if tv, ok := info.Types[x]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					p.Reportf(x.Pos(), "%s literal allocates in %s; use an array or a reused buffer",
+						typeLabel(info, x), where)
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && x.Pos() >= concatEnd {
+				if tv, ok := info.Types[x]; ok && tv.Value == nil && isStringType(tv.Type) {
+					concatEnd = x.End()
+					p.Reportf(x.Pos(), "string concatenation allocates in %s; precompute or use a reused buffer", where)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall reports allocating builtins, fmt formatting and interface
+// boxing at one call site. fmt.Errorf is exempt wholesale: error
+// construction marks the cold path, and errflow requires it to stay
+// fmt.Errorf-with-%w.
+func checkHotCall(p *Pass, info *types.Info, call *ast.CallExpr, unhinted map[types.Object]bool, where string) {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	if id, ok := fun.(*ast.Ident); ok && info.Types[id].IsBuiltin() {
+		switch id.Name {
+		case "make", "new":
+			p.Reportf(call.Pos(), "%s allocates in %s; hoist the allocation out of the hot path or pool it", id.Name, where)
+		case "append":
+			if len(call.Args) == 0 {
+				return
+			}
+			if base, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				if obj := info.Uses[base]; obj != nil && unhinted[obj] {
+					p.Reportf(call.Pos(), "append to %q grows an unhinted slice in %s; pre-size it with make(..., 0, n) or reuse a buffer",
+						base.Name, where)
+				}
+			}
+		}
+		return
+	}
+	if name, ok := pkgFunc(info, call, "fmt"); ok {
+		if name != "Errorf" {
+			p.Reportf(call.Pos(), "fmt.%s formats (and allocates) in %s; hot paths must not format", name, where)
+		}
+		return
+	}
+	tv, ok := info.Types[fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			paramType = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(paramType) {
+			continue
+		}
+		argTV, ok := info.Types[arg]
+		if !ok || argTV.Type == nil || argTV.IsNil() {
+			continue
+		}
+		at := types.Default(argTV.Type)
+		if types.IsInterface(at) || isPointerShaped(at) || isZeroSized(at) || !argTV.IsValue() {
+			continue
+		}
+		p.Reportf(arg.Pos(), "passing %s boxes it into %s in %s; pass a pointer or restructure the call",
+			types.TypeString(at, shortQualifier), types.TypeString(paramType, shortQualifier), where)
+	}
+}
+
+// unhintedSlices collects the local slice variables of fn declared without
+// a capacity hint: `var x []T`, `x := []T{...}` / nil, or `x := make([]T, n)`
+// with no third argument. Parameters, receivers and call results are not
+// classified — the caller owns their sizing.
+func unhintedSlices(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		switch r := ast.Unparen(rhs).(type) {
+		case nil:
+			out[obj] = true // var x []T
+		case *ast.CompositeLit:
+			out[obj] = true // x := []T{...}
+		case *ast.Ident:
+			if r.Name == "nil" {
+				out[obj] = true
+			}
+		case *ast.CallExpr:
+			if fid, ok := ast.Unparen(r.Fun).(*ast.Ident); ok &&
+				fid.Name == "make" && info.Types[fid].IsBuiltin() && len(r.Args) < 3 {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				if i < len(x.Rhs) {
+					mark(lhs, x.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					mark(name, rhs)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isPointerShaped reports whether boxing a value of type t into an
+// interface stores the value directly (a single pointer word) rather than
+// heap-allocating a copy.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isZeroSized reports whether t occupies no storage (struct{} and
+// friends); boxing a zero-sized value does not allocate.
+func isZeroSized(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if !isZeroSized(u.Field(i).Type()) {
+				return false
+			}
+		}
+		return true
+	case *types.Array:
+		return u.Len() == 0 || isZeroSized(u.Elem())
+	}
+	return false
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// typeLabel renders the (possibly implicit) type of a composite literal.
+func typeLabel(info *types.Info, lit *ast.CompositeLit) string {
+	if tv, ok := info.Types[lit]; ok && tv.Type != nil {
+		return types.TypeString(tv.Type, shortQualifier)
+	}
+	return "composite"
+}
+
+// shortQualifier renders package-qualified names with the short package
+// name, keeping diagnostics readable.
+func shortQualifier(pkg *types.Package) string { return pkg.Name() }

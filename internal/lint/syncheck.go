@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // Mutexcopy flags value receivers on types that guard state with a
@@ -16,10 +17,7 @@ var Mutexcopy = &Analyzer{
 }
 
 func runMutexcopy(p *Pass) {
-	holders := mutexHolders(p.Pkg)
-	if len(holders) == 0 {
-		return
-	}
+	info := p.Info()
 	for _, f := range p.Pkg.Files {
 		for _, decl := range f.AST.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -30,65 +28,48 @@ func runMutexcopy(p *Pass) {
 			if _, isPtr := recvType.(*ast.StarExpr); isPtr {
 				continue
 			}
-			if name := receiverTypeName(recvType); holders[name] {
-				p.Reportf(fn.Recv.Pos(),
-					"method %s has a value receiver but %s contains a mutex; use a pointer receiver", fn.Name.Name, name)
-			}
-		}
-	}
-}
-
-// mutexHolders returns the names of package-local struct types that hold a
-// mutex, directly or through (possibly nested) embedded package-local
-// structs.
-func mutexHolders(pkg *Package) map[string]bool {
-	structs := map[string]*ast.StructType{}
-	for _, f := range pkg.Files {
-		for _, decl := range f.AST.Decls {
-			gd, ok := decl.(*ast.GenDecl)
+			tv, ok := info.Types[recvType]
 			if !ok {
 				continue
 			}
-			for _, spec := range gd.Specs {
-				ts, ok := spec.(*ast.TypeSpec)
-				if !ok {
-					continue
-				}
-				if st, ok := ts.Type.(*ast.StructType); ok {
-					structs[ts.Name.Name] = st
-				}
+			if holdsMutex(tv.Type, map[types.Type]bool{}) {
+				p.Reportf(fn.Recv.Pos(),
+					"method %s has a value receiver but %s contains a mutex; use a pointer receiver", fn.Name.Name, receiverTypeName(recvType))
 			}
 		}
 	}
-	holders := map[string]bool{}
-	for changed := true; changed; {
-		changed = false
-		for name, st := range structs {
-			if holders[name] || !structHoldsMutex(st, holders) {
-				continue
-			}
-			holders[name] = true
-			changed = true
-		}
-	}
-	return holders
 }
 
-// structHoldsMutex reports whether st has a sync.Mutex/sync.RWMutex field
-// or embeds a known mutex-holding type. Pointer fields are fine — copying
-// a pointer does not copy the lock.
-func structHoldsMutex(st *ast.StructType, holders map[string]bool) bool {
-	for _, field := range st.Fields.List {
-		switch t := field.Type.(type) {
-		case *ast.SelectorExpr:
-			if id, ok := t.X.(*ast.Ident); ok && id.Name == "sync" &&
-				(t.Sel.Name == "Mutex" || t.Sel.Name == "RWMutex") {
-				return true
-			}
-		case *ast.Ident:
-			if holders[t.Name] {
-				return true
-			}
+// isSyncLock reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// holdsMutex reports whether a value of type t embeds lock state by value,
+// walking named struct fields recursively (cross-package, unlike the old
+// syntactic check). Pointer fields are fine — copying a pointer does not
+// copy the lock.
+func holdsMutex(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isSyncLock(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if holdsMutex(st.Field(i).Type(), seen) {
+			return true
 		}
 	}
 	return false

@@ -9,6 +9,10 @@ import (
 // probe scheduling run on an injected clock.Clock, so direct wall-clock
 // reads are confined to internal/clock. Deliberate wall-clock uses — UDP
 // socket deadlines, periodic log flushing — carry a //cdelint:allow.
+//
+// Walltime flags the call sites it can see; its typed successor simtime
+// additionally follows module-internal helpers reachable from the
+// simulation packages.
 var Walltime = &Analyzer{
 	Name: "walltime",
 	Doc:  "flags time.Now/Sleep/After/Tick/NewTicker/NewTimer/AfterFunc outside internal/clock; inject a clock.Clock instead",
@@ -23,7 +27,8 @@ var walltimeExempt = map[string]bool{
 
 // walltimeDenied is the set of time-package functions that read or depend
 // on the wall clock. Pure-value helpers (time.Date, time.Duration
-// arithmetic, time.Unix) stay legal.
+// arithmetic, time.Unix) stay legal, as do Since/Until — those are
+// simtime's concern on the simulation paths.
 var walltimeDenied = map[string]bool{
 	"Now":       true,
 	"Sleep":     true,
@@ -38,17 +43,14 @@ func runWalltime(p *Pass) {
 	if walltimeExempt[p.Pkg.RelPath] {
 		return
 	}
+	info := p.Info()
 	for _, f := range p.Pkg.Files {
-		local, ok := importLocalName(f.AST, "time")
-		if !ok {
-			continue
-		}
 		ast.Inspect(f.AST, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			name, ok := pkgCall(call, local)
+			name, ok := pkgFunc(info, call, "time")
 			if ok && walltimeDenied[name] {
 				p.Reportf(call.Pos(),
 					"time.%s reads the wall clock outside internal/clock; inject a clock.Clock (or annotate a deliberate wall-clock use)", name)

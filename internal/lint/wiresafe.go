@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // Wiresafe guards the DNS wire-format decoder: indexing an attacker-
@@ -32,7 +33,7 @@ func runWiresafe(p *Pass) {
 			if !ok || fn.Body == nil {
 				continue
 			}
-			bufs := byteSliceParams(fn)
+			bufs := byteSliceParams(p, fn)
 			if len(bufs) == 0 {
 				continue
 			}
@@ -41,19 +42,24 @@ func runWiresafe(p *Pass) {
 	}
 }
 
-// byteSliceParams returns the names of fn's parameters typed []byte.
-func byteSliceParams(fn *ast.FuncDecl) map[string]bool {
+// byteSliceParams returns the names of fn's parameters whose type is (or
+// is a named alias of) []byte, resolved through the type checker.
+func byteSliceParams(p *Pass, fn *ast.FuncDecl) map[string]bool {
 	out := map[string]bool{}
 	if fn.Type.Params == nil {
 		return out
 	}
 	for _, field := range fn.Type.Params.List {
-		arr, ok := field.Type.(*ast.ArrayType)
-		if !ok || arr.Len != nil {
+		tv, ok := p.Info().Types[field.Type]
+		if !ok {
 			continue
 		}
-		elem, ok := arr.Elt.(*ast.Ident)
-		if !ok || elem.Name != "byte" {
+		slice, ok := tv.Type.Underlying().(*types.Slice)
+		if !ok {
+			continue
+		}
+		basic, ok := slice.Elem().(*types.Basic)
+		if !ok || basic.Kind() != types.Byte && basic.Kind() != types.Uint8 {
 			continue
 		}
 		for _, name := range field.Names {

@@ -283,10 +283,12 @@ func (lr *lockedRand) flow(dst netip.Addr) *flowState {
 	lr.mu.Lock()
 	defer lr.mu.Unlock()
 	if lr.flows == nil {
+		//cdelint:allow hotalloc flow map created once per source stream
 		lr.flows = make(map[netip.Addr]*flowState)
 	}
 	fs, ok := lr.flows[dst]
 	if !ok {
+		//cdelint:allow hotalloc per-flow fault state allocated once per (src,dst) pair, then cached
 		fs = &flowState{}
 		lr.flows[dst] = fs
 	}
@@ -350,6 +352,22 @@ func inOutage(windows []OutageWindow, n int) bool {
 	}
 	return false
 }
+
+// FaultKind names one injected-fault flavour. It is a closed enum: the
+// exhaustive analyzer makes every switch over FaultKind account for all
+// members, so adding a fault here surfaces every counter and dispatch
+// site that must learn about it.
+type FaultKind string
+
+// Fault kinds, in the order FaultStats counts them.
+const (
+	FaultServFail  FaultKind = "servfail"
+	FaultRefused   FaultKind = "refused"
+	FaultTruncate  FaultKind = "truncate"
+	FaultDuplicate FaultKind = "duplicate"
+	FaultLate      FaultKind = "late"
+	FaultOutage    FaultKind = "outage"
+)
 
 // FaultStats counts injected faults, mirrored into Stats for tests that
 // run without a metrics registry.

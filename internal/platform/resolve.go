@@ -70,7 +70,7 @@ func (p *Platform) forwardResolve(ctx context.Context, q dnswire.Question, cache
 			Authority: resp.Authority,
 		}, nil
 	}
-	return dnscache.Entry{}, fmt.Errorf("%w: %v", ErrAllServersFailed, lastErr)
+	return dnscache.Entry{}, fmt.Errorf("%w: %w", ErrAllServersFailed, lastErr)
 }
 
 func (p *Platform) resolveDepth(ctx context.Context, q dnswire.Question, cacheIdx, depth int) (dnscache.Entry, error) {
@@ -297,7 +297,7 @@ func (p *Platform) askAny(ctx context.Context, q dnswire.Question, servers []net
 		}
 		return resp, nil
 	}
-	return nil, fmt.Errorf("%w: %v", ErrAllServersFailed, lastErr)
+	return nil, fmt.Errorf("%w: %w", ErrAllServersFailed, lastErr)
 }
 
 // maybeAddEDNS attaches an EDNS0 OPT pseudo-record to an upstream query

@@ -64,13 +64,13 @@ func Parse(r io.Reader) (*Scenario, error) {
 		}
 	}
 	if err := scanner.Err(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+		return nil, fmt.Errorf("%w: %w", ErrParse, err)
 	}
 	if p.block != "" {
 		return nil, fmt.Errorf("%w: unterminated %s stanza opened on line %d", ErrParse, p.block, p.blockLine)
 	}
 	if err := p.s.Validate(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+		return nil, fmt.Errorf("%w: %w", ErrParse, err)
 	}
 	return p.s, nil
 }
@@ -127,7 +127,7 @@ func (p *parser) line(raw string) error {
 			return fmt.Errorf("%w: want 'workload <kind> ('", ErrParse)
 		}
 		p.openBlock("workload")
-		p.s.Workloads = append(p.s.Workloads, WorkloadDef{Kind: fields[1]})
+		p.s.Workloads = append(p.s.Workloads, WorkloadDef{Kind: Kind(fields[1])})
 		p.work = &p.s.Workloads[len(p.s.Workloads)-1]
 		return nil
 	default:
@@ -240,7 +240,7 @@ func (p *parser) platformKey(key string, args []string) error {
 		}
 		d, err := parseDuration(v)
 		if err != nil {
-			return fmt.Errorf("%w: %s: %v", ErrParse, key, err)
+			return fmt.Errorf("%w: %s: %w", ErrParse, key, err)
 		}
 		if key == "min-ttl" {
 			p.plat.MinTTL = d
@@ -260,7 +260,7 @@ func (p *parser) platformKey(key string, args []string) error {
 			case "oneway", "jitter":
 				d, err := parseDuration(v)
 				if err != nil {
-					return fmt.Errorf("%w: link %s: %v", ErrParse, k, err)
+					return fmt.Errorf("%w: link %s: %w", ErrParse, k, err)
 				}
 				if k == "oneway" {
 					p.plat.LinkOneWay = d
@@ -284,7 +284,7 @@ func (p *parser) platformKey(key string, args []string) error {
 		}
 		fp, err := netsim.ParseFaultProfile(v)
 		if err != nil {
-			return fmt.Errorf("%w: faults: %v", ErrParse, err)
+			return fmt.Errorf("%w: faults: %w", ErrParse, err)
 		}
 		p.plat.Faults = fp
 		p.plat.FaultsSpec = v

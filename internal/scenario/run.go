@@ -143,7 +143,7 @@ func Run(ctx context.Context, s *Scenario, opts RunOptions) (*Report, error) {
 	}
 	for wi, wd := range s.Workloads {
 		wr := WorkloadReport{
-			Kind:        wd.Kind,
+			Kind:        string(wd.Kind),
 			Platform:    wd.Platform,
 			Queries:     wd.Queries,
 			Replicates:  wd.Replicates,

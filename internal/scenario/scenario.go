@@ -35,20 +35,21 @@ const (
 	MaxWorkloads = 16
 )
 
+// Kind names a probing technique. It is a closed enum: the exhaustive
+// analyzer makes every switch over Kind account for all members, so
+// adding a kind here surfaces every dispatch site that must learn about
+// it.
+type Kind string
+
 // Workload kinds.
 const (
-	KindDirect    = "direct"    // §IV-B1: identical queries at an ingress IP
-	KindChain     = "chain"     // §IV-B2a: CNAME-chain bypass through local caches
-	KindHierarchy = "hierarchy" // §IV-B2b: names-hierarchy bypass
-	KindTiming    = "timing"    // §IV-B3: latency side channel
-	KindSMTP      = "smtp"      // §III-B: indirect channel through a mail server
-	KindAdnet     = "adnet"     // §III-C: indirect channel through web clients
+	KindDirect    Kind = "direct"    // §IV-B1: identical queries at an ingress IP
+	KindChain     Kind = "chain"     // §IV-B2a: CNAME-chain bypass through local caches
+	KindHierarchy Kind = "hierarchy" // §IV-B2b: names-hierarchy bypass
+	KindTiming    Kind = "timing"    // §IV-B3: latency side channel
+	KindSMTP      Kind = "smtp"      // §III-B: indirect channel through a mail server
+	KindAdnet     Kind = "adnet"     // §III-C: indirect channel through web clients
 )
-
-var workloadKinds = map[string]bool{
-	KindDirect: true, KindChain: true, KindHierarchy: true,
-	KindTiming: true, KindSMTP: true, KindAdnet: true,
-}
 
 var selectorNames = map[string]bool{
 	"random": true, "round-robin": true, "hash-qname": true, "hash-source-ip": true,
@@ -114,7 +115,7 @@ type PlatformDef struct {
 // WorkloadDef describes one probe workload stanza.
 type WorkloadDef struct {
 	// Kind is the probing technique; see the Kind constants.
-	Kind string
+	Kind Kind
 	// Platform names the target platform; default is the first one.
 	Platform string
 	// Queries is the probe budget q; 0 uses the core default.
@@ -242,7 +243,9 @@ func (p *PlatformDef) validate(earlier map[string]bool) error {
 
 // validate normalises one workload stanza against the platform list.
 func (w *WorkloadDef) validate(platforms []PlatformDef) error {
-	if !workloadKinds[w.Kind] {
+	switch w.Kind {
+	case KindDirect, KindChain, KindHierarchy, KindTiming, KindSMTP, KindAdnet:
+	default:
 		return fmt.Errorf("scenario: unknown workload kind %q", w.Kind)
 	}
 	if w.Platform == "" {

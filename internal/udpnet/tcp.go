@@ -85,7 +85,9 @@ func (s *TCPServer) serveConn(ctx context.Context, conn net.Conn) {
 	}
 	for {
 		//cdelint:allow walltime socket read deadlines are wall-clock by definition
-		_ = conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		if err := conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+			return // connection already dead; nothing to serve
+		}
 		query, err := readFramed(conn)
 		if err != nil {
 			return // EOF, timeout or garbage: drop the connection
@@ -161,7 +163,9 @@ func ExchangeTCP(ctx context.Context, query *dnswire.Message, dst netip.AddrPort
 	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
 		deadline = ctxDeadline
 	}
-	_ = conn.SetDeadline(deadline)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, time.Since(start), fmt.Errorf("udpnet: tcp deadline: %w", err)
+	}
 	if err := writeFramed(conn, query); err != nil {
 		return nil, time.Since(start), fmt.Errorf("udpnet: tcp send: %w", err)
 	}

@@ -106,6 +106,7 @@ func (s *Server) handlePacket(ctx context.Context, conn *net.UDPConn, raddr *net
 			return
 		}
 	}
+	//cdelint:allow errflow datagram replies are best-effort; the client retries on loss
 	_, _ = conn.WriteToUDP(wire, raddr)
 }
 

@@ -64,7 +64,7 @@ func Parse(r io.Reader, origin string) (*Zone, error) {
 		}
 	}
 	if err := scanner.Err(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+		return nil, fmt.Errorf("%w: %w", ErrParse, err)
 	}
 	if depth != 0 {
 		return nil, fmt.Errorf("%w: unbalanced '(' at end of file", ErrParse)
