@@ -71,6 +71,8 @@ func run(args []string, clk clock.Clock) int {
 		asJSON  = fs.Bool("json", false, "emit one JSON object per experiment instead of text")
 		verbose = fs.Bool("v", false, "with -json, include the rendered text in each object")
 		workers = fs.Int("workers", 0, "trial-loop worker count (0 = GOMAXPROCS); reports are byte-identical at any value")
+		clients = fs.Int("clients", 0, "with -exp scale: stub-client population (0 = the headline 1M)")
+		caches  = fs.Int("caches", 0, "with -exp scale: simulated cache population (0 = the headline 10K)")
 		faults  = fs.String("faults", "", "fault profile injected into every platform link, e.g. 'burst=0.11:4,servfail=0.02' (see the faults experiment)")
 
 		scenarios = fs.String("scenarios", "internal/scenario/testdata/scenarios",
@@ -105,6 +107,8 @@ func run(args []string, clk clock.Clock) int {
 		OpenResolvers: *open,
 		Enterprises:   *ent,
 		ISPs:          *isp,
+		ScaleClients:  *clients,
+		ScaleCaches:   *caches,
 		Workers:       *workers,
 		Faults:        faultProfile,
 	}

@@ -300,9 +300,9 @@ func printCostSummary(out io.Writer, snap metrics.Snapshot) {
 	fmt.Fprintf(out, "\ncost summary (internal/metrics):\n")
 	fmt.Fprintf(out, "  probes sent:      %d (%d errors)\n",
 		snap.Counter("core.probes.sent"), snap.Counter("core.probes.errors"))
-	fmt.Fprintf(out, "  packets on wire:  %d sent, %d lost, %d retried\n",
-		snap.Counter("netsim.packets.sent"), snap.Counter("netsim.packets.lost"),
-		snap.Counter("netsim.retries"))
+	fmt.Fprintf(out, "  packets on wire:  %d sent, %d recvd, %d lost, %d retried\n",
+		snap.Counter("netsim.packets.sent"), snap.Counter("netsim.packets.recvd"),
+		snap.Counter("netsim.packets.lost"), snap.Counter("netsim.retries"))
 	fmt.Fprintf(out, "  platform caches:  %d hits, %d misses, %d expired\n",
 		snap.Total("dnscache.hits"), snap.Total("dnscache.misses"), snap.Total("dnscache.expired"))
 	fmt.Fprintf(out, "  authns arrivals:  %d queries\n", snap.Counter("authns.queries"))

@@ -28,6 +28,12 @@ type Config struct {
 	// large enough for stable shares, small enough for quick runs. The
 	// paper's own datasets were 1K/1K/~240.
 	OpenResolvers, Enterprises, ISPs int
+	// ScaleClients and ScaleCaches size the `scale` DES sweep: the number
+	// of concurrent stub clients multiplexed on one event scheduler and
+	// the number of simulated caches they query. Zero defaults to the
+	// headline 1M-client / 10K-cache configuration; CI runs a smaller
+	// population via cdebench's -clients/-caches flags.
+	ScaleClients, ScaleCaches int
 	// Metrics receives the run's probe-cost accounting. Run installs a
 	// fresh registry when nil, so every report carries a Cost summary.
 	Metrics *metrics.Registry
@@ -102,8 +108,9 @@ type Cost struct {
 	// measurement drivers; ProbeErrors is the subset lost to timeouts.
 	Probes      int64 `json:"probes"`
 	ProbeErrors int64 `json:"probe_errors"`
-	// Packets is netsim.packets.sent (every simulated datagram, both
-	// directions); PacketsLost is netsim.packets.lost.
+	// Packets is netsim.packets.sent + netsim.packets.recvd (every
+	// simulated datagram, both directions); PacketsLost is
+	// netsim.packets.lost.
 	Packets     int64 `json:"packets"`
 	PacketsLost int64 `json:"packets_lost"`
 }
@@ -187,6 +194,7 @@ var Registry = map[string]Driver{
 	"selectionshare":        SelectionShare,
 	"cost":                  CostAccounting,
 	"faults":                Faults,
+	"scale":                 Scale,
 }
 
 // Descriptions maps experiment ids to one-line summaries for -list
@@ -218,6 +226,7 @@ var Descriptions = map[string]string{
 	"selectionshare":        "§IV-A: unpredictable-selection share",
 	"cost":                  "Thm 5.1 cost: measured enumeration queries vs n·H_n",
 	"faults":                "§V-B fault sweep: raw vs loss-compensated enumeration",
+	"scale":                 "DES scale sweep: 1M stub clients on one event loop",
 }
 
 // IDs returns the registry keys in sorted order.
@@ -257,7 +266,7 @@ func RunContext(ctx context.Context, id string, cfg Config) (*Report, error) {
 	report.Cost = Cost{
 		Probes:      diff.Counter("core.probes.sent"),
 		ProbeErrors: diff.Counter("core.probes.errors"),
-		Packets:     diff.Total("netsim.packets.sent"),
+		Packets:     diff.Total("netsim.packets.sent") + diff.Total("netsim.packets.recvd"),
 		PacketsLost: diff.Total("netsim.packets.lost"),
 	}
 	return report, nil

@@ -26,7 +26,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-selection", "ablation-bypass", "ablation-threshold",
 		"ablation-forwarder", "poisoning", "resilience", "edns", "ttlconsistency",
 		"classify", "fingerprint", "ablation-crosstraffic", "selectionshare",
-		"cost", "faults",
+		"cost", "faults", "scale",
 	}
 	for _, id := range want {
 		if _, ok := Registry[id]; !ok {
@@ -104,6 +104,13 @@ func TestFingerprint(t *testing.T)    { runAndCheck(t, "fingerprint") }
 func TestCrossTraffic(t *testing.T)   { runAndCheck(t, "ablation-crosstraffic") }
 func TestSelectionShare(t *testing.T) { runAndCheck(t, "selectionshare") }
 func TestFaults(t *testing.T)         { runAndCheck(t, "faults") }
+
+// TestScale runs the DES sweep at a reduced population (20K clients,
+// 500 caches, 5 of them late); the checks themselves are
+// population-size-independent.
+func TestScale(t *testing.T) {
+	runAndCheckCfg(t, "scale", Config{Seed: 2017, ScaleClients: 20_000, ScaleCaches: 500})
+}
 
 func TestFigure3(t *testing.T) {
 	if testing.Short() {

@@ -27,9 +27,10 @@ var Errflow = &Analyzer{
 // errflowDiscardTargets are the packages where blank-discarding an error
 // is flagged.
 var errflowDiscardTargets = map[string]bool{
-	"internal/dnswire": true,
-	"internal/udpnet":  true,
-	"internal/netsim":  true,
+	"internal/dnswire":    true,
+	"internal/udpnet":     true,
+	"internal/netsim":     true,
+	"internal/netsim/des": true,
 }
 
 func runErrflow(p *Pass) {

@@ -24,13 +24,14 @@ import (
 // does not taint its callers.
 var Simtime = &Analyzer{
 	Name: "simtime",
-	Doc:  "simulation packages (netsim, scenario, experiments) must not reach the wall clock, even through module-internal helpers",
+	Doc:  "simulation packages (netsim, its des core, scenario, experiments) must not reach the wall clock, even through module-internal helpers",
 	Run:  runSimtime,
 }
 
 // simtimeRoots are the packages whose results must be wall-clock-free.
 var simtimeRoots = map[string]bool{
 	"internal/netsim":      true,
+	"internal/netsim/des":  true,
 	"internal/scenario":    true,
 	"internal/experiments": true,
 }

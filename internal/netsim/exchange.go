@@ -1,0 +1,403 @@
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dnscde/internal/dnswire"
+	"dnscde/internal/netsim/des"
+)
+
+// Exchange event-chain opcodes: one exchange is a linear chain of at most
+// three events on a des.Scheduler. opLaunch packs the query, draws the
+// outbound loss/jitter and either dies to opTimeout or travels to
+// opDeliver; opDeliver runs the handler synchronously, draws the return
+// path and terminates in opComplete or opTimeout at the exchange's true
+// simulated end time.
+const (
+	opLaunch uint8 = iota
+	opDeliver
+	opComplete
+	opTimeout
+)
+
+// EventExchanger is implemented by transports that can run an exchange as
+// an event chain on a caller-owned scheduler instead of blocking: the
+// exchange is enqueued immediately, and done fires from the scheduler's
+// dispatch loop at the exchange's simulated completion time. Callers
+// multiplexing many concurrent clients on one scheduler (the scale
+// experiment, udpnet's TCP-fallback chain) drive the scheduler themselves.
+type EventExchanger interface {
+	ExchangeEvent(ctx context.Context, sched *des.Scheduler, query *dnswire.Message, dst netip.Addr, done func(*dnswire.Message, time.Duration, error))
+}
+
+var _ EventExchanger = (*Conn)(nil)
+
+// exchangeState is the pooled per-exchange actor: all flow state for one
+// query/response round trip lives here by value, and the same record is
+// recycled through exchangeStatePool across exchanges. Stage methods fire
+// from the scheduler; the draw order against the source's RNG stream is
+// byte-identical to the historical blocking Exchange (see DESIGN.md §10).
+type exchangeState struct {
+	sched *des.Scheduler
+	net   *Network
+	c     *Conn
+	ctx   context.Context
+	query *dnswire.Message
+	dst   netip.Addr
+
+	cfg        *netConfig
+	dstHost    *host
+	srcProfile LinkProfile
+	lr         *lockedRand
+	fs         *flowState
+	flowIdx    int
+
+	scratch *[]byte
+	wire    []byte
+
+	start       des.Time
+	oneWay      time.Duration
+	handlerTime time.Duration
+
+	resp *dnswire.Message
+	rtt  time.Duration
+	err  error
+
+	// done, when non-nil, marks the asynchronous mode: settle invokes it
+	// and returns the state to the pool. When nil, the blocking wrapper
+	// reads the result fields after the scheduler drains.
+	done func(*dnswire.Message, time.Duration, error)
+}
+
+var _ des.Actor = (*exchangeState)(nil)
+
+var exchangeStatePool = sync.Pool{New: func() any { return new(exchangeState) }}
+
+//cdelint:hotpath
+func getExchangeState() *exchangeState {
+	return exchangeStatePool.Get().(*exchangeState)
+}
+
+//cdelint:hotpath
+func putExchangeState(st *exchangeState) {
+	*st = exchangeState{}
+	exchangeStatePool.Put(st)
+}
+
+// schedPool recycles private schedulers for the blocking Exchange wrapper
+// and for nested exchanges issued by handlers (each nesting level takes
+// its own scheduler, so handler recursion needs no continuation-passing).
+var schedPool = sync.Pool{New: func() any { return des.NewScheduler() }}
+
+// Fire dispatches one stage of the exchange chain.
+//
+//cdelint:hotpath
+func (st *exchangeState) Fire(now des.Time, op uint8) {
+	switch op {
+	case opLaunch:
+		st.launch(now)
+	case opDeliver:
+		st.deliver()
+	case opComplete:
+		chargeUpstream(st.ctx, st.rtt)
+		st.settle(st.resp, st.rtt, nil)
+	case opTimeout:
+		chargeUpstream(st.ctx, st.rtt)
+		st.settle(nil, st.rtt, ErrTimeout)
+	}
+}
+
+// settle terminates the chain: release the wire scratch, record the
+// result, and in asynchronous mode deliver it and recycle the state.
+func (st *exchangeState) settle(resp *dnswire.Message, rtt time.Duration, err error) {
+	if st.scratch != nil {
+		scratchPool.Put(st.scratch)
+		st.scratch = nil
+		st.wire = nil
+	}
+	st.resp, st.rtt, st.err = resp, rtt, err
+	if st.done != nil {
+		done := st.done
+		st.done = nil
+		done(resp, rtt, err)
+		putExchangeState(st)
+	}
+}
+
+// loseToTimeout arms the client's retransmission timer: the exchange
+// terminates at start+timeout with ErrTimeout, and the charge is exactly
+// the timeout — the timer runs concurrently with any server-side work, so
+// handler time is never added on top (the pre-DES code overcharged the
+// response-loss and late paths by handlerTime).
+//
+//cdelint:hotpath
+func (st *exchangeState) loseToTimeout() {
+	st.rtt = st.cfg.timeout
+	st.sched.ScheduleAt(st.start.Add(st.cfg.timeout), st, opTimeout)
+}
+
+// launch is the query-side stage: stats, routing, fault-flow state, wire
+// packing and the outbound loss/jitter draws, in exactly the order the
+// blocking Exchange performed them.
+//
+//cdelint:hotpath
+func (st *exchangeState) launch(now des.Time) {
+	if err := st.ctx.Err(); err != nil {
+		st.settle(nil, 0, err)
+		return
+	}
+	n := st.net
+	cfg := n.cfg.Load()
+	st.cfg = cfg
+	st.start = now
+
+	// The source stream carries both the RNG and the stat shard; creating
+	// it consumes no draws, so hoisting it above the route lookup leaves
+	// every subsequent draw identical to the historical order.
+	//cdelint:allow hotalloc per-source RNG stream is created once and cached in a sync.Map
+	lr := n.srcRand(st.c.src)
+	st.lr = lr
+	lr.shard.exchanges.Add(1)
+
+	h, ok := n.lookup(st.dst)
+	if !ok {
+		st.settle(nil, 0, fmt.Errorf("%w: %v", ErrNoRoute, st.dst))
+		return
+	}
+	st.dstHost = h
+	// An unregistered source (the usual case for probers, which Bind
+	// arbitrary client addresses) gets the network's configurable client
+	// profile rather than a silent zero profile.
+	srcProfile := cfg.clientProfile
+	if sh, ok := n.lookup(st.c.src); ok {
+		srcProfile = sh.profile
+	}
+	st.srcProfile = srcProfile
+
+	// Fault state for this (src → dst) flow, only materialised when a
+	// FaultProfile is attached to either side: the zero-fault path must
+	// consume byte-identical RNG draws to the pre-fault-layer simulator.
+	dstFP := h.profile.Faults
+	st.fs = nil
+	if srcProfile.Faults != nil || dstFP != nil {
+		st.fs = lr.flow(st.dst)
+		st.flowIdx = lr.nextFlowIdx(st.fs)
+	}
+
+	scratch := scratchPool.Get().(*[]byte)
+	st.scratch = scratch
+	wire, err := st.query.AppendPack((*scratch)[:0])
+	*scratch = wire[:0]
+	if err != nil {
+		st.settle(nil, 0, fmt.Errorf("%w: %w", ErrMalformed, err))
+		return
+	}
+	st.wire = wire
+	lr.shard.bytesSent.Add(int64(len(wire)))
+	cfg.mSent.Inc()
+
+	// Transient outage: the destination is down (operator SetDown or a
+	// scheduled window); the query vanishes and the client times out.
+	if h.down.Load() || (dstFP != nil && inOutage(dstFP.Outages, st.flowIdx)) {
+		lr.shard.lost.Add(1)
+		cfg.mLost.Inc()
+		noteFault(st.ctx, cfg, lr.shard, FaultOutage, st.c.src, st.dst)
+		st.loseToTimeout()
+		return
+	}
+
+	st.oneWay = srcProfile.OneWay + h.profile.OneWay +
+		lr.jitter(srcProfile.Jitter) + lr.jitter(h.profile.Jitter)
+
+	// Query packet subject to loss on either endpoint's link. The short-
+	// circuit matters: with no faults attached this is exactly the
+	// historical two-draw-max Bernoulli pattern.
+	if lr.lostPacket(st.fs, srcProfile, true) || lr.lostPacket(st.fs, h.profile, false) {
+		lr.shard.lost.Add(1)
+		cfg.mLost.Inc()
+		st.loseToTimeout()
+		return
+	}
+
+	st.sched.ScheduleAt(st.start.Add(st.oneWay), st, opDeliver)
+}
+
+// deliver is the server-side stage: decode, injected faults, the handler
+// (run synchronously — nested exchanges take their own pooled scheduler),
+// response packing and the return-path draws.
+//
+//cdelint:hotpath
+func (st *exchangeState) deliver() {
+	cfg, lr, h := st.cfg, st.lr, st.dstHost
+	dstFP := h.profile.Faults
+
+	decoded, err := dnswire.Unpack(st.wire)
+	if err != nil {
+		st.settle(nil, 0, fmt.Errorf("%w: %w", ErrMalformed, err))
+		return
+	}
+
+	// Injected server failure: the destination short-circuits with
+	// SERVFAIL/REFUSED instead of resolving — one draw covers both rates.
+	var injected dnswire.RCode
+	injectedOK := false
+	if dstFP != nil && (dstFP.ServFailRate > 0 || dstFP.RefusedRate > 0) {
+		switch u := lr.roll(); {
+		case u < dstFP.ServFailRate:
+			injected, injectedOK = dnswire.RCodeServFail, true
+			noteFault(st.ctx, cfg, lr.shard, FaultServFail, st.c.src, st.dst)
+		case u < dstFP.ServFailRate+dstFP.RefusedRate:
+			injected, injectedOK = dnswire.RCodeRefused, true
+			noteFault(st.ctx, cfg, lr.shard, FaultRefused, st.c.src, st.dst)
+		}
+	}
+
+	// Run the handler with a fresh meter so its nested exchanges are
+	// charged to this round trip.
+	meter := getMeter()
+	var resp *dnswire.Message
+	if injectedOK {
+		//cdelint:allow hotalloc injected-fault path; the synthesized response is the product
+		resp = dnswire.NewResponse(decoded)
+		resp.Header.RCode = injected
+	} else {
+		resp, err = safeServe(h.handler, context.WithValue(st.ctx, latencyMeterKey{}, meter), st.c.src, decoded)
+		if err != nil {
+			meterPool.Put(meter)
+			st.settle(nil, 0, fmt.Errorf("netsim: handler at %v: %w", st.dst, err))
+			return
+		}
+		// Duplicated query delivery: the handler serves the query a second
+		// time and that response is discarded, but its side effects (cache
+		// fills, authoritative arrivals) persist. TCP streams never
+		// duplicate. The duplicate overlaps the original in real time, so
+		// no extra latency is charged.
+		if dstFP != nil && dstFP.DuplicateRate > 0 && !st.c.tcp && lr.roll() < dstFP.DuplicateRate {
+			noteFault(st.ctx, cfg, lr.shard, FaultDuplicate, st.c.src, st.dst)
+			dupMeter := getMeter()
+			//cdelint:allow errflow the duplicate's response and error are discarded by design; only the original is returned
+			_, _ = safeServe(h.handler, context.WithValue(st.ctx, latencyMeterKey{}, dupMeter), st.c.src, decoded)
+			meterPool.Put(dupMeter)
+		}
+	}
+	st.handlerTime = meter.total()
+	meterPool.Put(meter)
+
+	// In-flight truncation: the response loses its record sections and
+	// gains the TC bit, pushing TCP-capable clients to re-ask via
+	// Conn.TCP / udpnet's FallbackTCP. TCP exchanges are immune.
+	if dstFP != nil && dstFP.TruncateRate > 0 && !st.c.tcp && lr.roll() < dstFP.TruncateRate {
+		noteFault(st.ctx, cfg, lr.shard, FaultTruncate, st.c.src, st.dst)
+		//cdelint:allow hotalloc injected-truncation path; the synthesized response is the product
+		tr := dnswire.NewResponse(decoded)
+		tr.Header.RCode = resp.Header.RCode
+		tr.Header.RecursionAvailable = resp.Header.RecursionAvailable
+		tr.Header.Authoritative = resp.Header.Authoritative
+		tr.Header.Truncated = true
+		resp = tr
+	}
+
+	// The query bytes are fully decoded; reuse the same scratch for the
+	// response direction.
+	respWire, err := resp.AppendPack(st.wire[:0])
+	*st.scratch = respWire[:0]
+	if err != nil {
+		st.settle(nil, 0, fmt.Errorf("%w: %w", ErrMalformed, err))
+		return
+	}
+	// The response is a *received* packet; the pre-DES code bumped the
+	// sent counter here a second time, double-counting every clean
+	// exchange's traffic.
+	lr.shard.bytesRecvd.Add(int64(len(respWire)))
+	cfg.mRecvd.Inc()
+
+	returnWay := st.srcProfile.OneWay + h.profile.OneWay +
+		lr.jitter(st.srcProfile.Jitter) + lr.jitter(h.profile.Jitter)
+
+	// Response packet subject to loss as well; the client's timer fires
+	// at start+timeout regardless of how long the server worked.
+	if lr.lostPacket(st.fs, st.srcProfile, true) || lr.lostPacket(st.fs, h.profile, false) {
+		lr.shard.lost.Add(1)
+		cfg.mLost.Inc()
+		st.loseToTimeout()
+		return
+	}
+
+	// Late response: it arrives after the client's retransmission timer,
+	// so the client sees a timeout (and pays for it) even though the
+	// server did all its work.
+	if dstFP != nil && dstFP.LateRate > 0 && lr.roll() < dstFP.LateRate {
+		noteFault(st.ctx, cfg, lr.shard, FaultLate, st.c.src, st.dst)
+		st.loseToTimeout()
+		return
+	}
+
+	respDecoded, err := dnswire.Unpack(respWire)
+	if err != nil {
+		st.settle(nil, 0, fmt.Errorf("%w: %w", ErrMalformed, err))
+		return
+	}
+
+	rtt := st.oneWay + st.handlerTime + returnWay
+	if st.c.tcp {
+		// TCP pays a handshake round trip before the query flows.
+		rtt += st.oneWay + returnWay
+	}
+	//cdelint:allow hotalloc per-destination histogram is cached; metrics were opted into by attaching a registry
+	st.net.rttHist(cfg.metrics, st.dst).Observe(rtt.Microseconds())
+	st.resp = respDecoded
+	st.rtt = rtt
+	st.sched.ScheduleAt(st.start.Add(rtt), st, opComplete)
+}
+
+// Exchange implements Exchanger. The query is packed to wire format,
+// "transmitted" (subject to loss and latency), decoded, handled, and the
+// response travels back the same way. The returned duration is the full
+// simulated round-trip time including any upstream exchanges performed by
+// the destination handler.
+//
+// The blocking wrapper drives a private pooled scheduler to completion;
+// the exchange itself is the opLaunch/opDeliver/opComplete event chain
+// above. Exchange runs once per probe, millions of times per enumeration
+// trial; its steady-state path must not allocate.
+//
+//cdelint:hotpath
+func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.Addr) (*dnswire.Message, time.Duration, error) {
+	sched := schedPool.Get().(*des.Scheduler)
+	st := getExchangeState()
+	st.sched = sched
+	st.net = c.net
+	st.c = c
+	st.ctx = ctx
+	st.query = query
+	st.dst = dst
+	sched.Schedule(0, st, opLaunch)
+	sched.Run()
+	resp, rtt, err := st.resp, st.rtt, st.err
+	putExchangeState(st)
+	sched.Reset()
+	schedPool.Put(sched)
+	return resp, rtt, err
+}
+
+// ExchangeEvent implements EventExchanger: the exchange is enqueued on the
+// caller's scheduler and done fires at the simulated completion time. The
+// caller owns the scheduler single-threadedly; millions of concurrent
+// client exchanges interleave on one event loop this way.
+//
+//cdelint:hotpath
+func (c *Conn) ExchangeEvent(ctx context.Context, sched *des.Scheduler, query *dnswire.Message, dst netip.Addr, done func(*dnswire.Message, time.Duration, error)) {
+	st := getExchangeState()
+	st.sched = sched
+	st.net = c.net
+	st.c = c
+	st.ctx = ctx
+	st.query = query
+	st.dst = dst
+	st.done = done
+	sched.Schedule(0, st, opLaunch)
+}

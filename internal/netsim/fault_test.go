@@ -292,8 +292,11 @@ func TestLateResponseTimesOutButServes(t *testing.T) {
 	if handlerCalls != 1 {
 		t.Errorf("handler called %d times, want 1 (server-side effects persist)", handlerCalls)
 	}
-	if total != time.Second+30*time.Millisecond {
-		t.Errorf("total = %v, want timeout + handler time", total)
+	// The client's retransmission timer runs concurrently with the
+	// server's work, so the charge is the timeout alone — not timeout
+	// plus handler time.
+	if total != time.Second {
+		t.Errorf("total = %v, want the bare timeout", total)
 	}
 	if got := n.SnapshotStats().Faults.Late; got != 1 {
 		t.Errorf("Faults.Late = %d, want 1", got)

@@ -8,6 +8,14 @@
 // bytes a real deployment would emit. The same Exchanger interface is
 // implemented over real UDP sockets by package udpnet, which is how the
 // library doubles as a live measurement tool.
+//
+// Since PR 7 the transmission core is a discrete-event scheduler
+// (internal/netsim/des): each exchange is a chain of events — launch,
+// delivery, completion — on a des.Scheduler, so a single event loop can
+// carry millions of concurrent stub clients. Conn.Exchange remains a
+// blocking call (it drives a pooled private scheduler to completion);
+// Conn.ExchangeEvent exposes the asynchronous chain for callers that
+// multiplex many exchanges on one scheduler. See DESIGN.md §10.
 package netsim
 
 import (
@@ -90,23 +98,16 @@ type host struct {
 	profile LinkProfile
 	// down marks a transient outage toggled by SetDown; queries to a down
 	// host vanish (client times out). Atomic so the hot path reads it
-	// without holding the network lock.
+	// without holding any lock.
 	down atomic.Bool
 }
 
-// Network is a simulated Internet. The zero value is not usable; use New.
-// Network is safe for concurrent use.
-type Network struct {
-	mu    sync.Mutex
-	hosts map[netip.Addr]*host
-
-	// seed derives the per-source-address RNG streams. Loss and jitter
-	// draws for an exchange come from the RNG of its *source* address
-	// (see srcRand), so concurrent exchanges from different sources never
-	// contend on — or scheduling-dependently interleave — one stream.
-	seed    int64
-	srcRNGs sync.Map // netip.Addr -> *lockedRand
-
+// netConfig is the network's immutable configuration snapshot: timeout,
+// client-side profile and pre-created metric handles. Writers (SetMetrics,
+// SetTimeout, SetClientProfile) copy-mutate-store a fresh pointer under
+// Network.mu; the exchange hot path loads it once per exchange with a
+// single atomic read and never touches a mutex.
+type netConfig struct {
 	// timeout is the simulated time charged for a lost packet, mirroring
 	// a resolver's retransmission timer.
 	timeout time.Duration
@@ -117,21 +118,73 @@ type Network struct {
 	// settable via SetClientProfile.
 	clientProfile LinkProfile
 
-	stats Stats
-
 	// metrics, when non-nil, mirrors packet-level events into the
 	// accounting registry; the handles are pre-created so the hot path
 	// pays one nil check per event.
-	metrics      *metrics.Registry
-	mSent        *metrics.Counter
-	mLost        *metrics.Counter
-	mRetries     *metrics.Counter
-	mServFail    *metrics.Counter
-	mRefused     *metrics.Counter
-	mTruncated   *metrics.Counter
-	mDuplicated  *metrics.Counter
-	mLate        *metrics.Counter
-	mOutage      *metrics.Counter
+	metrics     *metrics.Registry
+	mSent       *metrics.Counter
+	mRecvd      *metrics.Counter
+	mLost       *metrics.Counter
+	mRetries    *metrics.Counter
+	mServFail   *metrics.Counter
+	mRefused    *metrics.Counter
+	mTruncated  *metrics.Counter
+	mDuplicated *metrics.Counter
+	mLate       *metrics.Counter
+	mOutage     *metrics.Counter
+}
+
+// statShardCount is the number of counter shards; a power of two so the
+// shard index is a mask of the source-address hash.
+const statShardCount = 16
+
+// statShard is one shard of the network counters. Every field is an
+// atomic, and the struct is padded to two cache lines so concurrent
+// sources hashing to different shards never false-share. Exchanges update
+// their source's shard with plain atomic adds; SnapshotStats folds all
+// shards into a Stats value. This replaces the per-exchange mutex
+// acquisitions the original Exchange paid four times per round trip.
+type statShard struct {
+	exchanges  atomic.Int64
+	lost       atomic.Int64
+	bytesSent  atomic.Int64
+	bytesRecvd atomic.Int64
+	servfail   atomic.Int64
+	refused    atomic.Int64
+	truncated  atomic.Int64
+	duplicated atomic.Int64
+	late       atomic.Int64
+	outage     atomic.Int64
+	_          [48]byte // pad 10×8 bytes up to 128 (two cache lines)
+}
+
+// Network is a simulated Internet. The zero value is not usable; use New.
+// Network is safe for concurrent use.
+type Network struct {
+	// mu serialises configuration writers; the exchange path never takes
+	// it (hosts and config are read via atomic pointer) except for the
+	// one-off host-view rebuild after a registration change.
+	mu    sync.Mutex
+	hosts sync.Map // netip.Addr -> *host
+	// hostsView caches an immutable snapshot of hosts for the exchange
+	// path: sync.Map.Load boxes the 24-byte netip.Addr key into an
+	// interface on every call, while a plain map read allocates nothing.
+	// Register/Unregister invalidate the view (store nil) under mu; the
+	// next lookup rebuilds it, also under mu, so a rebuild can never
+	// overwrite a newer invalidation with a stale snapshot.
+	hostsView atomic.Pointer[map[netip.Addr]*host]
+
+	// seed derives the per-source-address RNG streams. Loss and jitter
+	// draws for an exchange come from the RNG of its *source* address
+	// (see srcRand), so concurrent exchanges from different sources never
+	// contend on — or scheduling-dependently interleave — one stream.
+	seed    int64
+	srcRNGs sync.Map // netip.Addr -> *lockedRand
+
+	cfg atomic.Pointer[netConfig]
+
+	shards [statShardCount]statShard
+
 	linkRTTHists sync.Map // netip.Addr -> *metrics.Histogram
 }
 
@@ -150,11 +203,9 @@ type Stats struct {
 // New creates an empty network with deterministic randomness: seed fixes
 // every per-source RNG stream (see srcRand).
 func New(seed int64) *Network {
-	return &Network{
-		hosts:   make(map[netip.Addr]*host),
-		seed:    seed,
-		timeout: 2 * time.Second,
-	}
+	n := &Network{seed: seed}
+	n.cfg.Store(&netConfig{timeout: 2 * time.Second})
+	return n
 }
 
 // lockedRand is one source address' persistent RNG stream. The lock makes
@@ -165,6 +216,9 @@ func New(seed int64) *Network {
 type lockedRand struct {
 	mu  sync.Mutex
 	rng *rand.Rand
+	// shard is the stat shard this source's exchanges account into,
+	// cached here so the hot path pays the address hash exactly once.
+	shard *statShard
 	// flows holds per-destination fault state (exchange counters and
 	// Gilbert–Elliott chain positions); nil until a faulted link is used.
 	flows map[netip.Addr]*flowState
@@ -199,29 +253,36 @@ func (n *Network) srcRand(src netip.Addr) *lockedRand {
 	b := src.As16()
 	lo := binary.BigEndian.Uint64(b[:8])
 	hi := binary.BigEndian.Uint64(b[8:])
-	lr := &lockedRand{rng: rand.New(rand.NewSource(detpar.Derive(n.seed, lo, hi)))}
+	lr := &lockedRand{
+		rng:   rand.New(rand.NewSource(detpar.Derive(n.seed, lo, hi))),
+		shard: &n.shards[(lo^hi)&(statShardCount-1)],
+	}
 	actual, _ := n.srcRNGs.LoadOrStore(src, lr)
 	return actual.(*lockedRand)
 }
 
 // SetMetrics attaches an accounting registry: every subsequent exchange
-// counts its packets under "netsim.packets.sent"/"netsim.packets.lost",
+// counts query packets under "netsim.packets.sent", delivered responses
+// under "netsim.packets.recvd", losses under "netsim.packets.lost",
 // retransmissions under "netsim.retries", and records per-destination
 // round-trip times in "netsim.rtt_us.<dst>" histograms (microseconds).
 // A nil registry detaches instrumentation.
 func (n *Network) SetMetrics(reg *metrics.Registry) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.metrics = reg
-	n.mSent = reg.Counter("netsim.packets.sent")
-	n.mLost = reg.Counter("netsim.packets.lost")
-	n.mRetries = reg.Counter("netsim.retries")
-	n.mServFail = reg.Counter("netsim.faults.servfail")
-	n.mRefused = reg.Counter("netsim.faults.refused")
-	n.mTruncated = reg.Counter("netsim.faults.truncated")
-	n.mDuplicated = reg.Counter("netsim.faults.duplicated")
-	n.mLate = reg.Counter("netsim.faults.late")
-	n.mOutage = reg.Counter("netsim.faults.outage")
+	cfg := *n.cfg.Load()
+	cfg.metrics = reg
+	cfg.mSent = reg.Counter("netsim.packets.sent")
+	cfg.mRecvd = reg.Counter("netsim.packets.recvd")
+	cfg.mLost = reg.Counter("netsim.packets.lost")
+	cfg.mRetries = reg.Counter("netsim.retries")
+	cfg.mServFail = reg.Counter("netsim.faults.servfail")
+	cfg.mRefused = reg.Counter("netsim.faults.refused")
+	cfg.mTruncated = reg.Counter("netsim.faults.truncated")
+	cfg.mDuplicated = reg.Counter("netsim.faults.duplicated")
+	cfg.mLate = reg.Counter("netsim.faults.late")
+	cfg.mOutage = reg.Counter("netsim.faults.outage")
+	n.cfg.Store(&cfg)
 	// Drop handles cached against a previously attached registry.
 	n.linkRTTHists.Range(func(k, _ any) bool {
 		n.linkRTTHists.Delete(k)
@@ -248,7 +309,9 @@ func (n *Network) rttHist(reg *metrics.Registry, dst netip.Addr) *metrics.Histog
 func (n *Network) SetTimeout(d time.Duration) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.timeout = d
+	cfg := *n.cfg.Load()
+	cfg.timeout = d
+	n.cfg.Store(&cfg)
 }
 
 // SetClientProfile sets the link profile applied to *unregistered* source
@@ -260,14 +323,14 @@ func (n *Network) SetTimeout(d time.Duration) {
 func (n *Network) SetClientProfile(p LinkProfile) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.clientProfile = p
+	cfg := *n.cfg.Load()
+	cfg.clientProfile = p
+	n.cfg.Store(&cfg)
 }
 
 // ClientProfile returns the profile applied to unregistered sources.
 func (n *Network) ClientProfile() LinkProfile {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.clientProfile
+	return n.cfg.Load().clientProfile
 }
 
 // SetDown marks the host at addr as down (or back up): while down, queries
@@ -285,7 +348,8 @@ func (n *Network) SetDown(addr netip.Addr, down bool) {
 func (n *Network) Register(addr netip.Addr, profile LinkProfile, handler Handler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.hosts[addr] = &host{handler: handler, profile: profile}
+	n.hosts.Store(addr, &host{handler: handler, profile: profile})
+	n.hostsView.Store(nil)
 }
 
 // Unregister removes the host at addr, simulating a machine going down —
@@ -294,30 +358,68 @@ func (n *Network) Register(addr netip.Addr, profile LinkProfile, handler Handler
 func (n *Network) Unregister(addr netip.Addr) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	delete(n.hosts, addr)
+	n.hosts.Delete(addr)
+	n.hostsView.Store(nil)
 }
 
 // Registered reports whether a host is attached at addr.
 func (n *Network) Registered(addr netip.Addr) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	_, ok := n.hosts[addr]
+	_, ok := n.hosts.Load(addr)
 	return ok
 }
 
-// SnapshotStats returns a copy of the network counters.
+// SnapshotStats folds the per-shard counters into one Stats value. The
+// fold reads each shard atomically; a snapshot taken while exchanges are
+// in flight is a consistent lower bound, and one taken at quiescence is
+// exact — the same contract the old mutex-guarded struct offered.
 func (n *Network) SnapshotStats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	var s Stats
+	for i := range n.shards {
+		sh := &n.shards[i]
+		s.Exchanges += sh.exchanges.Load()
+		s.Lost += sh.lost.Load()
+		s.BytesSent += sh.bytesSent.Load()
+		s.BytesRecvd += sh.bytesRecvd.Load()
+		s.Faults.ServFail += sh.servfail.Load()
+		s.Faults.Refused += sh.refused.Load()
+		s.Faults.Truncated += sh.truncated.Load()
+		s.Faults.Duplicated += sh.duplicated.Load()
+		s.Faults.Late += sh.late.Load()
+		s.Faults.Outage += sh.outage.Load()
+	}
+	return s
 }
 
-// lookup returns the host at addr.
+// lookup returns the host at addr. It reads the immutable host view —
+// a plain map keyed by the concrete address type — so the per-exchange
+// route lookup neither locks nor boxes.
+//
+//cdelint:hotpath
 func (n *Network) lookup(addr netip.Addr) (*host, bool) {
+	m := n.hostsView.Load()
+	if m == nil {
+		m = n.rebuildHostsView() //cdelint:allow hotalloc cold path: runs once per registration change, not per exchange
+	}
+	h, ok := (*m)[addr]
+	return h, ok
+}
+
+// rebuildHostsView snapshots the hosts map into a fresh immutable view.
+// It runs under mu so it cannot publish a snapshot that is missing a
+// registration committed after the view was invalidated.
+func (n *Network) rebuildHostsView() *map[netip.Addr]*host {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	h, ok := n.hosts[addr]
-	return h, ok
+	if m := n.hostsView.Load(); m != nil {
+		return m
+	}
+	m := make(map[netip.Addr]*host)
+	n.hosts.Range(func(k, v any) bool {
+		m[k.(netip.Addr)] = v.(*host)
+		return true
+	})
+	n.hostsView.Store(&m)
+	return &m
 }
 
 type latencyMeterKey struct{}
@@ -344,8 +446,8 @@ func (lm *latencyMeter) total() time.Duration {
 // meterPool recycles latency meters across exchanges. One meter used to
 // escape into the handler context per round trip (two when duplication
 // fired); pooling removes that steady-state allocation. Safe because
-// handlers run synchronously inside Exchange — nothing retains the meter
-// after safeServe returns.
+// handlers run synchronously inside the delivery event — nothing retains
+// the meter after safeServe returns.
 var meterPool = sync.Pool{New: func() any { return new(latencyMeter) }}
 
 // getMeter returns a zeroed meter from the pool.
@@ -423,12 +525,10 @@ func (c *Conn) TCP() *Conn {
 // retryCounter exposes the network's retransmission counter to
 // ExchangeRetry (nil when no registry is attached).
 func (c *Conn) retryCounter() *metrics.Counter {
-	c.net.mu.Lock()
-	defer c.net.mu.Unlock()
-	return c.net.mRetries
+	return c.net.cfg.Load().mRetries
 }
 
-// scratchPool recycles the wire-encoding buffers used by Exchange. Safe
+// scratchPool recycles the wire-encoding buffers used by exchanges. Safe
 // because dnswire.Unpack never aliases its input: every decoded field is
 // copied out of the wire bytes, so the scratch can be reused the moment
 // Unpack returns.
@@ -439,237 +539,32 @@ var scratchPool = sync.Pool{
 	},
 }
 
-// Exchange implements Exchanger. The query is packed to wire format,
-// "transmitted" (subject to loss and latency), decoded, handled, and the
-// response travels back the same way. The returned duration is the full
-// simulated round-trip time including any upstream exchanges performed by
-// the destination handler.
-//
-// Exchange runs once per probe, millions of times per enumeration trial;
-// its steady-state path must not allocate. Fault branches and nested
-// handler calls are charged to their owners via allow comments below.
-//
-//cdelint:hotpath
-func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.Addr) (*dnswire.Message, time.Duration, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, 0, err
-	}
-	n := c.net
-
-	n.mu.Lock()
-	n.stats.Exchanges++
-	timeout := n.timeout
-	reg, mSent, mLost := n.metrics, n.mSent, n.mLost
-	clientProfile := n.clientProfile
-	n.mu.Unlock()
-
-	h, ok := n.lookup(dst)
-	if !ok {
-		return nil, 0, fmt.Errorf("%w: %v", ErrNoRoute, dst)
-	}
-	// An unregistered source (the usual case for probers, which Bind
-	// arbitrary client addresses) gets the network's configurable client
-	// profile rather than a silent zero profile.
-	srcProfile := clientProfile
-	if sh, ok := n.lookup(c.src); ok {
-		srcProfile = sh.profile
-	}
-	//cdelint:allow hotalloc per-source RNG stream is created once and cached in a sync.Map
-	lr := n.srcRand(c.src)
-
-	// Fault state for this (src → dst) flow, only materialised when a
-	// FaultProfile is attached to either side: the zero-fault path must
-	// consume byte-identical RNG draws to the pre-fault-layer simulator.
-	dstFP := h.profile.Faults
-	var fs *flowState
-	var flowIdx int
-	if srcProfile.Faults != nil || dstFP != nil {
-		fs = lr.flow(dst)
-		flowIdx = lr.nextFlowIdx(fs)
-	}
-
-	scratch := scratchPool.Get().(*[]byte)
-	defer scratchPool.Put(scratch)
-	wire, err := query.AppendPack((*scratch)[:0])
-	*scratch = wire[:0]
-	if err != nil {
-		return nil, 0, fmt.Errorf("%w: %w", ErrMalformed, err)
-	}
-	n.mu.Lock()
-	n.stats.BytesSent += int64(len(wire))
-	n.mu.Unlock()
-	mSent.Inc()
-
-	// Transient outage: the destination is down (operator SetDown or a
-	// scheduled window); the query vanishes and the client times out.
-	if h.down.Load() || (dstFP != nil && inOutage(dstFP.Outages, flowIdx)) {
-		n.mu.Lock()
-		n.stats.Lost++
-		n.mu.Unlock()
-		mLost.Inc()
-		n.noteFault(ctx, FaultOutage, c.src, dst)
-		chargeUpstream(ctx, timeout)
-		return nil, timeout, ErrTimeout
-	}
-
-	oneWay := srcProfile.OneWay + h.profile.OneWay +
-		lr.jitter(srcProfile.Jitter) + lr.jitter(h.profile.Jitter)
-
-	// Query packet subject to loss on either endpoint's link. The short-
-	// circuit matters: with no faults attached this is exactly the
-	// historical two-draw-max Bernoulli pattern.
-	if lr.lostPacket(fs, srcProfile, true) || lr.lostPacket(fs, h.profile, false) {
-		n.mu.Lock()
-		n.stats.Lost++
-		n.mu.Unlock()
-		mLost.Inc()
-		chargeUpstream(ctx, timeout)
-		return nil, timeout, ErrTimeout
-	}
-
-	decoded, err := dnswire.Unpack(wire)
-	if err != nil {
-		return nil, 0, fmt.Errorf("%w: %w", ErrMalformed, err)
-	}
-
-	// Injected server failure: the destination short-circuits with
-	// SERVFAIL/REFUSED instead of resolving — one draw covers both rates.
-	var injected dnswire.RCode
-	injectedOK := false
-	if dstFP != nil && (dstFP.ServFailRate > 0 || dstFP.RefusedRate > 0) {
-		switch u := lr.roll(); {
-		case u < dstFP.ServFailRate:
-			injected, injectedOK = dnswire.RCodeServFail, true
-			n.noteFault(ctx, FaultServFail, c.src, dst)
-		case u < dstFP.ServFailRate+dstFP.RefusedRate:
-			injected, injectedOK = dnswire.RCodeRefused, true
-			n.noteFault(ctx, FaultRefused, c.src, dst)
-		}
-	}
-
-	// Run the handler with a fresh meter so its nested exchanges are
-	// charged to this round trip.
-	meter := getMeter()
-	defer meterPool.Put(meter)
-	var resp *dnswire.Message
-	if injectedOK {
-		//cdelint:allow hotalloc injected-fault path; the synthesized response is the product
-		resp = dnswire.NewResponse(decoded)
-		resp.Header.RCode = injected
-	} else {
-		resp, err = safeServe(h.handler, context.WithValue(ctx, latencyMeterKey{}, meter), c.src, decoded)
-		if err != nil {
-			return nil, 0, fmt.Errorf("netsim: handler at %v: %w", dst, err)
-		}
-		// Duplicated query delivery: the handler serves the query a second
-		// time and that response is discarded, but its side effects (cache
-		// fills, authoritative arrivals) persist. TCP streams never
-		// duplicate. The duplicate overlaps the original in real time, so
-		// no extra latency is charged.
-		if dstFP != nil && dstFP.DuplicateRate > 0 && !c.tcp && lr.roll() < dstFP.DuplicateRate {
-			n.noteFault(ctx, FaultDuplicate, c.src, dst)
-			dupMeter := getMeter()
-			//cdelint:allow errflow the duplicate's response and error are discarded by design; only the original is returned
-			_, _ = safeServe(h.handler, context.WithValue(ctx, latencyMeterKey{}, dupMeter), c.src, decoded)
-			meterPool.Put(dupMeter)
-		}
-	}
-	handlerTime := meter.total()
-
-	// In-flight truncation: the response loses its record sections and
-	// gains the TC bit, pushing TCP-capable clients to re-ask via
-	// Conn.TCP / udpnet's FallbackTCP. TCP exchanges are immune.
-	if dstFP != nil && dstFP.TruncateRate > 0 && !c.tcp && lr.roll() < dstFP.TruncateRate {
-		n.noteFault(ctx, FaultTruncate, c.src, dst)
-		//cdelint:allow hotalloc injected-truncation path; the synthesized response is the product
-		tr := dnswire.NewResponse(decoded)
-		tr.Header.RCode = resp.Header.RCode
-		tr.Header.RecursionAvailable = resp.Header.RecursionAvailable
-		tr.Header.Authoritative = resp.Header.Authoritative
-		tr.Header.Truncated = true
-		resp = tr
-	}
-
-	// The query bytes are fully decoded; reuse the same scratch for the
-	// response direction.
-	respWire, err := resp.AppendPack(wire[:0])
-	*scratch = respWire[:0]
-	if err != nil {
-		return nil, 0, fmt.Errorf("%w: %w", ErrMalformed, err)
-	}
-	n.mu.Lock()
-	n.stats.BytesRecvd += int64(len(respWire))
-	n.mu.Unlock()
-	mSent.Inc()
-
-	returnWay := srcProfile.OneWay + h.profile.OneWay +
-		lr.jitter(srcProfile.Jitter) + lr.jitter(h.profile.Jitter)
-
-	// Response packet subject to loss as well.
-	if lr.lostPacket(fs, srcProfile, true) || lr.lostPacket(fs, h.profile, false) {
-		n.mu.Lock()
-		n.stats.Lost++
-		n.mu.Unlock()
-		mLost.Inc()
-		total := timeout + handlerTime
-		chargeUpstream(ctx, total)
-		return nil, total, ErrTimeout
-	}
-
-	// Late response: it arrives after the client's retransmission timer,
-	// so the client sees a timeout (and pays for it) even though the
-	// server did all its work.
-	if dstFP != nil && dstFP.LateRate > 0 && lr.roll() < dstFP.LateRate {
-		n.noteFault(ctx, FaultLate, c.src, dst)
-		total := timeout + handlerTime
-		chargeUpstream(ctx, total)
-		return nil, total, ErrTimeout
-	}
-
-	respDecoded, err := dnswire.Unpack(respWire)
-	if err != nil {
-		return nil, 0, fmt.Errorf("%w: %w", ErrMalformed, err)
-	}
-
-	rtt := oneWay + handlerTime + returnWay
-	if c.tcp {
-		// TCP pays a handshake round trip before the query flows.
-		rtt += oneWay + returnWay
-	}
-	//cdelint:allow hotalloc per-destination histogram is cached; metrics were opted into by attaching a registry
-	n.rttHist(reg, dst).Observe(rtt.Microseconds())
-	chargeUpstream(ctx, rtt)
-	return respDecoded, rtt, nil
-}
-
-// noteFault records one injected fault in the always-on Stats mirror, the
+// noteFault records one injected fault in the always-on shard mirror, the
 // metrics registry (when attached) and the context's trace (when present).
 // The switch covers every FaultKind member; the exhaustive analyzer keeps
 // it that way when a new kind is added.
-func (n *Network) noteFault(ctx context.Context, kind FaultKind, src, dst netip.Addr) {
-	n.mu.Lock()
+func noteFault(ctx context.Context, cfg *netConfig, shard *statShard, kind FaultKind, src, dst netip.Addr) {
 	var ctr *metrics.Counter
 	switch kind {
 	case FaultServFail:
-		n.stats.Faults.ServFail++
-		ctr = n.mServFail
+		shard.servfail.Add(1)
+		ctr = cfg.mServFail
 	case FaultRefused:
-		n.stats.Faults.Refused++
-		ctr = n.mRefused
+		shard.refused.Add(1)
+		ctr = cfg.mRefused
 	case FaultTruncate:
-		n.stats.Faults.Truncated++
-		ctr = n.mTruncated
+		shard.truncated.Add(1)
+		ctr = cfg.mTruncated
 	case FaultDuplicate:
-		n.stats.Faults.Duplicated++
-		ctr = n.mDuplicated
+		shard.duplicated.Add(1)
+		ctr = cfg.mDuplicated
 	case FaultLate:
-		n.stats.Faults.Late++
-		ctr = n.mLate
+		shard.late.Add(1)
+		ctr = cfg.mLate
 	case FaultOutage:
-		n.stats.Faults.Outage++
-		ctr = n.mOutage
+		shard.outage.Add(1)
+		ctr = cfg.mOutage
 	}
-	n.mu.Unlock()
 	ctr.Inc()
 	//cdelint:allow hotalloc fault notes format and box only when a fault fired, off the steady-state path
 	trace.Addf(ctx, "fault", "%s: %v -> %v", string(kind), src, dst)

@@ -352,9 +352,12 @@ func TestSetMetricsCountsPacketsAndRTT(t *testing.T) {
 		}
 	}
 	s := reg.Snapshot()
-	// Each lossless exchange sends one query and one response packet.
-	if got := s.Counter("netsim.packets.sent"); got != 6 {
-		t.Errorf("packets.sent = %d, want 6", got)
+	// Each lossless exchange sends one query and receives one response.
+	if got := s.Counter("netsim.packets.sent"); got != 3 {
+		t.Errorf("packets.sent = %d, want 3", got)
+	}
+	if got := s.Counter("netsim.packets.recvd"); got != 3 {
+		t.Errorf("packets.recvd = %d, want 3", got)
 	}
 	if got := s.Counter("netsim.packets.lost"); got != 0 {
 		t.Errorf("packets.lost = %d, want 0", got)

@@ -6,11 +6,13 @@ import (
 	"hash/fnv"
 	"math"
 	"net/netip"
+	"sync"
 	"time"
 
 	"dnscde/internal/detpar"
 	"dnscde/internal/dnswire"
 	"dnscde/internal/metrics"
+	"dnscde/internal/netsim/des"
 )
 
 // retryAccounter is implemented by Exchangers that expose a retransmission
@@ -88,11 +90,150 @@ func retrySeed(query *dnswire.Message, dst netip.Addr) uint64 {
 	h := fnv.New64a()
 	if q, err := query.FirstQuestion(); err == nil {
 		h.Write([]byte(q.Name))
-		h.Write([]byte{byte(q.Type >> 8), byte(q.Type)})
+		var tb [2]byte
+		tb[0], tb[1] = byte(q.Type>>8), byte(q.Type)
+		h.Write(tb[:])
 	}
 	b := dst.As16()
 	h.Write(b[:])
 	return h.Sum64()
+}
+
+// retryState is the pooled actor driving one retransmission schedule as an
+// event chain: each Fire launches one attempt via ExchangeEvent, the
+// attempt's completion lands in onResult, and a lost attempt re-arms the
+// actor after the backoff wait — all in simulated time on one scheduler.
+type retryState struct {
+	sched    *des.Scheduler
+	ex       EventExchanger
+	ctx      context.Context
+	query    *dnswire.Message
+	dst      netip.Addr
+	attempts int
+	bo       Backoff
+	retries  *metrics.Counter
+	seed     uint64
+
+	attempt int
+	total   time.Duration
+	lastErr error
+
+	resp *dnswire.Message
+	err  error
+	done func(*dnswire.Message, time.Duration, error)
+
+	// onResultFn is the bound method value handed to ExchangeEvent; it is
+	// created once per pooled record and survives recycling, so the retry
+	// chain allocates no per-attempt closure.
+	onResultFn func(*dnswire.Message, time.Duration, error)
+}
+
+var _ des.Actor = (*retryState)(nil)
+
+var retryStatePool = sync.Pool{New: func() any { return new(retryState) }}
+
+//cdelint:hotpath
+func getRetryState() *retryState {
+	rs := retryStatePool.Get().(*retryState)
+	if rs.onResultFn == nil {
+		//cdelint:allow hotalloc the bound method value is created once per pooled record, then reused
+		rs.onResultFn = rs.onResult
+	}
+	return rs
+}
+
+//cdelint:hotpath
+func putRetryState(rs *retryState) {
+	rs.sched = nil
+	rs.ex = nil
+	rs.ctx = nil
+	rs.query = nil
+	rs.dst = netip.Addr{}
+	rs.attempts = 0
+	rs.bo = Backoff{}
+	rs.retries = nil
+	rs.seed = 0
+	rs.attempt = 0
+	rs.total = 0
+	rs.lastErr = nil
+	rs.resp = nil
+	rs.err = nil
+	rs.done = nil
+	retryStatePool.Put(rs)
+}
+
+// Fire launches the current attempt.
+//
+//cdelint:hotpath
+func (rs *retryState) Fire(now des.Time, op uint8) {
+	rs.ex.ExchangeEvent(rs.ctx, rs.sched, rs.query, rs.dst, rs.onResultFn)
+}
+
+// onResult receives one attempt's outcome and either settles the schedule
+// or arms the next retransmission after the backoff wait.
+//
+//cdelint:hotpath
+func (rs *retryState) onResult(resp *dnswire.Message, rtt time.Duration, err error) {
+	rs.total += rtt
+	if err == nil {
+		rs.settle(resp, nil)
+		return
+	}
+	rs.lastErr = err
+	if !errors.Is(err, ErrTimeout) {
+		rs.settle(nil, err)
+		return
+	}
+	rs.attempt++
+	if rs.attempt >= rs.attempts {
+		rs.settle(nil, rs.lastErr)
+		return
+	}
+	// Cancellation is honoured between attempts: once ctx is done, no
+	// further retransmission is sent and the context's error is returned
+	// as-is — distinct from ErrTimeout, so callers can tell an aborted
+	// measurement from packet loss.
+	if cerr := rs.ctx.Err(); cerr != nil {
+		rs.settle(nil, cerr)
+		return
+	}
+	rs.retries.Inc()
+	// The backoff wait is simulated time: it inflates both this probe's
+	// cumulative cost and any enclosing exchange's RTT, exactly like the
+	// timeout that triggered it.
+	wait := rs.bo.Wait(rs.seed, rs.attempt)
+	rs.total += wait
+	chargeUpstream(rs.ctx, wait)
+	rs.sched.Schedule(wait, rs, 0)
+}
+
+// settle records the schedule's outcome; in asynchronous mode it delivers
+// the result and recycles the state.
+func (rs *retryState) settle(resp *dnswire.Message, err error) {
+	rs.resp, rs.err = resp, err
+	if rs.done != nil {
+		done, total := rs.done, rs.total
+		rs.done = nil
+		done(resp, total, err)
+		putRetryState(rs)
+	}
+}
+
+// initRetryState primes a pooled record for one schedule.
+//
+//cdelint:hotpath
+func initRetryState(rs *retryState, sched *des.Scheduler, ex EventExchanger, ctx context.Context, query *dnswire.Message, dst netip.Addr, attempts int, bo Backoff) {
+	rs.sched = sched
+	rs.ex = ex
+	rs.ctx = ctx
+	rs.query = query
+	rs.dst = dst
+	rs.attempts = attempts
+	rs.bo = bo
+	rs.seed = retrySeed(query, dst)
+	if ra, ok := ex.(retryAccounter); ok {
+		rs.retries = ra.retryCounter()
+	}
 }
 
 // ExchangeRetry performs an exchange with up to attempts tries, retrying
@@ -114,11 +255,48 @@ func ExchangeRetry(ctx context.Context, ex Exchanger, query *dnswire.Message, ds
 }
 
 // ExchangeRetryBackoff is ExchangeRetry with an explicit backoff schedule;
-// the zero Backoff retransmits immediately.
+// the zero Backoff retransmits immediately. Event-capable transports (the
+// simulated Conn, udpnet's TCPFallback over simulated legs) run the whole
+// schedule as an event chain on a pooled scheduler; other Exchangers fall
+// back to the blocking loop.
+//
+//cdelint:hotpath
 func ExchangeRetryBackoff(ctx context.Context, ex Exchanger, query *dnswire.Message, dst netip.Addr, attempts int, bo Backoff) (*dnswire.Message, time.Duration, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
+	if eex, ok := ex.(EventExchanger); ok {
+		sched := schedPool.Get().(*des.Scheduler)
+		rs := getRetryState()
+		initRetryState(rs, sched, eex, ctx, query, dst, attempts, bo)
+		sched.Schedule(0, rs, 0)
+		sched.Run()
+		resp, total, err := rs.resp, rs.total, rs.err
+		putRetryState(rs)
+		sched.Reset()
+		schedPool.Put(sched)
+		return resp, total, err
+	}
+	return exchangeRetryBlocking(ctx, ex, query, dst, attempts, bo)
+}
+
+// ExchangeRetryEvent runs a full retransmission schedule asynchronously on
+// the caller's scheduler: done fires at the simulated time the schedule
+// settles (success, non-timeout error, cancellation or exhaustion), with
+// the cumulative duration across attempts and backoff waits.
+func ExchangeRetryEvent(ctx context.Context, sched *des.Scheduler, ex EventExchanger, query *dnswire.Message, dst netip.Addr, attempts int, bo Backoff, done func(*dnswire.Message, time.Duration, error)) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	rs := getRetryState()
+	initRetryState(rs, sched, ex, ctx, query, dst, attempts, bo)
+	rs.done = done
+	sched.Schedule(0, rs, 0)
+}
+
+// exchangeRetryBlocking is the legacy loop for transports without an
+// event-chain form (the real-socket udpnet exchanger).
+func exchangeRetryBlocking(ctx context.Context, ex Exchanger, query *dnswire.Message, dst netip.Addr, attempts int, bo Backoff) (*dnswire.Message, time.Duration, error) {
 	var retries *metrics.Counter
 	if ra, ok := ex.(retryAccounter); ok {
 		retries = ra.retryCounter()
@@ -132,9 +310,6 @@ func ExchangeRetryBackoff(ctx context.Context, ex Exchanger, query *dnswire.Mess
 				return nil, total, cerr
 			}
 			retries.Inc()
-			// The backoff wait is simulated time: it inflates both this
-			// probe's cumulative cost and any enclosing exchange's RTT,
-			// exactly like the timeout that triggered it.
 			wait := bo.Wait(seed, i)
 			total += wait
 			chargeUpstream(ctx, wait)

@@ -212,7 +212,7 @@ func (s *Scenario) runTrial(ctx context.Context, seed int64) (trialOut, error) {
 	out.cost = Cost{
 		Probes:      snap.Counter("core.probes.sent"),
 		ProbeErrors: snap.Counter("core.probes.errors"),
-		Packets:     snap.Total("netsim.packets.sent"),
+		Packets:     snap.Total("netsim.packets.sent") + snap.Total("netsim.packets.recvd"),
 		PacketsLost: snap.Total("netsim.packets.lost"),
 		Retries:     snap.Counter("netsim.retries"),
 		FaultsInjected: snap.Counter("netsim.faults.servfail") +

@@ -14,6 +14,7 @@ import (
 	"dnscde/internal/dnstree"
 	"dnscde/internal/metrics"
 	"dnscde/internal/netsim"
+	"dnscde/internal/netsim/des"
 	"dnscde/internal/platform"
 	"dnscde/internal/stub"
 )
@@ -32,6 +33,13 @@ type World struct {
 	Clock *clock.Virtual
 	Tree  *dnstree.Tree
 	Infra *core.Infra
+	// Sched is the world's discrete-event scheduler for callers that
+	// multiplex many concurrent client exchanges on one event loop
+	// (netsim.EventExchanger / ExchangeRetryEvent). Blocking Exchange
+	// calls do not use it — they drive private pooled schedulers — so a
+	// world mixes both styles freely. Single-threaded: one goroutine owns
+	// Sched for the duration of a run.
+	Sched *des.Scheduler
 	// Metrics is the cost-accounting registry wired through the network,
 	// infrastructure and every platform built by NewPlatform; nil when the
 	// world was created without one (all instrumentation is then no-op).
@@ -77,6 +85,7 @@ func New(opts Options) (*World, error) {
 	}
 	w := &World{
 		Net:            netsim.New(opts.Seed),
+		Sched:          des.NewScheduler(),
 		Clock:          clock.NewVirtual(),
 		Metrics:        opts.Metrics,
 		nextIngress:    netip.MustParseAddr("10.10.0.1"),
