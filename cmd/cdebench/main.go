@@ -39,6 +39,7 @@ type jsonReport struct {
 	WallMS   float64          `json:"wall_ms"`
 	Allocs   uint64           `json:"allocs"`
 	Workers  int              `json:"workers"`
+	Shards   int              `json:"shards"`
 	Cost     experiments.Cost `json:"cost"`
 	Checks   []jsonCheck      `json:"checks"`
 	Rendered string           `json:"rendered,omitempty"`
@@ -71,8 +72,9 @@ func run(args []string, clk clock.Clock) int {
 		asJSON  = fs.Bool("json", false, "emit one JSON object per experiment instead of text")
 		verbose = fs.Bool("v", false, "with -json, include the rendered text in each object")
 		workers = fs.Int("workers", 0, "trial-loop worker count (0 = GOMAXPROCS); reports are byte-identical at any value")
-		clients = fs.Int("clients", 0, "with -exp scale: stub-client population (0 = the headline 1M)")
-		caches  = fs.Int("caches", 0, "with -exp scale: simulated cache population (0 = the headline 10K)")
+		shards  = fs.Int("shards", 1, "event-loop lane count for the sharded simulation scheduler; reports are byte-identical at any value >= 1")
+		clients = fs.Int("clients", 1_000_000, "with -exp scale: stub-client population")
+		caches  = fs.Int("caches", 10_000, "with -exp scale: simulated cache population")
 		faults  = fs.String("faults", "", "fault profile injected into every platform link, e.g. 'burst=0.11:4,servfail=0.02' (see the faults experiment)")
 
 		scenarios = fs.String("scenarios", "internal/scenario/testdata/scenarios",
@@ -85,6 +87,16 @@ func run(args []string, clk clock.Clock) int {
 	if *update && *exp != "scenario" {
 		fmt.Fprintf(os.Stderr, "cdebench: -update is only valid with -exp scenario\n")
 		return 2
+	}
+	for _, f := range []struct {
+		name string
+		val  int
+	}{{"-clients", *clients}, {"-caches", *caches}, {"-shards", *shards}} {
+		if f.val <= 0 {
+			fmt.Fprintf(os.Stderr, "cdebench: %s must be >= 1, have %d\n", f.name, f.val)
+			fs.Usage()
+			return 2
+		}
 	}
 	faultProfile, err := netsim.ParseFaultProfile(*faults)
 	if err != nil {
@@ -110,6 +122,7 @@ func run(args []string, clk clock.Clock) int {
 		ScaleClients:  *clients,
 		ScaleCaches:   *caches,
 		Workers:       *workers,
+		Shards:        *shards,
 		Faults:        faultProfile,
 	}
 
@@ -141,6 +154,7 @@ func run(args []string, clk clock.Clock) int {
 				WallMS:  float64(elapsed) / float64(time.Millisecond),
 				Allocs:  memAfter.Mallocs - memBefore.Mallocs,
 				Workers: detpar.Workers(cfg.Workers),
+				Shards:  cfg.Shards,
 				Cost:    report.Cost,
 			}
 			for _, c := range report.Checks {
@@ -175,19 +189,21 @@ func run(args []string, clk clock.Clock) int {
 // -exp scenario -json; `cdebench -exp scenario -json | tee
 // conformance.json` is the artifact CI uploads.
 type scenarioJSON struct {
-	Scenario         string          `json:"scenario"`
-	Workers          []int           `json:"workers"`
-	WorkersInvariant bool            `json:"workers_invariant"`
-	GoldenMatch      bool            `json:"golden_match"`
-	Updated          bool            `json:"updated,omitempty"`
-	Detail           string          `json:"detail,omitempty"`
-	Report           json.RawMessage `json:"report,omitempty"`
+	Scenario    string          `json:"scenario"`
+	Workers     []int           `json:"workers"`
+	Shards      []int           `json:"shards"`
+	Invariant   bool            `json:"invariant"`
+	GoldenMatch bool            `json:"golden_match"`
+	Updated     bool            `json:"updated,omitempty"`
+	Detail      string          `json:"detail,omitempty"`
+	Report      json.RawMessage `json:"report,omitempty"`
 }
 
 // runScenarioConformance executes the scenario corpus at the default
-// worker sweep and diffs (or, with update, rewrites) the golden reports.
+// workers x shards sweep and diffs (or, with update, rewrites) the golden
+// reports.
 func runScenarioConformance(ctx context.Context, dir string, update, asJSON bool) int {
-	results, err := scenario.RunConformance(ctx, dir, scenario.DefaultWorkerSweep, update)
+	results, err := scenario.RunConformance(ctx, dir, scenario.DefaultWorkerSweep, scenario.DefaultShardSweep, update)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cdebench: scenario: %v\n", err)
 		return 1
@@ -200,13 +216,14 @@ func runScenarioConformance(ctx context.Context, dir string, update, asJSON bool
 		}
 		if asJSON {
 			sj := scenarioJSON{
-				Scenario:         res.Scenario,
-				Workers:          res.Workers,
-				WorkersInvariant: res.WorkersInvariant,
-				GoldenMatch:      res.GoldenMatch,
-				Updated:          res.Updated,
-				Detail:           res.Detail,
-				Report:           json.RawMessage(res.Report),
+				Scenario:    res.Scenario,
+				Workers:     res.Workers,
+				Shards:      res.Shards,
+				Invariant:   res.Invariant,
+				GoldenMatch: res.GoldenMatch,
+				Updated:     res.Updated,
+				Detail:      res.Detail,
+				Report:      json.RawMessage(res.Report),
 			}
 			if err := enc.Encode(sj); err != nil {
 				fmt.Fprintf(os.Stderr, "cdebench: encoding %s: %v\n", res.Scenario, err)
@@ -218,7 +235,7 @@ func runScenarioConformance(ctx context.Context, dir string, update, asJSON bool
 		case res.Updated:
 			fmt.Printf("%-24s UPDATED golden (%d bytes)\n", res.Scenario, len(res.Report))
 		case res.Passed():
-			fmt.Printf("%-24s PASS (workers %v invariant, golden match)\n", res.Scenario, res.Workers)
+			fmt.Printf("%-24s PASS (workers %v x shards %v invariant, golden match)\n", res.Scenario, res.Workers, res.Shards)
 		default:
 			fmt.Printf("%-24s FAIL %s\n", res.Scenario, res.Detail)
 		}

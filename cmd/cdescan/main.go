@@ -57,6 +57,7 @@ func run(args []string, out io.Writer) int {
 		seed      = fs.Int64("seed", 1, "simulation seed")
 		scans     = fs.Int("scans", 1, "sim mode: independent platforms to scan (each gets a derived seed)")
 		workers   = fs.Int("workers", 0, "sim mode: worker count for -scans > 1 (0 = GOMAXPROCS); output is byte-identical at any value")
+		shards    = fs.Int("shards", 1, "sim mode: event-loop lane count for the sharded simulation scheduler; output is byte-identical at any value >= 1")
 		scnFile   = fs.String("scenario", "", "sim mode: run a declarative scenario file (*.scn) instead of the flag-built platform; prints the canonical report")
 
 		target = fs.String("target", "", "udp mode: resolver address ip:port")
@@ -73,6 +74,11 @@ func run(args []string, out io.Writer) int {
 		fmt.Fprintf(os.Stderr, "cdescan: -faults: %v\n", err)
 		return 2
 	}
+	if *shards <= 0 {
+		fmt.Fprintf(os.Stderr, "cdescan: -shards must be >= 1, have %d\n", *shards)
+		fs.Usage()
+		return 2
+	}
 	switch *mode {
 	case "sim":
 		if *scnFile != "" {
@@ -81,13 +87,13 @@ func run(args []string, out io.Writer) int {
 				fmt.Fprintf(os.Stderr, "cdescan: %v\n", err)
 				return 2
 			}
-			if err := runScenario(out, sc, *workers); err != nil {
+			if err := runScenario(out, sc, *workers, *shards); err != nil {
 				fmt.Fprintf(os.Stderr, "cdescan: %v\n", err)
 				return 1
 			}
 			return 0
 		}
-		if err := runSims(out, *technique, *caches, *ingress, *egress, *selector, *loss, faultProfile, *seed, *scans, *workers); err != nil {
+		if err := runSims(out, *technique, *caches, *ingress, *egress, *selector, *loss, faultProfile, *seed, *scans, *workers, *shards); err != nil {
 			fmt.Fprintf(os.Stderr, "cdescan: %v\n", err)
 			return 1
 		}
@@ -106,8 +112,8 @@ func run(args []string, out io.Writer) int {
 // runScenario executes a declarative scenario (internal/scenario) and
 // prints its canonical JSON report — the same bytes the conformance
 // harness diffs against the goldens.
-func runScenario(out io.Writer, sc *scenario.Scenario, workers int) error {
-	report, err := scenario.Run(context.Background(), sc, scenario.RunOptions{Workers: workers})
+func runScenario(out io.Writer, sc *scenario.Scenario, workers, shards int) error {
+	report, err := scenario.Run(context.Background(), sc, scenario.RunOptions{Workers: workers, Shards: shards})
 	if err != nil {
 		return err
 	}
@@ -138,15 +144,15 @@ func makeSelector(kind string, seed int64) (loadbal.Selector, error) {
 // -scans > 1 each scan owns a full world seeded from the detpar stream
 // and runs on a bounded worker pool; outputs are merged in scan order,
 // so the combined report is byte-identical at any -workers value.
-func runSims(out io.Writer, technique string, caches, ingress, egress int, selector string, loss float64, faults *netsim.FaultProfile, seed int64, scans, workers int) error {
+func runSims(out io.Writer, technique string, caches, ingress, egress int, selector string, loss float64, faults *netsim.FaultProfile, seed int64, scans, workers, shards int) error {
 	if scans <= 1 {
-		return runSim(out, technique, caches, ingress, egress, selector, loss, faults, seed)
+		return runSim(out, technique, caches, ingress, egress, selector, loss, faults, seed, shards)
 	}
 	outputs, err := detpar.Map(context.Background(), seed, scans, workers,
 		func(i int, rng *rand.Rand) (string, error) {
 			var buf bytes.Buffer
 			fmt.Fprintf(&buf, "--- scan %d/%d ---\n", i+1, scans)
-			if err := runSim(&buf, technique, caches, ingress, egress, selector, loss, faults, rng.Int63()); err != nil {
+			if err := runSim(&buf, technique, caches, ingress, egress, selector, loss, faults, rng.Int63(), shards); err != nil {
 				return "", fmt.Errorf("scan %d: %w", i+1, err)
 			}
 			return buf.String(), nil
@@ -160,13 +166,13 @@ func runSims(out io.Writer, technique string, caches, ingress, egress int, selec
 	return nil
 }
 
-func runSim(out io.Writer, technique string, caches, ingress, egress int, selector string, loss float64, faults *netsim.FaultProfile, seed int64) (err error) {
+func runSim(out io.Writer, technique string, caches, ingress, egress int, selector string, loss float64, faults *netsim.FaultProfile, seed int64, shards int) (err error) {
 	sel, err := makeSelector(selector, seed)
 	if err != nil {
 		return err
 	}
 	reg := metrics.New()
-	w, err := simtest.New(simtest.Options{Seed: seed, Metrics: reg})
+	w, err := simtest.New(simtest.Options{Seed: seed, Metrics: reg, Shards: shards})
 	if err != nil {
 		return err
 	}
@@ -192,7 +198,16 @@ func runSim(out io.Writer, technique string, caches, ingress, egress int, select
 	}
 	fmt.Fprintln(out)
 
-	ctx := context.Background()
+	// The whole technique sweep is one sequential probe flow; on a sharded
+	// world (-shards >= 1) RunSequenced rides it on the event-loop lanes,
+	// with byte-identical output.
+	return w.RunSequenced(context.Background(), func(ctx context.Context) error {
+		return scanTechniques(ctx, out, w, plat, technique, loss)
+	})
+}
+
+// scanTechniques runs the selected technique(s) against the platform.
+func scanTechniques(ctx context.Context, out io.Writer, w *simtest.World, plat *platform.Platform, technique string, loss float64) error {
 	ingressIP := plat.Config().IngressIPs[0]
 	prober := w.DirectProber(ingressIP)
 	k := core.CarpetBombingFactor(1-(1-loss)*(1-loss), 0.99)

@@ -10,7 +10,7 @@ import (
 
 func TestRunSimAllTechniques(t *testing.T) {
 	var sb strings.Builder
-	if err := runSim(&sb, "all", 3, 2, 4, "random", 0.01, nil, 7); err != nil {
+	if err := runSim(&sb, "all", 3, 2, 4, "random", 0.01, nil, 7, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -31,7 +31,7 @@ func TestRunSimAllTechniques(t *testing.T) {
 
 func TestRunSimSingleTechnique(t *testing.T) {
 	var sb strings.Builder
-	if err := runSim(&sb, "direct", 2, 1, 1, "round-robin", 0, nil, 1); err != nil {
+	if err := runSim(&sb, "direct", 2, 1, 1, "round-robin", 0, nil, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -49,7 +49,7 @@ func TestRunSimWithFaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sb strings.Builder
-	if err := runSim(&sb, "direct", 3, 1, 1, "random", 0, fp, 11); err != nil {
+	if err := runSim(&sb, "direct", 3, 1, 1, "random", 0, fp, 11, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -104,7 +104,7 @@ func TestRunUDPValidation(t *testing.T) {
 
 func TestRunSimSurvey(t *testing.T) {
 	var sb strings.Builder
-	if err := runSim(&sb, "survey", 3, 1, 2, "round-robin", 0, nil, 9); err != nil {
+	if err := runSim(&sb, "survey", 3, 1, 2, "round-robin", 0, nil, 9, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -117,7 +117,7 @@ func TestRunSimSurvey(t *testing.T) {
 
 func TestRunSimTrace(t *testing.T) {
 	var sb strings.Builder
-	if err := runSim(&sb, "trace", 1, 1, 1, "random", 0, nil, 4); err != nil {
+	if err := runSim(&sb, "trace", 1, 1, 1, "random", 0, nil, 4, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

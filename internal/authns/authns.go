@@ -22,6 +22,7 @@ import (
 	"dnscde/internal/dnswire"
 	"dnscde/internal/metrics"
 	"dnscde/internal/netsim"
+	"dnscde/internal/netsim/des"
 	"dnscde/internal/zone"
 )
 
@@ -263,7 +264,10 @@ type Server struct {
 	mQueries   *metrics.Counter
 }
 
-var _ netsim.Handler = (*Server)(nil)
+var (
+	_ netsim.Handler      = (*Server)(nil)
+	_ netsim.EventHandler = (*Server)(nil)
+)
 
 // Option configures a Server.
 type Option func(*Server)
@@ -354,6 +358,17 @@ func (s *Server) findZone(name string) (*zone.Zone, bool) {
 		}
 	}
 	return best, best != nil
+}
+
+// ServeDNSEvent implements netsim.EventHandler: an authoritative lookup
+// has no upstream work, so the event-native form is the synchronous
+// lookup followed by a response event after the configured processing
+// delay. On the synchronous path ChargeLatency meters that same delay
+// (and is a no-op here, where no meter is in scope), so both paths charge
+// identical handler time.
+func (s *Server) ServeDNSEvent(ctx context.Context, sched *des.Scheduler, src netip.Addr, query *dnswire.Message, r netsim.Responder) {
+	resp, err := s.ServeDNS(ctx, src, query)
+	netsim.RespondAfter(sched, s.processing, r, resp, err)
 }
 
 // ServeDNS implements netsim.Handler: log the query, look it up, build the

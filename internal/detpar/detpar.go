@@ -49,6 +49,13 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Mix exposes the splitmix64 mixing function for consumers that need a
+// deterministic, well-spread hash of a small integer key — notably the
+// sharded discrete-event scheduler, which partitions simulated sources
+// across event-loop lanes by Mix(addr key) so the assignment is a pure
+// function of the address, never of registration or scheduling order.
+func Mix(x uint64) uint64 { return splitmix64(x) }
+
 // Derive mixes seed with the given salts into an independent sub-seed.
 // It is the blessed way to seed a per-trial world, platform or selector:
 // Derive(seed, i) and Derive(seed, j) are uncorrelated for i != j, and the

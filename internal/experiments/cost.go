@@ -60,7 +60,11 @@ func CostAccounting(ctx context.Context, cfg Config) (*Report, error) {
 					return 0, err
 				}
 				prober := w.DirectProber(plat.Config().IngressIPs[0])
-				res, err := core.EnumerateUntilComplete(ctx, prober, w.Infra, n, 400*n)
+				var res core.EnumResult
+				err = w.RunSequenced(ctx, func(ctx context.Context) error {
+					res, err = core.EnumerateUntilComplete(ctx, prober, w.Infra, n, 400*n)
+					return err
+				})
 				if err != nil {
 					return 0, fmt.Errorf("cost: n=%d trial %d: %w", n, trial, err)
 				}

@@ -50,3 +50,46 @@ func TestWorkersInvariance(t *testing.T) {
 		})
 	}
 }
+
+// TestShardInvariance is the determinism regression test for the sharded
+// scheduler: the experiments that run their worlds on it (faults and cost
+// through RunSequenced, scale natively) must render byte-identical
+// reports on the legacy single scheduler (shards=0) and on sharded
+// universes at every lane count, at any worker count. Source streams are
+// partitioned over lanes by address key and the workloads are causal
+// chains, so no draw can reorder (DESIGN.md §12).
+func TestShardInvariance(t *testing.T) {
+	grid := []struct{ workers, shards int }{
+		{1, 1}, {8, 2}, {1, 8}, {8, 8},
+	}
+	if testing.Short() {
+		grid = []struct{ workers, shards int }{{8, 2}, {1, 8}}
+	}
+	for _, id := range []string{"faults", "cost", "scale"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			render := func(workers, shards int) string {
+				cfg := Config{
+					Seed:         2017,
+					Workers:      workers,
+					Shards:       shards,
+					ScaleClients: 30_000,
+					ScaleCaches:  600,
+				}
+				report, err := RunContext(context.Background(), id, cfg)
+				if err != nil {
+					t.Fatalf("workers=%d shards=%d: %v", workers, shards, err)
+				}
+				return report.Render()
+			}
+			legacy := render(1, 0)
+			for _, g := range grid {
+				if got := render(g.workers, g.shards); got != legacy {
+					t.Errorf("report differs between shards=0 and workers=%d shards=%d:\n--- legacy ---\n%s\n--- sharded ---\n%s",
+						g.workers, g.shards, legacy, got)
+				}
+			}
+		})
+	}
+}

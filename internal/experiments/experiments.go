@@ -48,6 +48,12 @@ type Config struct {
 	// into every platform link an experiment builds — cdebench's -faults
 	// flag. Nil leaves all links clean.
 	Faults *netsim.FaultProfile
+	// Shards, when >= 1, runs every world an experiment builds on a
+	// sharded discrete-event scheduler with that many event-loop lanes
+	// (simtest.Options.Shards); 0 keeps the legacy single-scheduler path.
+	// Like Workers, it tunes execution, not results: reports are
+	// byte-identical at any shard count (DESIGN.md §12).
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,14 +77,15 @@ func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
 
 // world builds a fresh simulated Internet.
 func (c Config) world() (*simtest.World, error) {
-	return simtest.New(simtest.Options{Seed: c.Seed + 1, Metrics: c.Metrics, PlatformFaults: c.Faults})
+	return simtest.New(simtest.Options{Seed: c.Seed + 1, Metrics: c.Metrics, PlatformFaults: c.Faults, Shards: c.Shards})
 }
 
 // trialWorld builds a per-trial world with the given seed, carrying the
-// run's metrics registry and injected fault profile. Trial fan-outs use
-// it so -faults reaches every platform an experiment builds.
+// run's metrics registry, injected fault profile and shard count. Trial
+// fan-outs use it so -faults and -shards reach every world an experiment
+// builds.
 func (c Config) trialWorld(seed int64) (*simtest.World, error) {
-	return simtest.New(simtest.Options{Seed: seed, Metrics: c.Metrics, PlatformFaults: c.Faults})
+	return simtest.New(simtest.Options{Seed: seed, Metrics: c.Metrics, PlatformFaults: c.Faults, Shards: c.Shards})
 }
 
 // Check is one shape assertion: a value the paper reports versus the

@@ -80,15 +80,26 @@ func Faults(ctx context.Context, cfg Config) (*Report, error) {
 				}
 				ingress := plat.Config().IngressIPs[0]
 
-				raw, err := core.EnumerateDirect(ctx, w.DirectProber(ingress), w.Infra,
-					core.EnumOptions{Queries: q})
-				if err != nil && !errors.Is(err, core.ErrAllProbesFailed) {
-					return ftTrial{}, err
-				}
+				// Both arms run under RunSequenced: on a sharded world
+				// (cfg.Shards >= 1) the probes ride the event-loop lanes, on
+				// a legacy world the closure runs inline — byte-identical
+				// results either way (DESIGN.md §12).
+				var raw, comp core.EnumResult
 				est := &core.LossEstimator{}
-				comp, err := core.EnumerateDirectCompensated(ctx, w.DirectProber(ingress), w.Infra,
-					core.EnumOptions{Queries: q}, core.CompensateOptions{Estimator: est})
-				if err != nil && !errors.Is(err, core.ErrAllProbesFailed) {
+				err = w.RunSequenced(ctx, func(ctx context.Context) error {
+					raw, err = core.EnumerateDirect(ctx, w.DirectProber(ingress), w.Infra,
+						core.EnumOptions{Queries: q})
+					if err != nil && !errors.Is(err, core.ErrAllProbesFailed) {
+						return err
+					}
+					comp, err = core.EnumerateDirectCompensated(ctx, w.DirectProber(ingress), w.Infra,
+						core.EnumOptions{Queries: q}, core.CompensateOptions{Estimator: est})
+					if err != nil && !errors.Is(err, core.ErrAllProbesFailed) {
+						return err
+					}
+					return nil
+				})
+				if err != nil {
 					return ftTrial{}, err
 				}
 				return ftTrial{

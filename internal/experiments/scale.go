@@ -37,8 +37,9 @@ const (
 	scaleTimeout = 800 * time.Millisecond
 )
 
-// scaleTally accumulates completions on the single-threaded event loop;
-// one bound method value is the done callback for every exchange.
+// scaleTally accumulates completions; each lane owns one tally (the done
+// callback runs on the exchange's home lane), merged commutatively after
+// the run, so no counter is shared between lanes.
 type scaleTally struct {
 	completed int64
 	failed    int64
@@ -61,19 +62,28 @@ func (t *scaleTally) note(_ *dnswire.Message, rtt time.Duration, err error) {
 // exchanges at the current instant and re-arms itself one simulated
 // millisecond later, so launches overlap in-flight round trips and the
 // scheduler carries tens of thousands of concurrent chains at any moment.
+//
+// On a sharded world one generator runs per lane, all walking the same
+// global wave schedule; each launches only the clients whose source
+// connection partitions to its lane (laneOf), so a client starts at the
+// same simulated instant at any shard count and every draw its source
+// stream makes stays on one event loop.
 type scaleGen struct {
 	ctx        context.Context
 	sched      *des.Scheduler
+	lane       int     // this generator's lane; -1 launches every client
+	laneOf     []int32 // lane per conns index; nil when lane < 0
 	conns      []*netsim.Conn
 	query      *dnswire.Message
 	picks      []int32
 	cacheAddrs []netip.Addr
 	done       func(*dnswire.Message, time.Duration, error)
 	next       int
-	maxPending int
+	fires      uint64
 }
 
 func (g *scaleGen) Fire(now des.Time, op uint8) {
+	g.fires++
 	if g.ctx.Err() != nil {
 		return // cancelled: stop launching; the driver surfaces ctx.Err
 	}
@@ -82,11 +92,11 @@ func (g *scaleGen) Fire(now des.Time, op uint8) {
 		end = len(g.picks)
 	}
 	for ; g.next < end; g.next++ {
-		conn := g.conns[g.next%len(g.conns)]
-		conn.ExchangeEvent(g.ctx, g.sched, g.query, g.cacheAddrs[g.picks[g.next]], g.done)
-	}
-	if p := g.sched.Pending(); p > g.maxPending {
-		g.maxPending = p
+		ci := g.next % len(g.conns)
+		if g.lane >= 0 && g.laneOf[ci] != int32(g.lane) {
+			continue
+		}
+		g.conns[ci].ExchangeEvent(g.ctx, g.sched, g.query, g.cacheAddrs[g.picks[g.next]], g.done)
 	}
 	if g.next < len(g.picks) {
 		g.sched.Schedule(time.Millisecond, g, 0)
@@ -94,13 +104,17 @@ func (g *scaleGen) Fire(now des.Time, op uint8) {
 }
 
 // Scale is the DES throughput sweep: ScaleClients stub clients (default
-// 1M) multiplex on one discrete-event scheduler against ScaleCaches
-// simulated caches (default 10K), 1% of which respond late. The report
-// asserts the two PR 7 accounting fixes at population scale — exactly one
-// sent and one received packet per exchange, and late exchanges charged
-// the bare timeout — plus completeness and load spread. Wall-clock
-// evidence lives in cdebench's wall_ms field (bench-scale.json in CI);
-// the driver itself never reads a wall clock.
+// 1M) multiplex on the discrete-event scheduler against ScaleCaches
+// simulated caches (default 10K), 1% of which respond late. With
+// cfg.Shards >= 1 the same workload runs as per-lane populations on the
+// sharded scheduler — the multi-core configuration bench-shard.json
+// tracks — and the report is byte-identical at any shard count. The
+// report asserts the PR 7 accounting fixes at population scale — exactly
+// one sent and one received packet per exchange, and late exchanges
+// charged the bare timeout — plus completeness and load spread.
+// Wall-clock evidence lives in cdebench's wall_ms field (bench-scale.json
+// and bench-shard.json in CI); the driver itself never reads a wall
+// clock.
 func Scale(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	clients := cfg.ScaleClients
@@ -116,11 +130,12 @@ func Scale(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	net, sched := w.Net, w.Sched
+	net := w.Net
 	net.SetTimeout(scaleTimeout)
 
 	// Cache fleet: echo handlers tallying per-cache load into a plain
-	// slice — safe because every handler runs on the scheduler goroutine.
+	// slice — safe because each cache's handler always runs on the one
+	// lane its address partitions to (a single goroutine).
 	cacheAddrs := make([]netip.Addr, caches)
 	loads := make([]int64, caches)
 	lateCaches := 0
@@ -161,19 +176,55 @@ func Scale(ctx context.Context, cfg Config) (*Report, error) {
 		conns[i] = net.Bind(netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}))
 	}
 
+	query := dnswire.NewQuery(1, "probe.scale.example", dnswire.TypeA)
 	before := cfg.Metrics.Snapshot()
-	tally := &scaleTally{}
-	gen := &scaleGen{
-		ctx:        ctx,
-		sched:      sched,
-		conns:      conns,
-		query:      dnswire.NewQuery(1, "probe.scale.example", dnswire.TypeA),
-		picks:      picks,
-		cacheAddrs: cacheAddrs,
-		done:       tally.note,
+
+	var (
+		tally    scaleTally
+		events   uint64
+		genFires uint64
+	)
+	if ss := w.Sharded; ss != nil {
+		// One generator and one tally per lane: each source connection's
+		// exchanges launch, draw and settle on its partition lane.
+		laneOf := make([]int32, len(conns))
+		for i, c := range conns {
+			laneOf[i] = int32(ss.LaneFor(c.LaneKey()))
+		}
+		gens := make([]*scaleGen, ss.Lanes())
+		tallies := make([]scaleTally, ss.Lanes())
+		for l := range gens {
+			gens[l] = &scaleGen{
+				ctx: ctx, sched: ss.LaneScheduler(l), lane: l, laneOf: laneOf,
+				conns: conns, query: query, picks: picks, cacheAddrs: cacheAddrs,
+				done: tallies[l].note,
+			}
+			ss.LaneScheduler(l).ScheduleAt(0, gens[l], 0)
+		}
+		if err := ss.Run(); err != nil {
+			return nil, fmt.Errorf("scale: sharded run: %w", err)
+		}
+		events = ss.Dispatched()
+		for l := range gens {
+			genFires += gens[l].fires
+			tally.completed += tallies[l].completed
+			tally.failed += tallies[l].failed
+			tally.failedRTT += tallies[l].failedRTT
+			if tally.badErr == nil {
+				tally.badErr = tallies[l].badErr
+			}
+		}
+	} else {
+		sched := w.Sched
+		gen := &scaleGen{
+			ctx: ctx, sched: sched, lane: -1,
+			conns: conns, query: query, picks: picks, cacheAddrs: cacheAddrs,
+			done: tally.note,
+		}
+		sched.Schedule(0, gen, 0)
+		events = sched.Run()
+		genFires = gen.fires
 	}
-	sched.Schedule(0, gen, 0)
-	events := sched.Run()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -195,12 +246,21 @@ func Scale(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	meanLoad := float64(sumLoad) / float64(caches)
 
+	var makespan time.Duration
+	if w.Sharded != nil {
+		makespan = w.Sharded.Now().Duration()
+	} else {
+		makespan = w.Sched.Now().Duration()
+	}
+
 	table := &stats.Table{Header: []string{"Metric", "Value"}}
 	table.AddRow("stub clients", fmt.Sprintf("%d", clients))
 	table.AddRow("caches", fmt.Sprintf("%d (%d late)", caches, lateCaches))
-	table.AddRow("events dispatched", fmt.Sprintf("%d", events))
-	table.AddRow("peak pending events", fmt.Sprintf("%d", gen.maxPending))
-	table.AddRow("simulated makespan", sched.Now().Duration().String())
+	// Generator firings are excluded: the sharded path runs one generator
+	// per lane over the same wave schedule, so only the exchange-chain
+	// event count is comparable — and it is identical at any shard count.
+	table.AddRow("events dispatched", fmt.Sprintf("%d", events-genFires))
+	table.AddRow("simulated makespan", makespan.String())
 	table.AddRow("completed / failed", fmt.Sprintf("%d / %d", tally.completed, tally.failed))
 	table.AddRow("cache load min/mean/max", fmt.Sprintf("%d / %.1f / %d", minLoad, meanLoad, maxLoad))
 

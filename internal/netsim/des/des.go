@@ -17,7 +17,11 @@
 // randomness and no wall-clock reach in this package.
 package des
 
-import "time"
+import (
+	"time"
+
+	"dnscde/internal/detpar"
+)
 
 // Time is a point in simulated time, in nanoseconds since the
 // scheduler's epoch. It is not related to any wall clock.
@@ -68,6 +72,105 @@ type Scheduler struct {
 	// halving heap traffic under synchronized arrivals.
 	batch      []event
 	dispatched uint64
+
+	// lane is non-nil when this scheduler is one lane of a
+	// ShardedScheduler; it carries the back-pointer the cross-lane send
+	// path (SendTo) and the lane-aware accessors below use. Standalone
+	// schedulers have a nil lane and behave as a single-lane universe.
+	lane *laneLink
+}
+
+// laneLink ties a lane scheduler back to its ShardedScheduler.
+type laneLink struct {
+	ss  *ShardedScheduler
+	idx int
+}
+
+// Lanes returns the number of event-loop lanes in this scheduler's
+// universe: 1 for a standalone scheduler, N for a lane of an N-way
+// ShardedScheduler.
+func (s *Scheduler) Lanes() int {
+	if s.lane == nil {
+		return 1
+	}
+	return len(s.lane.ss.lanes)
+}
+
+// LaneIndex returns this scheduler's lane number (0 when standalone).
+func (s *Scheduler) LaneIndex() int {
+	if s.lane == nil {
+		return 0
+	}
+	return s.lane.idx
+}
+
+// Sharded returns the ShardedScheduler this scheduler is a lane of, or
+// nil for a standalone scheduler. Callers use it to detect whether the
+// cross-lane machinery (and its process bridge) is available.
+func (s *Scheduler) Sharded() *ShardedScheduler {
+	if s.lane == nil {
+		return nil
+	}
+	return s.lane.ss
+}
+
+// LaneFor maps a partition key (netsim uses the xor-folded source or
+// destination address) to a lane index via the same splitmix64 mix
+// detpar derives its per-index RNG streams from. A standalone scheduler
+// always answers 0.
+//
+//cdelint:hotpath
+func (s *Scheduler) LaneFor(key uint64) int {
+	if s.lane == nil {
+		return 0
+	}
+	return int(detpar.Mix(key) % uint64(len(s.lane.ss.lanes)))
+}
+
+// LaneScheduler returns the scheduler of lane i (itself when standalone).
+func (s *Scheduler) LaneScheduler(i int) *Scheduler {
+	if s.lane == nil {
+		return s
+	}
+	return s.lane.ss.lanes[i]
+}
+
+// SendTo schedules an event on lane `lane` at absolute time `at`. Sends
+// to the own lane (and every send on a standalone scheduler) are plain
+// ScheduleAt calls; cross-lane sends append to the per-(sender,receiver)
+// mailbox, which the receiving lane drains at the next simulated-time
+// barrier. Only the goroutine currently running this lane may call it.
+//
+//cdelint:hotpath
+func (s *Scheduler) SendTo(lane int, at Time, a Actor, op uint8) {
+	if s.lane == nil || lane == s.lane.idx {
+		s.ScheduleAt(at, a, op)
+		return
+	}
+	s.lane.ss.post(s.lane.idx, lane, at, a, op)
+}
+
+// runRound dispatches every pending event with timestamp <= at and
+// advances the lane clock to at — one lane's share of a sharded barrier
+// round. Events an actor schedules at the same instant run in the same
+// round; later times stay queued.
+//
+//cdelint:hotpath
+func (s *Scheduler) runRound(at Time) {
+	if s.now < at {
+		s.now = at
+	}
+	for len(s.heap) > 0 && s.heap[0].at <= at {
+		s.drain()
+	}
+}
+
+// peek returns the timestamp of the earliest pending event.
+func (s *Scheduler) peek() (Time, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].at, true
 }
 
 // NewScheduler returns an empty scheduler with pre-sized event storage.

@@ -1,0 +1,76 @@
+package netsim
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dnscde/internal/dnswire"
+	"dnscde/internal/netsim/des"
+)
+
+// Responder is the completion callback of an event-native handler: the
+// handler (or an event it scheduled) calls Respond exactly once, on the
+// scheduler lane the query was delivered on, at the simulated instant
+// the response leaves the server. The elapsed simulated time between
+// delivery and Respond is the exchange's handler time — the event-world
+// equivalent of the latency meter the synchronous path uses.
+type Responder interface {
+	Respond(now des.Time, resp *dnswire.Message, err error)
+}
+
+// EventHandler is implemented by handlers that can serve a query as a
+// native event chain instead of blocking inside the delivery event: the
+// handler schedules its stages (cache lookup, upstream recursion,
+// processing delay) on the delivering lane's scheduler and calls
+// r.Respond when the response is ready. On a sharded scheduler the
+// exchange layer prefers this interface, so a deep forwarding chain or
+// resolution recursion interleaves with other traffic on the event loops
+// rather than nesting pooled schedulers; on standalone schedulers the
+// synchronous ServeDNS path is used unchanged.
+type EventHandler interface {
+	ServeDNSEvent(ctx context.Context, sched *des.Scheduler, src netip.Addr, query *dnswire.Message, r Responder)
+}
+
+// discardResponder swallows a response — the sink for event-mode
+// duplicate deliveries, whose response is dropped while the handler's
+// side effects (cache fills) persist.
+type discardResponder struct{}
+
+func (discardResponder) Respond(des.Time, *dnswire.Message, error) {}
+
+// respondEvent is a pooled actor that delivers a Responder callback at a
+// later simulated instant — the building block event-native handlers use
+// to model fixed processing delay (see RespondAfter).
+type respondEvent struct {
+	r    Responder
+	resp *dnswire.Message
+	err  error
+}
+
+var _ des.Actor = (*respondEvent)(nil)
+
+var respondEventPool = sync.Pool{New: func() any { return new(respondEvent) }}
+
+// Fire delivers the callback and recycles the record.
+//
+//cdelint:hotpath
+func (e *respondEvent) Fire(now des.Time, op uint8) {
+	r, resp, err := e.r, e.resp, e.err
+	*e = respondEvent{}
+	respondEventPool.Put(e)
+	r.Respond(now, resp, err)
+}
+
+// RespondAfter schedules r.Respond(resp, err) on sched after delay of
+// simulated processing time. Handlers whose work is a fixed delay (the
+// authoritative server's per-query processing cost) implement
+// EventHandler with one RespondAfter call.
+//
+//cdelint:hotpath
+func RespondAfter(sched *des.Scheduler, delay time.Duration, r Responder, resp *dnswire.Message, err error) {
+	e := respondEventPool.Get().(*respondEvent)
+	e.r, e.resp, e.err = r, resp, err
+	sched.Schedule(delay, e, 0)
+}

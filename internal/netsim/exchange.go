@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"net/netip"
 	"sync"
@@ -11,18 +12,42 @@ import (
 	"dnscde/internal/netsim/des"
 )
 
-// Exchange event-chain opcodes: one exchange is a linear chain of at most
-// three events on a des.Scheduler. opLaunch packs the query, draws the
-// outbound loss/jitter and either dies to opTimeout or travels to
-// opDeliver; opDeliver runs the handler synchronously, draws the return
-// path and terminates in opComplete or opTimeout at the exchange's true
-// simulated end time.
+// Exchange event-chain opcodes: one exchange is a linear chain of events
+// spanning at most two scheduler lanes. opLaunch runs on the source's
+// (home) lane: it packs the query, draws the outbound loss/jitter and
+// either dies to opTimeout or travels to opDeliver. opDeliver runs on the
+// destination's lane: decode, injected faults, the handler (synchronously,
+// or as a native event chain via EventHandler), and response packing; it
+// hops back to the home lane as opReturn, which draws the return path and
+// terminates in opComplete or opTimeout at the exchange's true simulated
+// end time. opFail carries a destination-side error (malformed wire,
+// handler failure) home. The hops use des.Scheduler.SendTo, so on a
+// standalone scheduler they are ordinary same-lane events — the chain
+// dispatches the same number of events in every mode.
 const (
 	opLaunch uint8 = iota
 	opDeliver
+	opReturn
 	opComplete
 	opTimeout
+	opFail
 )
+
+// addrKey folds an address into the 64-bit partition key the sharded
+// scheduler hashes lanes from — the same lo^hi fold srcRand uses for its
+// stat shard, so a source's exchanges, stats and RNG stream all key off
+// one value.
+//
+//cdelint:hotpath
+func addrKey(a netip.Addr) uint64 {
+	b := a.As16()
+	return binary.BigEndian.Uint64(b[:8]) ^ binary.BigEndian.Uint64(b[8:])
+}
+
+// LaneKey is the sharded-lane partition key of the connection's bound
+// source address — the lane-affinity hint the retry layer uses to pick
+// the event loop a source's exchanges launch on.
+func (c *Conn) LaneKey() uint64 { return addrKey(c.src) }
 
 // EventExchanger is implemented by transports that can run an exchange as
 // an event chain on a caller-owned scheduler instead of blocking: the
@@ -30,6 +55,8 @@ const (
 // dispatch loop at the exchange's simulated completion time. Callers
 // multiplexing many concurrent clients on one scheduler (the scale
 // experiment, udpnet's TCP-fallback chain) drive the scheduler themselves.
+// When sched is a lane of a sharded scheduler, done fires on that same
+// lane; the destination half of the chain may run on another lane.
 type EventExchanger interface {
 	ExchangeEvent(ctx context.Context, sched *des.Scheduler, query *dnswire.Message, dst netip.Addr, done func(*dnswire.Message, time.Duration, error))
 }
@@ -40,7 +67,10 @@ var _ EventExchanger = (*Conn)(nil)
 // query/response round trip lives here by value, and the same record is
 // recycled through exchangeStatePool across exchanges. Stage methods fire
 // from the scheduler; the draw order against the source's RNG stream is
-// byte-identical to the historical blocking Exchange (see DESIGN.md §10).
+// byte-identical to the historical blocking Exchange (see DESIGN.md §10,
+// §12). Fields written on the destination lane (wire, handlerTime) are
+// read on the home lane only after a simulated-time barrier, which is
+// what makes the cross-lane handoff race-free without any locking.
 type exchangeState struct {
 	sched *des.Scheduler
 	net   *Network
@@ -56,10 +86,15 @@ type exchangeState struct {
 	fs         *flowState
 	flowIdx    int
 
+	homeLane int
+	dstSched *des.Scheduler
+
 	scratch *[]byte
 	wire    []byte
+	decoded *dnswire.Message
 
 	start       des.Time
+	deliverAt   des.Time
 	oneWay      time.Duration
 	handlerTime time.Duration
 
@@ -74,6 +109,7 @@ type exchangeState struct {
 }
 
 var _ des.Actor = (*exchangeState)(nil)
+var _ Responder = (*exchangeState)(nil)
 
 var exchangeStatePool = sync.Pool{New: func() any { return new(exchangeState) }}
 
@@ -101,18 +137,23 @@ func (st *exchangeState) Fire(now des.Time, op uint8) {
 	case opLaunch:
 		st.launch(now)
 	case opDeliver:
-		st.deliver()
+		st.deliver(now)
+	case opReturn:
+		st.returnPath()
 	case opComplete:
 		chargeUpstream(st.ctx, st.rtt)
 		st.settle(st.resp, st.rtt, nil)
 	case opTimeout:
 		chargeUpstream(st.ctx, st.rtt)
 		st.settle(nil, st.rtt, ErrTimeout)
+	case opFail:
+		st.settle(nil, st.rtt, st.err)
 	}
 }
 
 // settle terminates the chain: release the wire scratch, record the
 // result, and in asynchronous mode deliver it and recycle the state.
+// It always runs on the home lane.
 func (st *exchangeState) settle(resp *dnswire.Message, rtt time.Duration, err error) {
 	if st.scratch != nil {
 		scratchPool.Put(st.scratch)
@@ -128,11 +169,21 @@ func (st *exchangeState) settle(resp *dnswire.Message, rtt time.Duration, err er
 	}
 }
 
+// failTo hops a destination-side error back to the home lane, where
+// settle may touch home-lane state (the caller's done callback).
+//
+//cdelint:hotpath
+func (st *exchangeState) failTo(now des.Time, err error) {
+	st.rtt = 0
+	st.err = err
+	st.dstSched.SendTo(st.homeLane, now, st, opFail)
+}
+
 // loseToTimeout arms the client's retransmission timer: the exchange
 // terminates at start+timeout with ErrTimeout, and the charge is exactly
 // the timeout — the timer runs concurrently with any server-side work, so
 // handler time is never added on top (the pre-DES code overcharged the
-// response-loss and late paths by handlerTime).
+// response-loss and late paths by handlerTime). Runs on the home lane.
 //
 //cdelint:hotpath
 func (st *exchangeState) loseToTimeout() {
@@ -140,9 +191,9 @@ func (st *exchangeState) loseToTimeout() {
 	st.sched.ScheduleAt(st.start.Add(st.cfg.timeout), st, opTimeout)
 }
 
-// launch is the query-side stage: stats, routing, fault-flow state, wire
-// packing and the outbound loss/jitter draws, in exactly the order the
-// blocking Exchange performed them.
+// launch is the query-side stage, on the home lane: stats, routing,
+// fault-flow state, wire packing and the outbound loss/jitter draws, in
+// exactly the order the blocking Exchange performed them.
 //
 //cdelint:hotpath
 func (st *exchangeState) launch(now des.Time) {
@@ -169,6 +220,14 @@ func (st *exchangeState) launch(now des.Time) {
 		return
 	}
 	st.dstHost = h
+	// The destination's lane is a pure function of its address — the same
+	// splitmix64 mix detpar derives RNG streams from — so the delivery
+	// half of the chain lands on the lane that owns the destination at
+	// any shard count. Standalone schedulers answer lane 0 for everything
+	// and SendTo degenerates to ScheduleAt.
+	st.homeLane = st.sched.LaneIndex()
+	dstLane := st.sched.LaneFor(addrKey(st.dst))
+	st.dstSched = st.sched.LaneScheduler(dstLane)
 	// An unregistered source (the usual case for probers, which Bind
 	// arbitrary client addresses) gets the network's configurable client
 	// profile rather than a silent zero profile.
@@ -223,29 +282,33 @@ func (st *exchangeState) launch(now des.Time) {
 		return
 	}
 
-	st.sched.ScheduleAt(st.start.Add(st.oneWay), st, opDeliver)
+	st.sched.SendTo(dstLane, st.start.Add(st.oneWay), st, opDeliver)
 }
 
-// deliver is the server-side stage: decode, injected faults, the handler
-// (run synchronously — nested exchanges take their own pooled scheduler),
-// response packing and the return-path draws.
+// deliver is the server-side stage, on the destination's lane: decode,
+// injected faults, then the handler — as a native event chain when the
+// destination implements EventHandler and the universe is sharded,
+// synchronously otherwise (nested exchanges then take their own pooled
+// scheduler, exactly the legacy behaviour).
 //
 //cdelint:hotpath
-func (st *exchangeState) deliver() {
+func (st *exchangeState) deliver(now des.Time) {
 	cfg, lr, h := st.cfg, st.lr, st.dstHost
 	dstFP := h.profile.Faults
+	st.deliverAt = now
 
 	decoded, err := dnswire.Unpack(st.wire)
 	if err != nil {
-		st.settle(nil, 0, fmt.Errorf("%w: %w", ErrMalformed, err))
+		st.failTo(now, fmt.Errorf("%w: %w", ErrMalformed, err))
 		return
 	}
+	st.decoded = decoded
 
 	// Injected server failure: the destination short-circuits with
 	// SERVFAIL/REFUSED instead of resolving — one draw covers both rates.
-	var injected dnswire.RCode
-	injectedOK := false
 	if dstFP != nil && (dstFP.ServFailRate > 0 || dstFP.RefusedRate > 0) {
+		var injected dnswire.RCode
+		injectedOK := false
 		switch u := lr.roll(); {
 		case u < dstFP.ServFailRate:
 			injected, injectedOK = dnswire.RCodeServFail, true
@@ -254,38 +317,85 @@ func (st *exchangeState) deliver() {
 			injected, injectedOK = dnswire.RCodeRefused, true
 			noteFault(st.ctx, cfg, lr.shard, FaultRefused, st.c.src, st.dst)
 		}
-	}
-
-	// Run the handler with a fresh meter so its nested exchanges are
-	// charged to this round trip.
-	meter := getMeter()
-	var resp *dnswire.Message
-	if injectedOK {
-		//cdelint:allow hotalloc injected-fault path; the synthesized response is the product
-		resp = dnswire.NewResponse(decoded)
-		resp.Header.RCode = injected
-	} else {
-		resp, err = safeServe(h.handler, context.WithValue(st.ctx, latencyMeterKey{}, meter), st.c.src, decoded)
-		if err != nil {
-			meterPool.Put(meter)
-			st.settle(nil, 0, fmt.Errorf("netsim: handler at %v: %w", st.dst, err))
+		if injectedOK {
+			//cdelint:allow hotalloc injected-fault path; the synthesized response is the product
+			resp := dnswire.NewResponse(decoded)
+			resp.Header.RCode = injected
+			st.handlerTime = 0
+			st.finishServe(now, resp)
 			return
 		}
-		// Duplicated query delivery: the handler serves the query a second
-		// time and that response is discarded, but its side effects (cache
-		// fills, authoritative arrivals) persist. TCP streams never
-		// duplicate. The duplicate overlaps the original in real time, so
-		// no extra latency is charged.
-		if dstFP != nil && dstFP.DuplicateRate > 0 && !st.c.tcp && lr.roll() < dstFP.DuplicateRate {
-			noteFault(st.ctx, cfg, lr.shard, FaultDuplicate, st.c.src, st.dst)
-			dupMeter := getMeter()
-			//cdelint:allow errflow the duplicate's response and error are discarded by design; only the original is returned
-			_, _ = safeServe(h.handler, context.WithValue(st.ctx, latencyMeterKey{}, dupMeter), st.c.src, decoded)
-			meterPool.Put(dupMeter)
-		}
+	}
+
+	// Event-native path: on a sharded universe, a handler that speaks
+	// EventHandler serves the query as its own event chain on this lane
+	// and calls st.Respond when done — recursion interleaves on the loop.
+	if eh, ok := h.handler.(EventHandler); ok && st.dstSched.Sharded() != nil {
+		eh.ServeDNSEvent(st.ctx, st.dstSched, st.c.src, decoded, st)
+		return
+	}
+
+	// Synchronous path: run the handler with a fresh meter so its nested
+	// exchanges are charged to this round trip.
+	meter := getMeter()
+	resp, err := safeServe(h.handler, context.WithValue(st.ctx, latencyMeterKey{}, meter), st.c.src, decoded)
+	if err != nil {
+		meterPool.Put(meter)
+		st.failTo(now, fmt.Errorf("netsim: handler at %v: %w", st.dst, err))
+		return
+	}
+	// Duplicated query delivery: the handler serves the query a second
+	// time and that response is discarded, but its side effects (cache
+	// fills, authoritative arrivals) persist. TCP streams never
+	// duplicate. The duplicate overlaps the original in real time, so
+	// no extra latency is charged.
+	if dstFP != nil && dstFP.DuplicateRate > 0 && !st.c.tcp && lr.roll() < dstFP.DuplicateRate {
+		noteFault(st.ctx, cfg, lr.shard, FaultDuplicate, st.c.src, st.dst)
+		dupMeter := getMeter()
+		//cdelint:allow errflow the duplicate's response and error are discarded by design; only the original is returned
+		_, _ = safeServe(h.handler, context.WithValue(st.ctx, latencyMeterKey{}, dupMeter), st.c.src, decoded)
+		meterPool.Put(dupMeter)
 	}
 	st.handlerTime = meter.total()
 	meterPool.Put(meter)
+	st.finishServe(now, resp)
+}
+
+// Respond implements Responder: the event-native handler's completion,
+// firing on the destination lane at the simulated instant the response is
+// ready. Handler time is the simulated span since delivery — the event
+// world's replacement for the synchronous path's latency meter.
+//
+//cdelint:hotpath
+func (st *exchangeState) Respond(now des.Time, resp *dnswire.Message, err error) {
+	if err != nil {
+		st.failTo(now, fmt.Errorf("netsim: handler at %v: %w", st.dst, err))
+		return
+	}
+	st.handlerTime = now.Sub(st.deliverAt)
+	cfg, lr, h := st.cfg, st.lr, st.dstHost
+	dstFP := h.profile.Faults
+	// Duplicated delivery, event flavour: serve the query again into a
+	// discarding responder. The duplicate's chain runs after this draw,
+	// so its side effects land slightly later in simulated time; its
+	// response is dropped either way.
+	if dstFP != nil && dstFP.DuplicateRate > 0 && !st.c.tcp && lr.roll() < dstFP.DuplicateRate {
+		noteFault(st.ctx, cfg, lr.shard, FaultDuplicate, st.c.src, st.dst)
+		if eh, ok := h.handler.(EventHandler); ok {
+			eh.ServeDNSEvent(st.ctx, st.dstSched, st.c.src, st.decoded, discardResponder{})
+		}
+	}
+	st.finishServe(now, resp)
+}
+
+// finishServe completes the destination-side work — in-flight truncation,
+// response packing, received-traffic accounting — and hops the chain back
+// to the home lane as opReturn. Runs on the destination lane.
+//
+//cdelint:hotpath
+func (st *exchangeState) finishServe(now des.Time, resp *dnswire.Message) {
+	cfg, lr, h := st.cfg, st.lr, st.dstHost
+	dstFP := h.profile.Faults
 
 	// In-flight truncation: the response loses its record sections and
 	// gains the TC bit, pushing TCP-capable clients to re-ask via
@@ -293,7 +403,7 @@ func (st *exchangeState) deliver() {
 	if dstFP != nil && dstFP.TruncateRate > 0 && !st.c.tcp && lr.roll() < dstFP.TruncateRate {
 		noteFault(st.ctx, cfg, lr.shard, FaultTruncate, st.c.src, st.dst)
 		//cdelint:allow hotalloc injected-truncation path; the synthesized response is the product
-		tr := dnswire.NewResponse(decoded)
+		tr := dnswire.NewResponse(st.decoded)
 		tr.Header.RCode = resp.Header.RCode
 		tr.Header.RecursionAvailable = resp.Header.RecursionAvailable
 		tr.Header.Authoritative = resp.Header.Authoritative
@@ -306,14 +416,27 @@ func (st *exchangeState) deliver() {
 	respWire, err := resp.AppendPack(st.wire[:0])
 	*st.scratch = respWire[:0]
 	if err != nil {
-		st.settle(nil, 0, fmt.Errorf("%w: %w", ErrMalformed, err))
+		st.failTo(now, fmt.Errorf("%w: %w", ErrMalformed, err))
 		return
 	}
+	st.wire = respWire
 	// The response is a *received* packet; the pre-DES code bumped the
 	// sent counter here a second time, double-counting every clean
 	// exchange's traffic.
 	lr.shard.bytesRecvd.Add(int64(len(respWire)))
 	cfg.mRecvd.Inc()
+
+	st.dstSched.SendTo(st.homeLane, now, st, opReturn)
+}
+
+// returnPath is the response-side stage, back on the home lane: the
+// return-trip jitter/loss/late draws, response decode and RTT accounting,
+// terminating in opComplete at the exchange's simulated end time.
+//
+//cdelint:hotpath
+func (st *exchangeState) returnPath() {
+	cfg, lr, h := st.cfg, st.lr, st.dstHost
+	dstFP := h.profile.Faults
 
 	returnWay := st.srcProfile.OneWay + h.profile.OneWay +
 		lr.jitter(st.srcProfile.Jitter) + lr.jitter(h.profile.Jitter)
@@ -336,7 +459,7 @@ func (st *exchangeState) deliver() {
 		return
 	}
 
-	respDecoded, err := dnswire.Unpack(respWire)
+	respDecoded, err := dnswire.Unpack(st.wire)
 	if err != nil {
 		st.settle(nil, 0, fmt.Errorf("%w: %w", ErrMalformed, err))
 		return
@@ -361,9 +484,9 @@ func (st *exchangeState) deliver() {
 // the destination handler.
 //
 // The blocking wrapper drives a private pooled scheduler to completion;
-// the exchange itself is the opLaunch/opDeliver/opComplete event chain
-// above. Exchange runs once per probe, millions of times per enumeration
-// trial; its steady-state path must not allocate.
+// the exchange itself is the opLaunch/opDeliver/opReturn/opComplete event
+// chain above. Exchange runs once per probe, millions of times per
+// enumeration trial; its steady-state path must not allocate.
 //
 //cdelint:hotpath
 func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.Addr) (*dnswire.Message, time.Duration, error) {
@@ -387,7 +510,9 @@ func (c *Conn) Exchange(ctx context.Context, query *dnswire.Message, dst netip.A
 // ExchangeEvent implements EventExchanger: the exchange is enqueued on the
 // caller's scheduler and done fires at the simulated completion time. The
 // caller owns the scheduler single-threadedly; millions of concurrent
-// client exchanges interleave on one event loop this way.
+// client exchanges interleave on one event loop this way. When sched is a
+// lane of a sharded universe, only the lane's own goroutine may call this,
+// and done fires back on the same lane.
 //
 //cdelint:hotpath
 func (c *Conn) ExchangeEvent(ctx context.Context, sched *des.Scheduler, query *dnswire.Message, dst netip.Addr, done func(*dnswire.Message, time.Duration, error)) {

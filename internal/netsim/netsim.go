@@ -468,9 +468,18 @@ func chargeUpstream(ctx context.Context, d time.Duration) {
 
 // ChargeLatency records extra simulated processing time against the
 // exchange enclosing ctx. Handlers use it to model cache-lookup or
-// computation delay.
+// computation delay. Synchronous handlers charge the enclosing exchange's
+// latency meter; code running under a sharded scheduler's process bridge
+// (no meter in scope — nested time advances on the event loops instead)
+// charges the process, delaying its next injected event by d.
 func ChargeLatency(ctx context.Context, d time.Duration) {
-	chargeUpstream(ctx, d)
+	if _, ok := ctx.Value(latencyMeterKey{}).(*latencyMeter); ok {
+		chargeUpstream(ctx, d)
+		return
+	}
+	if p := processFrom(ctx); p != nil {
+		p.Advance(d)
+	}
 }
 
 // safeServe invokes a handler, converting panics into errors so one

@@ -266,6 +266,13 @@ func ExchangeRetryBackoff(ctx context.Context, ex Exchanger, query *dnswire.Mess
 		attempts = 1
 	}
 	if eex, ok := ex.(EventExchanger); ok {
+		// Under a sharded universe, a goroutine driven by a des.Process
+		// (a scenario workload, the platform's recursion) runs the whole
+		// schedule on the shared event loops instead of a private nested
+		// scheduler, parking until the chain settles.
+		if p := processFrom(ctx); p != nil {
+			return exchangeRetryProcess(ctx, p, eex, query, dst, attempts, bo)
+		}
 		sched := schedPool.Get().(*des.Scheduler)
 		rs := getRetryState()
 		initRetryState(rs, sched, eex, ctx, query, dst, attempts, bo)
@@ -292,6 +299,77 @@ func ExchangeRetryEvent(ctx context.Context, sched *des.Scheduler, ex EventExcha
 	initRetryState(rs, sched, ex, ctx, query, dst, attempts, bo)
 	rs.done = done
 	sched.Schedule(0, rs, 0)
+}
+
+// laneKeyer is implemented by transports that know which sharded lane
+// their exchanges should launch on (the simulated Conn keys on its bound
+// source address, keeping each source's work on one event loop).
+type laneKeyer interface {
+	LaneKey() uint64
+}
+
+// procWait is the pooled rendezvous between a parked process goroutine
+// and the retry chain settling on a lane: deliver stores the outcome and
+// resumes the process. The bound method value is created once per pooled
+// record, so the bridge allocates nothing in steady state.
+type procWait struct {
+	p     *des.Process
+	resp  *dnswire.Message
+	total time.Duration
+	err   error
+
+	deliverFn func(*dnswire.Message, time.Duration, error)
+}
+
+var procWaitPool = sync.Pool{New: func() any { return new(procWait) }}
+
+//cdelint:hotpath
+func getProcWait() *procWait {
+	w := procWaitPool.Get().(*procWait)
+	if w.deliverFn == nil {
+		//cdelint:allow hotalloc the bound method value is created once per pooled record, then reused
+		w.deliverFn = w.deliver
+	}
+	return w
+}
+
+// deliver runs on the process's home lane, inside the event that settled
+// the retry schedule.
+//
+//cdelint:hotpath
+func (w *procWait) deliver(resp *dnswire.Message, total time.Duration, err error) {
+	w.resp, w.total, w.err = resp, total, err
+	w.p.Resume()
+}
+
+// exchangeRetryProcess runs a retransmission schedule on the sharded
+// universe driving the calling goroutine: the retryState is injected on
+// the source's lane, the goroutine parks, and the chain's events — which
+// may hop lanes for delivery — resume it at the simulated completion
+// time. The process is stripped from the context here, once, so handler
+// code downstream (which runs on lane goroutines) can never inherit it
+// and deadlock a lane by parking it.
+//
+//cdelint:hotpath
+func exchangeRetryProcess(ctx context.Context, p *des.Process, ex EventExchanger, query *dnswire.Message, dst netip.Addr, attempts int, bo Backoff) (*dnswire.Message, time.Duration, error) {
+	cctx := ClearProcess(ctx)
+	lane := 0
+	if lk, ok := ex.(laneKeyer); ok {
+		lane = p.LaneFor(lk.LaneKey())
+	}
+	w := getProcWait()
+	w.p = p
+	rs := getRetryState()
+	initRetryState(rs, p.LaneScheduler(lane), ex, cctx, query, dst, attempts, bo)
+	rs.done = w.deliverFn
+	p.Await(lane, rs, 0)
+	resp, total, err := w.resp, w.total, w.err
+	w.p = nil
+	w.resp = nil
+	w.err = nil
+	w.total = 0
+	procWaitPool.Put(w)
+	return resp, total, err
 }
 
 // exchangeRetryBlocking is the legacy loop for transports without an

@@ -1,0 +1,249 @@
+package platform
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"dnscde/internal/dnscache"
+	"dnscde/internal/dnswire"
+	"dnscde/internal/netsim"
+	"dnscde/internal/netsim/des"
+	"dnscde/internal/trace"
+)
+
+// Ingress pipeline opcodes: on a sharded scheduler the platform serves a
+// query as a native event chain on the delivering lane instead of
+// blocking inside the delivery event. opIngress runs the front-of-house
+// checks and the load-balancer sample, opCacheLookup samples the one
+// cache (answering hits after CacheHitDelay of simulated time), opRecurse
+// hands a miss to the egress resolver on a des.Process — so the recursion
+// interleaves with other traffic on the event loops instead of nesting
+// pooled schedulers — and opRespond delivers the response. The stages
+// mirror serveFrom statement for statement; both paths must consume
+// identical RNG draws and charge identical simulated time (DESIGN.md §12).
+const (
+	opIngress uint8 = iota
+	opCacheLookup
+	opRecurse
+	opRespond
+)
+
+// queryEv is the pooled per-query actor carrying one ingress pipeline
+// through its stages.
+type queryEv struct {
+	p       *Platform
+	ingress netip.Addr
+	sched   *des.Scheduler
+	lane    int
+	ctx     context.Context
+	src     netip.Addr
+	query   *dnswire.Message
+	r       netsim.Responder
+
+	q        dnswire.Question
+	resp     *dnswire.Message
+	cache    *dnscache.Cache
+	cacheIdx int
+	err      error
+}
+
+var _ des.Actor = (*queryEv)(nil)
+
+var (
+	_ netsim.EventHandler = (*front)(nil)
+	_ netsim.EventHandler = (*Platform)(nil)
+)
+
+var queryEvPool = sync.Pool{New: func() any { return new(queryEv) }}
+
+// ServeDNSEvent implements netsim.EventHandler for one ingress IP.
+func (f *front) ServeDNSEvent(ctx context.Context, sched *des.Scheduler, src netip.Addr, query *dnswire.Message, r netsim.Responder) {
+	f.p.serveFromEvent(ctx, sched, f.ingress, src, query, r)
+}
+
+// ServeDNSEvent implements netsim.EventHandler directly for single-ingress
+// use, mirroring ServeDNS.
+func (p *Platform) ServeDNSEvent(ctx context.Context, sched *des.Scheduler, src netip.Addr, query *dnswire.Message, r netsim.Responder) {
+	p.serveFromEvent(ctx, sched, p.cfg.IngressIPs[0], src, query, r)
+}
+
+// serveFromEvent starts the event-native ingress pipeline.
+func (p *Platform) serveFromEvent(ctx context.Context, sched *des.Scheduler, ingress, src netip.Addr, query *dnswire.Message, r netsim.Responder) {
+	qe := queryEvPool.Get().(*queryEv)
+	qe.p = p
+	qe.ingress = ingress
+	qe.sched = sched
+	qe.lane = sched.LaneIndex()
+	qe.ctx = ctx
+	qe.src = src
+	qe.query = query
+	qe.r = r
+	sched.Schedule(0, qe, opIngress)
+}
+
+// Fire dispatches one pipeline stage.
+func (qe *queryEv) Fire(now des.Time, op uint8) {
+	switch op {
+	case opIngress:
+		qe.stageIngress(now)
+	case opCacheLookup:
+		qe.stageCacheLookup(now)
+	case opRecurse:
+		qe.stageRecurse()
+	case opRespond:
+		qe.respond(now)
+	}
+}
+
+// respond delivers the terminal response (or error) and recycles the
+// record.
+func (qe *queryEv) respond(now des.Time) {
+	r, resp, err := qe.r, qe.resp, qe.err
+	*qe = queryEv{}
+	queryEvPool.Put(qe)
+	r.Respond(now, resp, err)
+}
+
+// respondNow is for stages that settle at the current instant without
+// another event hop (handlerTime parity: the synchronous path charges no
+// meter time on these branches either).
+func (qe *queryEv) respondNow(now des.Time, resp *dnswire.Message) {
+	qe.resp = resp
+	qe.respond(now)
+}
+
+// stageIngress mirrors the front-of-house half of serveFrom: question
+// parse, query accounting, refusal policy and the load-balancer sample.
+func (qe *queryEv) stageIngress(now des.Time) {
+	p := qe.p
+	q, err := qe.query.FirstQuestion()
+	if err != nil {
+		resp := dnswire.NewResponse(qe.query)
+		resp.Header.RCode = dnswire.RCodeFormErr
+		qe.respondNow(now, resp)
+		return
+	}
+	qe.q = q
+	p.count(func(s *PlatformStats) { s.Queries++ })
+	p.mQueries.Inc()
+
+	resp := dnswire.NewResponse(qe.query)
+	resp.Header.RecursionAvailable = true
+	qe.resp = resp
+
+	if !p.allowed(q.Name) {
+		p.count(func(s *PlatformStats) { s.Refused++ })
+		p.mRefused.Inc()
+		resp.Header.RCode = dnswire.RCodeRefused
+		qe.respondNow(now, resp)
+		return
+	}
+
+	cluster := p.clusterFor(qe.ingress)
+	if len(cluster) == 0 {
+		// Every cache behind this ingress IP is down.
+		p.count(func(s *PlatformStats) { s.UpstreamFail++ })
+		p.mUpstreamFail.Inc()
+		resp.Header.RCode = dnswire.RCodeServFail
+		qe.respondNow(now, resp)
+		return
+	}
+	pos := p.cfg.Selector.Select(q, qe.src, len(cluster))
+	qe.cacheIdx = cluster[pos]
+	qe.cache = p.caches[qe.cacheIdx]
+	trace.Addf(qe.ctx, "lb", "%s selected cache %d of %d for %s", p.cfg.Selector.Name(), qe.cacheIdx, len(cluster), q)
+
+	qe.sched.Schedule(0, qe, opCacheLookup)
+}
+
+// stageCacheLookup samples the one selected cache. Hits answer after
+// CacheHitDelay of simulated time — the event-world form of the
+// ChargeLatency call the synchronous path makes — and misses fall through
+// to the recursion stage.
+func (qe *queryEv) stageCacheLookup(now des.Time) {
+	p := qe.p
+	if entry, ok := qe.cache.Get(qe.q, p.cfg.Clock.Now()); ok {
+		p.count(func(s *PlatformStats) { s.CacheHits++ })
+		p.mCacheHits.Inc()
+		trace.Addf(qe.ctx, "cache-hit", "%s answered %s", qe.cache.ID, qe.q)
+		qe.resp = p.entryToResponse(qe.resp, entry)
+		if p.cfg.CacheHitDelay > 0 {
+			qe.sched.Schedule(p.cfg.CacheHitDelay, qe, opRespond)
+			return
+		}
+		qe.respond(now)
+		return
+	}
+	p.count(func(s *PlatformStats) { s.CacheMisses++ })
+	p.mCacheMisses.Inc()
+	trace.Addf(qe.ctx, "cache-miss", "%s lacks %s", qe.cache.ID, qe.q)
+	qe.sched.Schedule(0, qe, opRecurse)
+}
+
+// stageRecurse hands the miss to the egress resolver. On a sharded
+// universe the existing blocking resolver code runs on its own goroutine
+// under a des.Process: each upstream exchange it issues rides the shared
+// event loops (ExchangeRetry detects the process in its context), parking
+// the goroutine between events, and the accumulated simulated time lands
+// in the opRespond injection. Without a sharded universe (defensive —
+// the exchange layer only routes here when sharded) the resolver runs
+// synchronously on the lane with legacy nested pooled schedulers.
+func (qe *queryEv) stageRecurse() {
+	ss := qe.sched.Sharded()
+	if ss == nil {
+		qe.finishResolve(qe.ctx)
+		qe.sched.Schedule(0, qe, opRespond)
+		return
+	}
+	proc := ss.NewProcess()
+	go qe.recurse(proc)
+}
+
+// recurse is the process goroutine: the platform's unmodified recursive
+// resolution (forwarding chain or iterative descent), with the process in
+// scope so nested exchanges await on the event loops.
+func (qe *queryEv) recurse(proc *des.Process) {
+	defer func() {
+		if r := recover(); r != nil {
+			if des.Aborted(r) {
+				// The universe died under us (a lane panic elsewhere);
+				// unwind silently, the coordinator reports the cause.
+				return
+			}
+			qe.resp = nil
+			qe.err = fmt.Errorf("platform: resolve panic: %v", r)
+			proc.Detach(qe.lane, qe, opRespond)
+		}
+	}()
+	qe.finishResolve(netsim.WithProcess(qe.ctx, proc))
+	proc.Detach(qe.lane, qe, opRespond)
+}
+
+// finishResolve mirrors the miss half of serveFrom: resolve, store into
+// the sampled cache, optional AAAA follow-up, response assembly.
+func (qe *queryEv) finishResolve(ctx context.Context) {
+	p := qe.p
+	entry, err := p.resolve(ctx, qe.q, qe.cacheIdx)
+	if err != nil {
+		p.count(func(s *PlatformStats) { s.UpstreamFail++ })
+		p.mUpstreamFail.Inc()
+		qe.resp.Header.RCode = dnswire.RCodeServFail
+		return
+	}
+	qe.cache.Put(qe.q, entry, p.cfg.Clock.Now())
+
+	// Windows-style follow-up: prefetch the AAAA record for names just
+	// resolved under A (observable at the nameserver as an A→AAAA query
+	// pattern — a §VI software fingerprint).
+	if p.cfg.QueryAAAA && qe.q.Type == dnswire.TypeA {
+		followUp := dnswire.Question{Name: qe.q.Name, Type: dnswire.TypeAAAA, Class: qe.q.Class}
+		if _, ok := qe.cache.Get(followUp, p.cfg.Clock.Now()); !ok {
+			if e6, err := p.resolve(ctx, followUp, qe.cacheIdx); err == nil {
+				qe.cache.Put(followUp, e6, p.cfg.Clock.Now())
+			}
+		}
+	}
+	qe.resp = p.entryToResponse(qe.resp, entry)
+}

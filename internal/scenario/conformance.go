@@ -15,6 +15,12 @@ import (
 // counts before it is compared against its golden.
 var DefaultWorkerSweep = []int{1, 8}
 
+// DefaultShardSweep is the conformance shard sweep: 0 is the legacy
+// single-scheduler path, the rest are sharded universes with that many
+// event-loop lanes. Every scenario must produce byte-identical reports
+// across the whole workers x shards cross product (DESIGN.md §12).
+var DefaultShardSweep = []int{0, 1, 2, 8}
+
 // ScenarioExt is the corpus file extension.
 const ScenarioExt = ".scn"
 
@@ -67,14 +73,17 @@ func GoldenPath(dir, name string) string {
 
 // ConformanceResult is the outcome of one scenario's conformance check.
 type ConformanceResult struct {
-	// Scenario is the $SCENARIO name; Workers the sweep it ran at.
+	// Scenario is the $SCENARIO name; Workers and Shards the sweep axes
+	// it ran the full cross product of.
 	Scenario string
 	Workers  []int
-	// Report is the canonical JSON produced (at every sweep value, once
-	// WorkersInvariant holds).
+	Shards   []int
+	// Report is the canonical JSON produced (at every sweep point, once
+	// Invariant holds).
 	Report []byte
-	// WorkersInvariant reports byte-identical output across the sweep.
-	WorkersInvariant bool
+	// Invariant reports byte-identical output across the whole
+	// workers x shards sweep.
+	Invariant bool
 	// GoldenMatch reports byte equality with the checked-in golden.
 	// Updated means the golden was (re)written instead of compared.
 	GoldenMatch bool
@@ -85,18 +94,22 @@ type ConformanceResult struct {
 
 // Passed reports whether the scenario conforms (or was just updated).
 func (r ConformanceResult) Passed() bool {
-	return r.WorkersInvariant && (r.GoldenMatch || r.Updated)
+	return r.Invariant && (r.GoldenMatch || r.Updated)
 }
 
-// RunConformance executes every scenario of the corpus in dir at each
-// worker count of sweep (nil uses DefaultWorkerSweep), asserts the
-// canonical reports are byte-identical across the sweep, and diffs them
-// against the checked-in goldens under dir/golden. With update set the
-// goldens are regenerated instead of compared — the regeneration is
-// itself deterministic, so a clean tree stays clean.
-func RunConformance(ctx context.Context, dir string, sweep []int, update bool) ([]ConformanceResult, error) {
-	if len(sweep) == 0 {
-		sweep = DefaultWorkerSweep
+// RunConformance executes every scenario of the corpus in dir at the
+// full cross product of the workers and shards sweeps (nil axes use
+// DefaultWorkerSweep / DefaultShardSweep), asserts the canonical reports
+// are byte-identical across the sweep, and diffs them against the
+// checked-in goldens under dir/golden. With update set the goldens are
+// regenerated instead of compared — the regeneration is itself
+// deterministic, so a clean tree stays clean.
+func RunConformance(ctx context.Context, dir string, workers, shards []int, update bool) ([]ConformanceResult, error) {
+	if len(workers) == 0 {
+		workers = DefaultWorkerSweep
+	}
+	if len(shards) == 0 {
+		shards = DefaultShardSweep
 	}
 	corpus, err := LoadDir(dir)
 	if err != nil {
@@ -104,7 +117,7 @@ func RunConformance(ctx context.Context, dir string, sweep []int, update bool) (
 	}
 	results := make([]ConformanceResult, 0, len(corpus))
 	for _, sc := range corpus {
-		res, err := conform(ctx, sc, dir, sweep, update)
+		res, err := conform(ctx, sc, dir, workers, shards, update)
 		if err != nil {
 			return results, err
 		}
@@ -114,30 +127,36 @@ func RunConformance(ctx context.Context, dir string, sweep []int, update bool) (
 }
 
 // conform checks one scenario.
-func conform(ctx context.Context, sc *Scenario, dir string, sweep []int, update bool) (ConformanceResult, error) {
-	res := ConformanceResult{Scenario: sc.Name, Workers: append([]int(nil), sweep...)}
+func conform(ctx context.Context, sc *Scenario, dir string, workers, shards []int, update bool) (ConformanceResult, error) {
+	res := ConformanceResult{
+		Scenario: sc.Name,
+		Workers:  append([]int(nil), workers...),
+		Shards:   append([]int(nil), shards...),
+	}
 	var canonical []byte
-	for _, workers := range sweep {
-		report, err := Run(ctx, sc, RunOptions{Workers: workers})
-		if err != nil {
-			return res, fmt.Errorf("scenario %s (workers=%d): %w", sc.Name, workers, err)
-		}
-		b, err := report.CanonicalJSON()
-		if err != nil {
-			return res, err
-		}
-		if canonical == nil {
-			canonical = b
-			continue
-		}
-		if !bytes.Equal(canonical, b) {
-			res.Detail = fmt.Sprintf("workers=%d report differs from workers=%d: %s",
-				workers, sweep[0], firstDiff(canonical, b))
-			res.Report = canonical
-			return res, nil
+	for _, sh := range shards {
+		for _, wk := range workers {
+			report, err := Run(ctx, sc, RunOptions{Workers: wk, Shards: sh})
+			if err != nil {
+				return res, fmt.Errorf("scenario %s (workers=%d shards=%d): %w", sc.Name, wk, sh, err)
+			}
+			b, err := report.CanonicalJSON()
+			if err != nil {
+				return res, err
+			}
+			if canonical == nil {
+				canonical = b
+				continue
+			}
+			if !bytes.Equal(canonical, b) {
+				res.Detail = fmt.Sprintf("workers=%d shards=%d report differs from workers=%d shards=%d: %s",
+					wk, sh, workers[0], shards[0], firstDiff(canonical, b))
+				res.Report = canonical
+				return res, nil
+			}
 		}
 	}
-	res.WorkersInvariant = true
+	res.Invariant = true
 	res.Report = canonical
 
 	golden := GoldenPath(dir, sc.Name)

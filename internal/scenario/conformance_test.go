@@ -18,7 +18,7 @@ const corpusDir = "testdata/scenarios"
 // testdata/scenarios must produce byte-identical canonical reports at
 // workers=1 and workers=8, matching the checked-in golden.
 func TestConformance(t *testing.T) {
-	results, err := RunConformance(context.Background(), corpusDir, DefaultWorkerSweep, *update)
+	results, err := RunConformance(context.Background(), corpusDir, DefaultWorkerSweep, DefaultShardSweep, *update)
 	if err != nil {
 		t.Fatalf("RunConformance: %v", err)
 	}
@@ -28,8 +28,8 @@ func TestConformance(t *testing.T) {
 	for _, res := range results {
 		res := res
 		t.Run(res.Scenario, func(t *testing.T) {
-			if !res.WorkersInvariant {
-				t.Fatalf("not worker-invariant: %s", res.Detail)
+			if !res.Invariant {
+				t.Fatalf("not sweep-invariant: %s", res.Detail)
 			}
 			if res.Updated {
 				t.Logf("golden updated (%d bytes)", len(res.Report))
@@ -70,10 +70,10 @@ func TestConformanceUpdateIsDeterministic(t *testing.T) {
 		copied++
 	}
 	ctx := context.Background()
-	if _, err := RunConformance(ctx, dir, []int{1}, true); err != nil {
+	if _, err := RunConformance(ctx, dir, []int{1}, []int{0}, true); err != nil {
 		t.Fatalf("update pass: %v", err)
 	}
-	results, err := RunConformance(ctx, dir, []int{1}, false)
+	results, err := RunConformance(ctx, dir, []int{1}, []int{0, 2}, false)
 	if err != nil {
 		t.Fatalf("verify pass: %v", err)
 	}
@@ -106,7 +106,7 @@ func TestConformanceMissingGolden(t *testing.T) {
 	if err := os.WriteFile(dir+"/orphan.scn", []byte(text), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	results, err := RunConformance(context.Background(), dir, []int{1}, false)
+	results, err := RunConformance(context.Background(), dir, []int{1}, []int{0}, false)
 	if err != nil {
 		t.Fatalf("RunConformance: %v", err)
 	}

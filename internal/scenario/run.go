@@ -22,10 +22,15 @@ import (
 func derive(seed int64, salts ...uint64) int64 { return detpar.Derive(seed, salts...) }
 
 // RunOptions tunes execution, not results: reports are byte-identical at
-// any worker count.
+// any worker count and any shard count.
 type RunOptions struct {
 	// Workers bounds the trial fan-out; <= 0 uses GOMAXPROCS.
 	Workers int
+	// Shards, when >= 1, runs every trial's world on a sharded
+	// discrete-event scheduler with that many event-loop lanes (see
+	// simtest.Options.Shards); 0 keeps the legacy single-scheduler path.
+	// Reports are byte-identical either way (DESIGN.md §12).
+	Shards int
 }
 
 // Cost is the scenario's accounting total across all trials, read from
@@ -122,7 +127,7 @@ func Run(ctx context.Context, s *Scenario, opts RunOptions) (*Report, error) {
 	}
 	trials, err := detpar.Map(ctx, s.Seed, s.Trials, opts.Workers,
 		func(i int, rng *rand.Rand) (trialOut, error) {
-			return s.runTrial(ctx, rng.Int63())
+			return s.runTrial(ctx, rng.Int63(), opts.Shards)
 		})
 	if err != nil {
 		return nil, err
@@ -188,10 +193,15 @@ func (s *Scenario) platformCaches(name string) int {
 	return 0
 }
 
-// runTrial builds one fresh world and executes every workload.
-func (s *Scenario) runTrial(ctx context.Context, seed int64) (trialOut, error) {
+// runTrial builds one fresh world and executes every workload. With
+// shards >= 1 the whole trial runs as one event-chained population on the
+// world's sharded scheduler: the workload loop becomes a des.Process, so
+// every probe it issues — and every recursion the target platform spawns —
+// interleaves on the shared event-loop lanes instead of nesting pooled
+// schedulers.
+func (s *Scenario) runTrial(ctx context.Context, seed int64, shards int) (trialOut, error) {
 	reg := metrics.New()
-	w, err := simtest.New(simtest.Options{Seed: seed, Metrics: reg})
+	w, err := simtest.New(simtest.Options{Seed: seed, Metrics: reg, Shards: shards})
 	if err != nil {
 		return trialOut{}, err
 	}
@@ -200,13 +210,19 @@ func (s *Scenario) runTrial(ctx context.Context, seed int64) (trialOut, error) {
 		return trialOut{}, err
 	}
 	out := trialOut{workloads: make([]workloadOut, len(s.Workloads))}
-	for wi := range s.Workloads {
-		wd := &s.Workloads[wi]
-		res, err := runWorkload(ctx, w, plats[wd.Platform], wd)
-		if err != nil {
-			return trialOut{}, fmt.Errorf("scenario: workload %s on %s: %w", wd.Kind, wd.Platform, err)
+	err = w.RunSequenced(ctx, func(ctx context.Context) error {
+		for wi := range s.Workloads {
+			wd := &s.Workloads[wi]
+			res, err := runWorkload(ctx, w, plats[wd.Platform], wd)
+			if err != nil {
+				return fmt.Errorf("scenario: workload %s on %s: %w", wd.Kind, wd.Platform, err)
+			}
+			out.workloads[wi] = res
 		}
-		out.workloads[wi] = res
+		return nil
+	})
+	if err != nil {
+		return trialOut{}, err
 	}
 	snap := reg.Snapshot()
 	out.cost = Cost{

@@ -5,6 +5,7 @@
 package simtest
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"time"
@@ -38,8 +39,13 @@ type World struct {
 	// (netsim.EventExchanger / ExchangeRetryEvent). Blocking Exchange
 	// calls do not use it — they drive private pooled schedulers — so a
 	// world mixes both styles freely. Single-threaded: one goroutine owns
-	// Sched for the duration of a run.
+	// Sched for the duration of a run. In a sharded world (Options.Shards
+	// ≥ 1) this is lane 0 of Sharded.
 	Sched *des.Scheduler
+	// Sharded is the multi-lane scheduler universe when the world was
+	// created with Options.Shards ≥ 1, nil otherwise. Workload code runs
+	// on it through RunSequenced.
+	Sharded *des.ShardedScheduler
 	// Metrics is the cost-accounting registry wired through the network,
 	// infrastructure and every platform built by NewPlatform; nil when the
 	// world was created without one (all instrumentation is then no-op).
@@ -69,6 +75,13 @@ type Options struct {
 	// fault profile) — the switchboard for running any experiment under
 	// the deterministic fault substrate.
 	PlatformFaults *netsim.FaultProfile
+	// Shards, when ≥ 1, builds the world on a sharded scheduler with that
+	// many event-loop lanes: exchanges run as event chains partitioned
+	// across lanes by source/destination address, and handlers that speak
+	// netsim.EventHandler serve natively on the loops. 0 keeps the legacy
+	// single standalone scheduler (blocking exchanges on pooled private
+	// schedulers).
+	Shards int
 }
 
 // New builds a world: simulated network, virtual clock, root + TLD, and a
@@ -85,13 +98,18 @@ func New(opts Options) (*World, error) {
 	}
 	w := &World{
 		Net:            netsim.New(opts.Seed),
-		Sched:          des.NewScheduler(),
 		Clock:          clock.NewVirtual(),
 		Metrics:        opts.Metrics,
 		nextIngress:    netip.MustParseAddr("10.10.0.1"),
 		nextEgress:     netip.MustParseAddr("10.20.0.1"),
 		nextClient:     netip.MustParseAddr("10.30.0.1"),
 		platformFaults: opts.PlatformFaults,
+	}
+	if opts.Shards >= 1 {
+		w.Sharded = des.NewSharded(opts.Shards)
+		w.Sched = w.Sharded.LaneScheduler(0)
+	} else {
+		w.Sched = des.NewScheduler()
 	}
 	if opts.Metrics != nil {
 		w.Net.SetMetrics(opts.Metrics)
@@ -198,4 +216,46 @@ func (w *World) NewStub(platformIP netip.Addr) *stub.Resolver {
 // fresh client host.
 func (w *World) DirectProber(ingress netip.Addr) *core.DirectProber {
 	return core.NewDirectProber(w.Net, w.NextClientAddr(), ingress, 0)
+}
+
+// RunSequenced executes fn — a blocking, strictly sequential workload:
+// probes one after another, never two in flight — against the world. On a
+// legacy world it simply calls fn. On a sharded world it runs fn on its
+// own goroutine under a des.Process, with the process in fn's context so
+// every nested ExchangeRetry rides the sharded event loops, and drives
+// the scheduler until both fn and all outstanding event chains finish.
+// The strict sequencing is what makes sharded runs byte-identical to
+// legacy runs at any shard count: every RNG draw in the workload happens
+// in causal chain order (DESIGN.md §12).
+func (w *World) RunSequenced(ctx context.Context, fn func(ctx context.Context) error) error {
+	if w.Sharded == nil {
+		return fn(ctx)
+	}
+	proc := w.Sharded.NewProcess()
+	var ferr error
+	var panicked any
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if des.Aborted(r) {
+					// The universe died (a lane panic elsewhere); Run
+					// reports the cause.
+					return
+				}
+				panicked = r
+			}
+			proc.Finish()
+		}()
+		ferr = fn(netsim.WithProcess(ctx, proc))
+	}()
+	if err := w.Sharded.Run(); err != nil {
+		return fmt.Errorf("simtest: sharded run: %w", err)
+	}
+	// Run returns only after every process finished; proc.Finish's mutex
+	// release happens-before the coordinator's final check, so reading
+	// ferr/panicked here is race-free.
+	if panicked != nil {
+		panic(panicked)
+	}
+	return ferr
 }
