@@ -1,13 +1,15 @@
 package main
 
 import (
-	"context"
+	"bytes"
 	"encoding/json"
+	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
-	"time"
 
 	"dnscde/internal/clock"
 	"dnscde/internal/dnswire"
@@ -116,8 +118,12 @@ func TestLoadZonesBadFile(t *testing.T) {
 }
 
 func TestRunDump(t *testing.T) {
-	if code := run([]string{"-generate", "cache.example", "-probes", "2", "-dump"}, clock.NewVirtual()); code != 0 {
-		t.Errorf("-dump exit = %d", code)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-generate", "cache.example", "-probes", "2", "-dump"}, clock.NewVirtual(), &out, &errOut); code != 0 {
+		t.Errorf("-dump exit = %d (stderr %q)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "; zone cache.example.") {
+		t.Errorf("dump output missing zone header:\n%s", out.String())
 	}
 }
 
@@ -125,9 +131,7 @@ func TestServeMetricsSnapshot(t *testing.T) {
 	reg := metrics.New()
 	reg.Counter("authns.queries").Add(7)
 
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	addr, err := serveMetrics(ctx, reg, "127.0.0.1:0")
+	addr, hs, err := serveMetrics(reg, "127.0.0.1:0", io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,17 +154,16 @@ func TestServeMetricsSnapshot(t *testing.T) {
 		t.Errorf("authns.queries = %d, want 7", got)
 	}
 
-	// Cancelling the context must tear the listener down.
-	cancel()
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		//cdelint:allow walltime polling an OS socket teardown needs real time
-		if _, err := http.Get("http://" + addr.String() + "/metrics"); err != nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("metrics listener still serving after cancel")
-		}
-		time.Sleep(10 * time.Millisecond)
+	// Graceful shutdown must release the listener without aborting
+	// anything in flight.
+	shutdownHTTP(hs, io.Discard)
+	if _, err := http.Get("http://" + addr.String() + "/metrics"); err == nil {
+		t.Fatal("metrics listener still serving after shutdown")
 	}
+	// The port is actually free again.
+	ln, err := net.Listen("tcp", addr.String())
+	if err != nil {
+		t.Fatalf("metrics port not released: %v", err)
+	}
+	ln.Close()
 }

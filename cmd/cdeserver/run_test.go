@@ -1,0 +1,362 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"dnscde/internal/campaign"
+	"dnscde/internal/clock"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: run()'s summarize loop and
+// deferred summary write concurrently with test assertions.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// serverProc drives one run() invocation on goroutine.
+type serverProc struct {
+	stdout *syncBuffer
+	stderr *syncBuffer
+	exit   chan int
+}
+
+func startServer(t *testing.T, args ...string) *serverProc {
+	t.Helper()
+	p := &serverProc{stdout: &syncBuffer{}, stderr: &syncBuffer{}, exit: make(chan int, 1)}
+	go func() {
+		p.exit <- run(args, clock.NewVirtual(), p.stdout, p.stderr)
+	}()
+	return p
+}
+
+// waitOutput polls stdout until re matches, returning the first match's
+// submatches.
+func (p *serverProc) waitOutput(t *testing.T, re *regexp.Regexp) []string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := re.FindStringSubmatch(p.stdout.String()); m != nil {
+			return m
+		}
+		select {
+		case code := <-p.exit:
+			t.Fatalf("server exited %d before %q matched\nstdout:\n%s\nstderr:\n%s",
+				code, re, p.stdout.String(), p.stderr.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %q\nstdout:\n%s\nstderr:\n%s", re, p.stdout.String(), p.stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitExit blocks for run()'s exit code.
+func (p *serverProc) waitExit(t *testing.T) int {
+	t.Helper()
+	select {
+	case code := <-p.exit:
+		return code
+	case <-time.After(15 * time.Second):
+		t.Fatalf("server did not exit\nstdout:\n%s\nstderr:\n%s", p.stdout.String(), p.stderr.String())
+		return -1
+	}
+}
+
+var (
+	listeningRE = regexp.MustCompile(`listening on ([0-9.]+:[0-9]+) \(udp\+tcp\)`)
+	apiRE       = regexp.MustCompile(`campaign API on http://([0-9.]+:[0-9]+)/campaigns`)
+)
+
+// assertReleased proves both the UDP and TCP sides of addr are free.
+func assertReleased(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		uc, uerr := net.ListenPacket("udp", addr)
+		if uerr == nil {
+			uc.Close()
+			tl, terr := net.Listen("tcp", addr)
+			if terr == nil {
+				tl.Close()
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("listeners on %s not released", addr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunSignalExitsZeroWithSummary(t *testing.T) {
+	p := startServer(t, "-addr", "127.0.0.1:0", "-generate", "cache.example", "-probes", "2", "-log-every", "0")
+	m := p.waitOutput(t, listeningRE)
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := p.waitExit(t); code != 0 {
+		t.Errorf("exit = %d, want 0\nstderr:\n%s", code, p.stderr.String())
+	}
+	out := p.stdout.String()
+	if !strings.Contains(out, "shutting down: signal received") {
+		t.Errorf("no shutdown banner:\n%s", out)
+	}
+	if !strings.Contains(out, "final query log:") {
+		t.Errorf("no final summary after signal:\n%s", out)
+	}
+	assertReleased(t, m[1])
+}
+
+func TestRunTCPBindFailureReleasesUDP(t *testing.T) {
+	// Occupy a TCP port whose UDP side is free: the server binds UDP,
+	// fails on TCP, and must exit 1 with the UDP socket released and the
+	// summary printed.
+	tl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	addr := tl.Addr().String()
+
+	p := startServer(t, "-addr", addr, "-generate", "cache.example", "-probes", "2", "-log-every", "0")
+	if code := p.waitExit(t); code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(p.stderr.String(), "tcp") {
+		t.Errorf("stderr missing tcp bind error:\n%s", p.stderr.String())
+	}
+	if !strings.Contains(p.stdout.String(), "final query log:") {
+		t.Errorf("no final summary on tcp bind failure:\n%s", p.stdout.String())
+	}
+	uc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		t.Fatalf("UDP socket leaked after tcp bind failure: %v", err)
+	}
+	uc.Close()
+}
+
+func TestRunMetricsBindFailureReleasesListeners(t *testing.T) {
+	// Occupy the metrics port so serveMetrics fails after both DNS
+	// listeners bound: the old code leaked them on this path.
+	busy, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+
+	p := startServer(t, "-addr", "127.0.0.1:0", "-generate", "cache.example", "-probes", "2",
+		"-log-every", "0", "-metrics", busy.Addr().String())
+	if code := p.waitExit(t); code != 1 {
+		t.Errorf("exit = %d, want 1\nstderr:\n%s", code, p.stderr.String())
+	}
+	if !strings.Contains(p.stderr.String(), "metrics") {
+		t.Errorf("stderr missing metrics error:\n%s", p.stderr.String())
+	}
+	out := p.stdout.String()
+	if !strings.Contains(out, "final query log:") {
+		t.Errorf("no final summary on metrics bind failure:\n%s", out)
+	}
+	m := listeningRE.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no listening banner:\n%s", out)
+	}
+	assertReleased(t, m[1])
+}
+
+func TestWaitServe(t *testing.T) {
+	tests := []struct {
+		name     string
+		signal   bool
+		serveErr error
+		want     int
+		wantOut  string
+		wantErr  string
+	}{
+		{name: "signal", signal: true, want: 0, wantOut: "shutting down"},
+		{name: "serve error", serveErr: errors.New("udpnet: read: boom"), want: 1, wantErr: "boom"},
+		{name: "clean serve return", serveErr: nil, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			errc := make(chan error, 1)
+			if tt.signal {
+				cancel()
+			} else {
+				errc <- tt.serveErr
+			}
+			var out, errOut bytes.Buffer
+			if got := waitServe(ctx, errc, &out, &errOut); got != tt.want {
+				t.Errorf("waitServe = %d, want %d", got, tt.want)
+			}
+			if !strings.Contains(out.String(), tt.wantOut) {
+				t.Errorf("stdout = %q, want %q", out.String(), tt.wantOut)
+			}
+			if !strings.Contains(errOut.String(), tt.wantErr) {
+				t.Errorf("stderr = %q, want %q", errOut.String(), tt.wantErr)
+			}
+		})
+	}
+}
+
+// TestRunCampaignEndToEnd drives the whole control plane through a live
+// server: submit, poll to completion, stream results, cancel a parked
+// campaign, then SIGTERM and assert the graceful drain.
+func TestRunCampaignEndToEnd(t *testing.T) {
+	results := t.TempDir()
+	p := startServer(t, "-addr", "127.0.0.1:0", "-generate", "cache.example", "-probes", "2",
+		"-log-every", "0", "-api", "127.0.0.1:0", "-results", results)
+	dns := p.waitOutput(t, listeningRE)
+	api := "http://" + p.waitOutput(t, apiRE)[1]
+
+	spec := `$SCENARIO e2e
+$SEED 3
+$TRIALS 2
+
+campaign (
+    ticks 3
+    max-concurrent 2
+)
+
+platform target (
+    caches 2
+)
+
+workload direct (
+    queries 8
+)
+`
+	resp, err := http.Post(api+"/campaigns", "text/plain", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("POST = %d: %s", resp.StatusCode, body)
+	}
+	var prog campaign.Progress
+	if err := json.NewDecoder(resp.Body).Decode(&prog); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Poll progress to completion.
+	deadline := time.Now().Add(30 * time.Second)
+	for !prog.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign stuck: %+v", prog)
+		}
+		time.Sleep(20 * time.Millisecond)
+		resp, err = http.Get(api + "/campaigns/" + prog.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&prog); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if prog.State != campaign.StateDone || prog.Completed != 3 {
+		t.Fatalf("campaign = %+v, want done 3/3", prog)
+	}
+
+	// Stream the JSONL rows.
+	resp, err = http.Get(api + "/campaigns/" + prog.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var row campaign.Row
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad row %q: %v", sc.Text(), err)
+		}
+		rows++
+	}
+	resp.Body.Close()
+	if rows != 3*2 {
+		t.Errorf("streamed %d rows, want 6", rows)
+	}
+
+	// Cancel a parked campaign via DELETE.
+	parked := strings.Replace(spec, "ticks 3", "ticks 100\n    interval 1h", 1)
+	resp, err = http.Post(api+"/campaigns", "text/plain", strings.NewReader(parked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parkedProg campaign.Progress
+	if err := json.NewDecoder(resp.Body).Decode(&parkedProg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	req, _ := http.NewRequest(http.MethodDelete, api+"/campaigns/"+parkedProg.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+
+	// SIGTERM: graceful drain, exit 0, summary, everything released.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := p.waitExit(t); code != 0 {
+		t.Errorf("exit = %d, want 0\nstderr:\n%s", code, p.stderr.String())
+	}
+	if !strings.Contains(p.stdout.String(), "final query log:") {
+		t.Errorf("no final summary:\n%s", p.stdout.String())
+	}
+	assertReleased(t, dns[1])
+
+	// The campaign API socket is released too.
+	apiAddr := strings.TrimPrefix(api, "http://")
+	ln, err := net.Listen("tcp", apiAddr)
+	if err != nil {
+		t.Fatalf("campaign API port not released: %v", err)
+	}
+	ln.Close()
+
+	// Result files survive shutdown in the -results dir.
+	entries, err := os.ReadDir(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Errorf("results dir has %d files, want 2", len(entries))
+	}
+}

@@ -1,0 +1,100 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+// maxSpecBytes bounds a POSTed campaign spec (matches the scenario
+// parser's own file limit).
+const maxSpecBytes = 1 << 20
+
+// NewAPI returns the campaign control plane as an http.Handler:
+//
+//	POST   /campaigns              submit a spec (scenario text), 201 + progress
+//	GET    /campaigns              list every campaign's progress
+//	GET    /campaigns/{id}         one campaign's progress + cost roll-up
+//	GET    /campaigns/{id}/results stream the JSONL result rows
+//	DELETE /campaigns/{id}         cancel the campaign
+//
+// Submissions during a drain answer 503; unknown IDs answer 404.
+func NewAPI(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("reading spec: %v", err), http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxSpecBytes {
+			http.Error(w, fmt.Sprintf("spec exceeds %d bytes", maxSpecBytes), http.StatusRequestEntityTooLarge)
+			return
+		}
+		c, err := e.Submit(string(body))
+		if err != nil {
+			if errors.Is(err, ErrDraining) {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusCreated, c.Progress())
+	})
+	mux.HandleFunc("GET /campaigns", func(w http.ResponseWriter, r *http.Request) {
+		list := e.List()
+		out := make([]Progress, 0, len(list))
+		for _, c := range list {
+			out = append(out, c.Progress())
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := e.Get(r.PathValue("id"))
+		if !ok {
+			http.Error(w, ErrNotFound.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, c.Progress())
+	})
+	mux.HandleFunc("GET /campaigns/{id}/results", func(w http.ResponseWriter, r *http.Request) {
+		c, ok := e.Get(r.PathValue("id"))
+		if !ok {
+			http.Error(w, ErrNotFound.Error(), http.StatusNotFound)
+			return
+		}
+		f, err := os.Open(c.Path())
+		if err != nil {
+			http.Error(w, fmt.Sprintf("opening results: %v", err), http.StatusInternalServerError)
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		// Copy errors past the header are client disconnects; nothing
+		// useful can be reported to the peer anymore.
+		_, _ = io.Copy(w, f)
+	})
+	mux.HandleFunc("DELETE /campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		c, err := e.Cancel(r.PathValue("id"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, c.Progress())
+	})
+	return mux
+}
+
+// writeJSON renders one API response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encode errors past WriteHeader are client disconnects.
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,213 @@
+package campaign
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func apiFixture(t *testing.T) (*Engine, *httptest.Server) {
+	t.Helper()
+	e, err := NewEngine(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewAPI(e))
+	t.Cleanup(func() {
+		srv.Close()
+		e.Close()
+	})
+	return e, srv
+}
+
+func decodeProgress(t *testing.T, r io.Reader) Progress {
+	t.Helper()
+	var p Progress
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		t.Fatalf("decoding progress: %v", err)
+	}
+	return p
+}
+
+func TestAPICampaignLifecycle(t *testing.T) {
+	e, srv := apiFixture(t)
+
+	// Submit.
+	resp, err := http.Post(srv.URL+"/campaigns", "text/plain", strings.NewReader(smokeSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("POST /campaigns = %d: %s", resp.StatusCode, body)
+	}
+	p := decodeProgress(t, resp.Body)
+	resp.Body.Close()
+	if p.ID == "" || p.Ticks != 3 {
+		t.Fatalf("submit progress = %+v", p)
+	}
+
+	// Wait server-side, then poll the progress endpoint.
+	c, ok := e.Get(p.ID)
+	if !ok {
+		t.Fatalf("engine lost campaign %s", p.ID)
+	}
+	waitCampaign(t, c)
+
+	resp, err = http.Get(srv.URL + "/campaigns/" + p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = decodeProgress(t, resp.Body)
+	resp.Body.Close()
+	if p.State != StateDone || p.Completed != 3 {
+		t.Errorf("polled progress = %+v, want done 3/3", p)
+	}
+
+	// List.
+	resp, err = http.Get(srv.URL + "/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []Progress
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].ID != p.ID {
+		t.Errorf("GET /campaigns = %+v, want one entry %s", list, p.ID)
+	}
+
+	// Stream results.
+	resp, err = http.Get(srv.URL + "/campaigns/" + p.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("results Content-Type = %q", ct)
+	}
+	rows := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var row Row
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("bad result row %q: %v", sc.Text(), err)
+		}
+		if row.Campaign != p.ID {
+			t.Errorf("row campaign = %q, want %q", row.Campaign, p.ID)
+		}
+		rows++
+	}
+	resp.Body.Close()
+	if rows != 6 {
+		t.Errorf("streamed %d rows, want 6", rows)
+	}
+}
+
+func TestAPICancelAndErrors(t *testing.T) {
+	_, srv := apiFixture(t)
+	client := srv.Client()
+
+	// Unknown IDs.
+	for _, path := range []string{"/campaigns/c9999-x", "/campaigns/c9999-x/results"} {
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/campaigns/c9999-x", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown = %d, want 404", resp.StatusCode)
+	}
+
+	// Malformed spec.
+	resp, err = http.Post(srv.URL+"/campaigns", "text/plain", strings.NewReader("not a scenario"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST bad spec = %d, want 400", resp.StatusCode)
+	}
+
+	// Oversized spec.
+	big := strings.NewReader(strings.Repeat(";", maxSpecBytes+2))
+	resp, err = http.Post(srv.URL+"/campaigns", "text/plain", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("POST oversized spec = %d, want 413", resp.StatusCode)
+	}
+
+	// Cancel a parked campaign via DELETE.
+	spec := strings.Replace(smokeSpec, "ticks 3", "ticks 100\n    interval 1h", 1)
+	resp, err = http.Post(srv.URL+"/campaigns", "text/plain", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := decodeProgress(t, resp.Body)
+	resp.Body.Close()
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/campaigns/"+p.ID, nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err = client.Get(srv.URL + "/campaigns/" + p.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p = decodeProgress(t, resp.Body)
+		resp.Body.Close()
+		if p.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never reached a terminal state: %+v", p)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if p.State != StateCancelled {
+		t.Errorf("state after DELETE = %s, want cancelled", p.State)
+	}
+}
+
+func TestAPIRefusesSubmitDuringDrain(t *testing.T) {
+	e, srv := apiFixture(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/campaigns", "text/plain", strings.NewReader(smokeSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("POST during drain = %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,189 @@
+// Package campaign is the standing-measurement control plane: it turns
+// scenario files (the PR 5 grammar, extended with a `campaign` header)
+// into scheduled, budgeted, resumable measurement campaigns. Where
+// cdebench runs a scenario once and prints a report, the engine here
+// runs it N times on a schedule — every run an independent sharded
+// simtest world driven through World.RunSequenced — under a worker
+// pool, a per-campaign retry budget and a token-bucket launch rate,
+// with per-run metrics registries merged into per-campaign and
+// service-wide roll-ups, and every per-trial result row streamed to a
+// chunked parallel JSONL sink.
+//
+// The split the simtime analyzer enforces: the run core (runner.go) is
+// a pure function of (spec, run index) on simulated time, while the
+// tick scheduler (scheduler.go) is the one annotated wall-clock
+// boundary — intervals, token buckets and drains are wall-clock by
+// design, and nothing downstream of them reads the host clock.
+//
+// cmd/cdeserver exposes the whole lifecycle over HTTP (api.go):
+// submit, list, poll progress, stream results, cancel — with a
+// graceful drain on SIGTERM. See DESIGN.md §13.
+package campaign
+
+import (
+	"context"
+	"os"
+	"sync"
+	"time"
+
+	"dnscde/internal/metrics"
+	"dnscde/internal/scenario"
+)
+
+// State is a campaign's lifecycle phase.
+type State string
+
+// Campaign states. A campaign is pending from Submit until its
+// scheduler loop starts, running while ticks execute, and ends in
+// exactly one of done (every tick completed), failed (every tick
+// attempted, at least one exhausted its retry budget) or cancelled
+// (DELETE, engine drain, or shutdown stopped it early).
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Row is one JSONL result record: the outcome of one workload within
+// one trial of one scheduled run. Rows are emitted in (run, trial,
+// workload) order and are byte-identical at any worker or shard count.
+type Row struct {
+	Campaign    string `json:"campaign"`
+	Run         int    `json:"run"`
+	Trial       int    `json:"trial"`
+	Workload    int    `json:"workload"`
+	Kind        string `json:"kind"`
+	Platform    string `json:"platform"`
+	Caches      int    `json:"caches"`
+	ProbesSent  int64  `json:"probes_sent"`
+	ProbeErrors int64  `json:"probe_errors"`
+}
+
+// Progress is a campaign's externally visible status: scheduling
+// counters plus the cost roll-up read from the per-campaign registry.
+// It is what the HTTP API serves.
+type Progress struct {
+	ID        string `json:"id"`
+	Scenario  string `json:"scenario"`
+	State     State  `json:"state"`
+	Ticks     int    `json:"ticks"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed"`
+	// RetriesUsed counts re-executions drawn from the per-run retry
+	// budget across the whole campaign.
+	RetriesUsed int `json:"retries_used"`
+	// Rows is the number of result rows streamed to the JSONL sink so
+	// far.
+	Rows      int64  `json:"rows"`
+	Submitted string `json:"submitted"`
+	Error     string `json:"error,omitempty"`
+	// Cost is the campaign-wide accounting roll-up, merged from every
+	// completed run's registry.
+	Cost scenario.Cost `json:"cost"`
+}
+
+// Campaign is one standing measurement: a validated spec plus its
+// scheduler state, per-campaign registry and result sink. All methods
+// are safe for concurrent use.
+type Campaign struct {
+	id        string
+	name      string
+	header    scenario.CampaignDef
+	text      string // canonical spec source, re-parsed per run
+	submitted time.Time
+	path      string
+
+	engine  *Engine
+	ctx     context.Context
+	cancel  context.CancelFunc
+	reg     *metrics.Registry
+	sink    *Sink
+	file    *os.File
+	done    chan struct{}
+	emitter *orderedEmitter
+
+	mu          sync.Mutex
+	state       State
+	completed   int
+	failed      int
+	retriesUsed int
+	lastErr     string
+}
+
+// ID returns the engine-assigned campaign identifier.
+func (c *Campaign) ID() string { return c.id }
+
+// Path returns the campaign's JSONL results file.
+func (c *Campaign) Path() string { return c.path }
+
+// Done returns a channel closed when the campaign's scheduler loop has
+// fully finished (sink flushed, final state set).
+func (c *Campaign) Done() <-chan struct{} { return c.done }
+
+// Wait blocks until the campaign finishes or ctx expires.
+func (c *Campaign) Wait(ctx context.Context) error {
+	select {
+	case <-c.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Progress reports the campaign's current status.
+func (c *Campaign) Progress() Progress {
+	c.mu.Lock()
+	p := Progress{
+		ID:          c.id,
+		Scenario:    c.name,
+		State:       c.state,
+		Ticks:       c.header.Ticks,
+		Completed:   c.completed,
+		Failed:      c.failed,
+		RetriesUsed: c.retriesUsed,
+		Error:       c.lastErr,
+	}
+	c.mu.Unlock()
+	p.Rows = c.sink.Rows()
+	p.Submitted = c.submitted.UTC().Format(time.RFC3339)
+	p.Cost = scenario.CostFromSnapshot(c.reg.Snapshot())
+	return p
+}
+
+// setState transitions the campaign's lifecycle state.
+func (c *Campaign) setState(s State) {
+	c.mu.Lock()
+	c.state = s
+	c.mu.Unlock()
+}
+
+// noteCompleted records one successfully completed run.
+func (c *Campaign) noteCompleted() {
+	c.mu.Lock()
+	c.completed++
+	c.mu.Unlock()
+}
+
+// noteFailed records one run that exhausted its retry budget.
+func (c *Campaign) noteFailed(err error) {
+	c.mu.Lock()
+	c.failed++
+	if err != nil {
+		c.lastErr = err.Error()
+	}
+	c.mu.Unlock()
+}
+
+// noteRetry records one retry drawn from the per-run budget.
+func (c *Campaign) noteRetry() {
+	c.mu.Lock()
+	c.retriesUsed++
+	c.mu.Unlock()
+}

@@ -1,0 +1,292 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dnscde/internal/metrics"
+	"dnscde/internal/scenario"
+)
+
+// smokeSpec is a small but real campaign: 3 scheduled runs, two
+// concurrent, each run a 2-trial simulated measurement.
+const smokeSpec = `$SCENARIO camp-smoke
+$SEED 7
+$TRIALS 2
+
+campaign (
+    ticks 3
+    max-concurrent 2
+)
+
+platform target (
+    caches 2
+)
+
+workload direct (
+    queries 8
+)
+`
+
+func waitCampaign(t *testing.T, c *Campaign) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("campaign %s did not finish: %v (progress %+v)", c.ID(), err, c.Progress())
+	}
+}
+
+func TestEngineRunsCampaignToDone(t *testing.T) {
+	service := metrics.New()
+	e, err := NewEngine(Options{Dir: t.TempDir(), Service: service})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	c, err := e.Submit(smokeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCampaign(t, c)
+
+	p := c.Progress()
+	if p.State != StateDone {
+		t.Errorf("state = %s, want done (error %q)", p.State, p.Error)
+	}
+	if p.Completed != 3 || p.Failed != 0 {
+		t.Errorf("completed/failed = %d/%d, want 3/0", p.Completed, p.Failed)
+	}
+	// ticks × trials × workloads rows.
+	if p.Rows != 3*2*1 {
+		t.Errorf("rows = %d, want 6", p.Rows)
+	}
+	if p.Cost.Probes == 0 {
+		t.Errorf("campaign cost roll-up empty: %+v", p.Cost)
+	}
+
+	data, err := os.ReadFile(c.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("result file has %d lines, want 6", len(lines))
+	}
+	for i, line := range lines {
+		if !strings.Contains(line, `"campaign":"`+c.ID()+`"`) {
+			t.Errorf("line %d missing campaign id: %s", i, line)
+		}
+	}
+
+	// Every run's accounting reached the service-wide registry under the
+	// campaigns label.
+	snap := service.Snapshot()
+	var labeled bool
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "campaigns.") {
+			labeled = true
+			break
+		}
+	}
+	if !labeled {
+		t.Errorf("service registry has no campaigns.* counters: %v", snap.Counters)
+	}
+}
+
+func TestEngineShardAndWorkerConformance(t *testing.T) {
+	// The acceptance bar: an identical spec must yield byte-identical
+	// result files regardless of shard or worker count.
+	read := func(t *testing.T, opts Options) []byte {
+		t.Helper()
+		opts.Dir = t.TempDir()
+		e, err := NewEngine(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		c, err := e.Submit(smokeSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitCampaign(t, c)
+		if p := c.Progress(); p.State != StateDone {
+			t.Fatalf("state = %s, want done (error %q)", p.State, p.Error)
+		}
+		data, err := os.ReadFile(c.Path())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	base := read(t, Options{Shards: 1, Workers: 1})
+	if len(base) == 0 {
+		t.Fatal("baseline result file is empty")
+	}
+	for _, opts := range []Options{
+		{Shards: 4, Workers: 1},
+		{Shards: 4, Workers: 4},
+	} {
+		if got := read(t, opts); !bytes.Equal(got, base) {
+			t.Errorf("results at shards=%d workers=%d differ from shards=1 workers=1:\n got: %s\nwant: %s",
+				opts.Shards, opts.Workers, got, base)
+		}
+	}
+}
+
+func TestEngineRetryBudgetExhaustion(t *testing.T) {
+	// White-box: a spec that parses at submit time but is invalid at run
+	// time cannot be built through Submit, so wire a campaign directly to
+	// drive the retry loop against a failing run.
+	e, err := NewEngine(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var buf bytes.Buffer
+	sink := NewSink(&buf, SinkOptions{})
+	c := &Campaign{
+		id:      "t-retry",
+		header:  scenario.CampaignDef{Ticks: 1, MaxConcurrent: 1, Retries: 2},
+		text:    "not a scenario",
+		engine:  e,
+		ctx:     context.Background(),
+		cancel:  func() {},
+		reg:     metrics.New(),
+		sink:    sink,
+		emitter: &orderedEmitter{sink: sink},
+	}
+	c.runOnce(0)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed != 1 {
+		t.Errorf("failed = %d, want 1", c.failed)
+	}
+	if c.retriesUsed != 2 {
+		t.Errorf("retriesUsed = %d, want 2 (full budget)", c.retriesUsed)
+	}
+	if !strings.Contains(c.lastErr, "run 0") {
+		t.Errorf("lastErr = %q, want run 0 context", c.lastErr)
+	}
+	// The failed run still advanced the ordered emitter: no rows, no
+	// deadlock.
+	if buf.Len() != 0 {
+		t.Errorf("failed run emitted rows: %q", buf.String())
+	}
+}
+
+func TestEngineCancelStopsSchedule(t *testing.T) {
+	e, err := NewEngine(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// A long launch interval parks the scheduler after run 0; Cancel must
+	// interrupt the sleep.
+	spec := strings.Replace(smokeSpec, "ticks 3", "ticks 5\n    interval 1h", 1)
+	c, err := e.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Cancel(c.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitCampaign(t, c)
+	p := c.Progress()
+	if p.State != StateCancelled {
+		t.Errorf("state = %s, want cancelled", p.State)
+	}
+	if p.Completed >= 5 {
+		t.Errorf("completed = %d, want < 5", p.Completed)
+	}
+	if _, err := e.Cancel("c9999-nope"); err == nil {
+		t.Error("Cancel of unknown id succeeded")
+	}
+}
+
+func TestEngineDrainRefusesNewWork(t *testing.T) {
+	e, err := NewEngine(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := strings.Replace(smokeSpec, "ticks 3", "ticks 1000\n    interval 1h", 1)
+	c, err := e.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if _, err := e.Submit(smokeSpec); err != ErrDraining {
+		t.Errorf("Submit during drain = %v, want ErrDraining", err)
+	}
+	p := c.Progress()
+	if p.State != StateCancelled {
+		t.Errorf("state after drain = %s, want cancelled", p.State)
+	}
+	if p.Failed != 0 {
+		t.Errorf("drain marked runs failed: %+v", p)
+	}
+}
+
+func TestEngineRateLimitedCampaign(t *testing.T) {
+	e, err := NewEngine(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// A fast token bucket: burst 1, 500 refills/second — the schedule
+	// path runs through take() for every launch.
+	spec := strings.Replace(smokeSpec, "max-concurrent 2", "max-concurrent 2\n    rate 500 burst=1", 1)
+	c, err := e.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCampaign(t, c)
+	if p := c.Progress(); p.State != StateDone || p.Completed != 3 {
+		t.Errorf("rate-limited campaign = %+v, want done 3/3", p)
+	}
+}
+
+func TestEngineListAndDirs(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "results")
+	e, err := NewEngine(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.Dir() != dir {
+		t.Errorf("Dir = %q, want %q", e.Dir(), dir)
+	}
+	a, err := e.Submit(smokeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Submit(smokeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := e.List()
+	if len(list) != 2 || list[0] != a || list[1] != b {
+		t.Errorf("List not in submission order: %v", list)
+	}
+	if a.ID() == b.ID() {
+		t.Errorf("duplicate campaign ids: %s", a.ID())
+	}
+	waitCampaign(t, a)
+	waitCampaign(t, b)
+}

@@ -1,0 +1,99 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+
+	"dnscde/internal/detpar"
+	"dnscde/internal/metrics"
+	"dnscde/internal/scenario"
+)
+
+// saltCampaignRun separates per-run seed streams from the scenario's
+// own platform/workload salts: run i of a campaign measures a fresh,
+// independent simulated Internet, deterministically derived from
+// (spec seed, i).
+const saltCampaignRun = 0xCA
+
+// runOnce executes one scheduled run under the per-run retry budget,
+// emits its rows (always exactly once, so the ordered emitter's cursor
+// advances even for failed runs) and settles the tick's outcome.
+func (c *Campaign) runOnce(run int) {
+	rows, err := c.attemptRun(run)
+	if emitErr := c.emitter.emit(run, rows); emitErr != nil && err == nil {
+		err = emitErr
+	}
+	if err != nil {
+		c.noteFailed(err)
+		return
+	}
+	c.noteCompleted()
+}
+
+// attemptRun drives executeRun through the retry budget, merging the
+// winning attempt's accounting into the per-campaign and service
+// registries.
+func (c *Campaign) attemptRun(run int) ([]Row, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.header.Retries; attempt++ {
+		if err := c.ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		if attempt > 0 {
+			c.noteRetry()
+		}
+		rows, snap, err := executeRun(c.ctx, c.id, c.text, run, c.engine.opts)
+		if err == nil {
+			c.reg.MergeSnapshot("", snap)
+			c.engine.opts.Service.MergeSnapshot("campaigns", snap)
+			return rows, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("campaign: run %d: %w", run, lastErr)
+}
+
+// executeRun is the simulated-time core: it compiles the spec onto a
+// fresh sharded simtest world (scenario.RunDetailed → World.RunSequenced)
+// and flattens the per-trial outcomes into result rows. The spec text is
+// re-parsed per run so concurrent runs never share mutable scenario
+// state, and the run's seed is derived from (spec seed, run), so the
+// row stream is a pure function of the spec — byte-identical at any
+// worker or shard count, which the conformance test locks.
+func executeRun(ctx context.Context, id, text string, run int, opts Options) ([]Row, metrics.Snapshot, error) {
+	sc, err := scenario.ParseString(text)
+	if err != nil {
+		return nil, metrics.Snapshot{}, err
+	}
+	sc.Seed = detpar.Derive(sc.Seed, saltCampaignRun, uint64(run))
+	_, details, err := scenario.RunDetailed(ctx, sc, scenario.RunOptions{
+		Workers: opts.Workers,
+		Shards:  opts.Shards,
+	})
+	if err != nil {
+		return nil, metrics.Snapshot{}, err
+	}
+	rows := make([]Row, 0, len(details)*len(sc.Workloads))
+	var merged metrics.Snapshot
+	for ti, d := range details {
+		merged = merged.Merge(d.Metrics)
+		for wi, tw := range d.Workloads {
+			wd := sc.Workloads[wi]
+			rows = append(rows, Row{
+				Campaign:    id,
+				Run:         run,
+				Trial:       ti,
+				Workload:    wi,
+				Kind:        string(wd.Kind),
+				Platform:    wd.Platform,
+				Caches:      tw.Caches,
+				ProbesSent:  tw.ProbesSent,
+				ProbeErrors: tw.ProbeErrors,
+			})
+		}
+	}
+	return rows, merged, nil
+}

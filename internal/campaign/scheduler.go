@@ -1,0 +1,151 @@
+package campaign
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the campaign engine's only wall-clock surface. Launch
+// intervals, token-bucket refills and drain waits are real-time by
+// design — a standing service schedules against the host clock — so
+// every wall-clock read here carries an explicit cdelint allow. The run
+// core it launches (runner.go) stays on simulated time; the simtime
+// analyzer keeps it that way.
+
+// loop is a campaign's scheduler: it launches header.Ticks runs,
+// spacing launches by the interval, metering them through the token
+// bucket, and bounding in-flight runs with the max-concurrent
+// semaphore. It exits early on cancellation or an engine drain, then
+// waits for in-flight runs, flushes the sink and settles the final
+// state.
+func (c *Campaign) loop() {
+	defer c.engine.wg.Done()
+	defer close(c.done)
+	c.setState(StateRunning)
+
+	h := c.header
+	sem := make(chan struct{}, h.MaxConcurrent)
+	var bucket *tokenBucket
+	if h.Rate > 0 {
+		bucket = newTokenBucket(h.Rate, h.Burst)
+	}
+	var runWG sync.WaitGroup
+schedule:
+	for run := 0; run < h.Ticks; run++ {
+		if run > 0 && h.Interval > 0 && !c.sleep(h.Interval) {
+			break schedule
+		}
+		if bucket != nil && !bucket.take(c) {
+			break schedule
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-c.ctx.Done():
+			break schedule
+		case <-c.engine.drainCh:
+			break schedule
+		}
+		runWG.Add(1)
+		go func(run int) {
+			defer runWG.Done()
+			defer func() { <-sem }()
+			c.runOnce(run)
+		}(run)
+	}
+	runWG.Wait()
+
+	sinkErr := c.sink.Close()
+	closeErr := c.file.Close()
+
+	c.mu.Lock()
+	switch {
+	case c.ctx.Err() != nil:
+		c.state = StateCancelled
+	case c.completed == h.Ticks:
+		c.state = StateDone
+	case c.failed > 0 && c.completed+c.failed == h.Ticks:
+		c.state = StateFailed
+	default:
+		// Drained before every tick was scheduled.
+		c.state = StateCancelled
+	}
+	if c.lastErr == "" {
+		if sinkErr != nil {
+			c.lastErr = sinkErr.Error()
+		} else if closeErr != nil {
+			c.lastErr = closeErr.Error()
+		}
+	}
+	c.mu.Unlock()
+}
+
+// sleep waits out the launch interval; false means the campaign was
+// cancelled or the engine started draining.
+func (c *Campaign) sleep(d time.Duration) bool {
+	//cdelint:allow walltime,simtime the launch interval of a standing campaign is wall-clock by design
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-c.ctx.Done():
+		return false
+	case <-c.engine.drainCh:
+		return false
+	}
+}
+
+// tokenBucket meters run launches: capacity burst, refilled at rate
+// tokens per second of wall time.
+type tokenBucket struct {
+	rate  float64
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket returns a full bucket.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	return &tokenBucket{
+		rate:   rate,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		//cdelint:allow walltime,simtime token-bucket refill is anchored to the wall clock by design
+		last: time.Now(),
+	}
+}
+
+// take blocks until a token is available; false means the campaign was
+// cancelled or the engine started draining before one arrived.
+func (b *tokenBucket) take(c *Campaign) bool {
+	for {
+		b.mu.Lock()
+		//cdelint:allow walltime,simtime token-bucket refill is anchored to the wall clock by design
+		now := time.Now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+		if b.tokens >= 1 {
+			b.tokens--
+			b.mu.Unlock()
+			return true
+		}
+		need := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+		b.mu.Unlock()
+		//cdelint:allow walltime,simtime waiting for a token refill is a wall-clock sleep by design
+		timer := time.NewTimer(need)
+		select {
+		case <-timer.C:
+		case <-c.ctx.Done():
+			timer.Stop()
+			return false
+		case <-c.engine.drainCh:
+			timer.Stop()
+			return false
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// SinkOptions tunes the parallel JSONL sink; zero values pick defaults.
+type SinkOptions struct {
+	// Encoders is the number of parallel chunk-encoding workers
+	// (default 4).
+	Encoders int
+	// ChunkRows is how many rows one chunk batches before it is handed
+	// to an encoder (default 512).
+	ChunkRows int
+}
+
+// defaults for SinkOptions.
+const (
+	defaultEncoders  = 4
+	defaultChunkRows = 512
+)
+
+// chunkJob is a sealed batch of rows awaiting encoding.
+type chunkJob struct {
+	seq  int
+	rows []any
+}
+
+// encodedChunk is one chunk's JSONL bytes, tagged with its sequence so
+// the assembler can restore append order.
+type encodedChunk struct {
+	seq  int
+	data []byte
+}
+
+// Sink streams JSONL rows to an io.Writer through a chunked parallel
+// pipeline: Append batches rows into fixed-size chunks, a pool of
+// encoder workers marshals whole chunks concurrently, and a single
+// assembler goroutine writes the encoded chunks back in sequence order.
+// The shape follows gvisor's checkpoint parallel-writer: producers and
+// encoders never touch the output stream, and the assembler holds at
+// most a bounded window of out-of-order chunks, so a million-row
+// campaign streams through a constant-size buffer instead of
+// accumulating in memory.
+//
+// Output order is exactly Append order. Append is safe for concurrent
+// use, but concurrent appenders get an arbitrary interleaving — callers
+// that need a deterministic stream (the campaign runner) serialize
+// appends through an orderedEmitter.
+type Sink struct {
+	chunkRows int
+	w         io.Writer
+
+	mu     sync.Mutex // guards cur, seq, closed
+	cur    []any
+	seq    int
+	closed bool
+
+	jobs    chan chunkJob
+	encoded chan encodedChunk
+	encWG   sync.WaitGroup
+	asmDone chan struct{}
+
+	rows       atomic.Int64
+	maxPending atomic.Int64
+
+	errMu sync.Mutex
+	err   error
+}
+
+// NewSink starts the pipeline over w. The caller owns w: Close flushes
+// and stops the pipeline but does not close w.
+func NewSink(w io.Writer, opts SinkOptions) *Sink {
+	if opts.Encoders <= 0 {
+		opts.Encoders = defaultEncoders
+	}
+	if opts.ChunkRows <= 0 {
+		opts.ChunkRows = defaultChunkRows
+	}
+	s := &Sink{
+		chunkRows: opts.ChunkRows,
+		w:         w,
+		jobs:      make(chan chunkJob, opts.Encoders),
+		encoded:   make(chan encodedChunk, opts.Encoders),
+		asmDone:   make(chan struct{}),
+	}
+	s.encWG.Add(opts.Encoders)
+	for i := 0; i < opts.Encoders; i++ {
+		go s.encodeLoop()
+	}
+	go s.assemble()
+	return s
+}
+
+// Append queues one row. It blocks when the pipeline is saturated — that
+// backpressure is what bounds the sink's memory — and reports the first
+// pipeline error once one occurred.
+func (s *Sink) Append(v any) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("campaign: append to closed sink")
+	}
+	if s.cur == nil {
+		s.cur = make([]any, 0, s.chunkRows)
+	}
+	s.cur = append(s.cur, v)
+	var job chunkJob
+	dispatch := false
+	if len(s.cur) >= s.chunkRows {
+		job = chunkJob{seq: s.seq, rows: s.cur}
+		s.seq++
+		s.cur = nil
+		dispatch = true
+	}
+	s.mu.Unlock()
+	if dispatch {
+		s.jobs <- job
+	}
+	s.rows.Add(1)
+	return s.Err()
+}
+
+// Rows returns the number of rows appended so far.
+func (s *Sink) Rows() int64 { return s.rows.Load() }
+
+// MaxPending reports the largest number of out-of-order chunks the
+// assembler ever held — the sink's buffering high-water mark, asserted
+// bounded by the tests.
+func (s *Sink) MaxPending() int { return int(s.maxPending.Load()) }
+
+// Err returns the first pipeline error (encode or write), if any.
+func (s *Sink) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// fail records the first pipeline error.
+func (s *Sink) fail(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+// Close flushes the partial chunk, drains the pipeline and returns the
+// first error. The sink cannot be used after Close.
+func (s *Sink) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.Err()
+	}
+	s.closed = true
+	var job chunkJob
+	dispatch := false
+	if len(s.cur) > 0 {
+		job = chunkJob{seq: s.seq, rows: s.cur}
+		s.seq++
+		s.cur = nil
+		dispatch = true
+	}
+	s.mu.Unlock()
+	if dispatch {
+		s.jobs <- job
+	}
+	close(s.jobs)
+	s.encWG.Wait()
+	close(s.encoded)
+	<-s.asmDone
+	return s.Err()
+}
+
+// encodeLoop marshals whole chunks to JSONL bytes. A chunk is always
+// forwarded — even after a marshal error — so the assembler's sequence
+// stays contiguous and Close never deadlocks.
+func (s *Sink) encodeLoop() {
+	defer s.encWG.Done()
+	for job := range s.jobs {
+		var buf bytes.Buffer
+		for _, v := range job.rows {
+			b, err := json.Marshal(v)
+			if err != nil {
+				s.fail(fmt.Errorf("campaign: encoding result row: %w", err))
+				break
+			}
+			buf.Write(b)
+			buf.WriteByte('\n')
+		}
+		s.encoded <- encodedChunk{seq: job.seq, data: buf.Bytes()}
+	}
+}
+
+// assemble writes encoded chunks in sequence order, holding early
+// arrivals in a pending window bounded by the encoder count.
+func (s *Sink) assemble() {
+	defer close(s.asmDone)
+	pending := make(map[int][]byte)
+	next := 0
+	for c := range s.encoded {
+		pending[c.seq] = c.data
+		if n := int64(len(pending)); n > s.maxPending.Load() {
+			s.maxPending.Store(n)
+		}
+		for {
+			data, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if s.Err() != nil {
+				continue // drain without writing after a failure
+			}
+			if _, err := s.w.Write(data); err != nil {
+				s.fail(fmt.Errorf("campaign: sink write: %w", err))
+			}
+		}
+	}
+}
+
+// orderedEmitter serializes per-run row batches into the sink in run
+// order: a run that finishes early parks its rows until every earlier
+// run has emitted. The window is bounded by the campaign's
+// max-concurrent budget, so parking cannot grow without bound.
+type orderedEmitter struct {
+	sink *Sink
+
+	mu      sync.Mutex
+	next    int
+	pending map[int][]Row
+}
+
+// emit hands over run's rows (nil for a failed run — the slot still
+// advances the cursor). Each scheduled run must emit exactly once.
+func (e *orderedEmitter) emit(run int, rows []Row) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pending == nil {
+		e.pending = make(map[int][]Row)
+	}
+	e.pending[run] = rows
+	var firstErr error
+	for {
+		batch, ok := e.pending[e.next]
+		if !ok {
+			return firstErr
+		}
+		delete(e.pending, e.next)
+		e.next++
+		for i := range batch {
+			if err := e.sink.Append(&batch[i]); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+}

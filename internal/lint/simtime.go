@@ -29,11 +29,15 @@ var Simtime = &Analyzer{
 }
 
 // simtimeRoots are the packages whose results must be wall-clock-free.
+// internal/campaign is included because its run core (runner.go) must
+// stay a pure function of (spec, run index); the campaign scheduler's
+// tick loop is the one annotated wall-clock boundary inside it.
 var simtimeRoots = map[string]bool{
 	"internal/netsim":      true,
 	"internal/netsim/des":  true,
 	"internal/scenario":    true,
 	"internal/experiments": true,
+	"internal/campaign":    true,
 }
 
 // simtimeDenied extends walltime's set with the measurement pair: on a

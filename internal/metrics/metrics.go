@@ -302,6 +302,47 @@ func (s Snapshot) Merge(other Snapshot) Snapshot {
 	return out
 }
 
+// MergeSnapshot folds a snapshot into the registry, optionally
+// namespacing every metric under label + ".". It is how a sub-registry
+// (one campaign run, one worker) rolls up into a long-lived service
+// registry: counters add, histograms with matching names absorb the
+// snapshot's buckets (the registry's bucket layout wins; extra snapshot
+// buckets fold into overflow). A nil registry ignores the merge.
+func (r *Registry) MergeSnapshot(label string, s Snapshot) {
+	if r == nil {
+		return
+	}
+	prefix := ""
+	if label != "" {
+		prefix = label + "."
+	}
+	for name, v := range s.Counters {
+		r.Counter(prefix + name).Add(v)
+	}
+	for name, hs := range s.Histograms {
+		r.Histogram(prefix+name, hs.Bounds).absorb(hs)
+	}
+}
+
+// absorb adds a snapshot's observations into the histogram. Buckets
+// align index-wise; snapshot buckets beyond the histogram's layout land
+// in overflow.
+func (h *Histogram) absorb(hs HistogramSnapshot) {
+	if h == nil {
+		return
+	}
+	last := len(h.buckets) - 1
+	for i, v := range hs.Buckets {
+		if i > last {
+			h.buckets[last].Add(v)
+			continue
+		}
+		h.buckets[i].Add(v)
+	}
+	h.count.Add(hs.Count)
+	h.sum.Add(hs.Sum)
+}
+
 func cloneHistogramSnapshot(h HistogramSnapshot) HistogramSnapshot {
 	return HistogramSnapshot{
 		Bounds:  append([]int64(nil), h.Bounds...),

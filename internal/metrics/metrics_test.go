@@ -194,3 +194,47 @@ func TestConcurrentUse(t *testing.T) {
 		t.Errorf("histogram count = %d, want 8000", s.Histograms["h"].Count)
 	}
 }
+
+func TestRegistryMergeSnapshot(t *testing.T) {
+	sub := New()
+	sub.Counter("core.probes.sent").Add(10)
+	sub.Histogram("rtt", []int64{5, 10}).Observe(3)
+	sub.Histogram("rtt", []int64{5, 10}).Observe(7)
+
+	svc := New()
+	svc.Counter("campaigns.core.probes.sent").Add(2)
+	svc.MergeSnapshot("campaigns", sub.Snapshot())
+	svc.MergeSnapshot("campaigns", sub.Snapshot())
+
+	snap := svc.Snapshot()
+	if got := snap.Counter("campaigns.core.probes.sent"); got != 22 {
+		t.Errorf("merged counter = %d, want 22", got)
+	}
+	h := snap.Histograms["campaigns.rtt"]
+	if h.Count != 4 || h.Sum != 20 {
+		t.Errorf("merged histogram = count %d sum %d, want 4/20", h.Count, h.Sum)
+	}
+	if h.Buckets[0] != 2 || h.Buckets[1] != 2 {
+		t.Errorf("merged buckets = %v", h.Buckets)
+	}
+
+	// Unlabeled merge keeps names as-is.
+	plain := New()
+	plain.MergeSnapshot("", sub.Snapshot())
+	if got := plain.Snapshot().Counter("core.probes.sent"); got != 10 {
+		t.Errorf("unlabeled merge counter = %d, want 10", got)
+	}
+
+	// Mismatched layouts: extra snapshot buckets fold into overflow.
+	narrow := New()
+	narrow.Histogram("rtt", []int64{5}).Observe(1)
+	narrow.MergeSnapshot("", sub.Snapshot())
+	nh := narrow.Snapshot().Histograms["rtt"]
+	if nh.Count != 3 || nh.Buckets[0] != 2 || nh.Buckets[1] != 1 {
+		t.Errorf("narrow merge = %+v", nh)
+	}
+
+	// Nil registry ignores the merge.
+	var nilReg *Registry
+	nilReg.MergeSnapshot("x", sub.Snapshot())
+}

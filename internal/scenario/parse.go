@@ -83,13 +83,15 @@ func ParseString(text string) (*Scenario, error) {
 type parser struct {
 	s      *Scenario
 	lineNo int
-	// block is "" at top level, "platform" or "workload" inside a stanza.
+	// block is "" at top level, "platform", "workload" or "campaign"
+	// inside a stanza.
 	block     string
 	blockLine int
 	keys      map[string]bool // keys seen in the current stanza
 	dirs      map[string]bool // $ directives seen
 	plat      *PlatformDef
 	work      *WorkloadDef
+	camp      *CampaignDef
 }
 
 // stripComment removes a ';' comment.
@@ -130,8 +132,19 @@ func (p *parser) line(raw string) error {
 		p.s.Workloads = append(p.s.Workloads, WorkloadDef{Kind: Kind(fields[1])})
 		p.work = &p.s.Workloads[len(p.s.Workloads)-1]
 		return nil
+	case key == "campaign":
+		if len(fields) != 2 || fields[1] != "(" {
+			return fmt.Errorf("%w: want 'campaign ('", ErrParse)
+		}
+		if p.s.Campaign != nil {
+			return fmt.Errorf("%w: duplicate campaign stanza", ErrParse)
+		}
+		p.openBlock("campaign")
+		p.s.Campaign = &CampaignDef{}
+		p.camp = p.s.Campaign
+		return nil
 	default:
-		return fmt.Errorf("%w: unexpected %q at top level (want a $ directive, 'platform' or 'workload')", ErrParse, key)
+		return fmt.Errorf("%w: unexpected %q at top level (want a $ directive, 'platform', 'workload' or 'campaign')", ErrParse, key)
 	}
 }
 
@@ -179,7 +192,7 @@ func (p *parser) stanzaLine(fields []string) error {
 		if len(fields) != 1 {
 			return fmt.Errorf("%w: ')' must stand alone", ErrParse)
 		}
-		p.block, p.plat, p.work = "", nil, nil
+		p.block, p.plat, p.work, p.camp = "", nil, nil, nil
 		return nil
 	}
 	key := fields[0]
@@ -188,10 +201,76 @@ func (p *parser) stanzaLine(fields []string) error {
 	}
 	p.keys[key] = true
 	args := fields[1:]
-	if p.block == "platform" {
+	switch p.block {
+	case "platform":
 		return p.platformKey(key, args)
+	case "campaign":
+		return p.campaignKey(key, args)
+	default:
+		return p.workloadKey(key, args)
 	}
-	return p.workloadKey(key, args)
+}
+
+// campaignKey parses one campaign-stanza setting.
+func (p *parser) campaignKey(key string, args []string) error {
+	one := func() (string, error) {
+		if len(args) != 1 {
+			return "", fmt.Errorf("%w: %s wants exactly one value", ErrParse, key)
+		}
+		return args[0], nil
+	}
+	switch key {
+	case "ticks", "max-concurrent", "retries":
+		v, err := one()
+		if err != nil {
+			return err
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return fmt.Errorf("%w: %s wants a non-negative integer, have %q", ErrParse, key, v)
+		}
+		switch key {
+		case "ticks":
+			p.camp.Ticks = n
+		case "max-concurrent":
+			p.camp.MaxConcurrent = n
+		case "retries":
+			p.camp.Retries = n
+		}
+	case "interval":
+		v, err := one()
+		if err != nil {
+			return err
+		}
+		d, err := parseDuration(v)
+		if err != nil {
+			return fmt.Errorf("%w: interval: %w", ErrParse, err)
+		}
+		p.camp.Interval = d
+	case "rate":
+		if len(args) < 1 || len(args) > 2 {
+			return fmt.Errorf("%w: rate wants '<runs-per-second> [burst=<n>]'", ErrParse)
+		}
+		f, err := strconv.ParseFloat(args[0], 64)
+		if err != nil || f < 0 {
+			return fmt.Errorf("%w: rate %q: want a non-negative float", ErrParse, args[0])
+		}
+		p.camp.Rate = f
+		if len(args) == 2 {
+			bv, ok := strings.CutPrefix(args[1], "burst=")
+			if !ok {
+				return fmt.Errorf("%w: rate term %q: want burst=<n>", ErrParse, args[1])
+			}
+			n, err := strconv.Atoi(bv)
+			if err != nil || n < 0 {
+				return fmt.Errorf("%w: rate burst %q: want a non-negative integer", ErrParse, bv)
+			}
+			p.camp.Burst = n
+		}
+	default:
+		return fmt.Errorf("%w: unknown campaign key %q", ErrParse, key)
+	}
+	return nil
 }
 
 func (p *parser) platformKey(key string, args []string) error {

@@ -139,6 +139,18 @@ func TestParseErrors(t *testing.T) {
 		{"compensated value", "$SCENARIO x\nplatform p (\n)\nworkload direct (\ncompensated yes\n)\n", "takes no value"},
 		{"clients on direct", "$SCENARIO x\nplatform p (\n)\nworkload direct (\nclients 4\n)\n", "only valid for kind adnet"},
 		{"bad name", "$SCENARIO Nope!\nplatform p (\n)\nworkload direct (\n)\n", "bad name"},
+		{"campaign open", "$SCENARIO x\ncampaign extra (\n", "want 'campaign ('"},
+		{"dup campaign", "$SCENARIO x\ncampaign (\n)\ncampaign (\n)\nplatform p (\n)\nworkload direct (\n)\n", "duplicate campaign stanza"},
+		{"unknown campaign key", "$SCENARIO x\ncampaign (\ncadence 5\n)\n", "unknown campaign key"},
+		{"bad ticks", "$SCENARIO x\ncampaign (\nticks lots\n)\n", "non-negative integer"},
+		{"ticks range", "$SCENARIO x\ncampaign (\nticks 2000000\n)\nplatform p (\n)\nworkload direct (\n)\n", "out of range"},
+		{"concurrent range", "$SCENARIO x\ncampaign (\nmax-concurrent 100\n)\nplatform p (\n)\nworkload direct (\n)\n", "out of range"},
+		{"retries range", "$SCENARIO x\ncampaign (\nretries 99\n)\nplatform p (\n)\nworkload direct (\n)\n", "out of range"},
+		{"bad interval", "$SCENARIO x\ncampaign (\ninterval soon\n)\n", "bad duration"},
+		{"bad rate", "$SCENARIO x\ncampaign (\nrate fast\n)\n", "non-negative float"},
+		{"bad burst", "$SCENARIO x\ncampaign (\nrate 5 burst=-1\n)\n", "non-negative integer"},
+		{"burst term", "$SCENARIO x\ncampaign (\nrate 5 depth=2\n)\n", "want burst=<n>"},
+		{"burst without rate", "$SCENARIO x\ncampaign (\nrate 0 burst=4\n)\nplatform p (\n)\nworkload direct (\n)\n", "burst without rate"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -153,6 +165,60 @@ func TestParseErrors(t *testing.T) {
 				t.Errorf("error %q does not contain %q", err, tc.want)
 			}
 		})
+	}
+}
+
+func TestParseCampaignHeader(t *testing.T) {
+	sc, err := ParseString(`$SCENARIO standing
+campaign (
+    ticks          12
+    interval       250ms
+    max-concurrent 3
+    retries        2
+    rate           40 burst=4
+)
+platform p (
+)
+workload direct (
+)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sc.Campaign
+	if c == nil {
+		t.Fatal("Campaign = nil")
+	}
+	if c.Ticks != 12 || c.Interval != 250*time.Millisecond || c.MaxConcurrent != 3 ||
+		c.Retries != 2 || c.Rate != 40 || c.Burst != 4 {
+		t.Errorf("campaign header = %+v", *c)
+	}
+	// Round trip through Format preserves the header.
+	sc2, err := ParseString(sc.Format())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sc.Format())
+	}
+	if *sc2.Campaign != *c {
+		t.Errorf("round trip = %+v, want %+v", *sc2.Campaign, *c)
+	}
+}
+
+func TestParseCampaignDefaults(t *testing.T) {
+	sc, err := ParseString("$SCENARIO d\ncampaign (\n)\nplatform p (\n)\nworkload direct (\n)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sc.Campaign
+	if c.Ticks != 1 || c.MaxConcurrent != 1 || c.Retries != 0 || c.Rate != 0 || c.Burst != 0 {
+		t.Errorf("campaign defaults = %+v", *c)
+	}
+	// A one-shot scenario stays campaign-free.
+	plain, err := ParseString(minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Campaign != nil {
+		t.Errorf("minimal scenario grew a campaign header: %+v", *plain.Campaign)
 	}
 }
 

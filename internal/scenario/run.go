@@ -114,6 +114,24 @@ type workloadOut struct {
 type trialOut struct {
 	workloads []workloadOut
 	cost      Cost
+	metrics   metrics.Snapshot
+}
+
+// TrialWorkload is one workload's outcome within one trial, as exposed
+// to detail consumers (the campaign engine's per-trial result rows).
+type TrialWorkload struct {
+	Caches      int
+	ProbesSent  int64
+	ProbeErrors int64
+}
+
+// TrialDetail is one trial's full outcome: per-workload measurements,
+// the cost roll-up, and the trial's raw accounting snapshot for callers
+// that merge registries across runs.
+type TrialDetail struct {
+	Workloads []TrialWorkload
+	Cost      Cost
+	Metrics   metrics.Snapshot
 }
 
 // Run executes the scenario: s.Trials independent trials, each building
@@ -122,15 +140,24 @@ type trialOut struct {
 // The report aggregates per-workload outcomes and cost accounting in
 // trial order and is byte-identical at any opts.Workers value.
 func Run(ctx context.Context, s *Scenario, opts RunOptions) (*Report, error) {
+	report, _, err := RunDetailed(ctx, s, opts)
+	return report, err
+}
+
+// RunDetailed is Run plus the per-trial outcomes, in trial order. The
+// report is identical to Run's; the detail slice exposes what each trial
+// measured (and its accounting snapshot) without touching the canonical
+// report shape the goldens lock.
+func RunDetailed(ctx context.Context, s *Scenario, opts RunOptions) (*Report, []TrialDetail, error) {
 	if err := s.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	trials, err := detpar.Map(ctx, s.Seed, s.Trials, opts.Workers,
 		func(i int, rng *rand.Rand) (trialOut, error) {
 			return s.runTrial(ctx, rng.Int63(), opts.Shards)
 		})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	report := &Report{Scenario: s.Name, Seed: s.Seed, Trials: s.Trials}
@@ -167,6 +194,7 @@ func Run(ctx context.Context, s *Scenario, opts RunOptions) (*Report, error) {
 		wr.MeanCaches = round4(float64(sum) / float64(s.Trials))
 		report.Workloads = append(report.Workloads, wr)
 	}
+	details := make([]TrialDetail, 0, len(trials))
 	for _, tr := range trials {
 		report.Cost.Probes += tr.cost.Probes
 		report.Cost.ProbeErrors += tr.cost.ProbeErrors
@@ -174,8 +202,17 @@ func Run(ctx context.Context, s *Scenario, opts RunOptions) (*Report, error) {
 		report.Cost.PacketsLost += tr.cost.PacketsLost
 		report.Cost.Retries += tr.cost.Retries
 		report.Cost.FaultsInjected += tr.cost.FaultsInjected
+		d := TrialDetail{Cost: tr.cost, Metrics: tr.metrics}
+		for _, out := range tr.workloads {
+			d.Workloads = append(d.Workloads, TrialWorkload{
+				Caches:      out.caches,
+				ProbesSent:  out.probesSent,
+				ProbeErrors: out.probeErrors,
+			})
+		}
+		details = append(details, d)
 	}
-	return report, nil
+	return report, details, nil
 }
 
 // round4 rounds to 4 decimals so the canonical JSON never encodes
@@ -225,7 +262,15 @@ func (s *Scenario) runTrial(ctx context.Context, seed int64, shards int) (trialO
 		return trialOut{}, err
 	}
 	snap := reg.Snapshot()
-	out.cost = Cost{
+	out.cost = CostFromSnapshot(snap)
+	out.metrics = snap
+	return out, nil
+}
+
+// CostFromSnapshot derives the cost roll-up from an accounting snapshot;
+// the scenario runner and the campaign progress API share this mapping.
+func CostFromSnapshot(snap metrics.Snapshot) Cost {
+	return Cost{
 		Probes:      snap.Counter("core.probes.sent"),
 		ProbeErrors: snap.Counter("core.probes.errors"),
 		Packets:     snap.Total("netsim.packets.sent") + snap.Total("netsim.packets.recvd"),
@@ -238,7 +283,6 @@ func (s *Scenario) runTrial(ctx context.Context, seed int64, shards int) (trialO
 			snap.Counter("netsim.faults.late") +
 			snap.Counter("netsim.faults.outage"),
 	}
-	return out, nil
 }
 
 // runWorkload executes one workload against its target platform.

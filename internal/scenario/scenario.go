@@ -35,6 +35,16 @@ const (
 	MaxWorkloads = 16
 )
 
+// Campaign header limits: a standing campaign schedules at most MaxTicks
+// runs, fans at most MaxConcurrentRuns of them out at once, and retries
+// each failed run at most MaxRunRetries times.
+const (
+	MaxTicks          = 100000
+	MaxConcurrentRuns = 64
+	MaxRunRetries     = 16
+	MaxRateBurst      = 1024
+)
+
 // Kind names a probing technique. It is a closed enum: the exhaustive
 // analyzer makes every switch over Kind account for all members, so
 // adding a kind here surfaces every dispatch site that must learn about
@@ -78,6 +88,68 @@ type Scenario struct {
 	Platforms []PlatformDef
 	// Workloads in declaration order, executed sequentially per trial.
 	Workloads []WorkloadDef
+	// Campaign is the optional schedule/budget header turning the
+	// scenario into a standing measurement campaign (internal/campaign).
+	// One-shot runners (cdebench, cdescan) ignore it; nil means the
+	// scenario was written for one-shot execution.
+	Campaign *CampaignDef
+}
+
+// CampaignDef is the campaign header: how a scenario is scheduled and
+// budgeted when submitted to the campaign engine as a standing
+// measurement. Every field is about *execution* of repeated runs —
+// nothing in it changes what a single run measures, so the same file
+// works under cdebench and the engine alike.
+type CampaignDef struct {
+	// Ticks is the number of scheduled runs (default 1).
+	Ticks int
+	// Interval is the wall-clock spacing between run launches; 0 launches
+	// back-to-back.
+	Interval time.Duration
+	// MaxConcurrent bounds the runs in flight at once (default 1).
+	MaxConcurrent int
+	// Retries is the per-run retry budget: a failed run is re-executed up
+	// to this many extra times before counting as failed.
+	Retries int
+	// Rate is a token-bucket budget on run launches per second; 0 means
+	// unlimited. Burst is the bucket depth (default 1 when Rate > 0).
+	Rate  float64
+	Burst int
+}
+
+// validate normalises the campaign header.
+func (c *CampaignDef) validate() error {
+	if c.Ticks == 0 {
+		c.Ticks = 1
+	}
+	if c.Ticks < 1 || c.Ticks > MaxTicks {
+		return fmt.Errorf("scenario: campaign: ticks %d out of range [1,%d]", c.Ticks, MaxTicks)
+	}
+	if c.Interval < 0 {
+		return fmt.Errorf("scenario: campaign: negative interval")
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 1
+	}
+	if c.MaxConcurrent < 1 || c.MaxConcurrent > MaxConcurrentRuns {
+		return fmt.Errorf("scenario: campaign: max-concurrent %d out of range [1,%d]", c.MaxConcurrent, MaxConcurrentRuns)
+	}
+	if c.Retries < 0 || c.Retries > MaxRunRetries {
+		return fmt.Errorf("scenario: campaign: retries %d out of range [0,%d]", c.Retries, MaxRunRetries)
+	}
+	if c.Rate < 0 {
+		return fmt.Errorf("scenario: campaign: negative rate")
+	}
+	if c.Burst == 0 && c.Rate > 0 {
+		c.Burst = 1
+	}
+	if c.Burst < 0 || c.Burst > MaxRateBurst {
+		return fmt.Errorf("scenario: campaign: burst %d out of range [0,%d]", c.Burst, MaxRateBurst)
+	}
+	if c.Burst > 0 && c.Rate == 0 {
+		return fmt.Errorf("scenario: campaign: burst without rate")
+	}
+	return nil
 }
 
 // PlatformDef describes one resolution platform stanza.
@@ -159,6 +231,11 @@ func (s *Scenario) Validate() error {
 	}
 	if len(s.Workloads) > MaxWorkloads {
 		return fmt.Errorf("scenario: %d workloads exceed the limit of %d", len(s.Workloads), MaxWorkloads)
+	}
+	if s.Campaign != nil {
+		if err := s.Campaign.validate(); err != nil {
+			return err
+		}
 	}
 	seen := map[string]bool{}
 	for i := range s.Platforms {
@@ -290,6 +367,21 @@ func (w *WorkloadDef) validate(platforms []PlatformDef) error {
 func (s *Scenario) Format() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "$SCENARIO %s\n$SEED %d\n$TRIALS %d\n", s.Name, s.Seed, s.Trials)
+	if c := s.Campaign; c != nil {
+		sb.WriteString("\ncampaign (\n")
+		fmt.Fprintf(&sb, "    ticks %d\n", c.Ticks)
+		if c.Interval > 0 {
+			fmt.Fprintf(&sb, "    interval %s\n", c.Interval)
+		}
+		fmt.Fprintf(&sb, "    max-concurrent %d\n", c.MaxConcurrent)
+		if c.Retries > 0 {
+			fmt.Fprintf(&sb, "    retries %d\n", c.Retries)
+		}
+		if c.Rate > 0 {
+			fmt.Fprintf(&sb, "    rate %g burst=%d\n", c.Rate, c.Burst)
+		}
+		sb.WriteString(")\n")
+	}
 	for _, p := range s.Platforms {
 		fmt.Fprintf(&sb, "\nplatform %s (\n", p.Name)
 		fmt.Fprintf(&sb, "    caches %d\n    ingress %d\n    egress %d\n", p.Caches, p.Ingress, p.Egress)
