@@ -1,0 +1,335 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"dnscde/internal/dnscache"
+	"dnscde/internal/dnswire"
+	"dnscde/internal/metrics"
+	"dnscde/internal/netsim"
+	"dnscde/internal/scenario"
+	"dnscde/internal/simtest"
+	"dnscde/internal/worldstate"
+)
+
+// This file hosts the two checkpoint-centric experiments that sit
+// outside the experiments registry (like -exp scenario): `bisect`, the
+// divergence bisection harness, and `checkpoint`, the codec benchmark
+// CI tracks in bench-checkpoint.json. Wall-clock reads are fine here:
+// both experiments measure the host, not the simulation.
+
+// bisectJSON is one scenario's bisection verdict in -json form.
+type bisectJSON struct {
+	Scenario string `json:"scenario"`
+	// Barriers is the number of candidate snapshot barriers (0..W for W
+	// workloads); ShardsA/ShardsB are the two schedulers compared.
+	Barriers int `json:"barriers"`
+	ShardsA  int `json:"shards_a"`
+	ShardsB  int `json:"shards_b"`
+	// Probes counts CheckpointTrial invocations the search spent.
+	Probes   int    `json:"probes"`
+	Diverged bool   `json:"diverged"`
+	FirstBad int    `json:"first_divergent_barrier"`
+	Diff     string `json:"diff,omitempty"`
+}
+
+// runBisect sweeps the scenario corpus, comparing trial-0 snapshot
+// bytes between two shard counts and binary-searching the first
+// workload barrier where they diverge. With the current codebase every
+// scenario must report "no divergence" — the harness exists for the day
+// a scheduler change breaks shard invariance, when it localizes the
+// breakage to one workload instead of one final report. Divergence is
+// assumed persistent (state deltas keep accruing), which is what makes
+// bisection sound. A positive control (a deliberately perturbed image)
+// proves the comparator can see divergence at all.
+func runBisect(ctx context.Context, dir string, shards int, asJSON bool) int {
+	shardsA, shardsB := 1, shards
+	if shardsB <= 1 {
+		shardsB = 4
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.scn"))
+	if err != nil || len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "cdebench: bisect: no *.scn files in %s\n", dir)
+		return 1
+	}
+	sort.Strings(paths)
+	enc := json.NewEncoder(os.Stdout)
+	failed := 0
+	for _, path := range paths {
+		sc, err := scenario.LoadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdebench: bisect: %v\n", err)
+			return 1
+		}
+		res, err := bisectScenario(ctx, sc, shardsA, shardsB)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cdebench: bisect %s: %v\n", sc.Name, err)
+			return 1
+		}
+		if res.Diverged {
+			failed++
+		}
+		if asJSON {
+			if err := enc.Encode(res); err != nil {
+				fmt.Fprintf(os.Stderr, "cdebench: encoding %s: %v\n", sc.Name, err)
+				return 1
+			}
+			continue
+		}
+		if res.Diverged {
+			fmt.Printf("%-24s DIVERGED at barrier %d (shards %d vs %d, %d probes)\n%s\n",
+				res.Scenario, res.FirstBad, res.ShardsA, res.ShardsB, res.Probes, res.Diff)
+		} else {
+			fmt.Printf("%-24s identical at all %d barriers (shards %d vs %d, %d probes)\n",
+				res.Scenario, res.Barriers, res.ShardsA, res.ShardsB, res.Probes)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "cdebench: %d scenario(s) diverge between shard counts\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// bisectScenario locates the first divergent barrier for one scenario.
+func bisectScenario(ctx context.Context, sc *scenario.Scenario, shardsA, shardsB int) (bisectJSON, error) {
+	res := bisectJSON{
+		Scenario: sc.Name,
+		Barriers: len(sc.Workloads) + 1,
+		ShardsA:  shardsA,
+		ShardsB:  shardsB,
+		FirstBad: -1,
+	}
+	snaps := func(barrier int) ([]byte, []byte, error) {
+		a, err := scenario.CheckpointTrial(ctx, sc, 0, barrier, shardsA)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := scenario.CheckpointTrial(ctx, sc, 0, barrier, shardsB)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Probes += 2
+		return a, b, nil
+	}
+
+	// Positive control first: a perturbed image must read as divergent,
+	// or a "no divergence" verdict below means nothing.
+	ctrl, err := scenario.CheckpointTrial(ctx, sc, 0, 0, shardsA)
+	if err != nil {
+		return res, err
+	}
+	res.Probes++
+	img, err := worldstate.Decode(ctrl)
+	if err != nil {
+		return res, err
+	}
+	img.Meta.SessionCursor++
+	mutated, err := worldstate.Encode(img)
+	if err != nil {
+		return res, err
+	}
+	if bytes.Equal(ctrl, mutated) {
+		return res, fmt.Errorf("positive control failed: perturbed image re-encoded identically")
+	}
+
+	// Divergence persists once introduced, so the final barrier decides
+	// whether there is anything to bisect.
+	last := len(sc.Workloads)
+	a, b, err := snaps(last)
+	if err != nil {
+		return res, err
+	}
+	if bytes.Equal(a, b) {
+		return res, nil
+	}
+	res.Diverged = true
+	lo, hi := 0, last // invariant: barrier hi diverges
+	for lo < hi {
+		mid := (lo + hi) / 2
+		a, b, err = snaps(mid)
+		if err != nil {
+			return res, err
+		}
+		if bytes.Equal(a, b) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	res.FirstBad = lo
+	a, b, err = snaps(lo)
+	if err != nil {
+		return res, err
+	}
+	ia, errA := worldstate.Decode(a)
+	ib, errB := worldstate.Decode(b)
+	if errA != nil || errB != nil {
+		res.Diff = "snapshot bytes differ (undecodable for field diff)"
+	} else {
+		res.Diff = worldstate.Diff(ia, ib)
+	}
+	return res, nil
+}
+
+// checkpointBenchJSON is the codec benchmark record: `cdebench -exp
+// checkpoint -json | tee bench-checkpoint.json` is the artifact CI
+// uploads alongside bench-wall.json.
+type checkpointBenchJSON struct {
+	Clients int   `json:"clients"`
+	Caches  int   `json:"caches"`
+	Shards  int   `json:"shards"`
+	Seed    int64 `json:"seed"`
+	// Entries is the cache-item population actually installed
+	// (Clients spread round-robin over Caches).
+	Entries       int     `json:"entries"`
+	SnapshotBytes int     `json:"snapshot_bytes"`
+	CaptureMS     float64 `json:"capture_ms"`
+	EncodeMS      float64 `json:"encode_ms"`
+	DecodeMS      float64 `json:"decode_ms"`
+	RestoreMS     float64 `json:"restore_ms"`
+	// RoundTrip is true when the restored world's re-encoded snapshot is
+	// byte-identical to the original — the correctness gate on the
+	// numbers above.
+	RoundTrip bool `json:"round_trip"`
+}
+
+// runCheckpointBench measures the worldstate codec on a large world:
+// a platform with -caches caches holding -clients entries is captured,
+// encoded, decoded and restored into a fresh world, and the restored
+// world must re-encode byte-identically.
+func runCheckpointBench(clients, caches int, seed int64, shards int, asJSON bool) int {
+	res, err := checkpointBench(clients, caches, seed, shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdebench: checkpoint: %v\n", err)
+		return 1
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "cdebench: checkpoint: %v\n", err)
+			return 1
+		}
+	} else {
+		fmt.Printf("checkpoint codec: %d entries across %d caches (shards %d)\n", res.Entries, res.Caches, res.Shards)
+		fmt.Printf("  snapshot size:  %d bytes\n", res.SnapshotBytes)
+		fmt.Printf("  capture %.1fms  encode %.1fms  decode %.1fms  restore %.1fms\n",
+			res.CaptureMS, res.EncodeMS, res.DecodeMS, res.RestoreMS)
+		fmt.Printf("  round trip:     byte-identical = %v\n", res.RoundTrip)
+	}
+	if !res.RoundTrip {
+		fmt.Fprintf(os.Stderr, "cdebench: checkpoint: restored world re-encoded differently\n")
+		return 1
+	}
+	return 0
+}
+
+// benchWorld builds the benchmark world: one platform with the given
+// cache count, entries installed directly through the checkpoint API
+// (the codec under test does not care how entries got there, and direct
+// installation keeps a 100K-entry bench in CI budget).
+func benchWorld(clients, caches int, seed int64, shards int) (*simtest.World, error) {
+	w, err := simtest.New(simtest.Options{Seed: seed, Metrics: metrics.New(), Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	plat, err := w.NewPlatform(simtest.PlatformSpec{
+		Name: "bench", Caches: caches, Ingress: 2, Egress: 4, Seed: seed,
+		Profile: netsim.LinkProfile{OneWay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		return nil, err
+	}
+	handles := plat.Caches()
+	stored := w.Clock.Now()
+	items := make([][]dnscache.ItemState, len(handles))
+	for i := 0; i < clients; i++ {
+		name := fmt.Sprintf("q%07d.bench.example.", i)
+		addr := netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+		c := i % len(handles)
+		items[c] = append(items[c], dnscache.ItemState{
+			Key: name + "|IN|A",
+			Entry: dnscache.Entry{
+				Records: []dnswire.RR{{
+					Name: name, Class: dnswire.ClassIN, TTL: 300,
+					Data: dnswire.ARecord{Addr: addr},
+				}},
+			},
+			Stored:  stored,
+			Expires: stored.Add(300 * time.Second),
+		})
+	}
+	for c, h := range handles {
+		h.RestoreItems(items[c])
+	}
+	return w, nil
+}
+
+// checkpointBench runs the four measured phases.
+func checkpointBench(clients, caches int, seed int64, shards int) (checkpointBenchJSON, error) {
+	res := checkpointBenchJSON{
+		Clients: clients, Caches: caches, Shards: shards, Seed: seed, Entries: clients,
+	}
+	w, err := benchWorld(clients, caches, seed, shards)
+	if err != nil {
+		return res, err
+	}
+
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	//cdelint:allow walltime the codec benchmark measures host time by design
+	start := time.Now()
+	img, err := w.Snapshot(nil)
+	if err != nil {
+		return res, err
+	}
+	res.CaptureMS = ms(time.Since(start))
+
+	//cdelint:allow walltime the codec benchmark measures host time by design
+	start = time.Now()
+	buf, err := worldstate.Encode(img)
+	if err != nil {
+		return res, err
+	}
+	res.EncodeMS = ms(time.Since(start))
+	res.SnapshotBytes = len(buf)
+
+	//cdelint:allow walltime the codec benchmark measures host time by design
+	start = time.Now()
+	decoded, err := worldstate.Decode(buf)
+	if err != nil {
+		return res, err
+	}
+	res.DecodeMS = ms(time.Since(start))
+
+	// Restore targets a fresh world built the same way but unpopulated —
+	// restore replaces cache contents wholesale.
+	w2, err := benchWorld(0, caches, seed, shards)
+	if err != nil {
+		return res, err
+	}
+	//cdelint:allow walltime the codec benchmark measures host time by design
+	start = time.Now()
+	if err := w2.Restore(decoded); err != nil {
+		return res, err
+	}
+	res.RestoreMS = ms(time.Since(start))
+
+	img2, err := w2.Snapshot(nil)
+	if err != nil {
+		return res, err
+	}
+	buf2, err := worldstate.Encode(img2)
+	if err != nil {
+		return res, err
+	}
+	res.RoundTrip = bytes.Equal(buf, buf2)
+	return res, nil
+}

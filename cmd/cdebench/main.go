@@ -73,12 +73,12 @@ func run(args []string, clk clock.Clock) int {
 		verbose = fs.Bool("v", false, "with -json, include the rendered text in each object")
 		workers = fs.Int("workers", 0, "trial-loop worker count (0 = GOMAXPROCS); reports are byte-identical at any value")
 		shards  = fs.Int("shards", 1, "event-loop lane count for the sharded simulation scheduler; reports are byte-identical at any value >= 1")
-		clients = fs.Int("clients", 1_000_000, "with -exp scale: stub-client population")
-		caches  = fs.Int("caches", 10_000, "with -exp scale: simulated cache population")
+		clients = fs.Int("clients", 1_000_000, "with -exp scale: stub clients; with -exp checkpoint: cache entries")
+		caches  = fs.Int("caches", 10_000, "with -exp scale or checkpoint: simulated cache population")
 		faults  = fs.String("faults", "", "fault profile injected into every platform link, e.g. 'burst=0.11:4,servfail=0.02' (see the faults experiment)")
 
 		scenarios = fs.String("scenarios", "internal/scenario/testdata/scenarios",
-			"with -exp scenario: directory holding the *.scn corpus and its golden/ reports")
+			"with -exp scenario or bisect: directory holding the *.scn corpus and its golden/ reports")
 		update = fs.Bool("update", false, "with -exp scenario: regenerate the golden reports instead of diffing")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -112,6 +112,12 @@ func run(args []string, clk clock.Clock) int {
 
 	if *exp == "scenario" {
 		return runScenarioConformance(context.Background(), *scenarios, *update, *asJSON)
+	}
+	if *exp == "bisect" {
+		return runBisect(context.Background(), *scenarios, *shards, *asJSON)
+	}
+	if *exp == "checkpoint" {
+		return runCheckpointBench(*clients, *caches, *seed, *shards, *asJSON)
 	}
 
 	cfg := experiments.Config{

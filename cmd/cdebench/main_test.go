@@ -112,3 +112,37 @@ func TestRunScenarioUpdateWritesGolden(t *testing.T) {
 		t.Errorf("verify after -update exit = %d", code)
 	}
 }
+
+func TestRunBisectCorpusInvariant(t *testing.T) {
+	if code := run([]string{"-exp", "bisect", "-scenarios", scenarioCorpus}, clock.NewVirtual()); code != 0 {
+		t.Errorf("-exp bisect exit = %d, want 0", code)
+	}
+}
+
+func TestRunBisectMissingDir(t *testing.T) {
+	if code := run([]string{"-exp", "bisect", "-scenarios", t.TempDir()}, clock.NewVirtual()); code != 1 {
+		t.Errorf("-exp bisect on empty dir exit = %d, want 1", code)
+	}
+}
+
+func TestRunCheckpointExp(t *testing.T) {
+	if code := run([]string{"-exp", "checkpoint", "-clients", "500", "-caches", "8", "-json"}, clock.NewVirtual()); code != 0 {
+		t.Errorf("-exp checkpoint exit = %d, want 0", code)
+	}
+}
+
+// TestCheckpointBenchRoundTrip pins the benchmark's correctness gate:
+// the restored world re-encodes byte-identically, at a small population
+// and on a sharded scheduler.
+func TestCheckpointBenchRoundTrip(t *testing.T) {
+	res, err := checkpointBench(500, 8, 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RoundTrip {
+		t.Error("restored world re-encoded differently")
+	}
+	if res.Entries != 500 || res.SnapshotBytes == 0 {
+		t.Errorf("bench record looks wrong: %+v", res)
+	}
+}

@@ -16,6 +16,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -59,6 +60,8 @@ func run(args []string, out io.Writer) int {
 		workers   = fs.Int("workers", 0, "sim mode: worker count for -scans > 1 (0 = GOMAXPROCS); output is byte-identical at any value")
 		shards    = fs.Int("shards", 1, "sim mode: event-loop lane count for the sharded simulation scheduler; output is byte-identical at any value >= 1")
 		scnFile   = fs.String("scenario", "", "sim mode: run a declarative scenario file (*.scn) instead of the flag-built platform; prints the canonical report")
+		ckptOut   = fs.String("checkpoint", "", "sim mode with -scenario: run trial 0 to its midpoint barrier and write the world snapshot to this file")
+		ckptIn    = fs.String("restore-from", "", "sim mode with -scenario: restore a snapshot written by -checkpoint and finish the trial, printing its outcome as JSON")
 
 		target = fs.String("target", "", "udp mode: resolver address ip:port")
 		name   = fs.String("name", "", "udp mode: name to probe")
@@ -79,6 +82,11 @@ func run(args []string, out io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	if (*ckptOut != "" || *ckptIn != "") && *scnFile == "" {
+		fmt.Fprintf(os.Stderr, "cdescan: -checkpoint and -restore-from require -scenario\n")
+		fs.Usage()
+		return 2
+	}
 	switch *mode {
 	case "sim":
 		if *scnFile != "" {
@@ -87,8 +95,17 @@ func run(args []string, out io.Writer) int {
 				fmt.Fprintf(os.Stderr, "cdescan: %v\n", err)
 				return 2
 			}
-			if err := runScenario(out, sc, *workers, *shards); err != nil {
-				fmt.Fprintf(os.Stderr, "cdescan: %v\n", err)
+			var runErr error
+			switch {
+			case *ckptOut != "":
+				runErr = writeCheckpoint(out, sc, *ckptOut, *shards)
+			case *ckptIn != "":
+				runErr = restoreCheckpoint(out, sc, *ckptIn, *shards)
+			default:
+				runErr = runScenario(out, sc, *workers, *shards)
+			}
+			if runErr != nil {
+				fmt.Fprintf(os.Stderr, "cdescan: %v\n", runErr)
 				return 1
 			}
 			return 0
@@ -122,6 +139,48 @@ func runScenario(out io.Writer, sc *scenario.Scenario, workers, shards int) erro
 		return err
 	}
 	_, err = out.Write(b)
+	return err
+}
+
+// writeCheckpoint runs the scenario's first trial up to its midpoint
+// workload barrier and writes the frozen world snapshot to path. The
+// snapshot is self-describing: -restore-from needs only the same
+// scenario file to finish the trial.
+func writeCheckpoint(out io.Writer, sc *scenario.Scenario, path string, shards int) error {
+	barrier := sc.MidpointBarrier()
+	snap, err := scenario.CheckpointTrial(context.Background(), sc, 0, barrier, shards)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, snap, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "checkpoint: scenario %s trial 0 frozen at workload barrier %d/%d (%d bytes) -> %s\n",
+		sc.Name, barrier, len(sc.Workloads), len(snap), path)
+	return nil
+}
+
+// restoreCheckpoint thaws a snapshot written by -checkpoint, runs the
+// remaining workloads and prints the finished trial as JSON — the same
+// detail a straight-through run of that trial would report.
+func restoreCheckpoint(out io.Writer, sc *scenario.Scenario, path string, shards int) error {
+	snap, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	detail, trial, err := scenario.ResumeTrial(context.Background(), sc, snap, shards)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(struct {
+		Scenario string
+		Trial    int
+		Detail   scenario.TrialDetail
+	}{sc.Name, trial, detail}, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(out, "%s\n", b)
 	return err
 }
 

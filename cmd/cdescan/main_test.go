@@ -163,3 +163,46 @@ func TestRunScenarioBadGrammar(t *testing.T) {
 		t.Errorf("invalid scenario grammar exit = %d, want 2", code)
 	}
 }
+
+// TestRunCheckpointRestoreFlags drives the -checkpoint / -restore-from
+// pair end to end: freeze trial 0 of a scenario at its midpoint, thaw it
+// in a second invocation, and the finished trial must print. A snapshot
+// thawed under a different scenario must be rejected.
+func TestRunCheckpointRestoreFlags(t *testing.T) {
+	const scn = "../../internal/scenario/testdata/scenarios/open-resolver-4.scn"
+	snap := t.TempDir() + "/trial0.snap"
+
+	var a strings.Builder
+	if code := run([]string{"-scenario", scn, "-checkpoint", snap}, &a); code != 0 {
+		t.Fatalf("-checkpoint exit = %d\n%s", code, a.String())
+	}
+	if !strings.Contains(a.String(), "checkpoint: scenario open-resolver-4 trial 0") {
+		t.Errorf("checkpoint banner missing:\n%s", a.String())
+	}
+	if fi, err := os.Stat(snap); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot file not written: %v", err)
+	}
+
+	var b strings.Builder
+	if code := run([]string{"-scenario", scn, "-restore-from", snap}, &b); code != 0 {
+		t.Fatalf("-restore-from exit = %d\n%s", code, b.String())
+	}
+	for _, want := range []string{`"Scenario": "open-resolver-4"`, `"Trial": 0`, `"Workloads"`} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("restore output missing %s:\n%s", want, b.String())
+		}
+	}
+
+	// Thawing under the wrong scenario is a config mismatch, not a crash.
+	var c strings.Builder
+	wrong := "../../internal/scenario/testdata/scenarios/open-resolver-1.scn"
+	if code := run([]string{"-scenario", wrong, "-restore-from", snap}, &c); code != 1 {
+		t.Errorf("wrong-scenario restore exit = %d, want 1", code)
+	}
+
+	// The flags require a scenario file.
+	var d strings.Builder
+	if code := run([]string{"-checkpoint", snap}, &d); code != 2 {
+		t.Errorf("-checkpoint without -scenario exit = %d, want 2", code)
+	}
+}

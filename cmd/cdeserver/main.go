@@ -171,6 +171,16 @@ func run(args []string, clk clock.Clock, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "cdeserver: campaigns: %v\n", err)
 			return 1
 		}
+		// Pick up campaigns a previous process left mid-flight (SIGTERM,
+		// crash) before the API starts accepting new work.
+		resumed, err := engine.Resume()
+		if err != nil {
+			fmt.Fprintf(stderr, "cdeserver: campaigns: %v\n", err)
+			return 1
+		}
+		if len(resumed) > 0 {
+			fmt.Fprintf(stdout, "resumed %d interrupted campaign(s)\n", len(resumed))
+		}
 		aaddr, as, err := serveAPI(engine, *apiAddr, stderr)
 		if err != nil {
 			fmt.Fprintf(stderr, "cdeserver: campaigns: %v\n", err)

@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -358,5 +359,148 @@ workload direct (
 	}
 	if len(entries) != 2 {
 		t.Errorf("results dir has %d files, want 2", len(entries))
+	}
+}
+
+// getProgress polls one campaign's progress over the HTTP API.
+func getProgress(t *testing.T, api, id string) campaign.Progress {
+	t.Helper()
+	resp, err := http.Get(api + "/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var prog campaign.Progress
+	if err := json.NewDecoder(resp.Body).Decode(&prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestRunCampaignResumeAfterSIGTERM is the process-level resume check:
+// a campaign submitted over the HTTP API is interrupted by SIGTERM
+// mid-flight, a second server over the same -results directory picks it
+// up from its checkpoint, and the completed result file is
+// byte-identical to an uninterrupted run's.
+func TestRunCampaignResumeAfterSIGTERM(t *testing.T) {
+	spec := `$SCENARIO srv-resume
+$SEED 11
+$TRIALS 2
+
+campaign (
+    ticks 3
+    max-concurrent 1
+    interval 300ms
+)
+
+platform target (
+    caches 3
+)
+
+workload direct (
+    queries 8
+)
+`
+	// Uninterrupted baseline straight through the engine: both engines
+	// assign the first campaign the same ID, so the row streams are
+	// comparable byte for byte.
+	eng, err := campaign.NewEngine(campaign.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := eng.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := ca.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := os.ReadFile(ca.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+
+	// First server: submit, wait for the first run to land durably, then
+	// SIGTERM inside the 300ms launch-interval window.
+	results := t.TempDir()
+	p := startServer(t, "-addr", "127.0.0.1:0", "-generate", "cache.example", "-probes", "2",
+		"-log-every", "0", "-api", "127.0.0.1:0", "-results", results)
+	api := "http://" + p.waitOutput(t, apiRE)[1]
+	resp, err := http.Post(api+"/campaigns", "text/plain", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("POST = %d: %s", resp.StatusCode, body)
+	}
+	var prog campaign.Progress
+	if err := json.NewDecoder(resp.Body).Decode(&prog); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(20 * time.Second)
+	for prog.Completed < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("first run never completed: %+v", prog)
+		}
+		time.Sleep(2 * time.Millisecond)
+		prog = getProgress(t, api, prog.ID)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := p.waitExit(t); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, p.stderr.String())
+	}
+	ckpt := filepath.Join(results, prog.ID+campaign.CheckpointExt)
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("SIGTERM did not leave a checkpoint: %v", err)
+	}
+	partial, err := os.ReadFile(filepath.Join(results, prog.ID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial) == 0 || len(partial) >= len(baseline) {
+		t.Fatalf("partial result file is %d bytes, want (0, %d)", len(partial), len(baseline))
+	}
+
+	// Second server over the same results directory resumes the campaign
+	// before serving and runs it to completion.
+	p2 := startServer(t, "-addr", "127.0.0.1:0", "-generate", "cache.example", "-probes", "2",
+		"-log-every", "0", "-api", "127.0.0.1:0", "-results", results)
+	p2.waitOutput(t, regexp.MustCompile(`resumed 1 interrupted campaign`))
+	api2 := "http://" + p2.waitOutput(t, apiRE)[1]
+	final := getProgress(t, api2, prog.ID)
+	for !final.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed campaign stuck: %+v", final)
+		}
+		time.Sleep(10 * time.Millisecond)
+		final = getProgress(t, api2, prog.ID)
+	}
+	if final.State != campaign.StateDone || final.Completed != 3 || final.Failed != 0 {
+		t.Fatalf("resumed campaign = %+v, want done 3/0", final)
+	}
+	got, err := os.ReadFile(filepath.Join(results, prog.ID+".jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, baseline) {
+		t.Errorf("resumed result file differs from uninterrupted run:\n got: %s\nwant: %s", got, baseline)
+	}
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Errorf("checkpoint survived campaign completion: %v", err)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := p2.waitExit(t); code != 0 {
+		t.Errorf("second server exit = %d, want 0\nstderr:\n%s", code, p2.stderr.String())
 	}
 }

@@ -109,12 +109,24 @@ type Campaign struct {
 	done    chan struct{}
 	emitter *orderedEmitter
 
+	// startRun is the first run index this process schedules: 0 for a
+	// fresh campaign, the checkpoint cursor for a resumed one. rowsBase
+	// and fileBase are the resumed result file's row count and byte
+	// offset — this process's sink counts from zero on top of them.
+	startRun int
+	rowsBase int64
+	fileBase int64
+
 	mu          sync.Mutex
 	state       State
 	completed   int
 	failed      int
 	retriesUsed int
 	lastErr     string
+	// explicitCancel marks a user-requested cancel (Engine.Cancel): the
+	// campaign is abandoned and its checkpoint deleted, unlike a drain or
+	// shutdown, which keeps the checkpoint for the next process to resume.
+	explicitCancel bool
 }
 
 // ID returns the engine-assigned campaign identifier.
@@ -151,7 +163,7 @@ func (c *Campaign) Progress() Progress {
 		Error:       c.lastErr,
 	}
 	c.mu.Unlock()
-	p.Rows = c.sink.Rows()
+	p.Rows = c.rowsBase + c.sink.Rows()
 	p.Submitted = c.submitted.UTC().Format(time.RFC3339)
 	p.Cost = scenario.CostFromSnapshot(c.reg.Snapshot())
 	return p

@@ -140,11 +140,15 @@ func (e *Engine) Submit(text string) (*Campaign, error) {
 		emitter:   &orderedEmitter{sink: sink},
 		state:     StatePending,
 	}
+	c.emitter.onAdvance = c.writeCheckpoint
 	e.campaigns[id] = c
 	e.order = append(e.order, id)
 	e.wg.Add(1)
 	e.mu.Unlock()
 
+	// Persist the initial cursor so a shutdown before the first run still
+	// leaves a resumable campaign behind.
+	c.writeCheckpoint(cursorState{})
 	go c.loop()
 	return c, nil
 }
@@ -169,12 +173,17 @@ func (e *Engine) List() []*Campaign {
 }
 
 // Cancel stops a campaign: no further ticks launch and in-flight runs
-// are interrupted. Cancelling a finished campaign is a no-op.
+// are interrupted. An explicit cancel abandons the campaign for good —
+// its checkpoint is deleted, so a later process will not resurrect it.
+// Cancelling a finished campaign is a no-op.
 func (e *Engine) Cancel(id string) (*Campaign, error) {
 	c, ok := e.Get(id)
 	if !ok {
 		return nil, ErrNotFound
 	}
+	c.mu.Lock()
+	c.explicitCancel = true
+	c.mu.Unlock()
 	c.cancel()
 	return c, nil
 }

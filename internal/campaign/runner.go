@@ -16,11 +16,21 @@ import (
 const saltCampaignRun = 0xCA
 
 // runOnce executes one scheduled run under the per-run retry budget,
-// emits its rows (always exactly once, so the ordered emitter's cursor
-// advances even for failed runs) and settles the tick's outcome.
+// emits its outcome (exactly once for settled runs — completed or
+// budget-exhausted — so the ordered emitter's cursor advances past them)
+// and settles the tick's counters. A run interrupted by cancellation is
+// neither a completion nor a failure: it does not emit, so the durable
+// cursor freezes before it and a later Engine.Resume re-executes it.
 func (c *Campaign) runOnce(run int) {
-	rows, err := c.attemptRun(run)
-	if emitErr := c.emitter.emit(run, rows); emitErr != nil && err == nil {
+	rows, retries, err := c.attemptRun(run)
+	if err != nil && c.ctx.Err() != nil {
+		return // interrupted, not settled
+	}
+	o := runOutcome{rows: rows, retries: retries, completed: err == nil}
+	if err != nil {
+		o.errText = err.Error()
+	}
+	if emitErr := c.emitter.emit(run, o); emitErr != nil && err == nil {
 		err = emitErr
 	}
 	if err != nil {
@@ -32,9 +42,11 @@ func (c *Campaign) runOnce(run int) {
 
 // attemptRun drives executeRun through the retry budget, merging the
 // winning attempt's accounting into the per-campaign and service
-// registries.
-func (c *Campaign) attemptRun(run int) ([]Row, error) {
+// registries. It returns the retries this run consumed alongside its
+// rows.
+func (c *Campaign) attemptRun(run int) ([]Row, int, error) {
 	var lastErr error
+	retries := 0
 	for attempt := 0; attempt <= c.header.Retries; attempt++ {
 		if err := c.ctx.Err(); err != nil {
 			if lastErr == nil {
@@ -44,16 +56,17 @@ func (c *Campaign) attemptRun(run int) ([]Row, error) {
 		}
 		if attempt > 0 {
 			c.noteRetry()
+			retries++
 		}
 		rows, snap, err := executeRun(c.ctx, c.id, c.text, run, c.engine.opts)
 		if err == nil {
 			c.reg.MergeSnapshot("", snap)
 			c.engine.opts.Service.MergeSnapshot("campaigns", snap)
-			return rows, nil
+			return rows, retries, nil
 		}
 		lastErr = err
 	}
-	return nil, fmt.Errorf("campaign: run %d: %w", run, lastErr)
+	return nil, retries, fmt.Errorf("campaign: run %d: %w", run, lastErr)
 }
 
 // executeRun is the simulated-time core: it compiles the spec onto a

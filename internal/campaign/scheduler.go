@@ -31,8 +31,8 @@ func (c *Campaign) loop() {
 	}
 	var runWG sync.WaitGroup
 schedule:
-	for run := 0; run < h.Ticks; run++ {
-		if run > 0 && h.Interval > 0 && !c.sleep(h.Interval) {
+	for run := c.startRun; run < h.Ticks; run++ {
+		if run > c.startRun && h.Interval > 0 && !c.sleep(h.Interval) {
 			break schedule
 		}
 		if bucket != nil && !bucket.take(c) {
@@ -76,7 +76,16 @@ schedule:
 			c.lastErr = closeErr.Error()
 		}
 	}
+	settled := c.state == StateDone || c.state == StateFailed ||
+		(c.state == StateCancelled && c.explicitCancel)
 	c.mu.Unlock()
+
+	// A settled campaign never runs again: drop its checkpoint. An
+	// interrupted one (drain or shutdown) keeps it for the next process's
+	// Engine.Resume.
+	if settled {
+		c.removeCheckpoint()
+	}
 }
 
 // sleep waits out the launch interval; false means the campaign was

@@ -66,8 +66,20 @@ type Sink struct {
 	encoded chan encodedChunk
 	encWG   sync.WaitGroup
 	asmDone chan struct{}
+	// inflight caps chunks dispatched but not yet written through, making
+	// the assembler's out-of-order window structurally bounded instead of
+	// timing-dependent: one slot is taken before a chunk enters jobs and
+	// released only when the assembler has written it (in order).
+	inflight chan struct{}
+
+	// flushMu/flushCond track how many chunks the assembler has fully
+	// processed, so Flush can wait for a precise drain point.
+	flushMu    sync.Mutex
+	flushCond  *sync.Cond
+	chunksDone int
 
 	rows       atomic.Int64
+	written    atomic.Int64
 	maxPending atomic.Int64
 
 	errMu sync.Mutex
@@ -89,7 +101,9 @@ func NewSink(w io.Writer, opts SinkOptions) *Sink {
 		jobs:      make(chan chunkJob, opts.Encoders),
 		encoded:   make(chan encodedChunk, opts.Encoders),
 		asmDone:   make(chan struct{}),
+		inflight:  make(chan struct{}, 3*opts.Encoders),
 	}
+	s.flushCond = sync.NewCond(&s.flushMu)
 	s.encWG.Add(opts.Encoders)
 	for i := 0; i < opts.Encoders; i++ {
 		go s.encodeLoop()
@@ -121,6 +135,7 @@ func (s *Sink) Append(v any) error {
 	}
 	s.mu.Unlock()
 	if dispatch {
+		s.inflight <- struct{}{}
 		s.jobs <- job
 	}
 	s.rows.Add(1)
@@ -129,6 +144,40 @@ func (s *Sink) Append(v any) error {
 
 // Rows returns the number of rows appended so far.
 func (s *Sink) Rows() int64 { return s.rows.Load() }
+
+// Flush seals the partial chunk, waits until every row appended so far
+// has been written through to the underlying writer, and returns the
+// total bytes successfully written since the sink was created. The
+// campaign checkpointer calls it before recording a durable result-file
+// offset; the sink stays usable afterwards. Flushing a closed sink just
+// reports the totals.
+func (s *Sink) Flush() (int64, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.written.Load(), s.Err()
+	}
+	var job chunkJob
+	dispatch := false
+	if len(s.cur) > 0 {
+		job = chunkJob{seq: s.seq, rows: s.cur}
+		s.seq++
+		s.cur = nil
+		dispatch = true
+	}
+	target := s.seq
+	s.mu.Unlock()
+	if dispatch {
+		s.inflight <- struct{}{}
+		s.jobs <- job
+	}
+	s.flushMu.Lock()
+	for s.chunksDone < target {
+		s.flushCond.Wait()
+	}
+	s.flushMu.Unlock()
+	return s.written.Load(), s.Err()
+}
 
 // MaxPending reports the largest number of out-of-order chunks the
 // assembler ever held — the sink's buffering high-water mark, asserted
@@ -170,6 +219,7 @@ func (s *Sink) Close() error {
 	}
 	s.mu.Unlock()
 	if dispatch {
+		s.inflight <- struct{}{}
 		s.jobs <- job
 	}
 	close(s.jobs)
@@ -217,49 +267,102 @@ func (s *Sink) assemble() {
 			}
 			delete(pending, next)
 			next++
-			if s.Err() != nil {
-				continue // drain without writing after a failure
+			if s.Err() == nil {
+				if n, err := s.w.Write(data); err != nil {
+					s.written.Add(int64(n))
+					s.fail(fmt.Errorf("campaign: sink write: %w", err))
+				} else {
+					s.written.Add(int64(n))
+				}
 			}
-			if _, err := s.w.Write(data); err != nil {
-				s.fail(fmt.Errorf("campaign: sink write: %w", err))
-			}
+			s.flushMu.Lock()
+			s.chunksDone = next
+			s.flushCond.Broadcast()
+			s.flushMu.Unlock()
+			<-s.inflight
 		}
 	}
 }
 
+// runOutcome is one run's settled result handed to the ordered emitter:
+// its rows (nil for a failed run), whether it completed, and the retries
+// it consumed. The emitter folds outcomes into its durable cursor state
+// as the cursor passes them.
+type runOutcome struct {
+	rows      []Row
+	completed bool
+	retries   int
+	errText   string
+}
+
+// cursorState is the emitter's durable prefix: every run below Next has
+// emitted (rows appended to the sink), and the counters describe exactly
+// those runs. This is what a campaign checkpoint records — restart with
+// the same cursor state and the same spec, and the result stream
+// continues byte-identically.
+type cursorState struct {
+	Next      int
+	Completed int
+	Failed    int
+	Retries   int
+	LastErr   string
+}
+
 // orderedEmitter serializes per-run row batches into the sink in run
-// order: a run that finishes early parks its rows until every earlier
+// order: a run that finishes early parks its outcome until every earlier
 // run has emitted. The window is bounded by the campaign's
 // max-concurrent budget, so parking cannot grow without bound.
 type orderedEmitter struct {
 	sink *Sink
+	// onAdvance, when set, is invoked with the new cursor state after the
+	// cursor moves — while the emitter lock is held, so no row can be
+	// appended between the sink flush the hook performs and the cursor it
+	// records. That lock-step is what makes a checkpoint's file offset
+	// exactly the byte length of the durable run prefix.
+	onAdvance func(cursorState)
 
 	mu      sync.Mutex
-	next    int
-	pending map[int][]Row
+	cur     cursorState
+	pending map[int]runOutcome
 }
 
-// emit hands over run's rows (nil for a failed run — the slot still
-// advances the cursor). Each scheduled run must emit exactly once.
-func (e *orderedEmitter) emit(run int, rows []Row) error {
+// emit hands over run's outcome. Each scheduled run emits at most once;
+// a run interrupted by cancellation never emits, freezing the cursor so
+// a later resume re-executes it.
+func (e *orderedEmitter) emit(run int, o runOutcome) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.pending == nil {
-		e.pending = make(map[int][]Row)
+		e.pending = make(map[int]runOutcome)
 	}
-	e.pending[run] = rows
+	e.pending[run] = o
 	var firstErr error
+	advanced := false
 	for {
-		batch, ok := e.pending[e.next]
+		out, ok := e.pending[e.cur.Next]
 		if !ok {
-			return firstErr
+			break
 		}
-		delete(e.pending, e.next)
-		e.next++
-		for i := range batch {
-			if err := e.sink.Append(&batch[i]); err != nil && firstErr == nil {
+		delete(e.pending, e.cur.Next)
+		e.cur.Next++
+		advanced = true
+		if out.completed {
+			e.cur.Completed++
+		} else {
+			e.cur.Failed++
+			if out.errText != "" {
+				e.cur.LastErr = out.errText
+			}
+		}
+		e.cur.Retries += out.retries
+		for i := range out.rows {
+			if err := e.sink.Append(&out.rows[i]); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
 	}
+	if advanced && e.onAdvance != nil {
+		e.onAdvance(e.cur)
+	}
+	return firstErr
 }

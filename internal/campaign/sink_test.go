@@ -107,14 +107,17 @@ func TestOrderedEmitterRestoresRunOrder(t *testing.T) {
 	e := &orderedEmitter{sink: s}
 	// Runs finish out of order; run 1 failed (nil rows) but still
 	// advances the cursor.
-	if err := e.emit(2, []Row{{Run: 2, Trial: 0}}); err != nil {
+	if err := e.emit(2, runOutcome{rows: []Row{{Run: 2, Trial: 0}}, completed: true}); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.emit(1, nil); err != nil {
+	if err := e.emit(1, runOutcome{errText: "boom"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := e.emit(0, []Row{{Run: 0, Trial: 0}, {Run: 0, Trial: 1}}); err != nil {
+	if err := e.emit(0, runOutcome{rows: []Row{{Run: 0, Trial: 0}, {Run: 0, Trial: 1}}, completed: true}); err != nil {
 		t.Fatal(err)
+	}
+	if e.cur.Next != 3 || e.cur.Completed != 2 || e.cur.Failed != 1 || e.cur.LastErr != "boom" {
+		t.Errorf("cursor = %+v, want next=3 completed=2 failed=1 lastErr=boom", e.cur)
 	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)

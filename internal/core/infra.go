@@ -142,6 +142,23 @@ func (in *Infra) nextSessionID() int {
 	return in.session
 }
 
+// SessionCursor returns the last allocated session number. Probe names
+// are derived from session IDs, so a world checkpoint must capture the
+// cursor: a restored run's next session must get the same ID (and thus
+// probe the same names) as the uninterrupted run's.
+func (in *Infra) SessionCursor() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.session
+}
+
+// RestoreSessionCursor repositions the session-ID allocator.
+func (in *Infra) RestoreSessionCursor(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.session = n
+}
+
 // shardStride is the size of each shard's session-ID space. The base
 // Infra allocates IDs 1, 2, 3, …; Shard(i) allocates from
 // (i+1)*shardStride. No experiment comes near a million sessions per

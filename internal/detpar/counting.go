@@ -1,0 +1,76 @@
+package detpar
+
+import "math/rand"
+
+// CountingSource is a rand.Source64 that counts how many values have been
+// drawn from it. It exists so a random stream's position can be captured in
+// a world snapshot and restored later: recreate the source from the same
+// seed and SkipTo the recorded draw count, and every subsequent draw is
+// identical to the uninterrupted stream.
+//
+// CountingSource implements rand.Source64 — not just rand.Source — on
+// purpose: rand.New type-asserts Source64 at construction, and a
+// Source-only wrapper would make Rand.Uint64 synthesize each value from
+// two Int63 draws, shifting the stream relative to the unwrapped source.
+// Both Int63 and Uint64 advance the underlying generator exactly one step,
+// so the draw count is method-agnostic: position n means the generator has
+// been stepped n times, however the values were consumed.
+//
+// CountingSource is not safe for concurrent use; like any rand.Source it
+// must be externally serialized (rand.Rand callers already do this).
+type CountingSource struct {
+	src   rand.Source64
+	seed  int64
+	draws uint64
+}
+
+// NewCountingSource returns a counting source seeded with seed, positioned
+// at draw 0.
+func NewCountingSource(seed int64) *CountingSource {
+	// rand.NewSource's concrete type implements Source64; the assertion
+	// is guaranteed to hold for the standard library implementation.
+	return &CountingSource{src: rand.NewSource(seed).(rand.Source64), seed: seed}
+}
+
+// Int63 implements rand.Source.
+func (c *CountingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (c *CountingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+// Seed implements rand.Source: it reseeds the underlying generator and
+// resets the draw count to zero.
+func (c *CountingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.seed = seed
+	c.draws = 0
+}
+
+// Draws returns the stream position: the number of values drawn since the
+// source was created, last reseeded, or last SkipTo target.
+func (c *CountingSource) Draws() uint64 { return c.draws }
+
+// Skip advances the stream by n draws, discarding the values.
+func (c *CountingSource) Skip(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.src.Uint64()
+	}
+	c.draws += n
+}
+
+// SkipTo positions the stream at exactly n total draws. If the stream is
+// already past n it is rewound by reseeding with the original seed and
+// fast-forwarding from zero, so SkipTo is safe to call on a source in any
+// state.
+func (c *CountingSource) SkipTo(n uint64) {
+	if n < c.draws {
+		c.Seed(c.seed)
+	}
+	c.Skip(n - c.draws)
+}

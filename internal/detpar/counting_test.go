@@ -1,0 +1,91 @@
+package detpar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// A rand.Rand on a CountingSource must produce the exact stream a plain
+// rand.NewSource yields: the wrapper may not perturb a single draw, or
+// every golden report in the repository shifts.
+func TestCountingSourceStreamIdentical(t *testing.T) {
+	const seed = 12345
+	plain := rand.New(rand.NewSource(seed))
+	cs := NewCountingSource(seed)
+	counted := rand.New(cs)
+
+	for i := 0; i < 1000; i++ {
+		switch i % 4 {
+		case 0:
+			if a, b := plain.Int63(), counted.Int63(); a != b {
+				t.Fatalf("draw %d: Int63 %d != %d", i, b, a)
+			}
+		case 1:
+			if a, b := plain.Float64(), counted.Float64(); a != b {
+				t.Fatalf("draw %d: Float64 %v != %v", i, b, a)
+			}
+		case 2:
+			if a, b := plain.Uint64(), counted.Uint64(); a != b {
+				t.Fatalf("draw %d: Uint64 %d != %d", i, b, a)
+			}
+		case 3:
+			if a, b := plain.Int63n(97), counted.Int63n(97); a != b {
+				t.Fatalf("draw %d: Int63n %d != %d", i, b, a)
+			}
+		}
+	}
+}
+
+// Uint64 must cost exactly one draw. If CountingSource were only a
+// rand.Source, rand.Rand would synthesize Uint64 from two Int63 calls and
+// the position bookkeeping (and the stream itself) would be wrong.
+func TestCountingSourceDrawAccounting(t *testing.T) {
+	cs := NewCountingSource(7)
+	r := rand.New(cs)
+
+	r.Int63()
+	if got := cs.Draws(); got != 1 {
+		t.Fatalf("after Int63: draws = %d, want 1", got)
+	}
+	r.Uint64()
+	if got := cs.Draws(); got != 2 {
+		t.Fatalf("after Uint64: draws = %d, want 2", got)
+	}
+	r.Float64()
+	if got := cs.Draws(); got != 3 {
+		t.Fatalf("after Float64: draws = %d, want 3", got)
+	}
+}
+
+// SkipTo(n) must land a fresh source on the same stream position as a
+// source that consumed n values normally — including rewinding.
+func TestCountingSourceSkipTo(t *testing.T) {
+	const seed = 99
+	ref := rand.New(NewCountingSource(seed))
+	want := make([]int64, 50)
+	for i := range want {
+		want[i] = ref.Int63()
+	}
+
+	for _, pos := range []uint64{0, 1, 7, 49} {
+		cs := NewCountingSource(seed)
+		cs.SkipTo(pos)
+		if cs.Draws() != pos {
+			t.Fatalf("SkipTo(%d): draws = %d", pos, cs.Draws())
+		}
+		if got := rand.New(cs).Int63(); got != want[pos] {
+			t.Fatalf("SkipTo(%d): next draw %d, want %d", pos, got, want[pos])
+		}
+	}
+
+	// Rewind: run past the target, then SkipTo back.
+	cs := NewCountingSource(seed)
+	cs.SkipTo(30)
+	cs.SkipTo(5)
+	if cs.Draws() != 5 {
+		t.Fatalf("rewind: draws = %d, want 5", cs.Draws())
+	}
+	if got := rand.New(cs).Int63(); got != want[5] {
+		t.Fatalf("rewind: next draw %d, want %d", got, want[5])
+	}
+}

@@ -31,6 +31,7 @@ var errflowDiscardTargets = map[string]bool{
 	"internal/udpnet":     true,
 	"internal/netsim":     true,
 	"internal/netsim/des": true,
+	"internal/worldstate": true,
 }
 
 func runErrflow(p *Pass) {

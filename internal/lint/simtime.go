@@ -38,6 +38,7 @@ var simtimeRoots = map[string]bool{
 	"internal/scenario":    true,
 	"internal/experiments": true,
 	"internal/campaign":    true,
+	"internal/worldstate":  true,
 }
 
 // simtimeDenied extends walltime's set with the measurement pair: on a

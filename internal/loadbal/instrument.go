@@ -52,6 +52,10 @@ func (s *Instrumented) counter(idx int) *metrics.Counter {
 	return s.counters[idx]
 }
 
+// Unwrap returns the wrapped strategy, giving checkpoint code access to
+// the stateful selector behind the counting decorator.
+func (s *Instrumented) Unwrap() Selector { return s.inner }
+
 // Category implements Selector, delegating to the wrapped strategy.
 func (s *Instrumented) Category() Category { return s.inner.Category() }
 

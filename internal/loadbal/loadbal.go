@@ -17,6 +17,7 @@ import (
 	"net/netip"
 	"sync"
 
+	"dnscde/internal/detpar"
 	"dnscde/internal/dnswire"
 )
 
@@ -93,13 +94,15 @@ func (*RoundRobin) Name() string { return "round-robin" }
 type Random struct {
 	mu  sync.Mutex
 	rng *rand.Rand
+	src *detpar.CountingSource
 }
 
 var _ Selector = (*Random)(nil)
 
 // NewRandom returns a uniform random selector with a deterministic seed.
 func NewRandom(seed int64) *Random {
-	return &Random{rng: rand.New(rand.NewSource(seed))}
+	src := detpar.NewCountingSource(seed)
+	return &Random{rng: rand.New(src), src: src}
 }
 
 // Select implements Selector.
@@ -164,6 +167,7 @@ func (HashSourceIP) Name() string { return "hash-source-ip" }
 type Weighted struct {
 	mu      sync.Mutex
 	rng     *rand.Rand
+	src     *detpar.CountingSource
 	weights []float64
 	total   float64
 }
@@ -184,8 +188,10 @@ func NewWeighted(seed int64, weights []float64) (*Weighted, error) {
 		}
 		total += w
 	}
+	src := detpar.NewCountingSource(seed)
 	return &Weighted{
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rand.New(src),
+		src:     src,
 		weights: append([]float64(nil), weights...),
 		total:   total,
 	}, nil

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+// mergeFixtures returns two overlapping snapshots: shared and distinct
+// counters, plus histograms with identical bounds (the only layout the
+// restore path ever merges).
+func mergeFixtures() (Snapshot, Snapshot) {
+	s1 := Snapshot{
+		Counters: map[string]int64{"core.probes.sent": 10, "netsim.retries": 3, "only.in.one": 7, "zero.counter": 0},
+		Histograms: map[string]HistogramSnapshot{
+			"netsim.rtt.us": {Bounds: []int64{100, 1000}, Buckets: []int64{2, 3, 1}, Count: 6, Sum: 4200},
+		},
+	}
+	s2 := Snapshot{
+		Counters: map[string]int64{"core.probes.sent": 5, "netsim.retries": 1, "only.in.two": 11},
+		Histograms: map[string]HistogramSnapshot{
+			"netsim.rtt.us": {Bounds: []int64{100, 1000}, Buckets: []int64{1, 0, 4}, Count: 5, Sum: 9000},
+			"core.lag.us":   {Bounds: []int64{50}, Buckets: []int64{9, 2}, Count: 11, Sum: 500},
+		},
+	}
+	return s1, s2
+}
+
+// TestMergeSnapshotOrderIndependent asserts the merge is commutative:
+// folding the same set of snapshots into a registry in any order yields
+// identical final snapshots. The campaign engine and checkpoint restore
+// both rely on this — per-trial registries are merged in whatever order
+// trials finish, and the aggregate must not depend on it.
+func TestMergeSnapshotOrderIndependent(t *testing.T) {
+	s1, s2 := mergeFixtures()
+	ab, ba := New(), New()
+	ab.MergeSnapshot("", s1)
+	ab.MergeSnapshot("", s2)
+	ba.MergeSnapshot("", s2)
+	ba.MergeSnapshot("", s1)
+	got, want := ab.Snapshot(), ba.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merge order changed the aggregate:\n s1,s2: %+v\n s2,s1: %+v", got, want)
+	}
+	if got.Counters["core.probes.sent"] != 15 {
+		t.Errorf("shared counter = %d, want 15", got.Counters["core.probes.sent"])
+	}
+	if h := got.Histograms["netsim.rtt.us"]; h.Count != 11 || h.Sum != 13200 {
+		t.Errorf("merged histogram count/sum = %d/%d, want 11/13200", h.Count, h.Sum)
+	}
+}
+
+// TestMergeSnapshotRestoresExactly asserts the checkpoint-restore
+// identity: merging a captured snapshot into a fresh all-zero registry
+// reproduces it exactly, including zero-valued counters (the restored
+// handle set must match the original's so later snapshots stay
+// byte-comparable).
+func TestMergeSnapshotRestoresExactly(t *testing.T) {
+	s1, s2 := mergeFixtures()
+	orig := New()
+	orig.MergeSnapshot("", s1)
+	orig.MergeSnapshot("", s2)
+	captured := orig.Snapshot()
+
+	fresh := New()
+	fresh.MergeSnapshot("", captured)
+	if got := fresh.Snapshot(); !reflect.DeepEqual(got, captured) {
+		t.Errorf("restore drifted:\n restored: %+v\n captured: %+v", got, captured)
+	}
+	if _, ok := fresh.Snapshot().Counters["zero.counter"]; !ok {
+		t.Error("zero-valued counter dropped by restore")
+	}
+}

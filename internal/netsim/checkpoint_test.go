@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// TestSnapshotStatsFoldOrderIndependent asserts the sharded counter fold
+// is a pure sum: the same totals distributed across the stat shards in
+// different layouts fold to the same Stats value. This is the property
+// checkpoint restore relies on — RestoreStats parks everything in shard
+// 0, and later snapshots must still match a live run whose counts were
+// spread across all 16 shards.
+func TestSnapshotStatsFoldOrderIndependent(t *testing.T) {
+	layoutA := New(1)
+	layoutB := New(1)
+	// 100 exchanges, 7 lost, 40 servfails — striped forward in A,
+	// backward in B, so every shard holds different values in each.
+	for i := 0; i < statShardCount; i++ {
+		a, b := &layoutA.shards[i], &layoutB.shards[statShardCount-1-i]
+		a.exchanges.Store(int64(i * 2))
+		b.exchanges.Store(int64(i * 2))
+		a.lost.Store(int64(i % 3))
+		b.lost.Store(int64(i % 3))
+		a.servfail.Store(int64(statShardCount - i))
+		b.servfail.Store(int64(statShardCount - i))
+	}
+	sa, sb := layoutA.SnapshotStats(), layoutB.SnapshotStats()
+	if sa != sb {
+		t.Errorf("fold depends on shard layout: %+v vs %+v", sa, sb)
+	}
+
+	restored := New(1)
+	restored.RestoreStats(sa)
+	if got := restored.SnapshotStats(); got != sa {
+		t.Errorf("restore-then-fold drifted: %+v, want %+v", got, sa)
+	}
+}
+
+// TestRestoreStatsReplaces asserts RestoreStats overwrites prior
+// counters instead of accumulating — restoring twice, or onto a network
+// that already ran traffic, must land exactly on the snapshot.
+func TestRestoreStatsReplaces(t *testing.T) {
+	n := New(1)
+	for i := range n.shards {
+		n.shards[i].exchanges.Store(5)
+		n.shards[i].outage.Store(2)
+	}
+	want := Stats{Exchanges: 3, BytesSent: 12, Faults: FaultStats{Late: 1}}
+	n.RestoreStats(want)
+	if got := n.SnapshotStats(); got != want {
+		t.Errorf("first restore: %+v, want %+v", got, want)
+	}
+	n.RestoreStats(want)
+	if got := n.SnapshotStats(); got != want {
+		t.Errorf("second restore accumulated: %+v, want %+v", got, want)
+	}
+}
+
+// TestCheckpointSourcesCanonicalOrder asserts the source dump is sorted
+// by address (and each flow list by destination) regardless of creation
+// order — the canonical-bytes property snapshot comparison rests on.
+func TestCheckpointSourcesCanonicalOrder(t *testing.T) {
+	n := New(1)
+	addrs := []string{"10.30.0.9", "10.30.0.1", "10.30.0.5"}
+	for _, a := range addrs {
+		lr := n.srcRand(netip.MustParseAddr(a))
+		lr.rng.Int63() // advance so Draws is nonzero
+	}
+	states := n.CheckpointSources()
+	if len(states) != len(addrs) {
+		t.Fatalf("%d sources, want %d", len(states), len(addrs))
+	}
+	for i := 1; i < len(states); i++ {
+		if !states[i-1].Addr.Less(states[i].Addr) {
+			t.Errorf("sources out of order: %v before %v", states[i-1].Addr, states[i].Addr)
+		}
+	}
+	for _, st := range states {
+		if st.Draws != 1 {
+			t.Errorf("source %v draws = %d, want 1", st.Addr, st.Draws)
+		}
+	}
+}
+
+// TestRestoreSourcesReplaysStreams asserts a restored source stream
+// continues exactly where the original left off: capture after k draws,
+// restore into a fresh network, and the next draws match the original
+// stream's k+1th, k+2th, ... values.
+func TestRestoreSourcesReplaysStreams(t *testing.T) {
+	src := netip.MustParseAddr("10.30.0.1")
+	orig := New(42)
+	lr := orig.srcRand(src)
+	for i := 0; i < 13; i++ {
+		lr.rng.Int63()
+	}
+	states := orig.CheckpointSources()
+
+	fresh := New(42)
+	if err := fresh.RestoreSources(states); err != nil {
+		t.Fatalf("RestoreSources: %v", err)
+	}
+	a, b := orig.srcRand(src), fresh.srcRand(src)
+	for i := 0; i < 20; i++ {
+		if va, vb := a.rng.Int63(), b.rng.Int63(); va != vb {
+			t.Fatalf("draw %d after restore: %d, original stream %d", i, vb, va)
+		}
+	}
+}

@@ -105,7 +105,14 @@ type ShardedScheduler struct {
 	procList []*Process
 	dead     bool
 
-	lastT Time
+	// lastT is the current round's timestamp; inRound is true while lane
+	// workers (or the inline fast path) are still executing that round.
+	// Both are guarded by mu for readers outside the coordinator
+	// goroutine: a process resumed by one lane's event runs concurrently
+	// with the rest of the round, so Now and Quiescent must wait for the
+	// round to drain before reading scheduler state.
+	lastT   Time
+	inRound bool
 }
 
 // NewSharded builds an n-lane sharded scheduler (n < 1 is treated as 1).
@@ -142,8 +149,31 @@ func (ss *ShardedScheduler) LaneScheduler(i int) *Scheduler { return ss.lanes[i]
 // LaneFor maps a partition key to its lane (see Scheduler.LaneFor).
 func (ss *ShardedScheduler) LaneFor(key uint64) int { return ss.lanes[0].LaneFor(key) }
 
-// Now returns the timestamp of the last completed round.
-func (ss *ShardedScheduler) Now() Time { return ss.lastT }
+// Now returns the timestamp of the last completed round. When called
+// from a process goroutine it blocks until the round that resumed the
+// process has fully drained on every lane, so the value (and any world
+// state read afterwards, while the caller remains runnable) is stable.
+func (ss *ShardedScheduler) Now() Time {
+	ss.mu.Lock()
+	for ss.inRound && !ss.dead {
+		ss.cond.Wait()
+	}
+	t := ss.lastT
+	ss.mu.Unlock()
+	return t
+}
+
+// roundBarrier blocks until no Run round is executing. While the caller
+// is a runnable process the coordinator cannot start the next round
+// (it waits for runnable == 0), so scheduler state is stable after the
+// barrier returns.
+func (ss *ShardedScheduler) roundBarrier() {
+	ss.mu.Lock()
+	for ss.inRound && !ss.dead {
+		ss.cond.Wait()
+	}
+	ss.mu.Unlock()
+}
 
 // Dispatched sums the events fired across all lanes. Call it only when
 // the scheduler is quiescent (before Run or after it returns).
@@ -322,6 +352,15 @@ func (ss *ShardedScheduler) Run() error {
 			}
 		}
 
+		// Publish the round before dispatching it: lastT is final for the
+		// round before any event fires, so a process resumed mid-round
+		// already reads the right clock, and inRound holds Now/Quiescent
+		// readers back until every lane has finished the round.
+		ss.mu.Lock()
+		ss.inRound = true
+		ss.lastT = T
+		ss.mu.Unlock()
+
 		if n == 1 {
 			if err := ss.runLaneInline(T); err != nil {
 				ss.abort()
@@ -337,7 +376,11 @@ func (ss *ShardedScheduler) Run() error {
 				return err
 			}
 		}
-		ss.lastT = T
+
+		ss.mu.Lock()
+		ss.inRound = false
+		ss.cond.Broadcast()
+		ss.mu.Unlock()
 	}
 }
 
@@ -375,6 +418,8 @@ func (ss *ShardedScheduler) phase(active []int, cmd laneCmd) error {
 func (ss *ShardedScheduler) abort() {
 	ss.mu.Lock()
 	ss.dead = true
+	ss.inRound = false
+	ss.cond.Broadcast()
 	var parked []*Process
 	for _, p := range ss.procList {
 		if p.parked && !p.finished {

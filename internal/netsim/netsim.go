@@ -216,6 +216,10 @@ func New(seed int64) *Network {
 type lockedRand struct {
 	mu  sync.Mutex
 	rng *rand.Rand
+	// src is the counting source backing rng; it records the stream
+	// position so a world snapshot can capture — and a restore replay —
+	// exactly how many values this source has drawn.
+	src *detpar.CountingSource
 	// shard is the stat shard this source's exchanges account into,
 	// cached here so the hot path pays the address hash exactly once.
 	shard *statShard
@@ -253,8 +257,10 @@ func (n *Network) srcRand(src netip.Addr) *lockedRand {
 	b := src.As16()
 	lo := binary.BigEndian.Uint64(b[:8])
 	hi := binary.BigEndian.Uint64(b[8:])
+	cs := detpar.NewCountingSource(detpar.Derive(n.seed, lo, hi))
 	lr := &lockedRand{
-		rng:   rand.New(rand.NewSource(detpar.Derive(n.seed, lo, hi))),
+		rng:   rand.New(cs),
+		src:   cs,
 		shard: &n.shards[(lo^hi)&(statShardCount-1)],
 	}
 	actual, _ := n.srcRNGs.LoadOrStore(src, lr)

@@ -7,6 +7,7 @@ import (
 	"net/netip"
 	"sync"
 
+	"dnscde/internal/detpar"
 	"dnscde/internal/dnscache"
 	"dnscde/internal/dnswire"
 	"dnscde/internal/loadbal"
@@ -25,6 +26,7 @@ type Platform struct {
 
 	mu        sync.Mutex
 	rng       *rand.Rand
+	rngSrc    *detpar.CountingSource
 	egressRR  int
 	ingressOf map[netip.Addr]int // ingress IP -> index into cfg.IngressIPs
 	down      []bool             // caches taken out of rotation (§II-B)
@@ -57,11 +59,13 @@ func New(cfg Config, n *netsim.Network, profile netsim.LinkProfile) (*Platform, 
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	rngSrc := detpar.NewCountingSource(cfg.Seed + 1)
 	p := &Platform{
 		cfg:       cfg,
 		net:       n,
 		caches:    make([]*dnscache.Cache, cfg.CacheCount),
-		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
+		rng:       rand.New(rngSrc),
+		rngSrc:    rngSrc,
 		ingressOf: make(map[netip.Addr]int, len(cfg.IngressIPs)),
 	}
 	p.down = make([]bool, cfg.CacheCount)

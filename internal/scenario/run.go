@@ -159,7 +159,15 @@ func RunDetailed(ctx context.Context, s *Scenario, opts RunOptions) (*Report, []
 	if err != nil {
 		return nil, nil, err
 	}
+	report, details := s.assemble(trials)
+	return report, details, nil
+}
 
+// assemble folds per-trial outcomes (in trial order) into the canonical
+// report plus the detail slice. Shared by the straight-through runner and
+// the checkpoint/restore round-trip runner, so both produce reports from
+// identical code.
+func (s *Scenario) assemble(trials []trialOut) (*Report, []TrialDetail) {
 	report := &Report{Scenario: s.Name, Seed: s.Seed, Trials: s.Trials}
 	for _, pd := range s.Platforms {
 		report.Platforms = append(report.Platforms, PlatformReport{
@@ -212,7 +220,7 @@ func RunDetailed(ctx context.Context, s *Scenario, opts RunOptions) (*Report, []
 		}
 		details = append(details, d)
 	}
-	return report, details, nil
+	return report, details
 }
 
 // round4 rounds to 4 decimals so the canonical JSON never encodes

@@ -51,10 +51,14 @@ type World struct {
 	// world was created without one (all instrumentation is then no-op).
 	Metrics *metrics.Registry
 
+	seed           int64
 	nextIngress    netip.Addr
 	nextEgress     netip.Addr
 	nextClient     netip.Addr
 	platformFaults *netsim.FaultProfile
+	// platforms tracks every platform built via NewPlatform in creation
+	// order — the stable identity a world checkpoint is keyed by.
+	platforms []*platform.Platform
 }
 
 // Options configures New.
@@ -100,6 +104,7 @@ func New(opts Options) (*World, error) {
 		Net:            netsim.New(opts.Seed),
 		Clock:          clock.NewVirtual(),
 		Metrics:        opts.Metrics,
+		seed:           opts.Seed,
 		nextIngress:    netip.MustParseAddr("10.10.0.1"),
 		nextEgress:     netip.MustParseAddr("10.20.0.1"),
 		nextClient:     netip.MustParseAddr("10.30.0.1"),
@@ -192,7 +197,20 @@ func (w *World) NewPlatform(spec PlatformSpec) (*platform.Platform, error) {
 	if spec.Mutate != nil {
 		spec.Mutate(&cfg)
 	}
-	return platform.New(cfg, w.Net, spec.Profile)
+	p, err := platform.New(cfg, w.Net, spec.Profile)
+	if err != nil {
+		return nil, err
+	}
+	w.platforms = append(w.platforms, p)
+	return p, nil
+}
+
+// Platforms returns the platforms built via NewPlatform, in creation
+// order.
+func (w *World) Platforms() []*platform.Platform {
+	out := make([]*platform.Platform, len(w.platforms))
+	copy(out, w.platforms)
+	return out
 }
 
 // NextClientAddr allocates a fresh client host address.

@@ -1,0 +1,61 @@
+package worldstate
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzCheckpointDecode throws arbitrary bytes at the snapshot decoder.
+// The contract under fuzz: Decode never panics; every rejection is a
+// typed ErrCorrupt (callers branch on it to distinguish damaged
+// checkpoint files from config mismatches); and every accepted input
+// yields an image the codec can round-trip — re-encode, re-decode,
+// no drift. The seed corpus starts from real encoded snapshots plus
+// the interesting prefixes the corruption table exercises.
+func FuzzCheckpointDecode(f *testing.F) {
+	valid, err := Encode(sampleImage())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(magic))
+	f.Add([]byte(magic + "\x00\x01"))
+	truncVersion := append([]byte(nil), valid...)
+	truncVersion[9] = 0x02
+	f.Add(truncVersion)
+	minimal, err := Encode(&Image{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(minimal)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Decode error %v does not wrap ErrCorrupt", err)
+			}
+			if img != nil {
+				t.Fatal("Decode returned a partial image alongside an error")
+			}
+			return
+		}
+		// Accepted input: the decoded image must re-encode cleanly and
+		// the re-encoded bytes must decode to the same image. (The
+		// re-encoded bytes may legitimately differ from the input —
+		// unknown sections are skipped — but the *value* must be a
+		// fixpoint.)
+		buf, err := Encode(img)
+		if err != nil {
+			t.Fatalf("Encode of accepted image: %v", err)
+		}
+		img2, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("re-Decode of canonical bytes: %v", err)
+		}
+		if d := Diff(img, img2); d != "" {
+			t.Fatalf("codec fixpoint violated: %s", d)
+		}
+	})
+}
